@@ -1,0 +1,71 @@
+//! Criterion version of Table II: per-epoch policy-computation time for
+//! MFG-CP, RR and MPC as the population grows. The claim under test is
+//! the Remark of §IV-C — MFG-CP's cost is `O(K·ψ_th)`, independent of `M`,
+//! while the per-EDP baselines scale linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mfgcp_core::{ContentContext, MfgSolver, Params};
+use mfgcp_sim::timing;
+
+fn table2_params() -> Params {
+    Params {
+        time_steps: 16,
+        grid_h: 8,
+        grid_q: 32,
+        max_iterations: 30,
+        ..Params::default()
+    }
+}
+
+fn bench_mfgcp_vs_population(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_mfgcp");
+    for &m in &[50usize, 100, 200, 300] {
+        let params = Params { num_edps: m, ..table2_params() };
+        let solver = MfgSolver::new(params.clone()).unwrap();
+        let contexts = vec![ContentContext::from_params(&params); params.time_steps];
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| solver.solve_with(std::hint::black_box(&contexts), None))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rr_vs_population(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_rr");
+    for &m in &[50usize, 100, 200, 300] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| timing::time_rr(std::hint::black_box(m), 20, 40))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mpc_vs_population(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_mpc");
+    for &m in &[50usize, 100, 200, 300] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| timing::time_mpc(std::hint::black_box(m), 20, 40))
+        });
+    }
+    group.finish();
+}
+
+fn fast_criterion() -> Criterion {
+    // Keep the full workspace bench run quick: these kernels are
+    // microsecond-to-millisecond scale, so modest sampling suffices.
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group!(
+    name = benches;
+    config = fast_criterion();
+    targets =
+    bench_mfgcp_vs_population,
+    bench_rr_vs_population,
+    bench_mpc_vs_population
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the finite-population market simulator: a full
+//! epoch under each scheme, plus the hot per-slot phases in isolation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use mfgcp_core::Params;
+use mfgcp_sim::baselines::{MostPopularCaching, RandomReplacement, Udcs};
+use mfgcp_sim::{CachingPolicy, SimConfig, Simulation};
+
+fn config() -> SimConfig {
+    SimConfig {
+        num_edps: 50,
+        num_requesters: 150,
+        num_contents: 10,
+        epochs: 1,
+        slots_per_epoch: 20,
+        params: Params {
+            num_edps: 50,
+            time_steps: 12,
+            grid_h: 8,
+            grid_q: 24,
+            ..Params::default()
+        },
+        seed: 77,
+        ..Default::default()
+    }
+}
+
+fn bench_epoch(c: &mut Criterion, name: &str, make: fn() -> Box<dyn CachingPolicy>) {
+    c.bench_function(name, |b| {
+        b.iter_batched(
+            || Simulation::new(config(), make()).expect("valid config"),
+            |mut sim| sim.run(),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_rr_epoch(c: &mut Criterion) {
+    bench_epoch(c, "sim_epoch_rr_m50_k10", || Box::new(RandomReplacement));
+}
+
+fn bench_mpc_epoch(c: &mut Criterion) {
+    bench_epoch(c, "sim_epoch_mpc_m50_k10", || Box::new(MostPopularCaching::default()));
+}
+
+fn bench_udcs_epoch(c: &mut Criterion) {
+    bench_epoch(c, "sim_epoch_udcs_m50_k10", || Box::new(Udcs::default()));
+}
+
+fn fast_criterion() -> Criterion {
+    // Keep the full workspace bench run quick: these kernels are
+    // microsecond-to-millisecond scale, so modest sampling suffices.
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group!(
+    name = benches;
+    config = fast_criterion();
+    targets = bench_rr_epoch, bench_mpc_epoch, bench_udcs_epoch);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion benchmarks of the finite-difference kernels: explicit vs
+//! implicit Fokker–Planck steps (the `ablation_stepper` trade-off measured
+//! precisely), the Thomas solver, and the field primitives.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use mfgcp_pde::{
+    linalg, Axis, Field2d, FokkerPlanck2d, Grid2d, ImplicitFokkerPlanck2d,
+};
+
+fn grid() -> Grid2d {
+    Grid2d::new(
+        Axis::new(1.0e-5, 10.0e-5, 16).unwrap(),
+        Axis::new(0.0, 1.0, 64).unwrap(),
+    )
+}
+
+fn density() -> Field2d {
+    let mut lam = Field2d::from_fn(grid(), |_h, q| {
+        let z = (q - 0.7) / 0.1;
+        (-0.5 * z * z).exp()
+    });
+    lam.normalize();
+    lam
+}
+
+fn bench_fpk_steppers(c: &mut Criterion) {
+    let bx = Field2d::from_fn(grid(), |h, _q| 2.0 * (5.0e-5 - h));
+    let by = Field2d::from_fn(grid(), |_h, q| 0.4 - 0.9 * q);
+    let explicit = FokkerPlanck2d::new(5e-11, 0.005).unwrap();
+    let implicit = ImplicitFokkerPlanck2d::new(5e-11, 0.005).unwrap();
+    let mut group = c.benchmark_group("fpk_step_16x64");
+    for &dt in &[0.01, 0.05, 0.25] {
+        group.bench_with_input(BenchmarkId::new("explicit", dt), &dt, |b, &dt| {
+            b.iter_batched(
+                density,
+                |mut lam| explicit.step(&mut lam, &bx, &by, dt),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("implicit", dt), &dt, |b, &dt| {
+            b.iter_batched(
+                density,
+                |mut lam| implicit.step(&mut lam, &bx, &by, dt),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_thomas(c: &mut Criterion) {
+    let n = 256;
+    let a = vec![-1.0; n];
+    let b_diag = vec![2.5; n];
+    let cc = vec![-1.0; n];
+    let d: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    c.bench_function("thomas_solve_256", |bch| {
+        bch.iter(|| {
+            linalg::solve_tridiagonal(
+                std::hint::black_box(&a),
+                std::hint::black_box(&b_diag),
+                std::hint::black_box(&cc),
+                std::hint::black_box(&d),
+            )
+        })
+    });
+}
+
+fn bench_field_ops(c: &mut Criterion) {
+    let lam = density();
+    c.bench_function("field2d_integral_16x64", |b| {
+        b.iter(|| std::hint::black_box(&lam).integral())
+    });
+    c.bench_function("field2d_marginal_16x64", |b| {
+        b.iter(|| std::hint::black_box(&lam).marginal_y())
+    });
+    c.bench_function("field2d_weighted_integral_16x64", |b| {
+        b.iter(|| std::hint::black_box(&lam).weighted_integral(|_h, q| q))
+    });
+}
+
+fn fast_criterion() -> Criterion {
+    // Keep the full workspace bench run quick: these kernels are
+    // microsecond-to-millisecond scale, so modest sampling suffices.
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group!(
+    name = benches;
+    config = fast_criterion();
+    targets = bench_fpk_steppers, bench_thomas, bench_field_ops);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks of the numerical kernels: one HJB backward
+//! sweep, one FPK forward sweep, a full Alg. 2 fixed-point solve, a
+//! mean-field estimator snapshot, and a utility evaluation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use mfgcp_core::{
+    ContentContext, FpkSolver, HjbSolver, MeanFieldEstimator, MeanFieldSnapshot, MfgSolver,
+    Params, ReducedMfgSolver, Utility,
+};
+use mfgcp_pde::Field2d;
+
+fn bench_params() -> Params {
+    Params { time_steps: 24, grid_h: 12, grid_q: 48, ..Params::default() }
+}
+
+fn snapshot() -> MeanFieldSnapshot {
+    MeanFieldSnapshot {
+        price: 4.0,
+        q_bar: 0.5,
+        delta_q: 0.3,
+        share_benefit: 0.2,
+        sharer_fraction: 0.3,
+        case3_fraction: 0.2,
+    }
+}
+
+fn bench_hjb_sweep(c: &mut Criterion) {
+    let params = bench_params();
+    let solver = HjbSolver::new(params.clone()).unwrap();
+    let contexts = vec![ContentContext::from_params(&params); params.time_steps];
+    let snaps = vec![snapshot(); params.time_steps];
+    c.bench_function("hjb_backward_sweep_24x12x48", |b| {
+        b.iter(|| solver.solve(std::hint::black_box(&contexts), std::hint::black_box(&snaps)))
+    });
+}
+
+fn bench_fpk_sweep(c: &mut Criterion) {
+    let params = bench_params();
+    let solver = FpkSolver::new(params.clone()).unwrap();
+    let contexts = vec![ContentContext::from_params(&params); params.time_steps];
+    let policy = vec![
+        Field2d::from_fn(solver.grid().clone(), |_h, q| q.clamp(0.0, 1.0));
+        params.time_steps
+    ];
+    let initial = solver.initial_density();
+    c.bench_function("fpk_forward_sweep_24x12x48", |b| {
+        b.iter_batched(
+            || initial.clone(),
+            |init| solver.solve(init, &contexts, &policy),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_full_solve(c: &mut Criterion) {
+    let params = bench_params();
+    let solver = MfgSolver::new(params.clone()).unwrap();
+    let contexts = vec![ContentContext::from_params(&params); params.time_steps];
+    c.bench_function("mfg_full_solve_alg2", |b| {
+        b.iter(|| solver.solve_with(std::hint::black_box(&contexts), None))
+    });
+}
+
+fn bench_reduced_solve(c: &mut Criterion) {
+    let solver = ReducedMfgSolver::new(bench_params()).unwrap();
+    c.bench_function("mfg_reduced_solve_1d", |b| b.iter(|| solver.solve()));
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let params = bench_params();
+    let est = MeanFieldEstimator::new(params.clone());
+    let fpk = FpkSolver::new(params.clone()).unwrap();
+    let density = fpk.initial_density();
+    let policy = Field2d::from_fn(fpk.grid().clone(), |_h, q| q.clamp(0.0, 1.0));
+    c.bench_function("mean_field_estimator_snapshot", |b| {
+        b.iter(|| est.snapshot(std::hint::black_box(&density), std::hint::black_box(&policy)))
+    });
+}
+
+fn bench_utility(c: &mut Criterion) {
+    let params = bench_params();
+    let utility = Utility::new(params.clone());
+    let ctx = ContentContext::from_params(&params);
+    let snap = snapshot();
+    c.bench_function("utility_breakdown_eval", |b| {
+        b.iter(|| {
+            utility.breakdown(
+                std::hint::black_box(&ctx),
+                std::hint::black_box(&snap),
+                0.4,
+                5.0e-5,
+                0.6,
+            )
+        })
+    });
+}
+
+fn fast_criterion() -> Criterion {
+    // Keep the full workspace bench run quick: these kernels are
+    // microsecond-to-millisecond scale, so modest sampling suffices.
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group!(
+    name = benches;
+    config = fast_criterion();
+    targets =
+    bench_hjb_sweep,
+    bench_fpk_sweep,
+    bench_full_solve,
+    bench_reduced_solve,
+    bench_estimator,
+    bench_utility
+);
+criterion_main!(benches);

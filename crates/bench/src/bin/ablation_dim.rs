@@ -1,0 +1,6 @@
+//! Regenerates the 2-D vs reduced 1-D solver ablation (DESIGN.md section 5) of the paper. See `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin ablation_dim`
+
+fn main() {
+    mfgcp_bench::run_experiment("ablation_dim", mfgcp_bench::experiments::ablation_dim());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the ablation_fictitious ablation (DESIGN.md section 5).
+//! Run: `cargo run --release -p mfgcp-bench --bin ablation_fictitious`
+
+fn main() {
+    mfgcp_bench::run_experiment("ablation_fictitious", mfgcp_bench::experiments::ablation_fictitious());
+}

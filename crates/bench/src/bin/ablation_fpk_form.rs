@@ -1,0 +1,6 @@
+//! Regenerates the conservative-vs-advective FPK ablation (DESIGN.md section 5) of the paper. See `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin ablation_fpk_form`
+
+fn main() {
+    mfgcp_bench::run_experiment("ablation_fpk_form", mfgcp_bench::experiments::ablation_fpk_form());
+}

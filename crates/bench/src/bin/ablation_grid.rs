@@ -1,0 +1,6 @@
+//! Regenerates the grid-resolution ablation (DESIGN.md section 5) of the paper. See `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin ablation_grid`
+
+fn main() {
+    mfgcp_bench::run_experiment("ablation_grid", mfgcp_bench::experiments::ablation_grid());
+}

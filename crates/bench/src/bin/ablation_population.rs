@@ -1,0 +1,6 @@
+//! Regenerates the ablation_population ablation (DESIGN.md section 5).
+//! Run: `cargo run --release -p mfgcp-bench --bin ablation_population`
+
+fn main() {
+    mfgcp_bench::run_experiment("ablation_population", mfgcp_bench::experiments::ablation_population());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the explicit-vs-implicit FPK stepper ablation (DESIGN.md
+//! section 5). Run: `cargo run --release -p mfgcp-bench --bin ablation_stepper`
+
+fn main() {
+    mfgcp_bench::run_experiment("ablation_stepper", mfgcp_bench::experiments::ablation_stepper());
+}

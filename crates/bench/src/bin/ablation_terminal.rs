@@ -1,0 +1,6 @@
+//! Regenerates the terminal-salvage-value ablation (DESIGN.md section 5).
+//! Run: `cargo run --release -p mfgcp-bench --bin ablation_terminal`
+
+fn main() {
+    mfgcp_bench::run_experiment("ablation_terminal", mfgcp_bench::experiments::ablation_terminal());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 3 (channel-gain evolution under the OU fading model) of the paper. See `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig03_channel`
+
+fn main() {
+    mfgcp_bench::run_experiment("fig03_channel", mfgcp_bench::experiments::fig03_channel());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 4 (mean-field distribution evolution at equilibrium) of the paper. See `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig04_meanfield_evolution`
+
+fn main() {
+    mfgcp_bench::run_experiment("fig04_meanfield_evolution", mfgcp_bench::experiments::fig04_meanfield_evolution());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 5 (equilibrium caching policy evolution) of the paper. See `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig05_policy_evolution`
+
+fn main() {
+    mfgcp_bench::run_experiment("fig05_policy_evolution", mfgcp_bench::experiments::fig05_policy_evolution());
+}

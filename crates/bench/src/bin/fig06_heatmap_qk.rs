@@ -1,0 +1,6 @@
+//! Regenerates Fig. 6 (mean-field heat map under different Q_k) of the paper. See `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig06_heatmap_qk`
+
+fn main() {
+    mfgcp_bench::run_experiment("fig06_heatmap_qk", mfgcp_bench::experiments::fig06_heatmap_qk());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 7 (mean-field heat map, tighter initial dispersion) of the paper. See `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig07_heatmap_sigma`
+
+fn main() {
+    mfgcp_bench::run_experiment("fig07_heatmap_sigma", mfgcp_bench::experiments::fig07_heatmap_sigma());
+}

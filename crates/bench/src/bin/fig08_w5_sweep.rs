@@ -1,0 +1,6 @@
+//! Regenerates Fig. 8 (impact of the placement-cost coefficient w5) of the paper. See `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig08_w5_sweep`
+
+fn main() {
+    mfgcp_bench::run_experiment("fig08_w5_sweep", mfgcp_bench::experiments::fig08_w5_sweep());
+}

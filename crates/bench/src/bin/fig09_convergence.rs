@@ -1,0 +1,6 @@
+//! Regenerates Fig. 9 (convergence from different initial caching states) of the paper. See `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig09_convergence`
+
+fn main() {
+    mfgcp_bench::run_experiment("fig09_convergence", mfgcp_bench::experiments::fig09_convergence());
+}

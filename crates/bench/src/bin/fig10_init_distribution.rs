@@ -1,0 +1,6 @@
+//! Regenerates Fig. 10 (impact of the initial distribution mean) of the paper. See `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig10_init_distribution`
+
+fn main() {
+    mfgcp_bench::run_experiment("fig10_init_distribution", mfgcp_bench::experiments::fig10_init_distribution());
+}

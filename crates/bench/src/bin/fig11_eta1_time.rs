@@ -1,0 +1,6 @@
+//! Regenerates Fig. 11 (impact of the conversion parameter eta1 over time) of the paper. See `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig11_eta1_time`
+
+fn main() {
+    mfgcp_bench::run_experiment("fig11_eta1_time", mfgcp_bench::experiments::fig11_eta1_time());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 12 (total utility and trading income vs eta1, five schemes) of the paper. See `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig12_total_vs_eta1`
+
+fn main() {
+    mfgcp_bench::run_experiment("fig12_total_vs_eta1", mfgcp_bench::experiments::fig12_total_vs_eta1());
+}

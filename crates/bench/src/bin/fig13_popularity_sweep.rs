@@ -1,0 +1,6 @@
+//! Regenerates Fig. 13 (utility and staleness vs content popularity, five schemes) of the paper. See `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig13_popularity_sweep`
+
+fn main() {
+    mfgcp_bench::run_experiment("fig13_popularity_sweep", mfgcp_bench::experiments::fig13_popularity_sweep());
+}

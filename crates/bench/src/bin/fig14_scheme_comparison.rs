@@ -1,0 +1,6 @@
+//! Regenerates Fig. 14 (utility and trading income per scheme) of the paper. See `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig14_scheme_comparison`
+
+fn main() {
+    mfgcp_bench::run_experiment("fig14_scheme_comparison", mfgcp_bench::experiments::fig14_scheme_comparison());
+}

@@ -1,0 +1,54 @@
+//! Runs the complete experiment battery — every figure and table of the
+//! paper's evaluation plus the ablations — and writes one CSV per
+//! experiment into `target/experiments/`.
+//!
+//! Run: `cargo run --release -p mfgcp-bench --bin reproduce_all`
+
+use std::time::Instant;
+
+use mfgcp_bench::{experiments, write_csv, Row};
+
+type Experiment = (&'static str, fn() -> Vec<Row>);
+
+fn main() {
+    let battery: Vec<Experiment> = vec![
+        ("fig03_channel", experiments::fig03_channel),
+        ("fig04_meanfield_evolution", experiments::fig04_meanfield_evolution),
+        ("fig05_policy_evolution", experiments::fig05_policy_evolution),
+        ("fig06_heatmap_qk", experiments::fig06_heatmap_qk),
+        ("fig07_heatmap_sigma", experiments::fig07_heatmap_sigma),
+        ("fig08_w5_sweep", experiments::fig08_w5_sweep),
+        ("fig09_convergence", experiments::fig09_convergence),
+        ("fig10_init_distribution", experiments::fig10_init_distribution),
+        ("fig11_eta1_time", experiments::fig11_eta1_time),
+        ("fig12_total_vs_eta1", experiments::fig12_total_vs_eta1),
+        ("fig13_popularity_sweep", experiments::fig13_popularity_sweep),
+        ("fig14_scheme_comparison", experiments::fig14_scheme_comparison),
+        ("table2_computation_time", experiments::table2_computation_time),
+        ("ablation_dim", experiments::ablation_dim),
+        ("ablation_relaxation", experiments::ablation_relaxation),
+        ("ablation_grid", experiments::ablation_grid),
+        ("ablation_fpk_form", experiments::ablation_fpk_form),
+        ("ablation_stepper", experiments::ablation_stepper),
+        ("ablation_finite_m", experiments::ablation_finite_m),
+        ("ablation_terminal", experiments::ablation_terminal),
+        ("ablation_fictitious", experiments::ablation_fictitious),
+        ("ablation_population", experiments::ablation_population),
+    ];
+
+    println!("Reproducing {} experiments...\n", battery.len());
+    let overall = Instant::now();
+    for (name, f) in battery {
+        let t0 = Instant::now();
+        let rows = f();
+        let path = write_csv(name, &rows);
+        println!(
+            "{name:<28} {:>6} rows  {:>7.2}s  -> {}",
+            rows.len(),
+            t0.elapsed().as_secs_f64(),
+            path.display()
+        );
+    }
+    println!("\nDone in {:.1}s.", overall.elapsed().as_secs_f64());
+    println!("Compare against the paper with the index in EXPERIMENTS.md.");
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table II (computation time vs number of EDPs) of the paper. See `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin table2_computation_time`
+
+fn main() {
+    mfgcp_bench::run_experiment("table2_computation_time", mfgcp_bench::experiments::table2_computation_time());
+}

@@ -1,0 +1,99 @@
+//! Fig. 3 — channel-gain evolution under the OU fading model (Eq. (1)):
+//! mean reversion towards different long-term means `υ_h`, and the effect
+//! of the noise amplitude `ϱ_h` on path stability.
+
+use mfgcp_sde::{seeded_rng, EulerMaruyama, OrnsteinUhlenbeck};
+
+use crate::Row;
+
+/// Regenerate Fig. 3: one series per `(υ_h, ϱ_h)` setting plus ensemble
+/// standard deviations quantifying the "less stable channel condition"
+/// observation for larger `ϱ_h`.
+pub fn fig03_channel() -> Vec<Row> {
+    let mut rows = Vec::new();
+    let em = EulerMaruyama::new(1e-3);
+    let horizon = 2.0;
+    let h0 = 8.0e-5;
+
+    // Mean reversion towards different long-term means (fixed ϱ_h).
+    for &upsilon in &[3.0e-5, 5.0e-5, 7.0e-5] {
+        let ou = OrnsteinUhlenbeck::new(4.0, upsilon, 1.0e-5).expect("valid OU");
+        let mut rng = seeded_rng(300 + (upsilon * 1e6) as u64);
+        let path = em.integrate(&ou, h0, 0.0, horizon, &mut rng);
+        for step in 0..=40 {
+            let t = step as f64 * horizon / 40.0;
+            rows.push(Row::new(
+                "fig03",
+                format!("upsilon={upsilon:.0e}"),
+                t,
+                path.interpolate(t),
+            ));
+        }
+    }
+
+    // Path dispersion for different noise amplitudes (fixed υ_h): the
+    // ensemble std dev at the end of the horizon grows with ϱ_h.
+    for &varrho in &[0.5e-5, 1.0e-5, 2.0e-5] {
+        let ou = OrnsteinUhlenbeck::new(4.0, 5.0e-5, varrho).expect("valid OU");
+        let mut rng = seeded_rng(900 + (varrho * 1e6) as u64);
+        let path = em.integrate(&ou, h0, 0.0, horizon, &mut rng);
+        for step in 0..=40 {
+            let t = step as f64 * horizon / 40.0;
+            rows.push(Row::new(
+                "fig03",
+                format!("varrho={varrho:.1e}"),
+                t,
+                path.interpolate(t),
+            ));
+        }
+        // Analytic stationary std dev as the dispersion summary.
+        rows.push(Row::new(
+            "fig03",
+            format!("stationary-std,varrho={varrho:.1e}"),
+            horizon,
+            ou.stationary_variance().sqrt(),
+        ));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig03_reverts_to_each_mean() {
+        let rows = fig03_channel();
+        for &upsilon in &[3.0e-5_f64, 5.0e-5, 7.0e-5] {
+            let series = format!("upsilon={upsilon:.0e}");
+            let end: Vec<&Row> = rows
+                .iter()
+                .filter(|r| r.series == series && r.x > 1.5)
+                .collect();
+            assert!(!end.is_empty());
+            // Late samples should be within a few stationary std devs of υ.
+            let sd = (1.0e-5_f64 * 1.0e-5 / 4.0).sqrt();
+            for r in end {
+                assert!(
+                    (r.y - upsilon).abs() < 6.0 * sd,
+                    "series {series} at t={} is {} (target {upsilon})",
+                    r.x,
+                    r.y
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig03_noise_sweep_dispersion_ordering() {
+        let rows = fig03_channel();
+        let std_of = |v: &str| {
+            rows.iter()
+                .find(|r| r.series.contains("stationary-std") && r.series.contains(v))
+                .map(|r| r.y)
+                .expect("stationary std row")
+        };
+        assert!(std_of("5.0e-6") < std_of("1.0e-5"));
+        assert!(std_of("1.0e-5") < std_of("2.0e-5"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Figs. 12–14 and Table II — scheme comparisons: MFG-CP vs MFG vs UDCS
+//! vs MPC vs RR on total utility, trading income, staleness cost, and
+//! policy-computation time.
+
+use mfgcp_core::{MfgSolver, Params};
+use mfgcp_sde::seeded_rng;
+use mfgcp_sim::baselines::{MfgCpPolicy, MostPopularCaching, RandomReplacement, Udcs};
+use mfgcp_sim::{timing, CachingPolicy, SimConfig, SimReport, Simulation};
+
+use super::base_params;
+use crate::rollout::{rollout_under_mean_field, RolloutPolicy};
+use crate::Row;
+
+/// Finite-population configuration shared by Figs. 12 and 14: a scaled
+/// market (M = 30) that preserves the paper's requester-to-EDP ratio.
+fn market_config(params: Params) -> SimConfig {
+    SimConfig {
+        num_edps: 30,
+        num_requesters: 120,
+        num_contents: 6,
+        epochs: 2,
+        slots_per_epoch: 30,
+        params: Params {
+            num_edps: 30,
+            time_steps: 16,
+            grid_h: 8,
+            grid_q: 32,
+            ..params
+        },
+        seed: 1200,
+        ..Default::default()
+    }
+}
+
+fn run_scheme_seeded(params: &Params, scheme: &str, seed: u64) -> SimReport {
+    let mut cfg = market_config(params.clone());
+    cfg.seed = seed;
+    let policy: Box<dyn CachingPolicy> = match scheme {
+        "MFG-CP" => Box::new(MfgCpPolicy::new(cfg.params.clone()).expect("valid params")),
+        "MFG" => {
+            Box::new(MfgCpPolicy::without_sharing(cfg.params.clone()).expect("valid params"))
+        }
+        "UDCS" => Box::new(Udcs::default()),
+        "MPC" => Box::new(MostPopularCaching::default()),
+        "RR" => Box::new(RandomReplacement),
+        other => panic!("unknown scheme {other}"),
+    };
+    Simulation::new(cfg, policy).expect("valid config").run()
+}
+
+/// Averaged market metrics over independent seeds (the single-market noise
+/// between MFG-CP and MFG is otherwise comparable to their gap).
+struct SchemeMetrics {
+    utility: f64,
+    income: f64,
+    staleness: f64,
+}
+
+fn run_scheme(params: &Params, scheme: &str) -> SchemeMetrics {
+    const SEEDS: [u64; 3] = [1200, 1201, 1202];
+    let mut m = SchemeMetrics { utility: 0.0, income: 0.0, staleness: 0.0 };
+    for &seed in &SEEDS {
+        let report = run_scheme_seeded(params, scheme, seed);
+        m.utility += report.mean_utility();
+        m.income += report.mean_trading_income();
+        m.staleness += report.mean_staleness_cost();
+    }
+    let n = SEEDS.len() as f64;
+    m.utility /= n;
+    m.income /= n;
+    m.staleness /= n;
+    m
+}
+
+const SCHEMES: [&str; 5] = ["MFG-CP", "MFG", "UDCS", "MPC", "RR"];
+
+/// Regenerate Fig. 12: total utility and total trading income of an EDP
+/// under `η₁ ∈ {1, 2, 3, 4}` for all five schemes (series
+/// `<scheme>-utility` and `<scheme>-income`, x = η₁).
+pub fn fig12_total_vs_eta1() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &eta1 in &[1.0, 2.0, 3.0, 4.0] {
+        let params = Params { eta1, ..base_params() };
+        for scheme in SCHEMES {
+            let m = run_scheme(&params, scheme);
+            rows.push(Row::new("fig12", format!("{scheme}-utility"), eta1, m.utility));
+            rows.push(Row::new("fig12", format!("{scheme}-income"), eta1, m.income));
+        }
+    }
+    rows
+}
+
+/// Regenerate Fig. 13: utility and staleness cost of an EDP as the content
+/// popularity `Π_k` varies over `[0.3, 0.7]`, for all five schemes.
+///
+/// All schemes are evaluated as tagged-EDP rollouts against the *same*
+/// mean-field market (the MFG-CP equilibrium for that popularity), so the
+/// comparison isolates the decision rules — requests scale with Π exactly
+/// as the paper notes ("a higher Π brings in a higher utility owing to the
+/// growth of requests").
+pub fn fig13_popularity_sweep() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &pop in &[0.3, 0.4, 0.5, 0.6, 0.7] {
+        let params = Params {
+            popularity: pop,
+            requests: 30.0 * pop,
+            ..base_params()
+        };
+        let eq = MfgSolver::new(params.clone())
+            .expect("valid params")
+            .solve()
+            .expect("sweep converges");
+        // The no-sharing mean field for the MFG baseline.
+        let eq_ns = MfgSolver::new(Params { p_bar: 0.0, ..params.clone() })
+            .expect("valid params")
+            .solve()
+            .expect("sweep converges");
+
+        let q0 = params.lambda0_mean;
+        let mut eval = |scheme: &str, policy: &RolloutPolicy<'_>, market| {
+            let mut rng = seeded_rng(1300 + (pop * 100.0) as u64);
+            let r = rollout_under_mean_field(market, policy, q0, false, &mut rng);
+            rows.push(Row::new("fig13", format!("{scheme}-utility"), pop, r.utility()));
+            rows.push(Row::new("fig13", format!("{scheme}-staleness"), pop, r.staleness_cost));
+        };
+
+        eval("MFG-CP", &RolloutPolicy::Equilibrium(&eq), &eq);
+        eval("MFG", &RolloutPolicy::Equilibrium(&eq_ns), &eq_ns);
+        // UDCS: popularity-proportional with overlap/channel discounts,
+        // evaluated in the shared market without sharing flows.
+        let udcs = Udcs::default();
+        let udcs_x = (udcs.gain * pop * (1.0 - 0.3 * udcs.overlap_discount) * 0.5).clamp(0.0, 1.0);
+        eval("UDCS", &RolloutPolicy::Feedback(Box::new(move |_t, _q| udcs_x)), &eq_ns);
+        // MPC caches the popular content at full rate.
+        eval("MPC", &RolloutPolicy::Feedback(Box::new(|_t, _q| 1.0)), &eq_ns);
+        eval("RR", &RolloutPolicy::Random, &eq_ns);
+    }
+    rows
+}
+
+/// Regenerate Fig. 14: utility and trading income per scheme at the
+/// default market (series `utility` and `income`, x = scheme index in
+/// `SCHEMES` order).
+pub fn fig14_scheme_comparison() -> Vec<Row> {
+    let params = base_params();
+    let mut rows = Vec::new();
+    for (idx, scheme) in SCHEMES.iter().enumerate() {
+        let m = run_scheme(&params, scheme);
+        rows.push(Row::new("fig14", format!("{scheme}-utility"), idx as f64, m.utility));
+        rows.push(Row::new("fig14", format!("{scheme}-income"), idx as f64, m.income));
+        rows.push(Row::new("fig14", format!("{scheme}-staleness"), idx as f64, m.staleness));
+    }
+    rows
+}
+
+/// Regenerate Table II: per-epoch policy-computation time (seconds) for
+/// MFG-CP, RR and MPC at `M ∈ {50, 100, 200, 300}`.
+pub fn table2_computation_time() -> Vec<Row> {
+    let params = Params {
+        time_steps: 24,
+        grid_h: 10,
+        grid_q: 40,
+        max_iterations: 40,
+        ..Params::default()
+    };
+    // RR/MPC decision volumes mirror the simulator: K = 20 contents,
+    // 40 slots per epoch (§V-A), plus per-EDP bookkeeping.
+    timing::table2_rows(&params, &[50, 100, 200, 300], 20, 40)
+        .into_iter()
+        .map(|(scheme, m, secs)| Row::new("table2", scheme, m as f64, secs))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14_mfgcp_wins_on_utility() {
+        let rows = fig14_scheme_comparison();
+        let utility = |scheme: &str| {
+            rows.iter()
+                .find(|r| r.series == format!("{scheme}-utility"))
+                .map(|r| r.y)
+                .expect("series exists")
+        };
+        let mfgcp = utility("MFG-CP");
+        for s in ["MFG", "UDCS", "MPC", "RR"] {
+            assert!(mfgcp > utility(s), "MFG-CP {mfgcp} vs {s} {}", utility(s));
+        }
+    }
+
+    #[test]
+    fn fig13_popularity_lifts_utility() {
+        let rows = fig13_popularity_sweep();
+        let series: Vec<&Row> =
+            rows.iter().filter(|r| r.series == "MFG-CP-utility").collect();
+        assert_eq!(series.len(), 5);
+        assert!(
+            series.last().unwrap().y > series.first().unwrap().y,
+            "utility should grow with popularity"
+        );
+        // MFG-CP dominates the baselines across the sweep.
+        for &pop in &[0.3, 0.5, 0.7] {
+            let at = |scheme: &str| {
+                rows.iter()
+                    .find(|r| r.series == format!("{scheme}-utility") && (r.x - pop).abs() < 1e-9)
+                    .map(|r| r.y)
+                    .expect("series exists")
+            };
+            assert!(at("MFG-CP") >= at("RR"), "pop {pop}");
+            assert!(at("MFG-CP") >= at("MPC"), "pop {pop}");
+        }
+    }
+
+    #[test]
+    fn table2_mfgcp_flat_while_baselines_grow() {
+        let rows = table2_computation_time();
+        let series = |scheme: &str| -> Vec<f64> {
+            rows.iter().filter(|r| r.series == scheme).map(|r| r.y).collect()
+        };
+        let mfgcp = series("MFG-CP");
+        let rr = series("RR");
+        assert_eq!(mfgcp.len(), 4);
+        // RR's cost grows with M.
+        assert!(rr[3] > rr[0], "RR {rr:?}");
+        // MFG-CP does not scale with M (allow 3x noise factor).
+        assert!(mfgcp[3] < mfgcp[0] * 3.0 + 0.05, "MFG-CP {mfgcp:?}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Figs. 4–7 — the mean-field equilibrium itself: density evolution
+//! (Fig. 4), the equilibrium caching policy (Fig. 5), and the density heat
+//! maps under different content sizes `Q_k` and initial dispersions
+//! (Figs. 6–7).
+
+use mfgcp_core::{ContentContext, Equilibrium, MfgSolver, Params};
+
+use super::base_params;
+use crate::Row;
+
+fn solve(params: Params) -> Equilibrium {
+    MfgSolver::new(params.clone())
+        .expect("valid params")
+        .solve()
+        .expect("experiment configuration converges")
+}
+
+/// Regenerate Fig. 4: the q-marginal of `λ(t, ·)` at several times
+/// (series `t=…`, x = remaining space, y = density), plus the density at
+/// fixed remaining-space levels over time (series `q=…`, x = t).
+pub fn fig04_meanfield_evolution() -> Vec<Row> {
+    let params = base_params();
+    let eq = solve(params.clone());
+    let mut rows = Vec::new();
+    let n = params.time_steps;
+    for &frac in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+        let step = ((n as f64) * frac) as usize;
+        let marginal = eq.density_marginal_q(step);
+        let t = step as f64 * eq.dt();
+        for (j, &d) in marginal.values().iter().enumerate() {
+            rows.push(Row::new("fig04", format!("t={t:.2}"), marginal.axis().at(j), d));
+        }
+    }
+    // Fixed remaining-space slices over time (the paper tracks 30/60/70 MB).
+    for &q in &[0.3, 0.6, 0.7] {
+        for step in 0..=n {
+            let marginal = eq.density_marginal_q(step);
+            rows.push(Row::new(
+                "fig04",
+                format!("q={q:.1}"),
+                step as f64 * eq.dt(),
+                marginal.interpolate(q),
+            ));
+        }
+    }
+
+    // The paper's Fig. 4 phase: the mean remaining space *increases first
+    // and then decreases*. Under a stationary context our equilibrium
+    // shows the opposite order (cache while the horizon is long, discard
+    // near T); the paper's order appears when demand urgency ramps up
+    // within the epoch — early low-urgency requests let EDPs discard,
+    // late urgent ones pull content back in. This series reproduces that
+    // demand trajectory (requests and urgency ramp together).
+    let ramping: Vec<ContentContext> = (0..n)
+        .map(|step| {
+            let frac = step as f64 / n as f64;
+            ContentContext {
+                requests: 4.0 + 26.0 * frac,
+                popularity: 0.3,
+                // L ramps 0.5 → 3: urgency factor ξ^L falls 0.32 → 0.001.
+                urgency_factor: 0.1_f64.powf(0.5 + 2.5 * frac),
+            }
+        })
+        .collect();
+    let solver = MfgSolver::new(params.clone()).expect("valid params");
+    let ramped = solver.solve_with(&ramping, None);
+    for (step, &q) in ramped.mean_remaining_space().iter().enumerate() {
+        rows.push(Row::new(
+            "fig04",
+            "ramping-demand-mean",
+            step as f64 * ramped.dt(),
+            q,
+        ));
+    }
+    rows
+}
+
+/// Regenerate Fig. 5: the equilibrium caching policy `x*(t, q)` at the
+/// mean channel state — versus `q` at several times, and versus `t` at the
+/// paper's `q ∈ {10, …, 50} MB` slices.
+pub fn fig05_policy_evolution() -> Vec<Row> {
+    let params = base_params();
+    let eq = solve(params.clone());
+    let h = params.upsilon_h;
+    let mut rows = Vec::new();
+    for &t in &[0.0, 0.25, 0.5, 0.75] {
+        let mut q = 0.0;
+        while q <= 1.0 + 1e-9 {
+            rows.push(Row::new("fig05", format!("t={t:.2}"), q, eq.policy_at(t, h, q)));
+            q += 0.05;
+        }
+    }
+    for &q in &[0.1, 0.2, 0.3, 0.4, 0.5] {
+        for step in 0..params.time_steps {
+            let t = step as f64 * eq.dt();
+            rows.push(Row::new("fig05", format!("q={q:.1}"), t, eq.policy_at(t, h, q)));
+        }
+    }
+    rows
+}
+
+fn heatmap(exp: &'static str, lambda0_std: f64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &q_size in &[0.6, 0.8, 1.0] {
+        let params = Params { q_size, lambda0_std, ..base_params() };
+        let eq = solve(params.clone());
+        for step in (0..=params.time_steps).step_by(2) {
+            let t = step as f64 * eq.dt();
+            let marginal = eq.density_marginal_q(step);
+            for (j, &d) in marginal.values().iter().enumerate() {
+                rows.push(Row::new(
+                    exp,
+                    format!("Qk={q_size:.1},t={t:.2}"),
+                    marginal.axis().at(j),
+                    d,
+                ));
+            }
+        }
+    }
+    rows
+}
+
+/// Regenerate Fig. 6: heat map of the mean-field distribution under
+/// `Q_k ∈ {60, 80, 100} MB` with the default `λ(0) ~ N(0.7·Q_k, (0.1·Q_k)²)`.
+pub fn fig06_heatmap_qk() -> Vec<Row> {
+    heatmap("fig06", 0.1)
+}
+
+/// Regenerate Fig. 7: the same heat map with the tighter
+/// `λ(0) ~ N(0.7·Q_k, (0.05·Q_k)²)` initial dispersion (robustness check).
+pub fn fig07_heatmap_sigma() -> Vec<Row> {
+    heatmap("fig07", 0.05)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig04_densities_are_normalized_curves() {
+        let rows = fig04_meanfield_evolution();
+        // Each t-series should integrate to ~1 (cell sum × dq).
+        let params = base_params();
+        let dq = params.q_size / (params.grid_q - 1) as f64;
+        for &t in &["t=0.00", "t=0.50", "t=1.00"] {
+            let total: f64 =
+                rows.iter().filter(|r| r.series == t).map(|r| r.y * dq).sum();
+            assert!((total - 1.0).abs() < 0.05, "series {t} mass {total}");
+        }
+    }
+
+    #[test]
+    fn fig04_ramping_demand_is_increase_then_decrease() {
+        // The paper's stated Fig. 4 phase order.
+        let rows = fig04_meanfield_evolution();
+        let series: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.series == "ramping-demand-mean")
+            .map(|r| r.y)
+            .collect();
+        assert!(!series.is_empty());
+        let start = series[0];
+        let peak = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let end = *series.last().unwrap();
+        assert!(peak > start + 0.02, "no initial increase: start {start}, peak {peak}");
+        assert!(end < peak - 0.02, "no later decrease: peak {peak}, end {end}");
+    }
+
+    #[test]
+    fn fig05_policy_grows_with_remaining_space() {
+        // The paper: "the optimal caching strategy will increase along
+        // with the growth of the caching state". Checked mid-horizon where
+        // the control is interior (at t = 0 the distressed states saturate
+        // at x* = 1, and near the α·Q_k threshold the qualification spike
+        // breaks monotonicity by design).
+        let rows = fig05_policy_evolution();
+        let at = |q: f64| {
+            rows.iter()
+                .find(|r| r.series == "t=0.50" && (r.x - q).abs() < 1e-6)
+                .map(|r| r.y)
+                .expect("row exists")
+        };
+        assert!(at(0.6) > at(0.3), "x*(q=0.6) = {} vs x*(q=0.3) = {}", at(0.6), at(0.3));
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.y), "invalid rate {}", r.y);
+        }
+    }
+
+    #[test]
+    fn fig06_and_07_cover_all_sizes() {
+        for rows in [fig06_heatmap_qk(), fig07_heatmap_sigma()] {
+            for qk in ["Qk=0.6", "Qk=0.8", "Qk=1.0"] {
+                assert!(rows.iter().any(|r| r.series.starts_with(qk)), "missing {qk}");
+            }
+            assert!(rows.iter().all(|r| r.y >= 0.0), "negative density");
+        }
+    }
+
+    #[test]
+    fn fig07_is_more_concentrated_than_fig06() {
+        // Tighter initial dispersion → higher peak density at t = 0.
+        let peak = |rows: &[Row]| {
+            rows.iter()
+                .filter(|r| r.series.starts_with("Qk=1.0,t=0.00"))
+                .map(|r| r.y)
+                .fold(0.0_f64, f64::max)
+        };
+        assert!(peak(&fig07_heatmap_sigma()) > peak(&fig06_heatmap_qk()));
+    }
+}

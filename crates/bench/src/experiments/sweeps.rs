@@ -1,0 +1,196 @@
+//! Figs. 8–11 — parameter impact at the mean-field equilibrium: the
+//! placement-cost coefficient `w₅` (Fig. 8), convergence from different
+//! initial caching states (Fig. 9), the initial distribution mean
+//! (Fig. 10), and the conversion parameter `η₁` (Fig. 11).
+
+use mfgcp_core::{MfgSolver, Params};
+use mfgcp_sde::seeded_rng;
+
+use super::base_params;
+use crate::rollout::{rollout_under_mean_field, RolloutPolicy};
+use crate::Row;
+
+/// Regenerate Fig. 8: sweep `w₅` over `[1.0, 2.4]×` the default (the
+/// paper's `[0.65, 1.55]·10⁸` range has the same ratio). Series
+/// `w5=…-state` (mean remaining space over time) and the summary series
+/// `staleness` (accumulated staleness cost vs `w₅`).
+pub fn fig08_w5_sweep() -> Vec<Row> {
+    let base = base_params();
+    let mut rows = Vec::new();
+    for &mult in &[1.0, 1.4, 1.9, 2.4] {
+        let w5 = base.w5 * mult;
+        let params = Params { w5, ..base.clone() };
+        let eq = MfgSolver::new(params.clone())
+            .expect("valid params")
+            .solve()
+            .expect("sweep converges");
+        for (step, q) in eq.mean_remaining_space().iter().enumerate() {
+            rows.push(Row::new(
+                "fig08",
+                format!("w5={w5:.1}-state"),
+                step as f64 * eq.dt(),
+                *q,
+            ));
+        }
+        rows.push(Row::new("fig08", "staleness", w5, eq.accumulated_staleness_cost()));
+        rows.push(Row::new("fig08", "utility", w5, eq.accumulated_utility()));
+    }
+    rows
+}
+
+/// Regenerate Fig. 9: a tagged EDP started from `q_k(0) ∈ {30…90} MB`
+/// follows the equilibrium policy; its caching state and running utility
+/// stabilize (series `q0=…-state` and `q0=…-utility`), and the Alg. 2
+/// residuals document the solver's convergence (series `residual`).
+pub fn fig09_convergence() -> Vec<Row> {
+    let params = base_params();
+    let eq = MfgSolver::new(params.clone())
+        .expect("valid params")
+        .solve()
+        .expect("default game converges");
+    let mut rows = Vec::new();
+    for &q0 in &[0.3, 0.5, 0.7, 0.9] {
+        let mut rng = seeded_rng(90 + (q0 * 10.0) as u64);
+        let r = rollout_under_mean_field(&eq, &RolloutPolicy::Equilibrium(&eq), q0, true, &mut rng);
+        for (n, &q) in r.q_path.iter().enumerate() {
+            rows.push(Row::new("fig09", format!("q0={q0:.1}-state"), n as f64 * eq.dt(), q));
+        }
+        for (n, &u) in r.utility_path.iter().enumerate() {
+            rows.push(Row::new(
+                "fig09",
+                format!("q0={q0:.1}-utility"),
+                (n + 1) as f64 * eq.dt(),
+                u,
+            ));
+        }
+    }
+    for (i, &res) in eq.report.residuals.iter().enumerate() {
+        rows.push(Row::new("fig09", "residual", (i + 1) as f64, res));
+    }
+    rows
+}
+
+/// Regenerate Fig. 10: sweep the initial distribution mean over
+/// `{0.5, 0.6, 0.7, 0.8}`; report the per-step average utility (series
+/// `mean=…-utility`) and the average sharing benefit from the mean-field
+/// group (series `mean=…-sharebenefit`).
+pub fn fig10_init_distribution() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &mean in &[0.5, 0.6, 0.7, 0.8] {
+        let params = Params { lambda0_mean: mean, ..base_params() };
+        let eq = MfgSolver::new(params.clone())
+            .expect("valid params")
+            .solve()
+            .expect("sweep converges");
+        for (n, b) in eq.utility_series().iter().enumerate() {
+            rows.push(Row::new(
+                "fig10",
+                format!("mean={mean:.1}-utility"),
+                n as f64 * eq.dt(),
+                b.total(),
+            ));
+        }
+        for (n, s) in eq.snapshots.iter().enumerate() {
+            rows.push(Row::new(
+                "fig10",
+                format!("mean={mean:.1}-sharebenefit"),
+                n as f64 * eq.dt(),
+                s.share_benefit,
+            ));
+        }
+    }
+    rows
+}
+
+/// Regenerate Fig. 11: sweep `η₁ ∈ {1, 2, 3, 4}` (the paper's
+/// `{0.1…0.4}·10⁻⁶` at the same `η₁/p̂` ratios); report the per-step
+/// average utility and trading income (series `eta1=…-utility`,
+/// `eta1=…-income`).
+pub fn fig11_eta1_time() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &eta1 in &[1.0, 2.0, 3.0, 4.0] {
+        let params = Params { eta1, ..base_params() };
+        let eq = MfgSolver::new(params.clone())
+            .expect("valid params")
+            .solve()
+            .expect("sweep converges");
+        for (n, b) in eq.utility_series().iter().enumerate() {
+            let t = n as f64 * eq.dt();
+            rows.push(Row::new("fig11", format!("eta1={eta1:.0}-utility"), t, b.total()));
+            rows.push(Row::new(
+                "fig11",
+                format!("eta1={eta1:.0}-income"),
+                t,
+                b.trading_income,
+            ));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig08_larger_w5_means_higher_staleness() {
+        // The paper: "a larger w5 will lead to a higher staleness cost,
+        // since the EDP needs to spend more time acquiring contents".
+        let rows = fig08_w5_sweep();
+        let staleness: Vec<(f64, f64)> = rows
+            .iter()
+            .filter(|r| r.series == "staleness")
+            .map(|r| (r.x, r.y))
+            .collect();
+        assert_eq!(staleness.len(), 4);
+        assert!(
+            staleness.last().unwrap().1 > staleness.first().unwrap().1,
+            "staleness {staleness:?}"
+        );
+    }
+
+    #[test]
+    fn fig09_rollouts_stabilize() {
+        let rows = fig09_convergence();
+        // Residuals decay (Alg. 2 converges).
+        let res: Vec<f64> =
+            rows.iter().filter(|r| r.series == "residual").map(|r| r.y).collect();
+        assert!(res.len() >= 2);
+        assert!(res.last().unwrap() < &res[0]);
+        // The paper: the larger q0 starts with the lowest utility.
+        let final_utility = |q0: &str| {
+            rows.iter()
+                .filter(|r| r.series == format!("q0={q0}-utility"))
+                .map(|r| r.y)
+                .next_back()
+                .expect("utility series")
+        };
+        assert!(final_utility("0.9") < final_utility("0.3") + 5.0);
+    }
+
+    #[test]
+    fn fig11_larger_eta1_means_lower_income() {
+        // The paper: "a larger η1 corresponds to a smaller utility and a
+        // lower trading income".
+        let rows = fig11_eta1_time();
+        let total = |series: &str| {
+            rows.iter().filter(|r| r.series == series).map(|r| r.y).sum::<f64>()
+        };
+        assert!(total("eta1=4-income") < total("eta1=1-income"));
+        assert!(total("eta1=4-utility") < total("eta1=1-utility"));
+    }
+
+    #[test]
+    fn fig10_produces_all_series() {
+        let rows = fig10_init_distribution();
+        for m in ["0.5", "0.6", "0.7", "0.8"] {
+            assert!(rows.iter().any(|r| r.series == format!("mean={m}-utility")));
+            assert!(rows.iter().any(|r| r.series == format!("mean={m}-sharebenefit")));
+        }
+        // Sharing benefits are non-negative.
+        assert!(rows
+            .iter()
+            .filter(|r| r.series.contains("sharebenefit"))
+            .all(|r| r.y >= 0.0));
+    }
+}

@@ -1,0 +1,126 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§V): Figs. 3–14, Table II, and the ablations called out in
+//! `DESIGN.md` §5.
+//!
+//! Each experiment lives in [`experiments`] as a pure function returning
+//! [`Row`]s; the `src/bin/*` binaries are thin wrappers that print the rows
+//! and write `target/experiments/<exp>.csv`. `bin/reproduce_all` runs the
+//! whole battery. Measured-vs-paper shape notes live in `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+mod rollout;
+
+pub use rollout::{rollout_under_mean_field, RolloutPolicy, RolloutResult};
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// One data point of an experiment: `(series label, x, y)` within a named
+/// experiment — exactly one curve point of the corresponding paper figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Experiment id, e.g. `"fig04"`.
+    pub exp: &'static str,
+    /// Series (curve/legend) label, e.g. `"t=0.25"` or `"MFG-CP"`.
+    pub series: String,
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Row {
+    /// Construct a row.
+    pub fn new(exp: &'static str, series: impl Into<String>, x: f64, y: f64) -> Self {
+        Self { exp, series: series.into(), x, y }
+    }
+}
+
+/// Print rows as `exp,series,x,y` CSV to stdout.
+pub fn print_rows(rows: &[Row]) {
+    println!("exp,series,x,y");
+    for r in rows {
+        println!("{},{},{},{}", r.exp, r.series, r.x, r.y);
+    }
+}
+
+/// Write rows to `target/experiments/<name>.csv`, creating directories as
+/// needed. Returns the path written.
+///
+/// # Panics
+///
+/// Panics on I/O errors (experiment binaries have no meaningful recovery).
+pub fn write_csv(name: &str, rows: &[Row]) -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "exp,series,x,y").expect("write header");
+    for r in rows {
+        writeln!(f, "{},{},{},{}", r.exp, r.series, r.x, r.y).expect("write row");
+    }
+    path
+}
+
+/// Standard experiment entry point used by every binary: run, print,
+/// persist.
+pub fn run_experiment(name: &str, rows: Vec<Row>) {
+    print_rows(&rows);
+    let path = write_csv(name, &rows);
+    eprintln!("wrote {} rows to {}", rows.len(), path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_construct_and_serialize() {
+        let rows = vec![Row::new("figX", "s", 1.0, 2.0)];
+        let path = write_csv("test_rows", &rows);
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("figX,s,1,2"));
+    }
+
+    /// Doc-sync guard: every `bin/<target>` the DESIGN.md experiment index
+    /// promises must exist as a binary source file, and vice versa every
+    /// figure/table binary must be mentioned in DESIGN.md.
+    #[test]
+    fn design_md_experiment_index_matches_the_binaries() {
+        let design = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../DESIGN.md"),
+        )
+        .expect("DESIGN.md exists at the workspace root");
+        let bin_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src/bin");
+        let binaries: Vec<String> = std::fs::read_dir(&bin_dir)
+            .expect("bin dir")
+            .filter_map(|e| {
+                let name = e.ok()?.file_name().into_string().ok()?;
+                name.strip_suffix(".rs").map(str::to_string)
+            })
+            .collect();
+        // Every `bin/...` token in DESIGN.md resolves to a real binary.
+        for token in design.split_whitespace() {
+            if let Some(rest) = token.strip_prefix("`bin/") {
+                let target = rest.trim_end_matches(['`', '|', ',']).trim_end_matches('`');
+                assert!(
+                    binaries.iter().any(|b| b == target),
+                    "DESIGN.md references missing binary `{target}`"
+                );
+            }
+        }
+        // Every figure/table binary is documented (the driver is exempt).
+        for b in &binaries {
+            if b == "reproduce_all" {
+                continue;
+            }
+            assert!(
+                design.contains(&format!("bin/{b}")),
+                "binary `{b}` is not referenced in DESIGN.md"
+            );
+        }
+    }
+}

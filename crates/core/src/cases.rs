@@ -1,0 +1,114 @@
+//! The three response cases of §III-A and their smoothed occurrence
+//! probabilities:
+//!
+//! * **Case 1** — the EDP has cached enough of content `k`
+//!   (`P¹ = f(α·Q_k − q)`: remaining space below the `α·Q_k` threshold
+//!   means most of the content is already stored);
+//! * **Case 2** — the EDP lacks the content but some peer has it
+//!   (`P² = f(q − α·Q_k)·f(α·Q_k − q₋)`);
+//! * **Case 3** — nobody nearby has it; download from the cloud center
+//!   (`P³ = f(q − α·Q_k)·f(q₋ − α·Q_k)`).
+//!
+//! `f` is the sigmoid Heaviside smoothing; `q₋` is the peer caching state,
+//! approximated by the mean-field average `q̄₋` (Eq. (18)) in the MFG.
+
+use crate::sigmoid::Sigmoid;
+
+/// The occurrence probabilities of the three response cases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseProbabilities {
+    /// Case 1 (serve from own cache).
+    pub p1: f64,
+    /// Case 2 (buy the gap from a peer EDP).
+    pub p2: f64,
+    /// Case 3 (download the gap from the cloud center).
+    pub p3: f64,
+}
+
+impl CaseProbabilities {
+    /// Evaluate the paper's formulas at own state `q`, peer state `q_peer`,
+    /// threshold `alpha_qk = α·Q_k`.
+    pub fn compute(sigmoid: Sigmoid, q: f64, q_peer: f64, alpha_qk: f64) -> Self {
+        let own_short = sigmoid.eval(q - alpha_qk); // ≈ 1 when own cache is short
+        let own_full = sigmoid.eval(alpha_qk - q); // ≈ 1 when own cache suffices
+        let peer_full = sigmoid.eval(alpha_qk - q_peer);
+        let peer_short = sigmoid.eval(q_peer - alpha_qk);
+        Self { p1: own_full, p2: own_short * peer_full, p3: own_short * peer_short }
+    }
+
+    /// Partial derivatives `(∂P¹/∂q, ∂P²/∂q, ∂P³/∂q)` — the expressions
+    /// below Eq. (24) used in the Lipschitz argument of Lemma 1.
+    pub fn derivatives_wrt_q(sigmoid: Sigmoid, q: f64, q_peer: f64, alpha_qk: f64) -> (f64, f64, f64) {
+        let d_own_full = -sigmoid.derivative(alpha_qk - q);
+        let d_own_short = sigmoid.derivative(q - alpha_qk);
+        let peer_full = sigmoid.eval(alpha_qk - q_peer);
+        let peer_short = sigmoid.eval(q_peer - alpha_qk);
+        (d_own_full, d_own_short * peer_full, d_own_short * peer_short)
+    }
+
+    /// Sum of the three probabilities (≈ 1 away from the threshold; the
+    /// sigmoid smoothing makes it only approximately a partition).
+    pub fn total(&self) -> f64 {
+        self.p1 + self.p2 + self.p3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> Sigmoid {
+        Sigmoid::new(10.0)
+    }
+
+    #[test]
+    fn full_cache_is_case_1() {
+        // q = 0 (nothing left to cache) → case 1 dominant.
+        let c = CaseProbabilities::compute(sig(), 0.0, 0.9, 0.2);
+        assert!(c.p1 > 0.97, "p1 = {}", c.p1);
+        assert!(c.p2 < 0.03 && c.p3 < 0.03);
+    }
+
+    #[test]
+    fn short_cache_with_full_peer_is_case_2() {
+        let c = CaseProbabilities::compute(sig(), 0.9, 0.0, 0.2);
+        assert!(c.p2 > 0.95, "p2 = {}", c.p2);
+        assert!(c.p1 < 0.05 && c.p3 < 0.05);
+    }
+
+    #[test]
+    fn short_cache_with_short_peer_is_case_3() {
+        let c = CaseProbabilities::compute(sig(), 0.9, 0.9, 0.2);
+        assert!(c.p3 > 0.95, "p3 = {}", c.p3);
+        assert!(c.p1 < 0.05 && c.p2 < 0.05);
+    }
+
+    #[test]
+    fn probabilities_sum_near_one_away_from_threshold() {
+        for &(q, qp) in &[(0.0, 0.0), (0.9, 0.05), (0.05, 0.9), (0.95, 0.95)] {
+            let c = CaseProbabilities::compute(sig(), q, qp, 0.2);
+            assert!((c.total() - 1.0).abs() < 0.05, "at ({q},{qp}): {}", c.total());
+        }
+    }
+
+    #[test]
+    fn cases_2_and_3_partition_the_short_regime() {
+        // When the EDP is short, p2 + p3 ≈ p_short regardless of the peer.
+        let c_full_peer = CaseProbabilities::compute(sig(), 0.9, 0.0, 0.2);
+        let c_short_peer = CaseProbabilities::compute(sig(), 0.9, 0.9, 0.2);
+        assert!((c_full_peer.p2 + c_full_peer.p3 - (c_short_peer.p2 + c_short_peer.p3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let s = sig();
+        let (q, qp, a) = (0.25, 0.6, 0.2);
+        let h = 1e-6;
+        let up = CaseProbabilities::compute(s, q + h, qp, a);
+        let dn = CaseProbabilities::compute(s, q - h, qp, a);
+        let (d1, d2, d3) = CaseProbabilities::derivatives_wrt_q(s, q, qp, a);
+        assert!((d1 - (up.p1 - dn.p1) / (2.0 * h)).abs() < 1e-4);
+        assert!((d2 - (up.p2 - dn.p2) / (2.0 * h)).abs() < 1e-4);
+        assert!((d3 - (up.p3 - dn.p3) / (2.0 * h)).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,76 @@
+//! Convergence diagnostics for the iterative best-response learning scheme.
+
+/// The outcome of the Picard iteration of Alg. 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceReport {
+    /// Whether the sup-norm policy residual dropped below the tolerance
+    /// within the iteration budget.
+    pub converged: bool,
+    /// Number of iterations performed (`ψ` at exit).
+    pub iterations: usize,
+    /// Sup-norm policy residual after each iteration —
+    /// `max_{t,S} |x^ψ(t,S) − x^{ψ−1}(t,S)|`, the quantity of Alg. 2 line 6.
+    pub residuals: Vec<f64>,
+}
+
+impl ConvergenceReport {
+    /// The final residual (`+∞` when no iteration ran).
+    pub fn final_residual(&self) -> f64 {
+        self.residuals.last().copied().unwrap_or(f64::INFINITY)
+    }
+
+    /// Empirical contraction factor: the geometric mean of successive
+    /// residual ratios. Below 1 indicates the fixed-point map contracts
+    /// (the premise of Thm. 2). `None` with fewer than 2 iterations.
+    pub fn contraction_factor(&self) -> Option<f64> {
+        if self.residuals.len() < 2 {
+            return None;
+        }
+        let mut log_sum = 0.0;
+        let mut count = 0usize;
+        for w in self.residuals.windows(2) {
+            if w[0] > 0.0 && w[1] > 0.0 {
+                log_sum += (w[1] / w[0]).ln();
+                count += 1;
+            }
+        }
+        if count == 0 {
+            return None;
+        }
+        Some((log_sum / count as f64).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn final_residual_of_empty_report_is_infinite() {
+        let r = ConvergenceReport { converged: false, iterations: 0, residuals: vec![] };
+        assert!(r.final_residual().is_infinite());
+        assert!(r.contraction_factor().is_none());
+    }
+
+    #[test]
+    fn contraction_factor_of_geometric_decay() {
+        let r = ConvergenceReport {
+            converged: true,
+            iterations: 4,
+            residuals: vec![1.0, 0.5, 0.25, 0.125],
+        };
+        let c = r.contraction_factor().unwrap();
+        assert!((c - 0.5).abs() < 1e-12);
+        assert_eq!(r.final_residual(), 0.125);
+    }
+
+    #[test]
+    fn contraction_factor_skips_zero_residuals() {
+        let r = ConvergenceReport {
+            converged: true,
+            iterations: 3,
+            residuals: vec![1.0, 0.0, 0.0],
+        };
+        assert!(r.contraction_factor().is_none());
+    }
+}

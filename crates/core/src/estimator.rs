@@ -1,0 +1,240 @@
+//! The mean-field estimator of §IV-B(1).
+//!
+//! Given the mean-field density `λ(S_k(t))` and the current policy surface
+//! `x*(S)`, the estimator computes everything the generic player needs that
+//! would otherwise require querying all `M − 1` competitors:
+//!
+//! * the dynamic price `p_k(t)` (Eq. (17));
+//! * the average peer caching state `q̄₋(t)` (Eq. (18));
+//! * the average transfer size `Δq̄(t)` between a sharing and a needing EDP;
+//! * the population fractions qualified to share (`M_k/M`, those with
+//!   `q ≤ α·Q_k`) and stuck in case 3 (`M'_k/M`);
+//! * the average sharing benefit
+//!   `Φ̄²_k(t) = p̄_k·Δq̄·((M − M'_k)/M_k − 1)`.
+
+use mfgcp_pde::Field2d;
+
+use crate::params::Params;
+use crate::pricing::mean_field_price;
+use crate::sigmoid::Sigmoid;
+
+/// The per-time-step quantities produced by the estimator and consumed by
+/// the generic player's utility (§IV-B(2)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanFieldSnapshot {
+    /// Dynamic trading price `p_k(t)` (Eq. (17)).
+    pub price: f64,
+    /// Average peer remaining space `q̄₋(t)` (Eq. (18)).
+    pub q_bar: f64,
+    /// Average transfer size `Δq̄(t)`.
+    pub delta_q: f64,
+    /// Average sharing benefit `Φ̄²_k(t)` accruing to a qualified sharer.
+    pub share_benefit: f64,
+    /// Fraction of EDPs qualified to share (`M_k/M`).
+    pub sharer_fraction: f64,
+    /// Fraction of EDPs in case 3 (`M'_k/M`).
+    pub case3_fraction: f64,
+}
+
+/// Computes [`MeanFieldSnapshot`]s from a density and a policy.
+#[derive(Debug, Clone)]
+pub struct MeanFieldEstimator {
+    params: Params,
+    sigmoid: Sigmoid,
+}
+
+impl MeanFieldEstimator {
+    /// Create an estimator for the given parameters.
+    pub fn new(params: Params) -> Self {
+        let sigmoid = Sigmoid::new(params.sigmoid_l);
+        Self { params, sigmoid }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Average remaining space `q̄₋ = ∬ q·λ dh dq` (Eq. (18)).
+    ///
+    /// The density is renormalized inside the integral so small
+    /// mass-clipping at the walls cannot bias the average.
+    pub fn q_bar(&self, density: &Field2d) -> f64 {
+        let mass = density.integral();
+        if mass <= 0.0 {
+            return 0.0;
+        }
+        density.weighted_integral(|_h, q| q) / mass
+    }
+
+    /// Fraction of EDPs with `q ≤ α·Q_k` — those holding enough of the
+    /// content to share it (`M_k / M`).
+    pub fn sharer_fraction(&self, density: &Field2d) -> f64 {
+        let mass = density.integral();
+        if mass <= 0.0 {
+            return 0.0;
+        }
+        let thr = self.params.alpha_qk();
+        density.weighted_integral(|_h, q| f64::from(u8::from(q <= thr))) / mass
+    }
+
+    /// Average transfer size `Δq̄`: the gap between the average state of
+    /// the needing population (`q > α·Q_k`) and the sharing population
+    /// (`q ≤ α·Q_k`).
+    pub fn delta_q(&self, density: &Field2d) -> f64 {
+        let thr = self.params.alpha_qk();
+        let mass_sharers = density.weighted_integral(|_h, q| f64::from(u8::from(q <= thr)));
+        let mass_needers = density.weighted_integral(|_h, q| f64::from(u8::from(q > thr)));
+        let q_sharers =
+            density.weighted_integral(|_h, q| if q <= thr { q } else { 0.0 });
+        let q_needers =
+            density.weighted_integral(|_h, q| if q > thr { q } else { 0.0 });
+        let avg_sharers = if mass_sharers > 1e-12 { q_sharers / mass_sharers } else { 0.0 };
+        let avg_needers = if mass_needers > 1e-12 { q_needers / mass_needers } else { 0.0 };
+        (avg_needers - avg_sharers).abs()
+    }
+
+    /// Fraction of the population in case 3: both the EDP and its potential
+    /// peer lack the content (`M'_k / M ≈ ∬ P³(q, q̄) λ`).
+    pub fn case3_fraction(&self, density: &Field2d) -> f64 {
+        let mass = density.integral();
+        if mass <= 0.0 {
+            return 0.0;
+        }
+        let thr = self.params.alpha_qk();
+        let q_bar = self.q_bar(density);
+        let peer_short = self.sigmoid.eval(q_bar - thr);
+        let own_short = density.weighted_integral(|_h, q| self.sigmoid.eval(q - thr)) / mass;
+        own_short * peer_short
+    }
+
+    /// Average sharing benefit
+    /// `Φ̄²_k = p̄_k·Δq̄·((M − M')/M_k − 1)`, clamped at zero when nobody is
+    /// qualified to share. `(M − M')/M_k − 1` counts how many buyers each
+    /// qualified sharer serves beyond itself.
+    pub fn share_benefit(&self, density: &Field2d) -> f64 {
+        let m = self.params.num_edps as f64;
+        let m_k = (self.sharer_fraction(density) * m).max(1.0);
+        let m_prime = self.case3_fraction(density) * m;
+        let buyers_per_sharer = ((m - m_prime) / m_k - 1.0).max(0.0);
+        self.params.p_bar * self.delta_q(density) * buyers_per_sharer
+    }
+
+    /// Assemble the full snapshot from a density and the current policy.
+    pub fn snapshot(&self, density: &Field2d, policy: &Field2d) -> MeanFieldSnapshot {
+        MeanFieldSnapshot {
+            price: mean_field_price(
+                self.params.p_hat,
+                self.params.eta1,
+                self.params.q_size,
+                density,
+                policy,
+            ),
+            q_bar: self.q_bar(density),
+            delta_q: self.delta_q(density),
+            share_benefit: self.share_benefit(density),
+            sharer_fraction: self.sharer_fraction(density),
+            case3_fraction: self.case3_fraction(density),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfgcp_pde::{Axis, Grid2d};
+
+    fn grid() -> Grid2d {
+        Grid2d::new(
+            Axis::new(1.0e-5, 10.0e-5, 8).unwrap(),
+            Axis::new(0.0, 1.0, 101).unwrap(),
+        )
+    }
+
+    fn delta_density(q0: f64) -> Field2d {
+        // All mass concentrated near q = q0 (uniform in h).
+        let mut f = Field2d::from_fn(grid(), |_h, q| {
+            let z = (q - q0) / 0.02;
+            (-0.5 * z * z).exp()
+        });
+        f.normalize();
+        f
+    }
+
+    fn estimator() -> MeanFieldEstimator {
+        MeanFieldEstimator::new(Params::default())
+    }
+
+    #[test]
+    fn q_bar_of_concentrated_density() {
+        let est = estimator();
+        let lam = delta_density(0.6);
+        assert!((est.q_bar(&lam) - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn sharer_fraction_tracks_the_threshold() {
+        let est = estimator();
+        // α·Q_k = 0.2; all mass at q = 0.05 → everyone can share.
+        assert!(est.sharer_fraction(&delta_density(0.05)) > 0.95);
+        // All mass at q = 0.8 → nobody can share.
+        assert!(est.sharer_fraction(&delta_density(0.8)) < 0.05);
+    }
+
+    #[test]
+    fn delta_q_measures_the_gap() {
+        let est = estimator();
+        // Half the mass at 0.1 (sharers), half at 0.7 (needers).
+        let mut lam = Field2d::from_fn(grid(), |_h, q| {
+            let z1 = (q - 0.1) / 0.02;
+            let z2 = (q - 0.7) / 0.02;
+            (-0.5 * z1 * z1).exp() + (-0.5 * z2 * z2).exp()
+        });
+        lam.normalize();
+        assert!((est.delta_q(&lam) - 0.6).abs() < 0.02, "Δq = {}", est.delta_q(&lam));
+    }
+
+    #[test]
+    fn case3_fraction_high_when_everyone_is_short() {
+        let est = estimator();
+        assert!(est.case3_fraction(&delta_density(0.9)) > 0.9);
+        assert!(est.case3_fraction(&delta_density(0.05)) < 0.1);
+    }
+
+    #[test]
+    fn share_benefit_zero_when_everyone_has_the_content() {
+        let est = estimator();
+        // Everyone qualified (q = 0.05): no buyers → the (M−M')/M_k − 1
+        // factor is ≈ 0.
+        let b = est.share_benefit(&delta_density(0.05));
+        assert!(b < 0.05, "benefit {b}");
+    }
+
+    #[test]
+    fn share_benefit_positive_with_mixed_population() {
+        // Sharing is active when the population mean sits near the α·Q_k
+        // threshold (the paper's mean-field peer is the average EDP):
+        // 20% well-stocked sharers, 80% needers just above the threshold.
+        let est = estimator();
+        let mut lam = Field2d::from_fn(grid(), |_h, q| {
+            let z1 = (q - 0.08) / 0.02;
+            let z2 = (q - 0.32) / 0.02;
+            0.2 * (-0.5 * z1 * z1).exp() + 0.8 * (-0.5 * z2 * z2).exp()
+        });
+        lam.normalize();
+        let b = est.share_benefit(&lam);
+        assert!(b > 0.05, "benefit {b}");
+    }
+
+    #[test]
+    fn snapshot_is_consistent_with_components() {
+        let est = estimator();
+        let lam = delta_density(0.5);
+        let policy = Field2d::from_fn(grid(), |_h, _q| 0.3);
+        let snap = est.snapshot(&lam, &policy);
+        assert!((snap.q_bar - est.q_bar(&lam)).abs() < 1e-12);
+        assert!((snap.price - (5.0 - 1.0 * 0.3)).abs() < 1e-6, "price {}", snap.price);
+        assert!(snap.sharer_fraction >= 0.0 && snap.sharer_fraction <= 1.0);
+        assert!(snap.case3_fraction >= 0.0 && snap.case3_fraction <= 1.0);
+    }
+}

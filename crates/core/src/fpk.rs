@@ -1,0 +1,196 @@
+//! The forward FPK sweep of Eq. (15): evolve the mean-field density `λ`
+//! under the closed-loop caching drift (Alg. 2 line 8).
+
+use mfgcp_pde::{Field2d, FokkerPlanck2d, Grid2d, ImplicitFokkerPlanck2d};
+use mfgcp_sde::Normal;
+
+use crate::params::{CoreError, Params};
+use crate::utility::ContentContext;
+
+/// Forward FPK solver.
+#[derive(Debug, Clone)]
+pub struct FpkSolver {
+    params: Params,
+    stepper: FokkerPlanck2d,
+    implicit: ImplicitFokkerPlanck2d,
+    grid: Grid2d,
+}
+
+impl FpkSolver {
+    /// Create a solver after validating the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-validation failures.
+    pub fn new(params: Params) -> Result<Self, CoreError> {
+        params.validate()?;
+        let grid = params.grid();
+        let stepper = FokkerPlanck2d::new(params.diffusion_h(), params.diffusion_q())
+            .expect("validated diffusions");
+        let implicit = ImplicitFokkerPlanck2d::new(params.diffusion_h(), params.diffusion_q())
+            .expect("validated diffusions");
+        Ok(Self { params, stepper, implicit, grid })
+    }
+
+    /// The state grid.
+    pub fn grid(&self) -> &Grid2d {
+        &self.grid
+    }
+
+    /// The paper's §V-A initial distribution: `q` component
+    /// `N(lambda0_mean·Q_k, (lambda0_std·Q_k)²)`, `h` component the OU
+    /// stationary law, truncated to the grid and normalized.
+    pub fn initial_density(&self) -> Field2d {
+        let p = &self.params;
+        let q_dist = Normal::new(p.lambda0_mean * p.q_size, p.lambda0_std * p.q_size)
+            .expect("validated initial distribution");
+        let h_sd = (p.varrho_h * p.varrho_h / p.varsigma_h).sqrt();
+        let h_dist = Normal::new(p.upsilon_h, h_sd).expect("validated fading parameters");
+        let mut lam = Field2d::from_fn(self.grid.clone(), |h, q| h_dist.pdf(h) * q_dist.pdf(q));
+        lam.normalize();
+        lam
+    }
+
+    /// Evolve `initial` forward under the policy surface, producing the
+    /// density trajectory `λ(t_n, ·)` for `n = 0..=N`.
+    ///
+    /// Tiny negative undershoots from the upwind scheme are clipped and the
+    /// mass renormalized after every macro step, keeping `λ` a valid
+    /// probability density throughout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy.len() != params.time_steps` or grids mismatch.
+    pub fn solve(
+        &self,
+        initial: Field2d,
+        contexts: &[ContentContext],
+        policy: &[Field2d],
+    ) -> Vec<Field2d> {
+        let n_steps = self.params.time_steps;
+        assert_eq!(policy.len(), n_steps, "need one policy field per time step");
+        assert_eq!(contexts.len(), n_steps, "need one context per time step");
+        assert_eq!(initial.grid(), &self.grid, "initial density grid mismatch");
+        let dt = self.params.dt();
+        let (nx, ny) = (self.grid.x().len(), self.grid.y().len());
+
+        let mut bx = Field2d::zeros(self.grid.clone());
+        for i in 0..nx {
+            let bh = self.params.drift_h(self.grid.x().at(i));
+            for j in 0..ny {
+                bx.set(i, j, bh);
+            }
+        }
+        let mut by = Field2d::zeros(self.grid.clone());
+
+        let mut out = Vec::with_capacity(n_steps + 1);
+        out.push(initial);
+        for n in 0..n_steps {
+            assert_eq!(policy[n].grid(), &self.grid, "policy grid mismatch at step {n}");
+            let ctx = &contexts[n];
+            for i in 0..nx {
+                for j in 0..ny {
+                    let x = policy[n].at(i, j);
+                    by.set(i, j, self.params.drift_q(x, ctx.popularity, ctx.urgency_factor));
+                }
+            }
+            let mut lam = out[n].clone();
+            if self.params.implicit_steppers {
+                self.implicit.step(&mut lam, &bx, &by, dt);
+            } else {
+                self.stepper.step(&mut lam, &bx, &by, dt);
+            }
+            for v in lam.values_mut() {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+            lam.normalize();
+            out.push(lam);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params { time_steps: 20, grid_h: 12, grid_q: 48, ..Params::default() }
+    }
+
+    #[test]
+    fn initial_density_matches_the_configured_normal() {
+        let p = params();
+        let solver = FpkSolver::new(p.clone()).unwrap();
+        let lam = solver.initial_density();
+        assert!((lam.integral() - 1.0).abs() < 1e-9);
+        let q_mean = lam.weighted_integral(|_h, q| q);
+        assert!((q_mean - 0.7).abs() < 0.02, "mean {q_mean}");
+        let q_var = lam.weighted_integral(|_h, q| (q - q_mean) * (q - q_mean));
+        assert!((q_var.sqrt() - 0.1).abs() < 0.02, "std {}", q_var.sqrt());
+    }
+
+    #[test]
+    fn trajectory_stays_a_probability_density() {
+        let p = params();
+        let solver = FpkSolver::new(p.clone()).unwrap();
+        let ctx = ContentContext::from_params(&p);
+        let contexts = vec![ctx; p.time_steps];
+        // Aggressive caching everywhere: drift pushes mass towards q = 0.
+        let policy = vec![
+            Field2d::from_fn(solver.grid().clone(), |_h, _q| 1.0);
+            p.time_steps
+        ];
+        let traj = solver.solve(solver.initial_density(), &contexts, &policy);
+        assert_eq!(traj.len(), p.time_steps + 1);
+        for (n, lam) in traj.iter().enumerate() {
+            assert!((lam.integral() - 1.0).abs() < 1e-9, "mass at step {n}");
+            assert!(lam.min() >= 0.0, "negative density at step {n}");
+        }
+    }
+
+    #[test]
+    fn caching_policy_moves_mass_towards_full_caches() {
+        let p = params();
+        let solver = FpkSolver::new(p.clone()).unwrap();
+        // Low urgency so the refill drift does not mask the control.
+        let ctx = ContentContext { requests: 10.0, popularity: 0.3, urgency_factor: 0.01 };
+        let contexts = vec![ctx; p.time_steps];
+        let policy = vec![
+            Field2d::from_fn(solver.grid().clone(), |_h, _q| 1.0);
+            p.time_steps
+        ];
+        let traj = solver.solve(solver.initial_density(), &contexts, &policy);
+        let mean0 = traj[0].weighted_integral(|_h, q| q);
+        let mean_t = traj[p.time_steps].weighted_integral(|_h, q| q);
+        assert!(
+            mean_t < mean0 - 0.3,
+            "remaining space should shrink: {mean0} -> {mean_t}"
+        );
+    }
+
+    #[test]
+    fn idle_policy_with_urgent_demand_refills_space() {
+        let p = params();
+        let solver = FpkSolver::new(p.clone()).unwrap();
+        // x = 0 and strong urgency factor: Eq. (4) drift is positive.
+        let ctx = ContentContext { requests: 10.0, popularity: 0.3, urgency_factor: 0.1 };
+        let contexts = vec![ctx; p.time_steps];
+        let policy = vec![Field2d::zeros(solver.grid().clone()); p.time_steps];
+        let traj = solver.solve(solver.initial_density(), &contexts, &policy);
+        let mean0 = traj[0].weighted_integral(|_h, q| q);
+        let mean_t = traj[p.time_steps].weighted_integral(|_h, q| q);
+        assert!(mean_t > mean0, "discard drift should grow remaining space");
+    }
+
+    #[test]
+    #[should_panic(expected = "one policy field per time step")]
+    fn mismatched_policy_rejected() {
+        let p = params();
+        let solver = FpkSolver::new(p.clone()).unwrap();
+        let ctx = ContentContext::from_params(&p);
+        solver.solve(solver.initial_density(), &vec![ctx; p.time_steps], &[]);
+    }
+}

@@ -1,0 +1,278 @@
+//! The per-epoch framework loop of Alg. 1.
+//!
+//! For each optimization epoch the EDP records the requests for every
+//! content, computes popularity (Eq. (3)) and timeliness (Def. 2), filters
+//! the content set `K'` to the contents actually worth caching (line 5),
+//! runs the best-response learning scheme per content (line 9, Alg. 2),
+//! and trades under the resulting policy (lines 11–14, executed by the
+//! finite-population simulator in `mfgcp-sim`).
+//!
+//! `mfgcp-core` deliberately does not depend on the workload crate: epoch
+//! inputs arrive as plain [`ContentContext`] schedules, so any request
+//! source (synthetic, trace-driven, or the simulator's own bookkeeping)
+//! can drive the framework.
+
+use crate::knapsack::{solve_fractional, CachePlan, KnapsackItem};
+use crate::mfg::{Equilibrium, MfgSolver};
+use crate::params::{CoreError, Params};
+use crate::utility::ContentContext;
+
+/// Static configuration of the framework loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameworkConfig {
+    /// Skip contents with fewer expected requests per epoch than this
+    /// (the `Σ|I_k| > 0` filter of Alg. 1 line 5, made tolerance-friendly).
+    pub min_requests: f64,
+}
+
+impl Default for FrameworkConfig {
+    fn default() -> Self {
+        Self { min_requests: 1e-9 }
+    }
+}
+
+/// The outcome of optimizing one content in one epoch.
+#[derive(Debug, Clone)]
+pub struct EpochOutcome {
+    /// Which content this is (index into the epoch's context slice).
+    pub content: usize,
+    /// The mean-field equilibrium for this content.
+    pub equilibrium: Equilibrium,
+}
+
+impl EpochOutcome {
+    /// Accumulated average utility over the epoch.
+    pub fn utility(&self) -> f64 {
+        self.equilibrium.accumulated_utility()
+    }
+
+    /// Accumulated average trading income over the epoch.
+    pub fn trading_income(&self) -> f64 {
+        self.equilibrium.accumulated_trading_income()
+    }
+}
+
+/// Alg. 1 driver: one [`MfgSolver`] invocation per cached content per epoch.
+#[derive(Debug, Clone)]
+pub struct Framework {
+    solver: MfgSolver,
+    config: FrameworkConfig,
+}
+
+impl Framework {
+    /// Create a framework with the given game parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-validation failures.
+    pub fn new(params: Params, config: FrameworkConfig) -> Result<Self, CoreError> {
+        Ok(Self { solver: MfgSolver::new(params)?, config })
+    }
+
+    /// The underlying solver.
+    pub fn solver(&self) -> &MfgSolver {
+        &self.solver
+    }
+
+    /// Run one epoch under a total caching-capacity budget (the knapsack
+    /// extension of §IV-C's Remark): solve every demanded content's MFG as
+    /// in [`Framework::run_epoch`], then derive the final plan by solving
+    /// the fractional knapsack over the per-content `(utility, storage)`
+    /// pairs. Returns the raw outcomes and the capacity plan (fractions
+    /// scale the equilibrium caching rates).
+    pub fn run_epoch_with_capacity(
+        &self,
+        contexts: &[ContentContext],
+        capacity: f64,
+    ) -> (Vec<Option<EpochOutcome>>, CachePlan) {
+        let outcomes = self.run_epoch(contexts);
+        let items: Vec<KnapsackItem> = outcomes
+            .iter()
+            .enumerate()
+            .map(|(k, o)| match o {
+                Some(out) => KnapsackItem::from_equilibrium(k, &out.equilibrium),
+                None => KnapsackItem { content: k, value: 0.0, weight: 0.0 },
+            })
+            .collect();
+        let plan = solve_fractional(&items, capacity);
+        (outcomes, plan)
+    }
+
+    /// Run a sequence of optimization epochs (the `σ ≤ σ_max` outer loop of
+    /// Alg. 1), *chaining the mean field across epochs*: content `k`'s
+    /// epoch-`σ+1` solve starts from its epoch-`σ` final density instead of
+    /// resetting to `λ(0)`. This is the rolling-horizon reading of the
+    /// paper's per-epoch optimization; combined with a positive
+    /// `terminal_value_weight` it removes both end-of-epoch artifacts.
+    ///
+    /// `epochs[σ][k]` is the context of content `k` in epoch `σ`; every
+    /// epoch must cover the same contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if epochs have inconsistent content counts.
+    pub fn run_epochs(
+        &self,
+        epochs: &[Vec<ContentContext>],
+    ) -> Vec<Vec<Option<EpochOutcome>>> {
+        let Some(first) = epochs.first() else {
+            return Vec::new();
+        };
+        let k_contents = first.len();
+        let mut carried: Vec<Option<mfgcp_pde::Field2d>> = vec![None; k_contents];
+        let mut all = Vec::with_capacity(epochs.len());
+        for contexts in epochs {
+            assert_eq!(contexts.len(), k_contents, "content count changed between epochs");
+            let outcomes: Vec<Option<EpochOutcome>> = contexts
+                .iter()
+                .enumerate()
+                .map(|(k, ctx)| {
+                    if ctx.requests < self.config.min_requests {
+                        return None;
+                    }
+                    let per_step = vec![*ctx; self.solver.params().time_steps];
+                    let equilibrium =
+                        self.solver.solve_with(&per_step, carried[k].clone());
+                    Some(EpochOutcome { content: k, equilibrium })
+                })
+                .collect();
+            for (k, o) in outcomes.iter().enumerate() {
+                if let Some(out) = o {
+                    carried[k] =
+                        Some(out.equilibrium.density.last().expect("non-empty").clone());
+                }
+            }
+            all.push(outcomes);
+        }
+        all
+    }
+
+    /// Run one optimization epoch.
+    ///
+    /// `contexts[k]` is the workload context of content `k` for this epoch
+    /// (held constant within the epoch, matching the paper's "the change in
+    /// requesters' demands occurs at a relatively slow rate compared to the
+    /// time scale of the optimization epoch"). Returns `None` for contents
+    /// filtered out of `K'` (no demand).
+    ///
+    /// The complexity is `O(K'·ψ_th)` — independent of `M`, the claim of
+    /// the Remark in §IV-C and of Table II.
+    pub fn run_epoch(&self, contexts: &[ContentContext]) -> Vec<Option<EpochOutcome>> {
+        contexts
+            .iter()
+            .enumerate()
+            .map(|(k, ctx)| {
+                if ctx.requests < self.config.min_requests {
+                    return None;
+                }
+                let per_step = vec![*ctx; self.solver.params().time_steps];
+                let equilibrium = self.solver.solve_with(&per_step, None);
+                Some(EpochOutcome { content: k, equilibrium })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_params() -> Params {
+        Params {
+            time_steps: 10,
+            grid_h: 8,
+            grid_q: 24,
+            max_iterations: 40,
+            ..Params::default()
+        }
+    }
+
+    #[test]
+    fn epoch_skips_undemanded_contents() {
+        let fw = Framework::new(tiny_params(), FrameworkConfig::default()).unwrap();
+        let contexts = vec![
+            ContentContext { requests: 10.0, popularity: 0.5, urgency_factor: 0.1 },
+            ContentContext { requests: 0.0, popularity: 0.1, urgency_factor: 0.1 },
+        ];
+        let outcomes = fw.run_epoch(&contexts);
+        assert!(outcomes[0].is_some());
+        assert!(outcomes[1].is_none());
+    }
+
+    #[test]
+    fn demanded_contents_earn_positive_utility() {
+        let fw = Framework::new(tiny_params(), FrameworkConfig::default()).unwrap();
+        let contexts =
+            vec![ContentContext { requests: 10.0, popularity: 0.4, urgency_factor: 0.1 }];
+        let outcomes = fw.run_epoch(&contexts);
+        let out = outcomes[0].as_ref().unwrap();
+        assert_eq!(out.content, 0);
+        assert!(out.utility() > 0.0);
+        assert!(out.trading_income() > 0.0);
+    }
+
+    #[test]
+    fn capacity_budget_prunes_the_plan() {
+        let fw = Framework::new(tiny_params(), FrameworkConfig::default()).unwrap();
+        let contexts = vec![
+            ContentContext { requests: 20.0, popularity: 0.6, urgency_factor: 0.1 },
+            ContentContext { requests: 10.0, popularity: 0.3, urgency_factor: 0.1 },
+            ContentContext { requests: 2.0, popularity: 0.05, urgency_factor: 0.1 },
+        ];
+        let (outcomes, generous) = fw.run_epoch_with_capacity(&contexts, 10.0);
+        assert_eq!(outcomes.len(), 3);
+        // A generous budget keeps everything with positive value.
+        let kept: f64 = generous.fractions.iter().sum();
+        assert!(kept >= 2.0, "fractions {:?}", generous.fractions);
+        // A starved budget keeps strictly less total weight.
+        let (_, starved) = fw.run_epoch_with_capacity(&contexts, 0.05);
+        assert!(starved.total_weight <= 0.05 + 1e-9);
+        assert!(starved.total_value <= generous.total_value);
+    }
+
+    #[test]
+    fn rolling_epochs_chain_the_density() {
+        let fw = Framework::new(tiny_params(), FrameworkConfig::default()).unwrap();
+        let ctx = ContentContext { requests: 10.0, popularity: 0.4, urgency_factor: 0.05 };
+        let epochs = vec![vec![ctx], vec![ctx], vec![ctx]];
+        let all = fw.run_epochs(&epochs);
+        assert_eq!(all.len(), 3);
+        // Epoch 1 starts where epoch 0 ended (the chained mean field),
+        // not at the λ(0) prior.
+        let end_of_0 = all[0][0]
+            .as_ref()
+            .unwrap()
+            .equilibrium
+            .mean_remaining_space()
+            .last()
+            .copied()
+            .unwrap();
+        let start_of_1 = all[1][0].as_ref().unwrap().equilibrium.mean_remaining_space()[0];
+        assert!(
+            (end_of_0 - start_of_1).abs() < 1e-9,
+            "epoch 1 start {start_of_1} vs epoch 0 end {end_of_0}"
+        );
+        // And differs from the fresh-prior start of epoch 0.
+        let start_of_0 = all[0][0].as_ref().unwrap().equilibrium.mean_remaining_space()[0];
+        assert!((start_of_1 - start_of_0).abs() > 1e-3, "chaining had no effect");
+    }
+
+    #[test]
+    fn rolling_epochs_handle_empty_input() {
+        let fw = Framework::new(tiny_params(), FrameworkConfig::default()).unwrap();
+        assert!(fw.run_epochs(&[]).is_empty());
+    }
+
+    #[test]
+    fn more_popular_content_earns_more() {
+        let fw = Framework::new(tiny_params(), FrameworkConfig::default()).unwrap();
+        let contexts = vec![
+            ContentContext { requests: 20.0, popularity: 0.6, urgency_factor: 0.1 },
+            ContentContext { requests: 5.0, popularity: 0.1, urgency_factor: 0.1 },
+        ];
+        let outcomes = fw.run_epoch(&contexts);
+        let hot = outcomes[0].as_ref().unwrap().utility();
+        let cold = outcomes[1].as_ref().unwrap().utility();
+        assert!(hot > cold, "hot {hot} vs cold {cold}");
+    }
+}

@@ -1,0 +1,302 @@
+//! The capacity-constrained extension of §IV-C's Remark:
+//!
+//! > "MFG-CP can be easily extended to the scenario whereby the caching
+//! > capacity of each EDP is less than a fixed threshold. In fact, this
+//! > further optimization can be seen as a knapsack problem, in which the
+//! > weight and value of each content are considered. Based on the solution
+//! > of MFG-CP, the final caching strategy will be further derived by
+//! > solving the knapsack problem."
+//!
+//! Per content `k`, the MFG solution supplies the *value* (the equilibrium
+//! accumulated utility `𝒰_k`) and the *weight* (the storage the equilibrium
+//! strategy actually occupies, `Q_k − q̄_k(T)`). Subject to a total capacity
+//! `C`, the EDP keeps the best bundle. Both classic variants are provided:
+//!
+//! * [`solve_fractional`] — greedy by value density; optimal for the
+//!   fractional relaxation, which matches MFG-CP's continuous caching rates
+//!   (`x ∈ [0, 1]` already means partial caching);
+//! * [`solve_01`] — exact 0/1 dynamic program on scaled weights, for
+//!   deployments where contents must be kept whole.
+
+use crate::mfg::Equilibrium;
+
+/// One content's (value, weight) pair for the capacity allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnapsackItem {
+    /// Content index this item describes.
+    pub content: usize,
+    /// Value: equilibrium accumulated utility of caching this content.
+    pub value: f64,
+    /// Weight: storage units the equilibrium strategy occupies.
+    pub weight: f64,
+}
+
+impl KnapsackItem {
+    /// Extract the `(value, weight)` pair from a solved equilibrium:
+    /// value = `𝒰_k` (Eq. (11) at the equilibrium), weight = the average
+    /// cached amount at the end of the horizon, `Q_k − q̄_k(T)`.
+    pub fn from_equilibrium(content: usize, eq: &Equilibrium) -> Self {
+        let means = eq.mean_remaining_space();
+        let final_mean = *means.last().expect("non-empty trajectory");
+        Self {
+            content,
+            value: eq.accumulated_utility(),
+            weight: (eq.params.q_size - final_mean).max(0.0),
+        }
+    }
+}
+
+/// A capacity allocation: the kept fraction of each input item, in input
+/// order, plus the totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachePlan {
+    /// `fractions[i] ∈ [0, 1]` of item `i` kept.
+    pub fractions: Vec<f64>,
+    /// Total value captured.
+    pub total_value: f64,
+    /// Total weight used (≤ capacity).
+    pub total_weight: f64,
+}
+
+impl CachePlan {
+    /// Contents kept at a strictly positive fraction, in input order.
+    pub fn kept_contents(&self, items: &[KnapsackItem]) -> Vec<usize> {
+        items
+            .iter()
+            .zip(&self.fractions)
+            .filter(|(_, &f)| f > 0.0)
+            .map(|(it, _)| it.content)
+            .collect()
+    }
+}
+
+/// Fractional knapsack: greedily fill by value density `value/weight`.
+/// Optimal for the fractional relaxation; items with non-positive value are
+/// never cached, zero-weight positive-value items are always kept whole.
+///
+/// # Panics
+///
+/// Panics if `capacity` is negative or any weight is negative/non-finite.
+pub fn solve_fractional(items: &[KnapsackItem], capacity: f64) -> CachePlan {
+    assert!(capacity >= 0.0 && capacity.is_finite(), "capacity must be >= 0");
+    for it in items {
+        assert!(
+            it.weight >= 0.0 && it.weight.is_finite() && it.value.is_finite(),
+            "invalid item {it:?}"
+        );
+    }
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    // Highest density first; zero-weight items have infinite density.
+    order.sort_by(|&a, &b| {
+        let da = density(&items[a]);
+        let db = density(&items[b]);
+        db.partial_cmp(&da).expect("densities are comparable")
+    });
+    let mut fractions = vec![0.0; items.len()];
+    let mut remaining = capacity;
+    let mut total_value = 0.0;
+    for idx in order {
+        let it = &items[idx];
+        if it.value <= 0.0 {
+            continue; // caching it would lose money regardless of space
+        }
+        if it.weight == 0.0 {
+            fractions[idx] = 1.0;
+            total_value += it.value;
+            continue;
+        }
+        if remaining <= 0.0 {
+            break;
+        }
+        let f = (remaining / it.weight).min(1.0);
+        fractions[idx] = f;
+        total_value += f * it.value;
+        remaining -= f * it.weight;
+    }
+    let total_weight = items
+        .iter()
+        .zip(&fractions)
+        .map(|(it, f)| it.weight * f)
+        .sum();
+    CachePlan { fractions, total_value, total_weight }
+}
+
+fn density(it: &KnapsackItem) -> f64 {
+    if it.weight == 0.0 {
+        if it.value > 0.0 {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        it.value / it.weight
+    }
+}
+
+/// Exact 0/1 knapsack by dynamic programming on weights scaled to
+/// `resolution` integer buckets (weights are continuous storage units).
+/// `O(n · resolution)` time and space.
+///
+/// # Panics
+///
+/// Panics if `resolution == 0`, `capacity < 0`, or items are invalid.
+pub fn solve_01(items: &[KnapsackItem], capacity: f64, resolution: usize) -> CachePlan {
+    assert!(resolution > 0, "resolution must be > 0");
+    assert!(capacity >= 0.0 && capacity.is_finite(), "capacity must be >= 0");
+    for it in items {
+        assert!(
+            it.weight >= 0.0 && it.weight.is_finite() && it.value.is_finite(),
+            "invalid item {it:?}"
+        );
+    }
+    let cap = resolution;
+    // Weights in buckets, rounded up so the plan never exceeds capacity.
+    // With zero capacity, only weightless items can ever fit.
+    let w: Vec<usize> = items
+        .iter()
+        .map(|it| {
+            if it.weight == 0.0 {
+                0
+            } else if capacity == 0.0 {
+                cap + 1 // never fits
+            } else {
+                (it.weight * resolution as f64 / capacity).ceil() as usize
+            }
+        })
+        .collect();
+    // best[c] = (value, chosen-set bitmask via parent tracking)
+    let n = items.len();
+    let mut best = vec![0.0_f64; cap + 1];
+    let mut take = vec![false; n * (cap + 1)];
+    for (i, it) in items.iter().enumerate() {
+        if it.value <= 0.0 {
+            continue;
+        }
+        // 0/1 DP: iterate capacity downwards.
+        for c in (0..=cap).rev() {
+            if w[i] <= c {
+                let cand = best[c - w[i]] + it.value;
+                if cand > best[c] {
+                    best[c] = cand;
+                    take[i * (cap + 1) + c] = true;
+                }
+            }
+        }
+    }
+    // Recover the chosen set.
+    let mut fractions = vec![0.0; n];
+    let mut c = cap;
+    for i in (0..n).rev() {
+        if take[i * (cap + 1) + c] {
+            fractions[i] = 1.0;
+            c -= w[i];
+        }
+    }
+    let total_value = items.iter().zip(&fractions).map(|(it, f)| it.value * f).sum();
+    let total_weight = items.iter().zip(&fractions).map(|(it, f)| it.weight * f).sum();
+    CachePlan { fractions, total_value, total_weight }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(content: usize, value: f64, weight: f64) -> KnapsackItem {
+        KnapsackItem { content, value, weight }
+    }
+
+    #[test]
+    fn fractional_fills_by_density() {
+        // Densities: 10, 5, 1. Capacity 1.5 → all of item 0, half of item 1.
+        let items = vec![item(0, 10.0, 1.0), item(1, 5.0, 1.0), item(2, 1.0, 1.0)];
+        let plan = solve_fractional(&items, 1.5);
+        assert_eq!(plan.fractions, vec![1.0, 0.5, 0.0]);
+        assert!((plan.total_value - 12.5).abs() < 1e-12);
+        assert!((plan.total_weight - 1.5).abs() < 1e-12);
+        assert_eq!(plan.kept_contents(&items), vec![0, 1]);
+    }
+
+    #[test]
+    fn fractional_skips_negative_values() {
+        let items = vec![item(0, -5.0, 0.1), item(1, 2.0, 1.0)];
+        let plan = solve_fractional(&items, 10.0);
+        assert_eq!(plan.fractions, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn fractional_keeps_zero_weight_items_free() {
+        let items = vec![item(0, 3.0, 0.0), item(1, 2.0, 1.0)];
+        let plan = solve_fractional(&items, 0.0);
+        assert_eq!(plan.fractions, vec![1.0, 0.0]);
+        assert_eq!(plan.total_weight, 0.0);
+        assert_eq!(plan.total_value, 3.0);
+    }
+
+    #[test]
+    fn zero_one_beats_greedy_on_the_classic_counterexample() {
+        // Greedy-by-density takes the small dense item and wastes space;
+        // the DP takes the two big ones.
+        let items = vec![
+            item(0, 60.0, 10.0), // density 6
+            item(1, 100.0, 20.0),
+            item(2, 120.0, 30.0),
+        ];
+        let plan = solve_01(&items, 50.0, 1000);
+        assert_eq!(plan.fractions, vec![0.0, 1.0, 1.0]);
+        assert!((plan.total_value - 220.0).abs() < 1e-9);
+        assert!(plan.total_weight <= 50.0 + 1e-9);
+    }
+
+    #[test]
+    fn zero_one_respects_capacity_with_rounding() {
+        let items = vec![item(0, 1.0, 0.34), item(1, 1.0, 0.34), item(2, 1.0, 0.34)];
+        // Only two fit in capacity 0.7 (3 × 0.34 = 1.02 > 0.7).
+        let plan = solve_01(&items, 0.7, 100);
+        let kept: f64 = plan.fractions.iter().sum();
+        assert_eq!(kept, 2.0);
+        assert!(plan.total_weight <= 0.7 + 1e-9);
+    }
+
+    #[test]
+    fn fractional_dominates_01_in_value() {
+        // The fractional relaxation is an upper bound on the 0/1 optimum.
+        let items = vec![
+            item(0, 7.0, 0.4),
+            item(1, 4.0, 0.3),
+            item(2, 9.0, 0.8),
+            item(3, 2.0, 0.15),
+        ];
+        for &cap in &[0.3, 0.6, 1.0, 2.0] {
+            let frac = solve_fractional(&items, cap);
+            let zo = solve_01(&items, cap, 2000);
+            assert!(
+                frac.total_value >= zo.total_value - 1e-9,
+                "cap {cap}: fractional {} < 0/1 {}",
+                frac.total_value,
+                zo.total_value
+            );
+        }
+    }
+
+    #[test]
+    fn zero_capacity_keeps_nothing_weighted() {
+        let items = vec![item(0, 5.0, 1.0)];
+        assert_eq!(solve_fractional(&items, 0.0).total_value, 0.0);
+        assert_eq!(solve_01(&items, 0.0, 10).total_value, 0.0);
+    }
+
+    #[test]
+    fn item_from_equilibrium_has_sane_fields() {
+        let params = crate::Params {
+            time_steps: 10,
+            grid_h: 8,
+            grid_q: 24,
+            ..crate::Params::default()
+        };
+        let eq = crate::MfgSolver::new(params).unwrap().solve().unwrap();
+        let it = KnapsackItem::from_equilibrium(3, &eq);
+        assert_eq!(it.content, 3);
+        assert!(it.value > 0.0, "equilibrium utility should be positive");
+        assert!((0.0..=1.0).contains(&it.weight), "weight {}", it.weight);
+    }
+}

@@ -1,0 +1,135 @@
+//! The supply–demand pricing rule.
+//!
+//! Finite population (Eq. (5)):
+//! `p_{i,k} = p̂ − η₁ · Σ_{i'≠i} Q_k·x_{i',k} / (M − 1)` for `M ≥ 2`
+//! (and `p̂` for a monopolist) — the more of content `k` the *other* EDPs
+//! supply, the lower the price EDP `i` can charge.
+//!
+//! Mean-field limit (Eqs. (16)–(17)):
+//! `p_k(t) ≈ p̂ − η₁·Q_k · ∬ λ(S)·x*(S) dh dq` — the average supply under
+//! the mean-field distribution replaces the explicit sum over competitors.
+
+use mfgcp_pde::Field2d;
+
+/// Finite-population price of Eq. (5) for EDP `i`, given every EDP's
+/// caching rate `strategies` (including `i`'s own, which is excluded from
+/// the sum exactly as in the paper).
+///
+/// The price is floored at zero: the paper's linear rule can go negative
+/// for large supplies, which would mean EDPs paying requesters to take
+/// content; a free giveaway (price 0) is the economically meaningful floor.
+///
+/// # Panics
+///
+/// Panics if `strategies` is empty or `i` is out of range.
+pub fn finite_population_price(
+    p_hat: f64,
+    eta1: f64,
+    q_size: f64,
+    strategies: &[f64],
+    i: usize,
+) -> f64 {
+    let m = strategies.len();
+    assert!(m > 0, "need at least one EDP");
+    assert!(i < m, "EDP index {i} out of range {m}");
+    if m == 1 {
+        return p_hat.max(0.0);
+    }
+    let supply: f64 = strategies
+        .iter()
+        .enumerate()
+        .filter(|(idx, _)| *idx != i)
+        .map(|(_, x)| q_size * x)
+        .sum();
+    (p_hat - eta1 * supply / (m - 1) as f64).max(0.0)
+}
+
+/// Mean-field price of Eq. (17): `p̂ − η₁·Q_k·∬ λ·x* dh dq`, floored at 0.
+///
+/// # Panics
+///
+/// Panics if `density` and `policy` are not on the same grid.
+pub fn mean_field_price(p_hat: f64, eta1: f64, q_size: f64, density: &Field2d, policy: &Field2d) -> f64 {
+    assert_eq!(density.grid(), policy.grid(), "density/policy grid mismatch");
+    let mut supply = 0.0;
+    for (lam, x) in density.values().iter().zip(policy.values()) {
+        supply += lam * x;
+    }
+    supply *= density.grid().cell_area();
+    (p_hat - eta1 * q_size * supply).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfgcp_pde::{Axis, Grid2d};
+
+    fn grid() -> Grid2d {
+        Grid2d::new(Axis::new(0.0, 1.0, 11).unwrap(), Axis::new(0.0, 1.0, 11).unwrap())
+    }
+
+    #[test]
+    fn monopolist_charges_the_cap() {
+        assert_eq!(finite_population_price(5.0, 1.0, 1.0, &[0.8], 0), 5.0);
+    }
+
+    #[test]
+    fn own_strategy_is_excluded() {
+        // Competitor caches 1.0, I cache 0.0 → supply average = 1.0.
+        let p = finite_population_price(5.0, 2.0, 1.0, &[0.0, 1.0], 0);
+        assert!((p - 3.0).abs() < 1e-12);
+        // Symmetric view: competitor caches 0 → no depression.
+        let p = finite_population_price(5.0, 2.0, 1.0, &[0.0, 1.0], 1);
+        assert!((p - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_competition_lowers_the_price() {
+        let few = finite_population_price(5.0, 2.0, 1.0, &[0.0, 0.5, 0.0], 0);
+        let many = finite_population_price(5.0, 2.0, 1.0, &[0.0, 0.5, 0.9], 0);
+        assert!(many < few);
+    }
+
+    #[test]
+    fn price_never_negative() {
+        let p = finite_population_price(1.0, 100.0, 1.0, &[0.0, 1.0], 0);
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn mean_field_price_matches_uniform_supply() {
+        let g = grid();
+        let mut lam = Field2d::from_fn(g.clone(), |_, _| 1.0);
+        lam.normalize();
+        let policy = Field2d::from_fn(g, |_, _| 0.5);
+        // ∬λ·x = 0.5 → p = 5 − 2·1·0.5 = 4.
+        let p = mean_field_price(5.0, 2.0, 1.0, &lam, &policy);
+        assert!((p - 4.0).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn mean_field_price_weights_by_density() {
+        let g = grid();
+        // All mass where the policy is 1.
+        let mut lam = Field2d::from_fn(g.clone(), |_, q| if q > 0.5 { 1.0 } else { 0.0 });
+        lam.normalize();
+        let policy = Field2d::from_fn(g, |_, q| if q > 0.5 { 1.0 } else { 0.0 });
+        let p = mean_field_price(5.0, 1.0, 1.0, &lam, &policy);
+        assert!((p - 4.0).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn finite_population_converges_to_mean_field() {
+        // A large symmetric population with everyone at x̄ = 0.4 should
+        // price like the mean-field formula with ∬λx = 0.4.
+        let m = 1000;
+        let strategies = vec![0.4; m];
+        let p_finite = finite_population_price(5.0, 1.0, 1.0, &strategies, 0);
+        let g = grid();
+        let mut lam = Field2d::from_fn(g.clone(), |_, _| 1.0);
+        lam.normalize();
+        let policy = Field2d::from_fn(g, |_, _| 0.4);
+        let p_mf = mean_field_price(5.0, 1.0, 1.0, &lam, &policy);
+        assert!((p_finite - p_mf).abs() < 1e-6, "{p_finite} vs {p_mf}");
+    }
+}

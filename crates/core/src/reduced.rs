@@ -1,0 +1,329 @@
+//! Reduced 1-D (`q`-only) MFG solver — the `ablation_dim` target.
+//!
+//! The channel dynamics of Eq. (1) are uncontrolled and enter the utility
+//! only through the rate `H(h)`; freezing `h` at its long-term mean `υ_h`
+//! collapses the state to the caching dimension. This solver carries out
+//! the same Alg. 2 loop on the 1-D grid, trading the channel-induced
+//! utility spread for a large constant-factor speedup. The ablation bench
+//! compares its equilibrium against the full 2-D solver.
+
+use mfgcp_pde::{Axis, BackwardParabolic1d, Field1d, FokkerPlanck1d};
+use mfgcp_sde::Normal;
+
+use crate::diag::ConvergenceReport;
+use crate::estimator::MeanFieldSnapshot;
+use crate::params::{CoreError, Params};
+use crate::sigmoid::Sigmoid;
+use crate::utility::{ContentContext, Utility};
+
+/// Equilibrium of the reduced game.
+#[derive(Debug, Clone)]
+pub struct ReducedEquilibrium {
+    /// Parameters used.
+    pub params: Params,
+    /// `policy[n]` = `x*(t_n, q)`.
+    pub policy: Vec<Field1d>,
+    /// `density[n]` = `λ(t_n, q)`, `n = 0..=N`.
+    pub density: Vec<Field1d>,
+    /// `values[n]` = `V(t_n, q)`, `n = 0..=N`.
+    pub values: Vec<Field1d>,
+    /// Price trajectory.
+    pub prices: Vec<f64>,
+    /// Convergence diagnostics.
+    pub report: ConvergenceReport,
+}
+
+impl ReducedEquilibrium {
+    /// Policy lookup at `(t, q)`.
+    pub fn policy_at(&self, t: f64, q: f64) -> f64 {
+        let n = ((t / self.params.dt()).floor() as usize).min(self.params.time_steps - 1);
+        self.policy[n].interpolate(q)
+    }
+
+    /// Mean remaining space at each step.
+    pub fn mean_remaining_space(&self) -> Vec<f64> {
+        self.density
+            .iter()
+            .map(|lam| {
+                let mass = lam.integral();
+                if mass > 0.0 {
+                    lam.first_moment() / mass
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+/// 1-D MFG solver over the `q` axis only.
+#[derive(Debug, Clone)]
+pub struct ReducedMfgSolver {
+    params: Params,
+    utility: Utility,
+    axis: Axis,
+    sigmoid: Sigmoid,
+}
+
+impl ReducedMfgSolver {
+    /// Create a solver after validating the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-validation failures.
+    pub fn new(params: Params) -> Result<Self, CoreError> {
+        params.validate()?;
+        let axis = Axis::new(0.0, params.q_size, params.grid_q).expect("validated q axis");
+        let sigmoid = Sigmoid::new(params.sigmoid_l);
+        Ok(Self { utility: Utility::new(params.clone()), params, axis, sigmoid })
+    }
+
+    /// The q axis.
+    pub fn axis(&self) -> &Axis {
+        &self.axis
+    }
+
+    fn initial_density(&self) -> Field1d {
+        let p = &self.params;
+        let dist = Normal::new(p.lambda0_mean * p.q_size, p.lambda0_std * p.q_size)
+            .expect("validated initial distribution");
+        let mut lam = Field1d::from_fn(self.axis.clone(), |q| dist.pdf(q));
+        lam.normalize();
+        lam
+    }
+
+    fn snapshot(&self, density: &Field1d, policy: &Field1d) -> MeanFieldSnapshot {
+        let p = &self.params;
+        let dx = self.axis.dx();
+        let mass = density.integral().max(1e-300);
+        let supply: f64 = density
+            .values()
+            .iter()
+            .zip(policy.values())
+            .map(|(l, x)| l * x)
+            .sum::<f64>()
+            * dx;
+        let price = (p.p_hat - p.eta1 * p.q_size * supply).max(0.0);
+        let q_bar = density.first_moment() / mass;
+        let thr = p.alpha_qk();
+        let mut m_sh = 0.0;
+        let mut m_nd = 0.0;
+        let mut q_sh = 0.0;
+        let mut q_nd = 0.0;
+        let mut own_short = 0.0;
+        for (i, &l) in density.values().iter().enumerate() {
+            let q = self.axis.at(i);
+            let w = l * dx;
+            own_short += w * self.sigmoid.eval(q - thr);
+            if q <= thr {
+                m_sh += w;
+                q_sh += w * q;
+            } else {
+                m_nd += w;
+                q_nd += w * q;
+            }
+        }
+        let avg_sh = if m_sh > 1e-12 { q_sh / m_sh } else { 0.0 };
+        let avg_nd = if m_nd > 1e-12 { q_nd / m_nd } else { 0.0 };
+        let delta_q = (avg_nd - avg_sh).abs();
+        let sharer_fraction = m_sh / mass;
+        let case3_fraction = (own_short / mass) * self.sigmoid.eval(q_bar - thr);
+        let m = p.num_edps as f64;
+        let m_k = (sharer_fraction * m).max(1.0);
+        let m_prime = case3_fraction * m;
+        let buyers = ((m - m_prime) / m_k - 1.0).max(0.0);
+        MeanFieldSnapshot {
+            price,
+            q_bar,
+            delta_q,
+            share_benefit: p.p_bar * delta_q * buyers,
+            sharer_fraction,
+            case3_fraction,
+        }
+    }
+
+    /// Solve the reduced game with the stationary context from the
+    /// parameters. Always returns the last iterate — check the report.
+    pub fn solve(&self) -> ReducedEquilibrium {
+        let p = &self.params;
+        let n_steps = p.time_steps;
+        let dt = p.dt();
+        let ctx = ContentContext::from_params(p);
+        let h_mean = p.upsilon_h;
+        let lambda0 = self.initial_density();
+        let nq = self.axis.len();
+        let dq = self.axis.dx();
+
+        let mut density = vec![lambda0.clone(); n_steps + 1];
+        let mut policy = vec![Field1d::zeros(self.axis.clone()); n_steps];
+        let mut values: Vec<Field1d> = Vec::new();
+        let mut residuals = Vec::new();
+        let mut converged = false;
+        let mut iterations = 0;
+
+        let mut backward = BackwardParabolic1d::new(p.diffusion_q()).expect("validated");
+        let mut forward = FokkerPlanck1d::new(p.diffusion_q()).expect("validated");
+
+        for _ in 0..p.max_iterations {
+            iterations += 1;
+            let snapshots: Vec<MeanFieldSnapshot> = (0..n_steps)
+                .map(|n| self.snapshot(&density[n], &policy[n]))
+                .collect();
+
+            // Backward HJB on the q axis; salvage terminal condition
+            // V(T) = γ·(Q_k − q) for parity with the 2-D solver.
+            let mut vals = vec![Field1d::zeros(self.axis.clone()); n_steps + 1];
+            if p.terminal_value_weight > 0.0 {
+                let gamma = p.terminal_value_weight;
+                let qk = p.q_size;
+                vals[n_steps] = Field1d::from_fn(self.axis.clone(), |q| gamma * (qk - q));
+            }
+            let mut new_policy = vec![Field1d::zeros(self.axis.clone()); n_steps];
+            for n in (0..n_steps).rev() {
+                let v_next = vals[n + 1].clone();
+                let mut drift = vec![0.0; nq];
+                let mut source = vec![0.0; nq];
+                for j in 0..nq {
+                    let dv = if j == 0 {
+                        (v_next.at(1) - v_next.at(0)) / dq
+                    } else if j == nq - 1 {
+                        (v_next.at(nq - 1) - v_next.at(nq - 2)) / dq
+                    } else {
+                        (v_next.at(j + 1) - v_next.at(j - 1)) / (2.0 * dq)
+                    };
+                    let x = self.utility.optimal_control(dv);
+                    new_policy[n].values_mut()[j] = x;
+                    drift[j] = p.drift_q(x, ctx.popularity, ctx.urgency_factor);
+                    source[j] =
+                        self.utility.evaluate(&ctx, &snapshots[n], x, h_mean, self.axis.at(j));
+                }
+                let mut v = v_next;
+                backward.step_back(&mut v, &drift, &source, dt);
+                vals[n] = v;
+            }
+            values = vals;
+
+            // Relax.
+            let omega = p.relaxation;
+            let mut residual = 0.0_f64;
+            for n in 0..n_steps {
+                for j in 0..nq {
+                    let old = policy[n].at(j);
+                    let relaxed = (1.0 - omega) * old + omega * new_policy[n].at(j);
+                    residual = residual.max((relaxed - old).abs());
+                    policy[n].values_mut()[j] = relaxed;
+                }
+            }
+            residuals.push(residual);
+
+            // Forward FPK.
+            let mut lam = lambda0.clone();
+            density[0] = lam.clone();
+            for n in 0..n_steps {
+                let drift: Vec<f64> = (0..nq)
+                    .map(|j| {
+                        p.drift_q(policy[n].at(j), ctx.popularity, ctx.urgency_factor)
+                    })
+                    .collect();
+                forward.step(&mut lam, &drift, dt);
+                for v in lam.values_mut() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+                lam.normalize();
+                density[n + 1] = lam.clone();
+            }
+
+            if residual < p.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        let prices: Vec<f64> =
+            (0..n_steps).map(|n| self.snapshot(&density[n], &policy[n]).price).collect();
+
+        ReducedEquilibrium {
+            params: p.clone(),
+            policy,
+            density,
+            values,
+            prices,
+            report: ConvergenceReport { converged, iterations, residuals },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Params {
+        Params { time_steps: 16, grid_q: 48, max_iterations: 60, ..Params::default() }
+    }
+
+    #[test]
+    fn reduced_game_converges() {
+        let eq = ReducedMfgSolver::new(fast()).unwrap().solve();
+        assert!(eq.report.converged, "residuals {:?}", eq.report.residuals);
+    }
+
+    #[test]
+    fn reduced_policy_valid_and_density_normalized() {
+        let eq = ReducedMfgSolver::new(fast()).unwrap().solve();
+        for p in &eq.policy {
+            assert!(p.values().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+        for lam in &eq.density {
+            assert!((lam.integral() - 1.0).abs() < 1e-9);
+        }
+        for &p in &eq.prices {
+            assert!((0.0..=5.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn reduced_agrees_with_full_solver_on_the_q_marginal() {
+        // With the 2-D solver's h dimension averaged out, the mean
+        // remaining-space trajectories should agree to a few percent.
+        let params = fast();
+        let reduced = ReducedMfgSolver::new(params.clone()).unwrap().solve();
+        let full = crate::MfgSolver::new(Params { grid_h: 10, ..params })
+            .unwrap()
+            .solve()
+            .unwrap();
+        let a = reduced.mean_remaining_space();
+        let b = full.mean_remaining_space();
+        for (n, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert!((x - y).abs() < 0.08, "step {n}: reduced {x} vs full {y}");
+        }
+    }
+
+    #[test]
+    fn reduced_salvage_matches_full_solver_trend() {
+        // Salvage keeps the late-horizon policy alive in the reduced
+        // solver too (parity with the 2-D HJB's terminal condition).
+        let plain = ReducedMfgSolver::new(fast()).unwrap().solve();
+        let salvage = ReducedMfgSolver::new(Params {
+            terminal_value_weight: 3.0,
+            ..fast()
+        })
+        .unwrap()
+        .solve();
+        let last = plain.policy.len() - 1;
+        let late_plain: f64 = plain.policy[last].values().iter().sum();
+        let late_salvage: f64 = salvage.policy[last].values().iter().sum();
+        assert!(
+            late_salvage > late_plain,
+            "salvage {late_salvage} <= plain {late_plain}"
+        );
+    }
+
+    #[test]
+    fn policy_lookup_clamps_time() {
+        let eq = ReducedMfgSolver::new(fast()).unwrap().solve();
+        let x = eq.policy_at(1e9, 0.5);
+        assert!((0.0..=1.0).contains(&x));
+    }
+}

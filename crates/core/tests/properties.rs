@@ -1,0 +1,138 @@
+//! Property-based tests for the MFG-CP core model invariants.
+
+use proptest::prelude::*;
+
+use mfgcp_core::{
+    solve_01, solve_fractional, CaseProbabilities, ContentContext, KnapsackItem,
+    MeanFieldSnapshot, Params, RateModel, Sigmoid, Utility,
+};
+
+fn snapshot(price: f64, q_bar: f64) -> MeanFieldSnapshot {
+    MeanFieldSnapshot {
+        price,
+        q_bar,
+        delta_q: 0.2,
+        share_benefit: 0.1,
+        sharer_fraction: 0.3,
+        case3_fraction: 0.2,
+    }
+}
+
+proptest! {
+    /// The utility function is finite for every admissible state/control,
+    /// the Lemma 1 precondition our discretization relies on.
+    #[test]
+    fn utility_is_bounded_on_the_state_space(
+        x in 0.0_f64..=1.0,
+        h in 1.0e-5_f64..=10.0e-5,
+        q in 0.0_f64..=1.0,
+        q_bar in 0.0_f64..=1.0,
+        price in 0.0_f64..=5.0,
+        requests in 0.0_f64..50.0,
+    ) {
+        let params = Params::default();
+        let u = Utility::new(params);
+        let ctx = ContentContext { requests, popularity: 0.3, urgency_factor: 0.05 };
+        let b = u.breakdown(&ctx, &snapshot(price, q_bar), x, h, q);
+        prop_assert!(b.total().is_finite());
+        prop_assert!(b.trading_income >= 0.0);
+        prop_assert!(b.placement_cost >= 0.0);
+        prop_assert!(b.staleness_cost >= 0.0);
+        prop_assert!(b.sharing_cost >= 0.0);
+        // Income is bounded by requests × price × Q_k.
+        prop_assert!(b.trading_income <= requests * price * 1.0 + 1e-9);
+    }
+
+    /// The paper's Lipschitz claim (Lemma 1), checked numerically: the
+    /// utility's q-difference quotient is uniformly bounded.
+    #[test]
+    fn utility_is_lipschitz_in_q(
+        q in 0.01_f64..=0.99,
+        dq in 1e-4_f64..1e-2,
+        q_bar in 0.0_f64..=1.0,
+    ) {
+        let params = Params::default();
+        let u = Utility::new(params);
+        let ctx = ContentContext { requests: 10.0, popularity: 0.3, urgency_factor: 0.05 };
+        let s = snapshot(4.0, q_bar);
+        let h = 5.0e-5;
+        let up = u.evaluate(&ctx, &s, 0.5, h, (q + dq).min(1.0));
+        let dn = u.evaluate(&ctx, &s, 0.5, h, q);
+        let quotient = ((up - dn) / dq).abs();
+        // Conservative uniform bound: |∂U/∂q| is dominated by the income
+        // term I·p·(l·Q_k terms); with l = 10, I = 10, p = 4 the constant
+        // is a few hundred.
+        prop_assert!(quotient < 1000.0, "difference quotient {quotient}");
+    }
+
+    /// Case probabilities transition monotonically in `q`: P¹ decreases
+    /// (less space remaining ⇒ more cached) while P² + P³ increases.
+    #[test]
+    fn case1_monotone_in_q(q1 in 0.0_f64..=1.0, q2 in 0.0_f64..=1.0, q_bar in 0.0_f64..=1.0) {
+        let s = Sigmoid::new(10.0);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let c_lo = CaseProbabilities::compute(s, lo, q_bar, 0.2);
+        let c_hi = CaseProbabilities::compute(s, hi, q_bar, 0.2);
+        prop_assert!(c_lo.p1 >= c_hi.p1 - 1e-12);
+        prop_assert!(c_lo.p2 + c_lo.p3 <= c_hi.p2 + c_hi.p3 + 1e-12);
+    }
+
+    /// The rate model is monotone in the fading coefficient and bounded by
+    /// its calibrated maximum.
+    #[test]
+    fn rate_model_monotone_and_bounded(h1 in 0.0_f64..=1.0e-4, h2 in 0.0_f64..=1.0e-4) {
+        let m = RateModel::from_params(&Params::default());
+        let (lo, hi) = if h1 <= h2 { (h1, h2) } else { (h2, h1) };
+        prop_assert!(m.rate(lo) <= m.rate(hi) + 1e-12);
+        prop_assert!(m.rate(hi) <= m.max_rate() + 1e-9);
+        prop_assert!(m.rate(lo) >= 0.0);
+    }
+
+    /// Knapsack: the fractional optimum dominates the 0/1 optimum, both
+    /// respect capacity, and all fractions are valid.
+    #[test]
+    fn knapsack_relaxation_dominates(
+        raw in proptest::collection::vec((0.0_f64..10.0, 0.01_f64..1.0), 1..12),
+        capacity in 0.0_f64..5.0,
+    ) {
+        let items: Vec<KnapsackItem> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(value, weight))| KnapsackItem { content: i, value, weight })
+            .collect();
+        let frac = solve_fractional(&items, capacity);
+        let zo = solve_01(&items, capacity, 500);
+        prop_assert!(frac.total_value >= zo.total_value - 1e-9);
+        prop_assert!(frac.total_weight <= capacity + 1e-9);
+        prop_assert!(zo.total_weight <= capacity + 1e-9);
+        prop_assert!(frac.fractions.iter().all(|&f| (0.0..=1.0).contains(&f)));
+        prop_assert!(zo.fractions.iter().all(|&f| f == 0.0 || f == 1.0));
+    }
+
+    /// Thm. 1's control is invariant to adding a constant to the value
+    /// function (only the gradient matters) and scales correctly with w₅.
+    #[test]
+    fn optimal_control_scaling(dv in -50.0_f64..50.0, w5_mult in 1.0_f64..5.0) {
+        let base = Params::default();
+        let scaled = Params { w5: base.w5 * w5_mult, ..base.clone() };
+        let u_base = Utility::new(base);
+        let u_scaled = Utility::new(scaled);
+        let x_base = u_base.optimal_control(dv);
+        let x_scaled = u_scaled.optimal_control(dv);
+        // Larger quadratic cost never increases the caching rate.
+        prop_assert!(x_scaled <= x_base + 1e-12);
+    }
+
+    /// Params validation accepts small perturbations of the defaults and
+    /// never panics.
+    #[test]
+    fn params_validation_is_total(
+        w5 in -1.0_f64..10.0,
+        alpha in -0.5_f64..1.5,
+        relaxation in -0.5_f64..1.5,
+    ) {
+        let p = Params { w5, alpha, relaxation, ..Params::default() };
+        let expected_ok = w5 > 0.0 && alpha > 0.0 && alpha < 1.0 && relaxation > 0.0 && relaxation <= 1.0;
+        prop_assert_eq!(p.validate().is_ok(), expected_ok);
+    }
+}

@@ -1,0 +1,126 @@
+//! The `mfgcp` command-line tool: solve mean-field equilibria and run
+//! finite-population market simulations from the shell.
+//!
+//! ```sh
+//! mfgcp solve --eta1 2 --salvage 1
+//! mfgcp simulate --scheme mfg-cp --edps 50 --mobility
+//! ```
+
+use mfgcp::cli::{parse, Command, Scheme, HELP};
+use mfgcp::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{HELP}");
+            std::process::exit(2);
+        }
+    };
+    match command {
+        Command::Help => print!("{HELP}"),
+        Command::Solve { params } => run_solve(*params),
+        Command::Simulate { config, scheme, mobility } => {
+            run_simulate(*config, scheme, mobility)
+        }
+    }
+}
+
+fn run_solve(params: Params) {
+    println!(
+        "Solving MFG-CP equilibrium: grid {}x{}, {} steps, eta1 = {}, w5 = {}, salvage = {}",
+        params.grid_h,
+        params.grid_q,
+        params.time_steps,
+        params.eta1,
+        params.w5,
+        params.terminal_value_weight
+    );
+    let solver = match MfgSolver::new(params) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let ctx = ContentContext::from_params(solver.params());
+    let eq = solver.solve_with(&vec![ctx; solver.params().time_steps], None);
+    println!(
+        "Converged: {} ({} iterations, final residual {:.2e})",
+        eq.report.converged,
+        eq.report.iterations,
+        eq.report.final_residual()
+    );
+    let prices = eq.price_series();
+    println!(
+        "Price p_k(t): {:.3} -> {:.3}  (p_hat = {})",
+        prices[0],
+        prices[prices.len() - 1],
+        eq.params.p_hat
+    );
+    let means = eq.mean_remaining_space();
+    println!(
+        "Mean remaining space: {:.3} -> {:.3}",
+        means[0],
+        means[means.len() - 1]
+    );
+    println!("Accumulated utility: {:.3}", eq.accumulated_utility());
+    println!("Deviation gap (Nash check): {:.4}", eq.deviation_gap(11));
+    println!("\nPolicy x*(t, h = mean, q):");
+    println!("{:>6} {:>8} {:>8} {:>8} {:>8} {:>8}", "t", "q=0.1", "q=0.3", "q=0.5", "q=0.7", "q=0.9");
+    let h = eq.params.upsilon_h;
+    let qk = eq.params.q_size;
+    for frac in [0.0, 0.25, 0.5, 0.75] {
+        let t = frac * eq.params.t_horizon;
+        print!("{t:>6.2}");
+        for qf in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            print!(" {:>8.3}", eq.policy_at(t, h, qf * qk));
+        }
+        println!();
+    }
+}
+
+fn run_simulate(config: SimConfig, scheme: Scheme, mobility: bool) {
+    let mut config = config;
+    if mobility {
+        config.mobility = Some(mfgcp::net::RandomWaypoint::default());
+    }
+    println!(
+        "Simulating {}: M = {}, J = {}, K = {}, {} epochs x {} slots, seed {}{}",
+        scheme.name(),
+        config.num_edps,
+        config.num_requesters,
+        config.num_contents,
+        config.epochs,
+        config.slots_per_epoch,
+        config.seed,
+        if mobility { ", mobile requesters" } else { "" }
+    );
+    let params = config.params.clone();
+    let policy: Box<dyn CachingPolicy> = match scheme {
+        Scheme::MfgCp => Box::new(MfgCpPolicy::new(params).expect("validated params")),
+        Scheme::Mfg => {
+            Box::new(MfgCpPolicy::without_sharing(params).expect("validated params"))
+        }
+        Scheme::Udcs => Box::new(Udcs::default()),
+        Scheme::Mpc => Box::new(MostPopularCaching::default()),
+        Scheme::Rr => Box::new(RandomReplacement),
+    };
+    let mut sim = match Simulation::new(config, policy) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = sim.run();
+    let (c1, c2, c3) = report.case_totals();
+    println!("\n{:<22} {:>12}", "metric", "value");
+    println!("{:<22} {:>12.3}", "mean utility", report.mean_utility());
+    println!("{:<22} {:>12.3}", "mean trading income", report.mean_trading_income());
+    println!("{:<22} {:>12.3}", "mean staleness cost", report.mean_staleness_cost());
+    println!("{:<22} {:>12.3}", "mean sharing benefit", report.mean_sharing_benefit());
+    println!("{:<22} {:>12}", "cases (1/2/3)", format!("{c1}/{c2}/{c3}"));
+}

@@ -1,0 +1,331 @@
+//! Command-line interface for the `mfgcp` binary.
+//!
+//! Hand-rolled flag parsing (the approved dependency list has no argument
+//! parser): `mfgcp <command> [--flag value]...` with two commands:
+//!
+//! * `solve` — compute one mean-field equilibrium and print its summary;
+//! * `simulate` — run the finite-population market under a scheme.
+//!
+//! The parsing layer is pure (string slices in, [`Command`] out) so it is
+//! unit-testable without spawning processes.
+
+use mfgcp_core::Params;
+use mfgcp_sim::SimConfig;
+
+/// Which placement scheme to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Full MFG-CP with sharing.
+    MfgCp,
+    /// MFG without sharing.
+    Mfg,
+    /// UDCS baseline.
+    Udcs,
+    /// Most-popular caching baseline.
+    Mpc,
+    /// Random replacement baseline.
+    Rr,
+}
+
+impl Scheme {
+    fn parse(s: &str) -> Result<Self, CliError> {
+        match s.to_ascii_lowercase().as_str() {
+            "mfg-cp" | "mfgcp" => Ok(Self::MfgCp),
+            "mfg" => Ok(Self::Mfg),
+            "udcs" => Ok(Self::Udcs),
+            "mpc" => Ok(Self::Mpc),
+            "rr" => Ok(Self::Rr),
+            other => Err(CliError::BadValue {
+                flag: "--scheme".into(),
+                value: other.into(),
+                expected: "one of mfg-cp, mfg, udcs, mpc, rr",
+            }),
+        }
+    }
+
+    /// The display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::MfgCp => "MFG-CP",
+            Self::Mfg => "MFG",
+            Self::Udcs => "UDCS",
+            Self::Mpc => "MPC",
+            Self::Rr => "RR",
+        }
+    }
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `mfgcp solve [...]`: one mean-field equilibrium.
+    Solve {
+        /// Model parameters after flag overrides.
+        params: Box<Params>,
+    },
+    /// `mfgcp simulate [...]`: a finite-population market run.
+    Simulate {
+        /// Simulator configuration after flag overrides.
+        config: Box<SimConfig>,
+        /// Scheme to run.
+        scheme: Scheme,
+        /// Enable random-waypoint requester mobility.
+        mobility: bool,
+    },
+    /// `mfgcp help` or `--help`.
+    Help,
+}
+
+/// CLI parsing errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// Unknown flag for the subcommand.
+    UnknownFlag(String),
+    /// Flag present without a value.
+    MissingValue(String),
+    /// Value failed to parse.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl core::fmt::Display for CliError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command `{c}` (try `mfgcp help`)")
+            }
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+            CliError::MissingValue(flag) => write!(f, "flag `{flag}` needs a value"),
+            CliError::BadValue { flag, value, expected } => {
+                write!(f, "bad value `{value}` for `{flag}`: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The help text.
+pub const HELP: &str = "\
+mfgcp - joint mobile edge caching and pricing via mean-field games
+
+USAGE:
+    mfgcp solve    [--eta1 X] [--w5 X] [--q-size X] [--requests X]
+                   [--time-steps N] [--grid-h N] [--grid-q N]
+                   [--salvage G] [--lambda0-mean X]
+    mfgcp simulate [--scheme mfg-cp|mfg|udcs|mpc|rr] [--edps N]
+                   [--requesters N] [--contents K] [--epochs E]
+                   [--slots N] [--seed S] [--mobility]
+                   (plus all `solve` flags for the game parameters)
+    mfgcp help
+
+`solve` computes one mean-field equilibrium (Alg. 2) and prints the
+policy, price trajectory and utility breakdown. `simulate` runs the
+finite-population market (Alg. 1 lines 11-14) under the chosen scheme.
+";
+
+fn parse_f64(flag: &str, value: &str) -> Result<f64, CliError> {
+    value.parse().map_err(|_| CliError::BadValue {
+        flag: flag.into(),
+        value: value.into(),
+        expected: "a number",
+    })
+}
+
+fn parse_usize(flag: &str, value: &str) -> Result<usize, CliError> {
+    value.parse().map_err(|_| CliError::BadValue {
+        flag: flag.into(),
+        value: value.into(),
+        expected: "a non-negative integer",
+    })
+}
+
+fn parse_u64(flag: &str, value: &str) -> Result<u64, CliError> {
+    value.parse().map_err(|_| CliError::BadValue {
+        flag: flag.into(),
+        value: value.into(),
+        expected: "a non-negative integer",
+    })
+}
+
+/// Apply a game-parameter flag; returns `false` if the flag is not a
+/// parameter flag (so the caller can try its own flags).
+fn apply_param_flag(params: &mut Params, flag: &str, value: &str) -> Result<bool, CliError> {
+    match flag {
+        "--eta1" => params.eta1 = parse_f64(flag, value)?,
+        "--w5" => params.w5 = parse_f64(flag, value)?,
+        "--q-size" => params.q_size = parse_f64(flag, value)?,
+        "--requests" => params.requests = parse_f64(flag, value)?,
+        "--time-steps" => params.time_steps = parse_usize(flag, value)?,
+        "--grid-h" => params.grid_h = parse_usize(flag, value)?,
+        "--grid-q" => params.grid_q = parse_usize(flag, value)?,
+        "--salvage" => params.terminal_value_weight = parse_f64(flag, value)?,
+        "--lambda0-mean" => params.lambda0_mean = parse_f64(flag, value)?,
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Parse an argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let Some(command) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "solve" => {
+            let mut params = Params::default();
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                let value =
+                    it.next().ok_or_else(|| CliError::MissingValue(flag.clone()))?;
+                if !apply_param_flag(&mut params, flag, value)? {
+                    return Err(CliError::UnknownFlag(flag.clone()));
+                }
+            }
+            Ok(Command::Solve { params: Box::new(params) })
+        }
+        "simulate" => {
+            let mut config = SimConfig {
+                num_edps: 30,
+                num_requesters: 120,
+                num_contents: 6,
+                epochs: 2,
+                slots_per_epoch: 30,
+                params: Params {
+                    num_edps: 30,
+                    time_steps: 16,
+                    grid_h: 8,
+                    grid_q: 32,
+                    ..Params::default()
+                },
+                ..SimConfig::default()
+            };
+            let mut scheme = Scheme::MfgCp;
+            let mut mobility = false;
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                if flag == "--mobility" {
+                    mobility = true;
+                    continue;
+                }
+                let value =
+                    it.next().ok_or_else(|| CliError::MissingValue(flag.clone()))?;
+                match flag.as_str() {
+                    "--scheme" => scheme = Scheme::parse(value)?,
+                    "--edps" => {
+                        config.num_edps = parse_usize(flag, value)?;
+                        config.params.num_edps = config.num_edps;
+                    }
+                    "--requesters" => config.num_requesters = parse_usize(flag, value)?,
+                    "--contents" => config.num_contents = parse_usize(flag, value)?,
+                    "--epochs" => config.epochs = parse_usize(flag, value)?,
+                    "--slots" => config.slots_per_epoch = parse_usize(flag, value)?,
+                    "--seed" => config.seed = parse_u64(flag, value)?,
+                    other => {
+                        if !apply_param_flag(&mut config.params, other, value)? {
+                            return Err(CliError::UnknownFlag(flag.clone()));
+                        }
+                    }
+                }
+            }
+            Ok(Command::Simulate { config: Box::new(config), scheme, mobility })
+        }
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_and_help_yield_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn solve_applies_parameter_flags() {
+        let cmd = parse(&argv("solve --eta1 2.5 --time-steps 20 --salvage 1.5")).unwrap();
+        match cmd {
+            Command::Solve { params } => {
+                assert_eq!(params.eta1, 2.5);
+                assert_eq!(params.time_steps, 20);
+                assert_eq!(params.terminal_value_weight, 1.5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_parses_scheme_population_and_mobility() {
+        let cmd = parse(&argv(
+            "simulate --scheme udcs --edps 50 --contents 4 --seed 9 --mobility --eta1 3",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Simulate { config, scheme, mobility } => {
+                assert_eq!(scheme, Scheme::Udcs);
+                assert_eq!(config.num_edps, 50);
+                assert_eq!(config.params.num_edps, 50, "kept consistent for Eq. (5)");
+                assert_eq!(config.num_contents, 4);
+                assert_eq!(config.seed, 9);
+                assert_eq!(config.params.eta1, 3.0);
+                assert!(mobility);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scheme_names_roundtrip() {
+        for (input, expect) in [
+            ("mfg-cp", Scheme::MfgCp),
+            ("MFGCP", Scheme::MfgCp),
+            ("mfg", Scheme::Mfg),
+            ("udcs", Scheme::Udcs),
+            ("mpc", Scheme::Mpc),
+            ("rr", Scheme::Rr),
+        ] {
+            assert_eq!(Scheme::parse(input).unwrap(), expect);
+        }
+        assert!(Scheme::parse("lru").is_err());
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert!(matches!(
+            parse(&argv("dance")),
+            Err(CliError::UnknownCommand(c)) if c == "dance"
+        ));
+        assert!(matches!(
+            parse(&argv("solve --eta1")),
+            Err(CliError::MissingValue(f)) if f == "--eta1"
+        ));
+        assert!(matches!(
+            parse(&argv("solve --what 3")),
+            Err(CliError::UnknownFlag(f)) if f == "--what"
+        ));
+        assert!(matches!(
+            parse(&argv("solve --eta1 banana")),
+            Err(CliError::BadValue { .. })
+        ));
+        // Errors render.
+        let e = parse(&argv("solve --eta1 banana")).unwrap_err();
+        assert!(e.to_string().contains("banana"));
+    }
+}

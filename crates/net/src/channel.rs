@@ -1,0 +1,240 @@
+//! Per-link channel fading state and interference-limited rates.
+//!
+//! Maintains one OU fading coefficient `h_{i,j}(t)` per (EDP, requester)
+//! pair, advanced with the *exact* OU transition (no discretization error),
+//! and computes the Eq. (2) rate including the interference sum
+//! `Σ_{i'≠i} |g_{i',j}|² G_{i'}`.
+
+use rand::Rng;
+
+use mfgcp_sde::OrnsteinUhlenbeck;
+
+use crate::config::NetworkConfig;
+use crate::topology::Topology;
+use crate::{channel_gain, shannon_rate};
+
+/// Dynamic channel state for every (EDP, requester) link.
+#[derive(Debug, Clone)]
+pub struct ChannelState {
+    /// Row-major `[m × j]` fading coefficients.
+    fading: Vec<f64>,
+    num_edps: usize,
+    num_requesters: usize,
+    process: OrnsteinUhlenbeck,
+    cfg: NetworkConfig,
+    /// Cached distances, row-major `[m × j]`.
+    distances: Vec<f64>,
+}
+
+impl ChannelState {
+    /// Initialize all links from the OU stationary distribution, clamped to
+    /// the configured fading band.
+    pub fn init<R: Rng + ?Sized>(topo: &Topology, cfg: &NetworkConfig, rng: &mut R) -> Self {
+        let process = cfg.fading_process();
+        let m = topo.num_edps();
+        let j = topo.num_requesters();
+        let sd = process.stationary_variance().sqrt();
+        let stationary = mfgcp_sde::Normal::new(process.stationary_mean(), sd)
+            .expect("valid stationary parameters");
+        let mut fading = Vec::with_capacity(m * j);
+        let mut distances = Vec::with_capacity(m * j);
+        for i in 0..m {
+            for jj in 0..j {
+                fading.push(cfg.clamp_fading(stationary.sample(rng)));
+                distances.push(topo.distance(i, jj));
+            }
+        }
+        Self {
+            fading,
+            num_edps: m,
+            num_requesters: j,
+            process,
+            cfg: cfg.clone(),
+            distances,
+        }
+    }
+
+    /// Number of EDPs.
+    pub fn num_edps(&self) -> usize {
+        self.num_edps
+    }
+
+    /// Number of requesters.
+    pub fn num_requesters(&self) -> usize {
+        self.num_requesters
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.num_edps && j < self.num_requesters);
+        i * self.num_requesters + j
+    }
+
+    /// Current fading coefficient `h_{i,j}`.
+    pub fn fading(&self, i: usize, j: usize) -> f64 {
+        self.fading[self.idx(i, j)]
+    }
+
+    /// Recompute the cached link distances after requester mobility
+    /// changed the topology (fading states are per-link and persist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology's dimensions changed.
+    pub fn refresh_distances(&mut self, topo: &Topology) {
+        assert_eq!(topo.num_edps(), self.num_edps, "EDP count changed");
+        assert_eq!(topo.num_requesters(), self.num_requesters, "requester count changed");
+        for i in 0..self.num_edps {
+            for j in 0..self.num_requesters {
+                let k = self.idx(i, j);
+                self.distances[k] = topo.distance(i, j);
+            }
+        }
+    }
+
+    /// Advance every link by `dt` using the exact OU transition, clamping
+    /// into the configured fading band.
+    pub fn advance<R: Rng + ?Sized>(&mut self, dt: f64, rng: &mut R) {
+        for h in &mut self.fading {
+            *h = self.cfg.clamp_fading(self.process.sample_transition(*h, dt, rng));
+        }
+    }
+
+    /// Channel gain `|g_{i,j}|²`.
+    pub fn gain(&self, i: usize, j: usize) -> f64 {
+        let k = self.idx(i, j);
+        channel_gain(
+            self.fading[k],
+            self.distances[k],
+            self.cfg.path_loss_exp,
+            self.cfg.min_distance,
+        )
+    }
+
+    /// Interference power at requester `j` from all EDPs except `i`
+    /// (`Σ_{i'≠i} |g_{i',j}|² G`, Eq. (2) denominator).
+    pub fn interference(&self, i: usize, j: usize) -> f64 {
+        let mut acc = 0.0;
+        for other in 0..self.num_edps {
+            if other != i {
+                acc += self.gain(other, j) * self.cfg.tx_power;
+            }
+        }
+        acc
+    }
+
+    /// Achievable rate `H_{i,j}` of Eq. (2), bits/s.
+    pub fn rate(&self, i: usize, j: usize) -> f64 {
+        shannon_rate(
+            self.cfg.bandwidth,
+            self.gain(i, j),
+            self.cfg.tx_power,
+            self.cfg.noise_power,
+            self.interference(i, j),
+        )
+    }
+
+    /// Mean rate from EDP `i` to its served requesters; `None` if it serves
+    /// nobody. Used when a scalar per-EDP rate is needed (reduced solver).
+    pub fn mean_rate_to_served(&self, topo: &Topology, i: usize) -> Option<f64> {
+        let served = topo.served_by(i);
+        if served.is_empty() {
+            return None;
+        }
+        let total: f64 = served.iter().map(|&j| self.rate(i, j)).sum();
+        Some(total / served.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use mfgcp_sde::seeded_rng;
+
+    fn small() -> (Topology, NetworkConfig) {
+        let edps = vec![Point::new(0.0, 0.0), Point::new(200.0, 0.0)];
+        let requesters = vec![Point::new(10.0, 0.0), Point::new(190.0, 0.0)];
+        (Topology::with_positions(edps, requesters), NetworkConfig::default())
+    }
+
+    #[test]
+    fn fading_stays_in_band_forever() {
+        let (topo, cfg) = small();
+        let mut rng = seeded_rng(8);
+        let mut ch = ChannelState::init(&topo, &cfg, &mut rng);
+        for _ in 0..200 {
+            ch.advance(0.05, &mut rng);
+            for i in 0..2 {
+                for j in 0..2 {
+                    let h = ch.fading(i, j);
+                    assert!(h >= cfg.fading_min && h <= cfg.fading_max);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearer_link_has_better_rate_on_average() {
+        let (topo, cfg) = small();
+        let mut rng = seeded_rng(9);
+        let mut near = 0.0;
+        let mut far = 0.0;
+        for _ in 0..100 {
+            let ch = ChannelState::init(&topo, &cfg, &mut rng);
+            near += ch.rate(0, 0); // 10 m away
+            far += ch.rate(1, 0); // 190 m away
+        }
+        assert!(near > far, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn interference_excludes_the_serving_edp() {
+        let (topo, cfg) = small();
+        let mut rng = seeded_rng(10);
+        let ch = ChannelState::init(&topo, &cfg, &mut rng);
+        let i0 = ch.interference(0, 0);
+        // Only EDP 1 interferes with link (0, 0).
+        assert!((i0 - ch.gain(1, 0) * cfg.tx_power).abs() < 1e-25);
+    }
+
+    #[test]
+    fn mean_rate_handles_unserved_edps() {
+        let edps = vec![Point::new(0.0, 0.0), Point::new(1000.0, 0.0)];
+        let requesters = vec![Point::new(1.0, 0.0)];
+        let topo = Topology::with_positions(edps, requesters);
+        let cfg = NetworkConfig::default();
+        let mut rng = seeded_rng(11);
+        let ch = ChannelState::init(&topo, &cfg, &mut rng);
+        assert!(ch.mean_rate_to_served(&topo, 0).is_some());
+        assert!(ch.mean_rate_to_served(&topo, 1).is_none());
+    }
+
+    #[test]
+    fn refresh_distances_tracks_topology() {
+        let (mut topo, cfg) = small();
+        let mut rng = seeded_rng(13);
+        let mut ch = ChannelState::init(&topo, &cfg, &mut rng);
+        let before = ch.gain(0, 0);
+        // Move requester 0 far away from EDP 0.
+        topo.update_requesters(vec![Point::new(400.0, 0.0), Point::new(190.0, 0.0)]);
+        ch.refresh_distances(&topo);
+        assert!(ch.gain(0, 0) < before, "gain should drop with distance");
+    }
+
+    #[test]
+    fn advance_changes_the_state_deterministically_per_seed() {
+        let (topo, cfg) = small();
+        let mut rng1 = seeded_rng(12);
+        let mut rng2 = seeded_rng(12);
+        let mut a = ChannelState::init(&topo, &cfg, &mut rng1);
+        let mut b = ChannelState::init(&topo, &cfg, &mut rng2);
+        a.advance(0.1, &mut rng1);
+        b.advance(0.1, &mut rng2);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(a.fading(i, j), b.fading(i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Planar geometry for node placement.
+
+use rand::{Rng, RngExt as _};
+
+/// A point in the plane (meters).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Sample a point uniformly in the disc of radius `radius` centered at the
+/// origin (by area, using the `sqrt` radial transform).
+pub fn uniform_in_disc<R: Rng + ?Sized>(radius: f64, rng: &mut R) -> Point {
+    debug_assert!(radius > 0.0);
+    let theta: f64 = rng.random_range(0.0..core::f64::consts::TAU);
+    let r = radius * rng.random_range(0.0_f64..1.0).sqrt();
+    Point::new(r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfgcp_sde::seeded_rng;
+
+    #[test]
+    fn distance_is_symmetric_and_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.distance(&a), 5.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn disc_samples_stay_inside() {
+        let mut rng = seeded_rng(5);
+        for _ in 0..1_000 {
+            let p = uniform_in_disc(100.0, &mut rng);
+            assert!(p.distance(&Point::default()) <= 100.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn disc_sampling_is_uniform_by_area() {
+        // The inner disc of half radius holds 1/4 of the area; check the
+        // empirical proportion of samples.
+        let mut rng = seeded_rng(6);
+        let n = 40_000;
+        let inside = (0..n)
+            .filter(|_| {
+                uniform_in_disc(1.0, &mut rng).distance(&Point::default()) < 0.5
+            })
+            .count();
+        let frac = inside as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "fraction {frac}");
+    }
+}

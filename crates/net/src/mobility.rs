@@ -1,0 +1,209 @@
+//! Requester mobility: the random-waypoint model.
+//!
+//! §II-A motivates the stochastic channel model with "the randomness and
+//! uncertainty of requesters' mobility". This module makes that mobility
+//! explicit: each requester picks a waypoint uniformly in the deployment
+//! disc, walks towards it at a random speed, pauses, and repeats. The
+//! simulator advances positions every slot and re-associates requesters
+//! with their nearest EDP every epoch.
+
+use rand::{Rng, RngExt as _};
+
+use crate::geometry::{uniform_in_disc, Point};
+
+/// Random-waypoint parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWaypoint {
+    /// Minimum walking speed (m per time unit).
+    pub speed_min: f64,
+    /// Maximum walking speed (m per time unit).
+    pub speed_max: f64,
+    /// Pause duration at each waypoint (time units).
+    pub pause: f64,
+}
+
+impl Default for RandomWaypoint {
+    fn default() -> Self {
+        // Pedestrian speeds on the epoch time scale (an epoch ≈ 100 s):
+        // 1–2 m/s → 100–200 m per epoch.
+        Self { speed_min: 100.0, speed_max: 200.0, pause: 0.1 }
+    }
+}
+
+impl RandomWaypoint {
+    /// Validate the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < speed_min <= speed_max` and `pause >= 0`.
+    pub fn validated(self) -> Self {
+        assert!(
+            self.speed_min > 0.0 && self.speed_max >= self.speed_min,
+            "need 0 < speed_min <= speed_max"
+        );
+        assert!(self.pause >= 0.0, "pause must be >= 0");
+        self
+    }
+}
+
+/// Per-requester motion state.
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    /// Walking towards the waypoint at the given speed.
+    Walking { speed: f64 },
+    /// Pausing; time remaining.
+    Paused { remaining: f64 },
+}
+
+/// The moving requester population.
+#[derive(Debug, Clone)]
+pub struct MobileRequesters {
+    model: RandomWaypoint,
+    radius: f64,
+    positions: Vec<Point>,
+    waypoints: Vec<Point>,
+    phases: Vec<Phase>,
+}
+
+impl MobileRequesters {
+    /// Start from the given positions inside a disc of `radius`.
+    pub fn new<R: Rng + ?Sized>(
+        positions: Vec<Point>,
+        radius: f64,
+        model: RandomWaypoint,
+        rng: &mut R,
+    ) -> Self {
+        let model = model.validated();
+        let n = positions.len();
+        let waypoints = (0..n).map(|_| uniform_in_disc(radius, rng)).collect();
+        let phases = (0..n)
+            .map(|_| Phase::Walking { speed: rng.random_range(model.speed_min..=model.speed_max) })
+            .collect();
+        Self { model, radius, positions, waypoints, phases }
+    }
+
+    /// Current positions.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Advance every requester by `dt`.
+    pub fn step<R: Rng + ?Sized>(&mut self, dt: f64, rng: &mut R) {
+        for i in 0..self.positions.len() {
+            match self.phases[i] {
+                Phase::Paused { remaining } => {
+                    let left = remaining - dt;
+                    if left <= 0.0 {
+                        self.waypoints[i] = uniform_in_disc(self.radius, rng);
+                        self.phases[i] = Phase::Walking {
+                            speed: rng
+                                .random_range(self.model.speed_min..=self.model.speed_max),
+                        };
+                    } else {
+                        self.phases[i] = Phase::Paused { remaining: left };
+                    }
+                }
+                Phase::Walking { speed } => {
+                    let pos = self.positions[i];
+                    let target = self.waypoints[i];
+                    let dist = pos.distance(&target);
+                    let travel = speed * dt;
+                    if travel >= dist {
+                        // Arrive and pause.
+                        self.positions[i] = target;
+                        self.phases[i] = Phase::Paused { remaining: self.model.pause };
+                    } else {
+                        let frac = travel / dist;
+                        self.positions[i] = Point::new(
+                            pos.x + (target.x - pos.x) * frac,
+                            pos.y + (target.y - pos.y) * frac,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfgcp_sde::seeded_rng;
+
+    fn start() -> Vec<Point> {
+        vec![Point::new(0.0, 0.0), Point::new(10.0, 10.0), Point::new(-50.0, 20.0)]
+    }
+
+    #[test]
+    fn walkers_stay_inside_the_disc() {
+        let mut rng = seeded_rng(31);
+        let mut mob =
+            MobileRequesters::new(start(), 100.0, RandomWaypoint::default(), &mut rng);
+        for _ in 0..200 {
+            mob.step(0.05, &mut rng);
+            for p in mob.positions() {
+                assert!(p.distance(&Point::default()) <= 100.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn walkers_actually_move() {
+        let mut rng = seeded_rng(32);
+        let initial = start();
+        let mut mob =
+            MobileRequesters::new(initial.clone(), 500.0, RandomWaypoint::default(), &mut rng);
+        mob.step(0.5, &mut rng);
+        let moved = mob
+            .positions()
+            .iter()
+            .zip(&initial)
+            .any(|(a, b)| a.distance(b) > 1.0);
+        assert!(moved, "nobody moved");
+    }
+
+    #[test]
+    fn arrival_triggers_a_pause_then_a_new_waypoint() {
+        let mut rng = seeded_rng(33);
+        let model = RandomWaypoint { speed_min: 1e6, speed_max: 1e6, pause: 0.2 };
+        let mut mob = MobileRequesters::new(start(), 100.0, model, &mut rng);
+        // Huge speed: arrives within one step.
+        mob.step(0.01, &mut rng);
+        let at_waypoint = mob.positions().to_vec();
+        // During the pause the position is frozen.
+        mob.step(0.1, &mut rng);
+        for (a, b) in mob.positions().iter().zip(&at_waypoint) {
+            assert_eq!(a.distance(b), 0.0);
+        }
+        // After the pause it walks again.
+        mob.step(0.2, &mut rng);
+        mob.step(0.01, &mut rng);
+        let moved = mob
+            .positions()
+            .iter()
+            .zip(&at_waypoint)
+            .any(|(a, b)| a.distance(b) > 1.0);
+        assert!(moved, "stuck after pause");
+    }
+
+    #[test]
+    #[should_panic(expected = "speed_min")]
+    fn invalid_speeds_rejected() {
+        RandomWaypoint { speed_min: 0.0, speed_max: 1.0, pause: 0.0 }.validated();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut r1 = seeded_rng(34);
+        let mut r2 = seeded_rng(34);
+        let mut a = MobileRequesters::new(start(), 100.0, RandomWaypoint::default(), &mut r1);
+        let mut b = MobileRequesters::new(start(), 100.0, RandomWaypoint::default(), &mut r2);
+        for _ in 0..20 {
+            a.step(0.1, &mut r1);
+            b.step(0.1, &mut r2);
+        }
+        for (pa, pb) in a.positions().iter().zip(b.positions()) {
+            assert_eq!(pa.distance(pb), 0.0);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! EDP/requester placement and nearest-EDP association.
+//!
+//! §II of the paper: EDPs and requesters are "randomly distributed within a
+//! certain range", and "each requester is associated with a default serving
+//! EDP that is nearest geographically"; `J_i(t)` is the set of requesters
+//! served by EDP `i`.
+
+use rand::Rng;
+
+use crate::config::NetworkConfig;
+use crate::geometry::{uniform_in_disc, Point};
+
+/// Static node placement: `M` EDPs and `J` requesters in a disc, plus the
+/// nearest-EDP association map.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    edps: Vec<Point>,
+    requesters: Vec<Point>,
+    /// `serving_edp[j]` = index of the EDP serving requester `j`.
+    serving_edp: Vec<usize>,
+    /// `served[i]` = indices of requesters associated with EDP `i`.
+    served: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Place `m` EDPs and `j` requesters uniformly in the configured disc
+    /// and associate each requester with its nearest EDP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn random<R: Rng + ?Sized>(
+        m: usize,
+        j: usize,
+        cfg: &NetworkConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(m > 0, "need at least one EDP");
+        let edps: Vec<Point> = (0..m).map(|_| uniform_in_disc(cfg.area_radius, rng)).collect();
+        let requesters: Vec<Point> =
+            (0..j).map(|_| uniform_in_disc(cfg.area_radius, rng)).collect();
+        Self::with_positions(edps, requesters)
+    }
+
+    /// Build a topology from explicit positions (used by tests and the
+    /// deterministic examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edps` is empty.
+    pub fn with_positions(edps: Vec<Point>, requesters: Vec<Point>) -> Self {
+        assert!(!edps.is_empty(), "need at least one EDP");
+        let mut serving_edp = Vec::with_capacity(requesters.len());
+        let mut served = vec![Vec::new(); edps.len()];
+        for (j, r) in requesters.iter().enumerate() {
+            let (best, _) = edps
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (i, e.distance(r)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+                .expect("non-empty EDP set");
+            serving_edp.push(best);
+            served[best].push(j);
+        }
+        Self { edps, requesters, serving_edp, served }
+    }
+
+    /// Number of EDPs.
+    pub fn num_edps(&self) -> usize {
+        self.edps.len()
+    }
+
+    /// Number of requesters.
+    pub fn num_requesters(&self) -> usize {
+        self.requesters.len()
+    }
+
+    /// Position of EDP `i`.
+    pub fn edp(&self, i: usize) -> Point {
+        self.edps[i]
+    }
+
+    /// Position of requester `j`.
+    pub fn requester(&self, j: usize) -> Point {
+        self.requesters[j]
+    }
+
+    /// The EDP serving requester `j`.
+    pub fn serving(&self, j: usize) -> usize {
+        self.serving_edp[j]
+    }
+
+    /// The requesters served by EDP `i` (the paper's `J_i`).
+    pub fn served_by(&self, i: usize) -> &[usize] {
+        &self.served[i]
+    }
+
+    /// Distance between EDP `i` and requester `j`.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        self.edps[i].distance(&self.requesters[j])
+    }
+
+    /// Replace the requester positions (mobility) and recompute the
+    /// nearest-EDP association.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of positions changes.
+    pub fn update_requesters(&mut self, positions: Vec<Point>) {
+        assert_eq!(
+            positions.len(),
+            self.requesters.len(),
+            "requester count must not change"
+        );
+        let rebuilt = Topology::with_positions(std::mem::take(&mut self.edps), positions);
+        *self = rebuilt;
+    }
+
+    /// Indices of the EDPs nearest to EDP `i`, sorted by distance
+    /// (excluding `i` itself) — the "adjacent EDPs" of the sharing model.
+    pub fn neighbors(&self, i: usize) -> Vec<usize> {
+        let me = self.edps[i];
+        let mut others: Vec<(usize, f64)> = self
+            .edps
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| *k != i)
+            .map(|(k, p)| (k, me.distance(p)))
+            .collect();
+        others.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
+        others.into_iter().map(|(k, _)| k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfgcp_sde::seeded_rng;
+
+    fn square_topology() -> Topology {
+        // EDPs at the corners of a unit square; requesters near each corner.
+        let edps = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+        ];
+        let requesters = vec![
+            Point::new(0.1, 0.1),
+            Point::new(0.9, 0.1),
+            Point::new(0.1, 0.9),
+            Point::new(0.9, 0.9),
+            Point::new(0.05, 0.0),
+        ];
+        Topology::with_positions(edps, requesters)
+    }
+
+    #[test]
+    fn nearest_association() {
+        let t = square_topology();
+        assert_eq!(t.serving(0), 0);
+        assert_eq!(t.serving(1), 1);
+        assert_eq!(t.serving(2), 2);
+        assert_eq!(t.serving(3), 3);
+        assert_eq!(t.serving(4), 0);
+        assert_eq!(t.served_by(0), &[0, 4]);
+        assert_eq!(t.served_by(3), &[3]);
+    }
+
+    #[test]
+    fn neighbors_sorted_by_distance() {
+        let t = square_topology();
+        let n = t.neighbors(0);
+        assert_eq!(n.len(), 3);
+        // Corners at distance 1, 1, √2: the diagonal corner (index 3) last.
+        assert_eq!(n[2], 3);
+    }
+
+    #[test]
+    fn random_topology_respects_counts_and_partition() {
+        let cfg = NetworkConfig::default();
+        let mut rng = seeded_rng(7);
+        let t = Topology::random(10, 57, &cfg, &mut rng);
+        assert_eq!(t.num_edps(), 10);
+        assert_eq!(t.num_requesters(), 57);
+        // Every requester appears in exactly one served list.
+        let total: usize = (0..10).map(|i| t.served_by(i).len()).sum();
+        assert_eq!(total, 57);
+        for j in 0..57 {
+            assert!(t.served_by(t.serving(j)).contains(&j));
+        }
+    }
+
+    #[test]
+    fn update_requesters_reassociates() {
+        let mut t = square_topology();
+        assert_eq!(t.serving(0), 0);
+        // Move requester 0 next to EDP 3.
+        let mut positions: Vec<Point> = (0..t.num_requesters()).map(|j| t.requester(j)).collect();
+        positions[0] = Point::new(0.95, 0.95);
+        t.update_requesters(positions);
+        assert_eq!(t.serving(0), 3);
+        assert!(t.served_by(3).contains(&0));
+        assert!(!t.served_by(0).contains(&0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one EDP")]
+    fn empty_edps_rejected() {
+        Topology::with_positions(vec![], vec![Point::default()]);
+    }
+}

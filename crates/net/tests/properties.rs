@@ -1,0 +1,98 @@
+//! Property-based tests for the wireless network substrate.
+
+use proptest::prelude::*;
+
+use mfgcp_net::{
+    channel_gain, shannon_rate, MobileRequesters, NetworkConfig, Point, RandomWaypoint,
+    Topology,
+};
+
+proptest! {
+    /// The Shannon rate is non-negative, monotone in the link gain, and
+    /// anti-monotone in interference and noise.
+    #[test]
+    fn shannon_rate_monotonicity(
+        gain in 0.0_f64..1e-6,
+        bump in 1e-12_f64..1e-7,
+        interference in 0.0_f64..1e-8,
+        noise in 1e-15_f64..1e-10,
+    ) {
+        let r = shannon_rate(10e6, gain, 1.0, noise, interference);
+        prop_assert!(r >= 0.0);
+        prop_assert!(r.is_finite());
+        let r_better = shannon_rate(10e6, gain + bump, 1.0, noise, interference);
+        prop_assert!(r_better >= r);
+        let r_noisier = shannon_rate(10e6, gain, 1.0, noise, interference + bump);
+        prop_assert!(r_noisier <= r);
+    }
+
+    /// Channel gain decreases with distance and is finite even at zero
+    /// distance thanks to the clamp.
+    #[test]
+    fn channel_gain_distance_law(
+        h in 1e-6_f64..1e-3,
+        d1 in 0.0_f64..1000.0,
+        d2 in 0.0_f64..1000.0,
+        tau in 2.0_f64..4.0,
+    ) {
+        let g1 = channel_gain(h, d1, tau, 1.0);
+        let g2 = channel_gain(h, d2, tau, 1.0);
+        prop_assert!(g1.is_finite() && g2.is_finite());
+        prop_assert!(g1 > 0.0);
+        if d1.max(1.0) < d2.max(1.0) {
+            prop_assert!(g1 >= g2);
+        }
+    }
+
+    /// Nearest-EDP association is a partition: every requester appears in
+    /// exactly one served list, and it really is the nearest EDP.
+    #[test]
+    fn association_is_a_nearest_partition(
+        edps in proptest::collection::vec((-100.0_f64..100.0, -100.0_f64..100.0), 1..8),
+        reqs in proptest::collection::vec((-100.0_f64..100.0, -100.0_f64..100.0), 0..20),
+    ) {
+        let edp_pts: Vec<Point> = edps.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let req_pts: Vec<Point> = reqs.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let topo = Topology::with_positions(edp_pts.clone(), req_pts.clone());
+        let total: usize = (0..topo.num_edps()).map(|i| topo.served_by(i).len()).sum();
+        prop_assert_eq!(total, req_pts.len());
+        for (j, r) in req_pts.iter().enumerate() {
+            let serving = topo.serving(j);
+            let d_serving = edp_pts[serving].distance(r);
+            for e in &edp_pts {
+                prop_assert!(d_serving <= e.distance(r) + 1e-9);
+            }
+        }
+    }
+
+    /// Mobile requesters never leave the deployment disc, for any walk
+    /// parameters and step pattern.
+    #[test]
+    fn mobility_respects_the_disc(
+        speed in 1.0_f64..500.0,
+        pause in 0.0_f64..1.0,
+        steps in 1_usize..60,
+        dt in 0.01_f64..0.5,
+        seed in 0_u64..200,
+    ) {
+        let mut rng = mfgcp_sde::seeded_rng(seed);
+        let model = RandomWaypoint { speed_min: speed, speed_max: speed * 1.5, pause };
+        let starts = vec![Point::new(0.0, 0.0), Point::new(50.0, -20.0)];
+        let mut mob = MobileRequesters::new(starts, 100.0, model, &mut rng);
+        for _ in 0..steps {
+            mob.step(dt, &mut rng);
+            for p in mob.positions() {
+                prop_assert!(p.distance(&Point::default()) <= 100.0 + 1e-6);
+            }
+        }
+    }
+
+    /// The fading clamp keeps any OU excursion inside the configured band.
+    #[test]
+    fn fading_clamp_is_idempotent(h in -1.0_f64..1.0) {
+        let cfg = NetworkConfig::default();
+        let once = cfg.clamp_fading(h);
+        prop_assert!((cfg.fading_min..=cfg.fading_max).contains(&once));
+        prop_assert_eq!(cfg.clamp_fading(once), once);
+    }
+}

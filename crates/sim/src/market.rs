@@ -1,0 +1,175 @@
+//! Per-slot trade resolution — the concrete counterpart of the smoothed
+//! case probabilities of §III-A and of Alg. 1 lines 11–14.
+//!
+//! Where the mean-field utility uses `P¹, P², P³` against the average peer
+//! state, the simulator resolves each request batch against *actual*
+//! states: the EDP serves from cache when its remaining space is below
+//! `α·Q_k` (case 1), otherwise buys the gap from a center-assigned
+//! qualified peer at `p̄_k` (case 2, if the scheme allows sharing and a
+//! peer exists), otherwise downloads from the center (case 3).
+
+/// Which of the three response cases a trade resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TradeCase {
+    /// Case 1: served from the EDP's own cache.
+    OwnCache,
+    /// Case 2: gap bought from a peer EDP.
+    PeerShare,
+    /// Case 3: gap downloaded from the cloud center.
+    CenterDownload,
+}
+
+/// The economic outcome of one (EDP, content, slot) trade batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarketOutcome {
+    /// Resolved case.
+    pub case: TradeCase,
+    /// Trading income earned from requesters (Eq. (6), realized).
+    pub income: f64,
+    /// Staleness cost η₂ × delivery delay (Eq. (9), per-request part).
+    pub staleness_cost: f64,
+    /// Sharing fee paid to the peer (case 2 only).
+    pub sharing_cost: f64,
+    /// The peer that earned the sharing fee, if any.
+    pub peer: Option<usize>,
+}
+
+/// Resolve one batch of `requests` for a content at one EDP.
+///
+/// * `q_own` — the EDP's remaining space for the content;
+/// * `peer` — a center-assigned qualified peer `(index, q_peer)`, already
+///   filtered to `q_peer ≤ α·Q_k` (pass `None` when sharing is disabled or
+///   nobody qualifies);
+/// * `price` — the Eq. (5) unit price this EDP charges;
+/// * `rate_edge` — EDP→requester rate (content units per epoch);
+/// * `center_rate` — center→EDP rate `H_c`.
+///
+/// Delay accounting follows Eq. (9): case 1 transmits the cached
+/// `Q_k − q`, case 2 transmits the peer-completed `Q_k − q_peer` (EDP-EDP
+/// transfer time neglected, as in the paper), case 3 first pulls the
+/// missing `q` from the center then transmits the whole `Q_k`.
+#[allow(clippy::too_many_arguments)]
+pub fn resolve_trade(
+    q_size: f64,
+    alpha_qk: f64,
+    q_own: f64,
+    peer: Option<(usize, f64)>,
+    price: f64,
+    requests: u64,
+    rate_edge: f64,
+    center_rate: f64,
+    eta2: f64,
+    p_bar: f64,
+) -> MarketOutcome {
+    debug_assert!(rate_edge > 0.0 && center_rate > 0.0);
+    let r = requests as f64;
+    if requests == 0 {
+        return MarketOutcome {
+            case: TradeCase::OwnCache,
+            income: 0.0,
+            staleness_cost: 0.0,
+            sharing_cost: 0.0,
+            peer: None,
+        };
+    }
+    if q_own <= alpha_qk {
+        // Case 1: the cached portion satisfies requesters.
+        let sold = (q_size - q_own).max(0.0);
+        MarketOutcome {
+            case: TradeCase::OwnCache,
+            income: r * price * sold,
+            staleness_cost: eta2 * r * sold / rate_edge,
+            sharing_cost: 0.0,
+            peer: None,
+        }
+    } else if let Some((peer_idx, q_peer)) = peer {
+        // Case 2: the peer completes the gap; pay p̄·(q_own − q_peer).
+        let sold = (q_size - q_peer).max(0.0);
+        MarketOutcome {
+            case: TradeCase::PeerShare,
+            income: r * price * sold,
+            staleness_cost: eta2 * r * sold / rate_edge,
+            sharing_cost: p_bar * (q_own - q_peer).max(0.0),
+            peer: Some(peer_idx),
+        }
+    } else {
+        // Case 3: fetch the missing part from the center, ship the whole
+        // content to requesters.
+        MarketOutcome {
+            case: TradeCase::CenterDownload,
+            income: r * price * q_size,
+            staleness_cost: eta2 * r * (q_own / center_rate + q_size / rate_edge),
+            sharing_cost: 0.0,
+            peer: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QK: f64 = 1.0;
+    const ALPHA_QK: f64 = 0.2;
+
+    fn resolve(q_own: f64, peer: Option<(usize, f64)>, requests: u64) -> MarketOutcome {
+        resolve_trade(QK, ALPHA_QK, q_own, peer, 4.0, requests, 5.0, 2.5, 1.0, 1.0)
+    }
+
+    #[test]
+    fn zero_requests_is_a_noop() {
+        let out = resolve(0.9, Some((3, 0.1)), 0);
+        assert_eq!(out.income, 0.0);
+        assert_eq!(out.staleness_cost, 0.0);
+        assert_eq!(out.sharing_cost, 0.0);
+        assert_eq!(out.peer, None);
+    }
+
+    #[test]
+    fn well_stocked_edp_serves_from_cache() {
+        let out = resolve(0.1, Some((3, 0.05)), 2);
+        assert_eq!(out.case, TradeCase::OwnCache);
+        // Sold 0.9 per request at price 4: income 2·4·0.9.
+        assert!((out.income - 7.2).abs() < 1e-12);
+        // Delay 2·0.9/5.
+        assert!((out.staleness_cost - 0.36).abs() < 1e-12);
+        assert_eq!(out.peer, None);
+        assert_eq!(out.sharing_cost, 0.0);
+    }
+
+    #[test]
+    fn short_edp_with_peer_shares() {
+        let out = resolve(0.8, Some((7, 0.1)), 1);
+        assert_eq!(out.case, TradeCase::PeerShare);
+        assert_eq!(out.peer, Some(7));
+        // Peer completes to 0.9 sold; fee p̄·(0.8 − 0.1).
+        assert!((out.income - 3.6).abs() < 1e-12);
+        assert!((out.sharing_cost - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_edp_without_peer_downloads() {
+        let out = resolve(0.8, None, 1);
+        assert_eq!(out.case, TradeCase::CenterDownload);
+        // Sells the whole content.
+        assert!((out.income - 4.0).abs() < 1e-12);
+        // Delay = 0.8/2.5 + 1/5.
+        assert!((out.staleness_cost - 0.52).abs() < 1e-12);
+    }
+
+    #[test]
+    fn case3_is_slower_than_case1() {
+        // The staleness ordering that drives the whole game.
+        let fast = resolve(0.1, None, 1);
+        let slow = resolve(0.9, None, 1);
+        assert!(slow.staleness_cost > fast.staleness_cost);
+    }
+
+    #[test]
+    fn income_scales_linearly_in_requests() {
+        let one = resolve(0.1, None, 1);
+        let five = resolve(0.1, None, 5);
+        assert!((five.income - 5.0 * one.income).abs() < 1e-12);
+        assert!((five.staleness_cost - 5.0 * one.staleness_cost).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,243 @@
+//! Per-EDP and per-slot metric accumulation.
+
+/// Accumulated economic outcome for one EDP over a run (all terms of
+/// Eq. (10), integrated over time).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EdpMetrics {
+    /// Trading income `∫Φ¹ dt`.
+    pub trading_income: f64,
+    /// Sharing benefit `∫Φ² dt` (earned as a seller of cached data).
+    pub sharing_benefit: f64,
+    /// Placement cost `∫C¹ dt`.
+    pub placement_cost: f64,
+    /// Staleness cost `∫C² dt`.
+    pub staleness_cost: f64,
+    /// Sharing cost `∫C³ dt` (paid as a buyer of peer data).
+    pub sharing_cost: f64,
+    /// Number of requests served.
+    pub requests_served: u64,
+    /// Case tallies: (case 1, case 2, case 3).
+    pub case_counts: (u64, u64, u64),
+}
+
+impl EdpMetrics {
+    /// Net utility (Eq. (10) accumulated).
+    pub fn utility(&self) -> f64 {
+        self.trading_income + self.sharing_benefit
+            - self.placement_cost
+            - self.staleness_cost
+            - self.sharing_cost
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &EdpMetrics) {
+        self.trading_income += other.trading_income;
+        self.sharing_benefit += other.sharing_benefit;
+        self.placement_cost += other.placement_cost;
+        self.staleness_cost += other.staleness_cost;
+        self.sharing_cost += other.sharing_cost;
+        self.requests_served += other.requests_served;
+        self.case_counts.0 += other.case_counts.0;
+        self.case_counts.1 += other.case_counts.1;
+        self.case_counts.2 += other.case_counts.2;
+    }
+}
+
+/// Population aggregates sampled once per slot (time series for the
+/// evolution figures).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SlotMetrics {
+    /// Slot start time within the run.
+    pub t: f64,
+    /// Population-mean remaining space of content 0 (the tracked content).
+    pub mean_remaining_space: f64,
+    /// Population-mean caching rate of content 0.
+    pub mean_caching_rate: f64,
+    /// Mean trading price of content 0 across EDPs.
+    pub mean_price: f64,
+    /// Population-mean utility accumulated in this slot.
+    pub slot_utility: f64,
+    /// Population-mean trading income accumulated in this slot.
+    pub slot_trading_income: f64,
+    /// Population-mean sharing benefit accumulated in this slot.
+    pub slot_sharing_benefit: f64,
+    /// Population-mean staleness cost accumulated in this slot.
+    pub slot_staleness_cost: f64,
+}
+
+/// Mean of per-EDP utilities.
+pub fn mean_utility(metrics: &[EdpMetrics]) -> f64 {
+    if metrics.is_empty() {
+        return 0.0;
+    }
+    metrics.iter().map(EdpMetrics::utility).sum::<f64>() / metrics.len() as f64
+}
+
+/// Mean of per-EDP trading incomes.
+pub fn mean_trading_income(metrics: &[EdpMetrics]) -> f64 {
+    if metrics.is_empty() {
+        return 0.0;
+    }
+    metrics.iter().map(|m| m.trading_income).sum::<f64>() / metrics.len() as f64
+}
+
+/// Mean of per-EDP staleness costs.
+pub fn mean_staleness_cost(metrics: &[EdpMetrics]) -> f64 {
+    if metrics.is_empty() {
+        return 0.0;
+    }
+    metrics.iter().map(|m| m.staleness_cost).sum::<f64>() / metrics.len() as f64
+}
+
+/// Mean of per-EDP sharing benefits.
+pub fn mean_sharing_benefit(metrics: &[EdpMetrics]) -> f64 {
+    if metrics.is_empty() {
+        return 0.0;
+    }
+    metrics.iter().map(|m| m.sharing_benefit).sum::<f64>() / metrics.len() as f64
+}
+
+/// Standard deviation of per-EDP utilities (population spread — the
+/// mean-field prediction is a deterministic value plus idiosyncratic
+/// noise, so the spread should stay modest relative to the mean).
+pub fn std_utility(metrics: &[EdpMetrics]) -> f64 {
+    if metrics.len() < 2 {
+        return 0.0;
+    }
+    let mean = mean_utility(metrics);
+    let var = metrics
+        .iter()
+        .map(|m| {
+            let d = m.utility() - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / (metrics.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Gini coefficient of the per-EDP utilities — a fairness summary of the
+/// market outcome. The mean-field prediction is a symmetric equilibrium,
+/// so a well-functioning market should show low inequality; 0 = perfectly
+/// equal, → 1 = one EDP captures everything. Utilities are shifted to be
+/// non-negative before the computation (the Gini coefficient is defined
+/// for non-negative quantities).
+pub fn gini_utility(metrics: &[EdpMetrics]) -> f64 {
+    if metrics.len() < 2 {
+        return 0.0;
+    }
+    let mut xs: Vec<f64> = metrics.iter().map(EdpMetrics::utility).collect();
+    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    if min < 0.0 {
+        for x in &mut xs {
+            *x -= min;
+        }
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("utilities are finite"));
+    let n = xs.len() as f64;
+    let total: f64 = xs.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    // G = (2·Σ i·x_(i) / (n·Σx)) − (n+1)/n with 1-based ranks.
+    let weighted: f64 = xs.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+    (2.0 * weighted / (n * total) - (n + 1.0) / n).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utility_is_income_minus_costs() {
+        let m = EdpMetrics {
+            trading_income: 10.0,
+            sharing_benefit: 2.0,
+            placement_cost: 3.0,
+            staleness_cost: 1.5,
+            sharing_cost: 0.5,
+            requests_served: 7,
+            case_counts: (5, 1, 1),
+        };
+        assert!((m.utility() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = EdpMetrics { trading_income: 1.0, case_counts: (1, 0, 0), ..Default::default() };
+        let b = EdpMetrics {
+            trading_income: 2.0,
+            requests_served: 3,
+            case_counts: (0, 2, 1),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.trading_income, 3.0);
+        assert_eq!(a.requests_served, 3);
+        assert_eq!(a.case_counts, (1, 2, 1));
+    }
+
+    #[test]
+    fn aggregates_handle_empty_slices() {
+        assert_eq!(mean_utility(&[]), 0.0);
+        assert_eq!(mean_trading_income(&[]), 0.0);
+        assert_eq!(mean_staleness_cost(&[]), 0.0);
+        assert_eq!(mean_sharing_benefit(&[]), 0.0);
+    }
+
+    #[test]
+    fn std_utility_basics() {
+        assert_eq!(std_utility(&[]), 0.0);
+        let equal = vec![EdpMetrics { trading_income: 5.0, ..Default::default() }; 4];
+        assert_eq!(std_utility(&equal), 0.0);
+        let spread = vec![
+            EdpMetrics { trading_income: 4.0, ..Default::default() },
+            EdpMetrics { trading_income: 6.0, ..Default::default() },
+        ];
+        // Sample std dev of {4, 6} = √2.
+        assert!((std_utility(&spread) - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_of_equal_utilities_is_zero() {
+        let ms = vec![EdpMetrics { trading_income: 5.0, ..Default::default() }; 10];
+        assert!(gini_utility(&ms) < 1e-12);
+        assert_eq!(gini_utility(&[]), 0.0);
+        assert_eq!(gini_utility(&ms[..1]), 0.0);
+    }
+
+    #[test]
+    fn gini_detects_concentration() {
+        // One EDP takes everything.
+        let mut ms = vec![EdpMetrics::default(); 10];
+        ms[0].trading_income = 100.0;
+        let g = gini_utility(&ms);
+        assert!(g > 0.85, "gini {g}");
+        // A mild spread sits in between.
+        let spread: Vec<EdpMetrics> = (0..10)
+            .map(|i| EdpMetrics { trading_income: 10.0 + i as f64, ..Default::default() })
+            .collect();
+        let gs = gini_utility(&spread);
+        assert!(gs > 0.0 && gs < g);
+    }
+
+    #[test]
+    fn gini_handles_negative_utilities() {
+        let ms = vec![
+            EdpMetrics { staleness_cost: 5.0, ..Default::default() }, // utility -5
+            EdpMetrics { trading_income: 5.0, ..Default::default() }, // utility +5
+        ];
+        let g = gini_utility(&ms);
+        assert!((0.0..=1.0).contains(&g));
+    }
+
+    #[test]
+    fn aggregates_average_across_edps() {
+        let ms = vec![
+            EdpMetrics { trading_income: 4.0, ..Default::default() },
+            EdpMetrics { trading_income: 6.0, ..Default::default() },
+        ];
+        assert_eq!(mean_trading_income(&ms), 5.0);
+        assert_eq!(mean_utility(&ms), 5.0);
+    }
+}

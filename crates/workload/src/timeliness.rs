@@ -1,0 +1,192 @@
+//! Content timeliness (Def. 2): each requester `j ∈ I_k(t)` attaches an
+//! urgency `L_{k,j} ∈ [0, L_max]`; the EDP tracks the running average
+//! `L_k(t) = Σ_j L_{k,j} / |I_k(t)|`. Larger `L` means the content is
+//! wanted sooner; in Eq. (4) the factor `ξ^{L_k(t)}`, `ξ ∈ (0, 1)`, shrinks
+//! the discard rate for urgent contents.
+
+use rand::{Rng, RngExt as _};
+
+use crate::WorkloadError;
+
+/// Parameters controlling requester urgency generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelinessConfig {
+    /// Maximum urgency `L_max`.
+    pub l_max: f64,
+    /// Pre-fixed steepness parameter `ξ ∈ (0, 1)` of Eq. (4).
+    pub xi: f64,
+    /// Exponential-smoothing weight `α ∈ (0, 1]` of the running average:
+    /// `L_k ← (1−α)·L_k + α·(batch mean)`. Def. 2 averages over `I_k(t)`;
+    /// when a slot carries only a handful of requests the raw batch mean
+    /// fluctuates so hard that `E[ξ^L] ≫ ξ^{E[L]}` (Jensen), biasing the
+    /// Eq. (4) discard drift — smoothing across slots recovers the
+    /// population average Def. 2 intends. `α = 1` reproduces the raw
+    /// per-slot estimator.
+    pub smoothing: f64,
+}
+
+impl Default for TimelinessConfig {
+    fn default() -> Self {
+        // ξ = 0.1 is the paper's §V-A setting; L_max = 5 gives ξ^L a
+        // dynamic range of 1 … 1e-5, plenty to differentiate urgencies.
+        Self { l_max: 5.0, xi: 0.1, smoothing: 0.2 }
+    }
+}
+
+impl TimelinessConfig {
+    /// Validate a custom configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `l_max > 0` and `0 < ξ < 1`.
+    pub fn new(l_max: f64, xi: f64) -> Result<Self, WorkloadError> {
+        Self::with_smoothing(l_max, xi, 0.2)
+    }
+
+    /// Validate a configuration with an explicit smoothing weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `l_max > 0`, `0 < ξ < 1`, `0 < α <= 1`.
+    pub fn with_smoothing(l_max: f64, xi: f64, smoothing: f64) -> Result<Self, WorkloadError> {
+        if l_max.is_nan() || l_max <= 0.0 || !l_max.is_finite() {
+            return Err(WorkloadError::NonPositive { name: "l_max", value: l_max });
+        }
+        if xi.is_nan() || xi <= 0.0 || xi >= 1.0 {
+            return Err(WorkloadError::NonPositive { name: "xi", value: xi });
+        }
+        if smoothing.is_nan() || smoothing <= 0.0 || smoothing > 1.0 {
+            return Err(WorkloadError::NonPositive { name: "smoothing", value: smoothing });
+        }
+        Ok(Self { l_max, xi, smoothing })
+    }
+
+    /// The urgency factor `ξ^L` appearing in the caching dynamics (Eq. (4)).
+    pub fn urgency_factor(&self, l: f64) -> f64 {
+        self.xi.powf(l.clamp(0.0, self.l_max))
+    }
+}
+
+/// Per-content running-average timeliness for one EDP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeliness {
+    config: TimelinessConfig,
+    current: Vec<f64>,
+}
+
+impl Timeliness {
+    /// Start with all contents at half of `L_max` (no information yet).
+    pub fn new(k: usize, config: TimelinessConfig) -> Self {
+        Self { current: vec![config.l_max / 2.0; k], config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TimelinessConfig {
+        &self.config
+    }
+
+    /// Current average urgency `L_k(t)`.
+    pub fn get(&self, k: usize) -> f64 {
+        self.current[k]
+    }
+
+    /// The urgency factor `ξ^{L_k(t)}` for content `k`.
+    pub fn factor(&self, k: usize) -> f64 {
+        self.config.urgency_factor(self.current[k])
+    }
+
+    /// Record the per-request urgencies for content `k` in this slot and
+    /// update the running average (Def. 2 with exponential smoothing —
+    /// see [`TimelinessConfig::smoothing`]). Empty slices leave the
+    /// average unchanged (no requesters expressed a requirement).
+    pub fn observe(&mut self, k: usize, urgencies: &[f64]) {
+        if urgencies.is_empty() {
+            return;
+        }
+        let sum: f64 = urgencies.iter().map(|l| l.clamp(0.0, self.config.l_max)).sum();
+        let batch_mean = sum / urgencies.len() as f64;
+        let alpha = self.config.smoothing;
+        self.current[k] = (1.0 - alpha) * self.current[k] + alpha * batch_mean;
+    }
+
+    /// Draw a requester urgency uniformly in `[0, L_max]`.
+    pub fn sample_requirement<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.random_range(0.0..self.config.l_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfgcp_sde::seeded_rng;
+
+    #[test]
+    fn observe_blends_towards_the_batch_average() {
+        let mut t = Timeliness::new(2, TimelinessConfig::default());
+        // Start at L_max/2 = 2.5; batch mean 2.0; α = 0.2.
+        t.observe(0, &[1.0, 3.0]);
+        assert!((t.get(0) - (0.8 * 2.5 + 0.2 * 2.0)).abs() < 1e-12);
+        // Content 1 untouched.
+        assert_eq!(t.get(1), 2.5);
+        // Repeated identical batches converge to the batch mean.
+        for _ in 0..200 {
+            t.observe(0, &[1.0, 3.0]);
+        }
+        assert!((t.get(0) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alpha_one_reproduces_the_raw_estimator() {
+        let cfg = TimelinessConfig::with_smoothing(5.0, 0.1, 1.0).unwrap();
+        let mut t = Timeliness::new(1, cfg);
+        t.observe(0, &[1.0, 3.0]);
+        assert_eq!(t.get(0), 2.0);
+    }
+
+    #[test]
+    fn observe_clamps_out_of_range_urgencies() {
+        let cfg = TimelinessConfig::with_smoothing(5.0, 0.1, 1.0).unwrap();
+        let mut t = Timeliness::new(1, cfg);
+        t.observe(0, &[-1.0, 99.0]);
+        assert_eq!(t.get(0), 2.5); // (0 + 5) / 2
+    }
+
+    #[test]
+    fn empty_observation_is_a_noop() {
+        let mut t = Timeliness::new(1, TimelinessConfig::default());
+        let before = t.get(0);
+        t.observe(0, &[]);
+        assert_eq!(t.get(0), before);
+    }
+
+    #[test]
+    fn urgency_factor_decreases_with_urgency() {
+        let cfg = TimelinessConfig::default();
+        assert_eq!(cfg.urgency_factor(0.0), 1.0);
+        assert!(cfg.urgency_factor(1.0) < 1.0);
+        assert!(cfg.urgency_factor(2.0) < cfg.urgency_factor(1.0));
+        // ξ = 0.1 → factor(1) = 0.1 exactly.
+        assert!((cfg.urgency_factor(1.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(TimelinessConfig::new(0.0, 0.1).is_err());
+        assert!(TimelinessConfig::new(5.0, 0.0).is_err());
+        assert!(TimelinessConfig::new(5.0, 1.0).is_err());
+        assert!(TimelinessConfig::new(5.0, 0.5).is_ok());
+        assert!(TimelinessConfig::with_smoothing(5.0, 0.1, 0.0).is_err());
+        assert!(TimelinessConfig::with_smoothing(5.0, 0.1, 1.1).is_err());
+        assert!(TimelinessConfig::with_smoothing(5.0, 0.1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn sampled_requirements_stay_in_range() {
+        let t = Timeliness::new(1, TimelinessConfig::default());
+        let mut rng = seeded_rng(15);
+        for _ in 0..1_000 {
+            let l = t.sample_requirement(&mut rng);
+            assert!((0.0..5.0).contains(&l));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the workload substrate.
+
+use proptest::prelude::*;
+
+use mfgcp_workload::{
+    trace::{parse_kaggle_csv, SyntheticYoutubeTrace, Trace},
+    Popularity, RequestProcess, Timeliness, TimelinessConfig, Zipf,
+};
+
+proptest! {
+    /// Zipf: a normalized, strictly decreasing pmf whose cumulative sum
+    /// reaches exactly 1, for any size/steepness.
+    #[test]
+    fn zipf_is_a_decreasing_distribution(k in 1_usize..200, iota in 0.05_f64..4.0) {
+        let z = Zipf::new(k, iota).unwrap();
+        let sum: f64 = z.probabilities().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        for w in z.probabilities().windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+    }
+
+    /// Zipf sampling always lands in range.
+    #[test]
+    fn zipf_samples_in_range(k in 1_usize..50, iota in 0.1_f64..3.0, seed in 0_u64..500) {
+        let z = Zipf::new(k, iota).unwrap();
+        let mut rng = mfgcp_sde::seeded_rng(seed);
+        for _ in 0..32 {
+            prop_assert!(z.sample(&mut rng) < k);
+        }
+    }
+
+    /// Eq. (3): popularity stays a probability vector after any sequence
+    /// of updates, and a flood of requests for one content makes it the
+    /// most popular.
+    #[test]
+    fn popularity_update_invariants(
+        k in 2_usize..30,
+        updates in proptest::collection::vec(
+            proptest::collection::vec(0_usize..50, 2..30), 1..5),
+        flooded in 0_usize..30,
+    ) {
+        let mut p = Popularity::zipf(k, 0.8).unwrap();
+        for u in &updates {
+            let mut counts = vec![0usize; k];
+            for (i, &c) in u.iter().enumerate() {
+                counts[i % k] += c;
+            }
+            p.update(&counts);
+            let sum: f64 = p.all().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(p.all().iter().all(|&x| x >= 0.0));
+        }
+        // Flood one content with overwhelmingly many requests.
+        let target = flooded % k;
+        let mut counts = vec![0usize; k];
+        counts[target] = 1_000_000;
+        p.update(&counts);
+        prop_assert_eq!(p.most_popular(), target);
+    }
+
+    /// Timeliness observations are always clamped into `[0, L_max]` and
+    /// the urgency factor into `(0, 1]`.
+    #[test]
+    fn timeliness_clamps(
+        l_max in 0.5_f64..20.0,
+        xi in 0.01_f64..0.99,
+        urgencies in proptest::collection::vec(-100.0_f64..100.0, 1..20),
+    ) {
+        let cfg = TimelinessConfig::new(l_max, xi).unwrap();
+        let mut t = Timeliness::new(1, cfg);
+        t.observe(0, &urgencies);
+        prop_assert!((0.0..=l_max).contains(&t.get(0)));
+        let f = t.factor(0);
+        prop_assert!(f > 0.0 && f <= 1.0);
+    }
+
+    /// Request batches: counts match urgency lists, totals bounded by the
+    /// requester population.
+    #[test]
+    fn request_batches_are_consistent(
+        weights in proptest::collection::vec(0.0_f64..10.0, 1..20),
+        prob in 0.01_f64..1.0,
+        requesters in 0_usize..200,
+        seed in 0_u64..300,
+    ) {
+        let p = RequestProcess::new(prob, weights, TimelinessConfig::default()).unwrap();
+        let mut rng = mfgcp_sde::seeded_rng(seed);
+        let b = p.generate(requesters, &mut rng);
+        prop_assert!(b.total() <= requesters);
+        for (count, urg) in b.counts.iter().zip(&b.urgencies) {
+            prop_assert_eq!(*count, urg.len());
+        }
+        let wsum: f64 = p.weights().iter().sum();
+        prop_assert!((wsum - 1.0).abs() < 1e-9);
+    }
+
+    /// Traces: normalized weights are a probability vector for every
+    /// epoch, including past the end (clamping).
+    #[test]
+    fn trace_weights_normalize(
+        categories in 1_usize..20,
+        epochs in 1_usize..10,
+        query in 0_usize..50,
+        seed in 0_u64..300,
+    ) {
+        let mut rng = mfgcp_sde::seeded_rng(seed);
+        let t = SyntheticYoutubeTrace {
+            categories,
+            epochs,
+            ..SyntheticYoutubeTrace::default()
+        }
+        .generate(&mut rng)
+        .unwrap();
+        let w = t.normalized_weights(query);
+        prop_assert_eq!(w.len(), categories);
+        let sum: f64 = w.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(w.iter().all(|&x| x >= 0.0));
+    }
+
+    /// CSV round-trip: a generated trace serialized in Kaggle schema and
+    /// re-parsed produces the same per-epoch weights.
+    #[test]
+    fn kaggle_roundtrip(
+        rows in proptest::collection::vec((0_usize..3, 0_usize..4, 1_u32..100_000), 1..40),
+    ) {
+        // Build a CSV with category ids 100..102 over dates d0..d3.
+        let mut csv = String::from("video_id,trending_date,title,category_id,views\n");
+        for (i, (cat, date, views)) in rows.iter().enumerate() {
+            csv.push_str(&format!("v{i},d{date},\"T, {i}\",{},{views}\n", 100 + cat));
+        }
+        let t = parse_kaggle_csv(&csv, 3).unwrap();
+        // Re-aggregate by hand and compare.
+        let mut date_order: Vec<usize> = Vec::new();
+        let mut cat_order: Vec<usize> = Vec::new();
+        for (cat, date, _) in &rows {
+            if !date_order.contains(date) {
+                date_order.push(*date);
+            }
+            if !cat_order.contains(cat) {
+                cat_order.push(*cat);
+            }
+        }
+        let mut expected = vec![vec![0.0_f64; 3]; date_order.len()];
+        for (cat, date, views) in &rows {
+            let e = date_order.iter().position(|d| d == date).unwrap();
+            let c = cat_order.iter().position(|c| c == cat).unwrap();
+            expected[e][c] += f64::from(*views);
+        }
+        prop_assert_eq!(t.num_epochs(), date_order.len());
+        for (e, exp) in expected.iter().enumerate() {
+            for (c, &v) in exp.iter().enumerate() {
+                prop_assert_eq!(t.weights(e)[c], v, "epoch {} cat {}", e, c);
+            }
+        }
+    }
+
+    /// Trace construction validates its shape.
+    #[test]
+    fn trace_shape_validation(categories in 1_usize..10, extra in 1_usize..9) {
+        // A weight vector that is NOT a multiple of `categories`, unless
+        // extra happens to align.
+        let len = categories * 3 + extra;
+        let ok = len % categories == 0;
+        let result = Trace::new(categories, vec![1.0; len]);
+        prop_assert_eq!(result.is_ok(), ok);
+    }
+}

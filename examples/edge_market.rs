@@ -1,0 +1,75 @@
+//! Edge content market: a finite-population simulation comparing MFG-CP
+//! against the paper's four baselines (RR, MPC, MFG-without-sharing, UDCS)
+//! on a synthetic YouTube-like trace — the workload motivating the paper's
+//! introduction (edge video providers competing over trending content).
+//!
+//! Run with: `cargo run --release --example edge_market`
+
+use mfgcp::prelude::*;
+
+fn config() -> SimConfig {
+    SimConfig {
+        num_edps: 40,
+        num_requesters: 160,
+        num_contents: 8,
+        epochs: 2,
+        slots_per_epoch: 30,
+        params: mfgcp::core::Params {
+            num_edps: 40,
+            time_steps: 20,
+            grid_h: 10,
+            grid_q: 36,
+            ..Default::default()
+        },
+        seed: 7,
+        ..Default::default()
+    }
+}
+
+fn run(policy: Box<dyn CachingPolicy>) -> SimReport {
+    Simulation::new(config(), policy).expect("valid config").run()
+}
+
+fn main() {
+    let params = config().params;
+    println!("Simulating an edge content market: M = 40 EDPs, J = 160 requesters,");
+    println!("K = 8 contents, 2 epochs x 30 trading slots, synthetic YouTube trace.\n");
+
+    let reports = vec![
+        run(Box::new(MfgCpPolicy::new(params.clone()).expect("valid params"))),
+        run(Box::new(MfgCpPolicy::without_sharing(params).expect("valid params"))),
+        run(Box::new(Udcs::default())),
+        run(Box::new(MostPopularCaching::default())),
+        run(Box::new(RandomReplacement)),
+    ];
+
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12} {:>18}",
+        "scheme", "utility", "income", "staleness", "share-benefit", "cases (1/2/3)"
+    );
+    for r in &reports {
+        let (c1, c2, c3) = r.case_totals();
+        println!(
+            "{:>8} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>12}",
+            r.scheme,
+            r.mean_utility(),
+            r.mean_trading_income(),
+            r.mean_staleness_cost(),
+            r.mean_sharing_benefit(),
+            format!("{c1}/{c2}/{c3}"),
+        );
+    }
+
+    let mfgcp = &reports[0];
+    let best_baseline = reports[1..]
+        .iter()
+        .map(SimReport::mean_utility)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "\nMFG-CP vs best baseline utility: {:.2} vs {:.2} ({:+.1}%)",
+        mfgcp.mean_utility(),
+        best_baseline,
+        (mfgcp.mean_utility() / best_baseline - 1.0) * 100.0
+    );
+    println!("(The paper's Fig. 14 reports MFG-CP at 2.76x MPC and 1.57x UDCS.)");
+}

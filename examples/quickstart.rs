@@ -1,0 +1,74 @@
+//! Quickstart: solve one MFG-CP equilibrium and inspect it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! This is the minimal end-to-end use of the library: configure the game
+//! (paper §V-A defaults), run the iterative best-response learning scheme
+//! (Alg. 2), and read off the equilibrium caching policy, prices and the
+//! population's utility breakdown.
+
+use mfgcp::prelude::*;
+
+fn main() {
+    // Paper defaults: M = 300 EDPs, Q_k = 100 MB (1.0 content unit),
+    // λ(0) ~ N(0.7, 0.1²), p̂ = 5, η₁/p̂ = 0.2, T = 1.
+    let params = Params::default();
+    println!("Solving the MFG-CP equilibrium (grid {}x{}, {} time steps)...",
+        params.grid_h, params.grid_q, params.time_steps);
+
+    let solver = MfgSolver::new(params).expect("valid parameters");
+    let eq = solver.solve().expect("the default game converges");
+
+    println!(
+        "Converged in {} best-response iterations (final residual {:.2e}).",
+        eq.report.iterations,
+        eq.report.final_residual()
+    );
+    if let Some(c) = eq.report.contraction_factor() {
+        println!("Empirical contraction factor of the Alg. 2 map: {c:.3}");
+    }
+
+    // The equilibrium policy: caching rate as a function of (t, h, q).
+    println!("\nEquilibrium caching rate x*(t, h=υ_h, q):");
+    println!("{:>6} {:>8} {:>8} {:>8} {:>8}", "t", "q=0.2", "q=0.4", "q=0.6", "q=0.8");
+    let h = eq.params.upsilon_h;
+    for &t in &[0.0, 0.25, 0.5, 0.75] {
+        println!(
+            "{:>6.2} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            t,
+            eq.policy_at(t, h, 0.2),
+            eq.policy_at(t, h, 0.4),
+            eq.policy_at(t, h, 0.6),
+            eq.policy_at(t, h, 0.8)
+        );
+    }
+
+    // Equilibrium prices respond to the aggregate supply (Eq. (17)).
+    let prices = eq.price_series();
+    println!(
+        "\nDynamic price p_k(t): starts at {:.3}, ends at {:.3} (p̂ = {:.1})",
+        prices[0],
+        prices[prices.len() - 1],
+        eq.params.p_hat
+    );
+
+    // Population-average economics over the horizon (Eq. (10) terms).
+    let series = eq.utility_series();
+    let first = &series[0];
+    println!("\nPer-epoch average utility breakdown at t = 0:");
+    println!("  trading income : {:>8.3}", first.trading_income);
+    println!("  sharing benefit: {:>8.3}", first.sharing_benefit);
+    println!("  placement cost : {:>8.3}", first.placement_cost);
+    println!("  staleness cost : {:>8.3}", first.staleness_cost);
+    println!("  sharing cost   : {:>8.3}", first.sharing_cost);
+    println!("  net            : {:>8.3}", first.total());
+    println!("\nAccumulated utility over the horizon: {:.3}", eq.accumulated_utility());
+
+    // The mean-field density: how the population's remaining space evolves.
+    let means = eq.mean_remaining_space();
+    println!(
+        "\nMean remaining space: {:.3} -> {:.3} over the horizon",
+        means[0],
+        means[means.len() - 1]
+    );
+}
