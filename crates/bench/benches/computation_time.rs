@@ -21,7 +21,10 @@ fn table2_params() -> Params {
 fn bench_mfgcp_vs_population(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_mfgcp");
     for &m in &[50usize, 100, 200, 300] {
-        let params = Params { num_edps: m, ..table2_params() };
+        let params = Params {
+            num_edps: m,
+            ..table2_params()
+        };
         let solver = MfgSolver::new(params.clone()).unwrap();
         let contexts = vec![ContentContext::from_params(&params); params.time_steps];
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {

@@ -41,11 +41,49 @@ fn bench_rr_epoch(c: &mut Criterion) {
 }
 
 fn bench_mpc_epoch(c: &mut Criterion) {
-    bench_epoch(c, "sim_epoch_mpc_m50_k10", || Box::new(MostPopularCaching::default()));
+    bench_epoch(c, "sim_epoch_mpc_m50_k10", || {
+        Box::new(MostPopularCaching::default())
+    });
 }
 
 fn bench_udcs_epoch(c: &mut Criterion) {
     bench_epoch(c, "sim_epoch_udcs_m50_k10", || Box::new(Udcs::default()));
+}
+
+/// Population sweep over the market-clearing phase: with the shared-sum
+/// Eq. (5) pricer the per-slot market cost is O(M·K), so the reported
+/// time per EDP should stay flat as M grows (it was linear in M under
+/// the old per-EDP competitor sums). `bin/bench_market` emits the same
+/// sweep (including M = 10000) as `BENCH_market.json`.
+fn bench_market_sweep(c: &mut Criterion) {
+    for m in [100usize, 400, 1600] {
+        let make_cfg = move || SimConfig {
+            num_edps: m,
+            num_requesters: 300,
+            num_contents: 10,
+            epochs: 1,
+            slots_per_epoch: 10,
+            params: Params {
+                num_edps: m,
+                time_steps: 12,
+                grid_h: 8,
+                grid_q: 24,
+                ..Params::default()
+            },
+            seed: 77,
+            ..Default::default()
+        };
+        c.bench_function(&format!("sim_epoch_mpc_m{m}_k10"), |b| {
+            b.iter_batched(
+                || {
+                    Simulation::new(make_cfg(), Box::new(MostPopularCaching::default()))
+                        .expect("valid config")
+                },
+                |mut sim| sim.run(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
 }
 
 fn fast_criterion() -> Criterion {
@@ -60,5 +98,5 @@ fn fast_criterion() -> Criterion {
 criterion_group!(
     name = benches;
     config = fast_criterion();
-    targets = bench_rr_epoch, bench_mpc_epoch, bench_udcs_epoch);
+    targets = bench_rr_epoch, bench_mpc_epoch, bench_udcs_epoch, bench_market_sweep);
 criterion_main!(benches);

@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
-use mfgcp_pde::{
-    linalg, Axis, Field2d, FokkerPlanck2d, Grid2d, ImplicitFokkerPlanck2d,
-};
+use mfgcp_pde::{linalg, Axis, Field2d, FokkerPlanck2d, Grid2d, ImplicitFokkerPlanck2d};
 
 fn grid() -> Grid2d {
     Grid2d::new(

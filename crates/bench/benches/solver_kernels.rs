@@ -5,13 +5,18 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use mfgcp_core::{
-    ContentContext, FpkSolver, HjbSolver, MeanFieldEstimator, MeanFieldSnapshot, MfgSolver,
-    Params, ReducedMfgSolver, Utility,
+    ContentContext, FpkSolver, HjbSolver, MeanFieldEstimator, MeanFieldSnapshot, MfgSolver, Params,
+    ReducedMfgSolver, Utility,
 };
 use mfgcp_pde::Field2d;
 
 fn bench_params() -> Params {
-    Params { time_steps: 24, grid_h: 12, grid_q: 48, ..Params::default() }
+    Params {
+        time_steps: 24,
+        grid_h: 12,
+        grid_q: 48,
+        ..Params::default()
+    }
 }
 
 fn snapshot() -> MeanFieldSnapshot {
@@ -31,7 +36,12 @@ fn bench_hjb_sweep(c: &mut Criterion) {
     let contexts = vec![ContentContext::from_params(&params); params.time_steps];
     let snaps = vec![snapshot(); params.time_steps];
     c.bench_function("hjb_backward_sweep_24x12x48", |b| {
-        b.iter(|| solver.solve(std::hint::black_box(&contexts), std::hint::black_box(&snaps)))
+        b.iter(|| {
+            solver.solve(
+                std::hint::black_box(&contexts),
+                std::hint::black_box(&snaps),
+            )
+        })
     });
 }
 
@@ -39,10 +49,8 @@ fn bench_fpk_sweep(c: &mut Criterion) {
     let params = bench_params();
     let solver = FpkSolver::new(params.clone()).unwrap();
     let contexts = vec![ContentContext::from_params(&params); params.time_steps];
-    let policy = vec![
-        Field2d::from_fn(solver.grid().clone(), |_h, q| q.clamp(0.0, 1.0));
-        params.time_steps
-    ];
+    let policy =
+        vec![Field2d::from_fn(solver.grid().clone(), |_h, q| q.clamp(0.0, 1.0)); params.time_steps];
     let initial = solver.initial_density();
     c.bench_function("fpk_forward_sweep_24x12x48", |b| {
         b.iter_batched(
@@ -74,7 +82,12 @@ fn bench_estimator(c: &mut Criterion) {
     let density = fpk.initial_density();
     let policy = Field2d::from_fn(fpk.grid().clone(), |_h, q| q.clamp(0.0, 1.0));
     c.bench_function("mean_field_estimator_snapshot", |b| {
-        b.iter(|| est.snapshot(std::hint::black_box(&density), std::hint::black_box(&policy)))
+        b.iter(|| {
+            est.snapshot(
+                std::hint::black_box(&density),
+                std::hint::black_box(&policy),
+            )
+        })
     });
 }
 

@@ -2,5 +2,8 @@
 //! Run: `cargo run --release -p mfgcp-bench --bin ablation_fictitious`
 
 fn main() {
-    mfgcp_bench::run_experiment("ablation_fictitious", mfgcp_bench::experiments::ablation_fictitious());
+    mfgcp_bench::run_experiment(
+        "ablation_fictitious",
+        mfgcp_bench::experiments::ablation_fictitious(),
+    );
 }

@@ -2,5 +2,8 @@
 //! (DESIGN.md section 5). Run: `cargo run --release -p mfgcp-bench --bin ablation_finite_m`
 
 fn main() {
-    mfgcp_bench::run_experiment("ablation_finite_m", mfgcp_bench::experiments::ablation_finite_m());
+    mfgcp_bench::run_experiment(
+        "ablation_finite_m",
+        mfgcp_bench::experiments::ablation_finite_m(),
+    );
 }

@@ -2,5 +2,8 @@
 //! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin ablation_fpk_form`
 
 fn main() {
-    mfgcp_bench::run_experiment("ablation_fpk_form", mfgcp_bench::experiments::ablation_fpk_form());
+    mfgcp_bench::run_experiment(
+        "ablation_fpk_form",
+        mfgcp_bench::experiments::ablation_fpk_form(),
+    );
 }

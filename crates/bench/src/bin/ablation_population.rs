@@ -2,5 +2,8 @@
 //! Run: `cargo run --release -p mfgcp-bench --bin ablation_population`
 
 fn main() {
-    mfgcp_bench::run_experiment("ablation_population", mfgcp_bench::experiments::ablation_population());
+    mfgcp_bench::run_experiment(
+        "ablation_population",
+        mfgcp_bench::experiments::ablation_population(),
+    );
 }

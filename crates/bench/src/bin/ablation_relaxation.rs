@@ -2,5 +2,8 @@
 //! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin ablation_relaxation`
 
 fn main() {
-    mfgcp_bench::run_experiment("ablation_relaxation", mfgcp_bench::experiments::ablation_relaxation());
+    mfgcp_bench::run_experiment(
+        "ablation_relaxation",
+        mfgcp_bench::experiments::ablation_relaxation(),
+    );
 }

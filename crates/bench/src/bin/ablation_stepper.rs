@@ -2,5 +2,8 @@
 //! section 5). Run: `cargo run --release -p mfgcp-bench --bin ablation_stepper`
 
 fn main() {
-    mfgcp_bench::run_experiment("ablation_stepper", mfgcp_bench::experiments::ablation_stepper());
+    mfgcp_bench::run_experiment(
+        "ablation_stepper",
+        mfgcp_bench::experiments::ablation_stepper(),
+    );
 }

@@ -2,5 +2,8 @@
 //! Run: `cargo run --release -p mfgcp-bench --bin ablation_terminal`
 
 fn main() {
-    mfgcp_bench::run_experiment("ablation_terminal", mfgcp_bench::experiments::ablation_terminal());
+    mfgcp_bench::run_experiment(
+        "ablation_terminal",
+        mfgcp_bench::experiments::ablation_terminal(),
+    );
 }

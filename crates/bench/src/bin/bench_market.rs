@@ -1,0 +1,109 @@
+//! Market-clearing scaling benchmark: measures the per-slot market time of
+//! the finite-population simulator for M ∈ {100, 1000, 10000} EDPs and
+//! writes `BENCH_market.json` at the workspace root.
+//!
+//! With the shared-sum Eq. (5) pricer the market phase is O(M·K) per slot
+//! (one supply-sum pass plus O(1) prices and a two-smallest qualified-sharer
+//! scan per content), so `per_slot_micros / M` should stay roughly constant
+//! across the sweep — the old per-EDP competitor sums made it grow linearly
+//! in M. Run: `cargo run --release -p mfgcp-bench --bin bench_market`
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use mfgcp_core::Params;
+use mfgcp_sim::baselines::MostPopularCaching;
+use mfgcp_sim::{SimConfig, Simulation};
+
+struct Sample {
+    m: usize,
+    slots: usize,
+    wall_millis: f64,
+    market_per_slot_micros: f64,
+    market_per_slot_per_edp_nanos: f64,
+}
+
+fn config(m: usize) -> SimConfig {
+    SimConfig {
+        num_edps: m,
+        // Keep the requester side fixed and moderate so the sweep isolates
+        // the M-dependence of the market phase (ChannelState is M×J).
+        num_requesters: 300,
+        num_contents: 10,
+        epochs: 1,
+        slots_per_epoch: 20,
+        params: Params {
+            num_edps: m,
+            time_steps: 12,
+            grid_h: 8,
+            grid_q: 24,
+            ..Params::default()
+        },
+        seed: 77,
+        ..Default::default()
+    }
+}
+
+fn measure(m: usize) -> Sample {
+    // Warm-up epoch to page in the allocator and caches, then take the
+    // best of three measured epochs (minimum filters scheduler noise).
+    let _ = Simulation::new(config(m), Box::new(MostPopularCaching::default()))
+        .expect("valid config")
+        .run();
+    let mut best: Option<Sample> = None;
+    for _ in 0..3 {
+        let cfg = config(m);
+        let slots = cfg.epochs * cfg.slots_per_epoch;
+        let mut sim =
+            Simulation::new(cfg, Box::new(MostPopularCaching::default())).expect("valid config");
+        let start = Instant::now();
+        let _ = sim.run();
+        let wall = start.elapsed();
+        let market_nanos = sim.market_clearing_nanos() as f64;
+        let sample = Sample {
+            m,
+            slots,
+            wall_millis: wall.as_secs_f64() * 1e3,
+            market_per_slot_micros: market_nanos / slots as f64 / 1e3,
+            market_per_slot_per_edp_nanos: market_nanos / slots as f64 / m as f64,
+        };
+        if best.as_ref().map_or(true, |b| {
+            sample.market_per_slot_micros < b.market_per_slot_micros
+        }) {
+            best = Some(sample);
+        }
+    }
+    best.expect("three samples taken")
+}
+
+fn main() {
+    let samples: Vec<Sample> = [100, 1000, 10000].iter().map(|&m| measure(m)).collect();
+
+    let mut json = String::from("{\n  \"bench\": \"market_clearing\",\n  \"unit_note\": \"per-slot market time; per-EDP column flat <=> O(M) scaling\",\n  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"m\": {}, \"slots\": {}, \"epoch_wall_millis\": {:.3}, \"market_per_slot_micros\": {:.3}, \"market_per_slot_per_edp_nanos\": {:.3}}}{}\n",
+            s.m,
+            s.slots,
+            s.wall_millis,
+            s.market_per_slot_micros,
+            s.market_per_slot_per_edp_nanos,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let mut f = std::fs::File::create("BENCH_market.json").expect("create BENCH_market.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_market.json");
+
+    println!("{json}");
+    println!("m, market_per_slot_micros, market_per_slot_per_edp_nanos");
+    for s in &samples {
+        println!(
+            "{}, {:.3}, {:.3}",
+            s.m, s.market_per_slot_micros, s.market_per_slot_per_edp_nanos
+        );
+    }
+    eprintln!("wrote BENCH_market.json");
+}

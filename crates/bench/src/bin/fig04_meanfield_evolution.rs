@@ -2,5 +2,8 @@
 //! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig04_meanfield_evolution`
 
 fn main() {
-    mfgcp_bench::run_experiment("fig04_meanfield_evolution", mfgcp_bench::experiments::fig04_meanfield_evolution());
+    mfgcp_bench::run_experiment(
+        "fig04_meanfield_evolution",
+        mfgcp_bench::experiments::fig04_meanfield_evolution(),
+    );
 }

@@ -2,5 +2,8 @@
 //! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig05_policy_evolution`
 
 fn main() {
-    mfgcp_bench::run_experiment("fig05_policy_evolution", mfgcp_bench::experiments::fig05_policy_evolution());
+    mfgcp_bench::run_experiment(
+        "fig05_policy_evolution",
+        mfgcp_bench::experiments::fig05_policy_evolution(),
+    );
 }

@@ -2,5 +2,8 @@
 //! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig06_heatmap_qk`
 
 fn main() {
-    mfgcp_bench::run_experiment("fig06_heatmap_qk", mfgcp_bench::experiments::fig06_heatmap_qk());
+    mfgcp_bench::run_experiment(
+        "fig06_heatmap_qk",
+        mfgcp_bench::experiments::fig06_heatmap_qk(),
+    );
 }

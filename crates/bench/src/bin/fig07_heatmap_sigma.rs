@@ -2,5 +2,8 @@
 //! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig07_heatmap_sigma`
 
 fn main() {
-    mfgcp_bench::run_experiment("fig07_heatmap_sigma", mfgcp_bench::experiments::fig07_heatmap_sigma());
+    mfgcp_bench::run_experiment(
+        "fig07_heatmap_sigma",
+        mfgcp_bench::experiments::fig07_heatmap_sigma(),
+    );
 }

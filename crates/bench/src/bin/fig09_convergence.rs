@@ -2,5 +2,8 @@
 //! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig09_convergence`
 
 fn main() {
-    mfgcp_bench::run_experiment("fig09_convergence", mfgcp_bench::experiments::fig09_convergence());
+    mfgcp_bench::run_experiment(
+        "fig09_convergence",
+        mfgcp_bench::experiments::fig09_convergence(),
+    );
 }

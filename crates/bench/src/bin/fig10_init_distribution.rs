@@ -2,5 +2,8 @@
 //! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig10_init_distribution`
 
 fn main() {
-    mfgcp_bench::run_experiment("fig10_init_distribution", mfgcp_bench::experiments::fig10_init_distribution());
+    mfgcp_bench::run_experiment(
+        "fig10_init_distribution",
+        mfgcp_bench::experiments::fig10_init_distribution(),
+    );
 }

@@ -2,5 +2,8 @@
 //! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig11_eta1_time`
 
 fn main() {
-    mfgcp_bench::run_experiment("fig11_eta1_time", mfgcp_bench::experiments::fig11_eta1_time());
+    mfgcp_bench::run_experiment(
+        "fig11_eta1_time",
+        mfgcp_bench::experiments::fig11_eta1_time(),
+    );
 }

@@ -2,5 +2,8 @@
 //! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig12_total_vs_eta1`
 
 fn main() {
-    mfgcp_bench::run_experiment("fig12_total_vs_eta1", mfgcp_bench::experiments::fig12_total_vs_eta1());
+    mfgcp_bench::run_experiment(
+        "fig12_total_vs_eta1",
+        mfgcp_bench::experiments::fig12_total_vs_eta1(),
+    );
 }

@@ -2,5 +2,8 @@
 //! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig13_popularity_sweep`
 
 fn main() {
-    mfgcp_bench::run_experiment("fig13_popularity_sweep", mfgcp_bench::experiments::fig13_popularity_sweep());
+    mfgcp_bench::run_experiment(
+        "fig13_popularity_sweep",
+        mfgcp_bench::experiments::fig13_popularity_sweep(),
+    );
 }

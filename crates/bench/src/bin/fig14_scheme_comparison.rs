@@ -2,5 +2,8 @@
 //! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin fig14_scheme_comparison`
 
 fn main() {
-    mfgcp_bench::run_experiment("fig14_scheme_comparison", mfgcp_bench::experiments::fig14_scheme_comparison());
+    mfgcp_bench::run_experiment(
+        "fig14_scheme_comparison",
+        mfgcp_bench::experiments::fig14_scheme_comparison(),
+    );
 }

@@ -13,18 +13,36 @@ type Experiment = (&'static str, fn() -> Vec<Row>);
 fn main() {
     let battery: Vec<Experiment> = vec![
         ("fig03_channel", experiments::fig03_channel),
-        ("fig04_meanfield_evolution", experiments::fig04_meanfield_evolution),
-        ("fig05_policy_evolution", experiments::fig05_policy_evolution),
+        (
+            "fig04_meanfield_evolution",
+            experiments::fig04_meanfield_evolution,
+        ),
+        (
+            "fig05_policy_evolution",
+            experiments::fig05_policy_evolution,
+        ),
         ("fig06_heatmap_qk", experiments::fig06_heatmap_qk),
         ("fig07_heatmap_sigma", experiments::fig07_heatmap_sigma),
         ("fig08_w5_sweep", experiments::fig08_w5_sweep),
         ("fig09_convergence", experiments::fig09_convergence),
-        ("fig10_init_distribution", experiments::fig10_init_distribution),
+        (
+            "fig10_init_distribution",
+            experiments::fig10_init_distribution,
+        ),
         ("fig11_eta1_time", experiments::fig11_eta1_time),
         ("fig12_total_vs_eta1", experiments::fig12_total_vs_eta1),
-        ("fig13_popularity_sweep", experiments::fig13_popularity_sweep),
-        ("fig14_scheme_comparison", experiments::fig14_scheme_comparison),
-        ("table2_computation_time", experiments::table2_computation_time),
+        (
+            "fig13_popularity_sweep",
+            experiments::fig13_popularity_sweep,
+        ),
+        (
+            "fig14_scheme_comparison",
+            experiments::fig14_scheme_comparison,
+        ),
+        (
+            "table2_computation_time",
+            experiments::table2_computation_time,
+        ),
         ("ablation_dim", experiments::ablation_dim),
         ("ablation_relaxation", experiments::ablation_relaxation),
         ("ablation_grid", experiments::ablation_grid),

@@ -2,5 +2,8 @@
 //! paper-vs-measured comparison. Run: `cargo run --release -p mfgcp-bench --bin table2_computation_time`
 
 fn main() {
-    mfgcp_bench::run_experiment("table2_computation_time", mfgcp_bench::experiments::table2_computation_time());
+    mfgcp_bench::run_experiment(
+        "table2_computation_time",
+        mfgcp_bench::experiments::table2_computation_time(),
+    );
 }

@@ -5,8 +5,8 @@
 use std::time::Instant;
 
 use mfgcp_core::{
-    finite_population_price, mean_field_price, ContentContext, MfgSolver, Params,
-    ReducedMfgSolver, SolveMethod,
+    finite_population_price, mean_field_price, ContentContext, MfgSolver, Params, ReducedMfgSolver,
+    SolveMethod,
 };
 use mfgcp_pde::{Axis, Field1d, Field2d, FokkerPlanck2d, Grid2d, ImplicitFokkerPlanck2d};
 
@@ -28,11 +28,18 @@ pub fn ablation_dim() -> Vec<Row> {
     let full_secs = t0.elapsed().as_secs_f64();
 
     let t0 = Instant::now();
-    let reduced = ReducedMfgSolver::new(params.clone()).expect("valid params").solve();
+    let reduced = ReducedMfgSolver::new(params.clone())
+        .expect("valid params")
+        .solve();
     let reduced_secs = t0.elapsed().as_secs_f64();
 
     for (n, &q) in full.mean_remaining_space().iter().enumerate() {
-        rows.push(Row::new("ablation_dim", "full-state", n as f64 * full.dt(), q));
+        rows.push(Row::new(
+            "ablation_dim",
+            "full-state",
+            n as f64 * full.dt(),
+            q,
+        ));
     }
     for (n, &q) in reduced.mean_remaining_space().iter().enumerate() {
         rows.push(Row::new(
@@ -52,7 +59,10 @@ pub fn ablation_dim() -> Vec<Row> {
 pub fn ablation_relaxation() -> Vec<Row> {
     let mut rows = Vec::new();
     for &omega in &[0.2, 0.35, 0.5, 0.75, 1.0] {
-        let params = Params { relaxation: omega, ..base_params() };
+        let params = Params {
+            relaxation: omega,
+            ..base_params()
+        };
         let eq = MfgSolver::new(params).expect("valid params").solve_with(
             &vec![
                 mfgcp_core::ContentContext {
@@ -64,7 +74,12 @@ pub fn ablation_relaxation() -> Vec<Row> {
             ],
             None,
         );
-        rows.push(Row::new("ablation_relaxation", "iterations", omega, eq.report.iterations as f64));
+        rows.push(Row::new(
+            "ablation_relaxation",
+            "iterations",
+            omega,
+            eq.report.iterations as f64,
+        ));
         rows.push(Row::new(
             "ablation_relaxation",
             "converged",
@@ -87,14 +102,27 @@ pub fn ablation_relaxation() -> Vec<Row> {
 pub fn ablation_grid() -> Vec<Row> {
     let mut rows = Vec::new();
     for &grid_q in &[24usize, 48, 96] {
-        let params = Params { grid_q, ..base_params() };
+        let params = Params {
+            grid_q,
+            ..base_params()
+        };
         let eq = MfgSolver::new(params.clone())
             .expect("valid params")
             .solve()
             .expect("grid sweep converges");
         let means = eq.mean_remaining_space();
-        rows.push(Row::new("ablation_grid", "final-mean-q", grid_q as f64, *means.last().unwrap()));
-        rows.push(Row::new("ablation_grid", "utility", grid_q as f64, eq.accumulated_utility()));
+        rows.push(Row::new(
+            "ablation_grid",
+            "final-mean-q",
+            grid_q as f64,
+            *means.last().unwrap(),
+        ));
+        rows.push(Row::new(
+            "ablation_grid",
+            "utility",
+            grid_q as f64,
+            eq.accumulated_utility(),
+        ));
     }
     rows
 }
@@ -192,8 +220,8 @@ pub fn ablation_stepper() -> Vec<Row> {
     initial.normalize();
     let bx = Field2d::from_fn(grid.clone(), |h, _q| params.drift_h(h));
     let by = Field2d::from_fn(grid.clone(), |_h, q| 0.4 - 0.9 * q);
-    let explicit = FokkerPlanck2d::new(params.diffusion_h(), params.diffusion_q())
-        .expect("valid diffusions");
+    let explicit =
+        FokkerPlanck2d::new(params.diffusion_h(), params.diffusion_q()).expect("valid diffusions");
     let implicit = ImplicitFokkerPlanck2d::new(params.diffusion_h(), params.diffusion_q())
         .expect("valid diffusions");
 
@@ -264,7 +292,13 @@ pub fn ablation_finite_m() -> Vec<Row> {
     density.normalize();
     let policy = |q: f64| (0.8 - 0.5 * q).clamp(0.0, 1.0);
     let policy_field = Field2d::from_fn(grid.clone(), |_h, q| policy(q));
-    let p_mf = mean_field_price(params.p_hat, params.eta1, params.q_size, &density, &policy_field);
+    let p_mf = mean_field_price(
+        params.p_hat,
+        params.eta1,
+        params.q_size,
+        &density,
+        &policy_field,
+    );
 
     // Inverse-CDF sampler on the q-marginal of λ.
     let marginal = density.marginal_y();
@@ -289,17 +323,20 @@ pub fn ablation_finite_m() -> Vec<Row> {
         let mut gap_sum = 0.0;
         for _ in 0..trials {
             let strategies: Vec<f64> = (0..m).map(|_| policy(sample_q(&mut rng))).collect();
-            let p_finite = finite_population_price(
-                params.p_hat,
-                params.eta1,
-                params.q_size,
-                &strategies,
-                0,
-            );
+            let p_finite =
+                finite_population_price(params.p_hat, params.eta1, params.q_size, &strategies, 0);
             gap_sum += (p_finite - p_mf).abs();
         }
-        rows.push(Row::new("ablation_finite_m", "price-gap", m as f64, gap_sum / trials as f64));
-        let est = mfgcp_core::MeanFieldEstimator::new(Params { num_edps: m, ..params.clone() });
+        rows.push(Row::new(
+            "ablation_finite_m",
+            "price-gap",
+            m as f64,
+            gap_sum / trials as f64,
+        ));
+        let est = mfgcp_core::MeanFieldEstimator::new(Params {
+            num_edps: m,
+            ..params.clone()
+        });
         rows.push(Row::new(
             "ablation_finite_m",
             "share-benefit",
@@ -318,7 +355,10 @@ pub fn ablation_finite_m() -> Vec<Row> {
 pub fn ablation_terminal() -> Vec<Row> {
     let mut rows = Vec::new();
     for &gamma in &[0.0, 1.0, 2.0, 4.0] {
-        let params = Params { terminal_value_weight: gamma, ..base_params() };
+        let params = Params {
+            terminal_value_weight: gamma,
+            ..base_params()
+        };
         let eq = MfgSolver::new(params.clone())
             .expect("valid params")
             .solve()
@@ -348,7 +388,12 @@ pub fn ablation_terminal() -> Vec<Row> {
             gamma,
             late / count.max(1) as f64,
         ));
-        rows.push(Row::new("ablation_terminal", "utility", gamma, eq.accumulated_utility()));
+        rows.push(Row::new(
+            "ablation_terminal",
+            "utility",
+            gamma,
+            eq.accumulated_utility(),
+        ));
     }
     rows
 }
@@ -358,7 +403,11 @@ pub fn ablation_terminal() -> Vec<Row> {
 /// iteration number): Picard contracts geometrically under its fixed ω,
 /// fictitious play decays like `1/ψ` — the reason Picard is the default.
 pub fn ablation_fictitious() -> Vec<Row> {
-    let params = Params { max_iterations: 30, tolerance: 1e-6, ..base_params() };
+    let params = Params {
+        max_iterations: 30,
+        tolerance: 1e-6,
+        ..base_params()
+    };
     let solver = MfgSolver::new(params.clone()).expect("valid params");
     let ctx = ContentContext::from_params(&params);
     let contexts = vec![ctx; params.time_steps];
@@ -393,15 +442,22 @@ pub fn ablation_population() -> Vec<Row> {
         ..Params::default()
     };
     // Mean-field prediction (independent of M).
-    let solver = MfgSolver::new(Params { num_edps: 300, ..params.clone() })
-        .expect("valid params");
+    let solver = MfgSolver::new(Params {
+        num_edps: 300,
+        ..params.clone()
+    })
+    .expect("valid params");
     // Match the simulator's own epoch context exactly: 4 requesters/EDP ×
     // 0.3 request prob × 20 slots = 24 requests; a single content has
     // popularity 1; EDPs start at the timeliness midpoint L = L_max/2 =
     // 2.5, and uniform urgency observations keep it there, so the urgency
     // factor is ξ^2.5.
     let urgency = mfgcp_workload::TimelinessConfig::default().urgency_factor(2.5);
-    let ctx = ContentContext { requests: 24.0, popularity: 1.0, urgency_factor: urgency };
+    let ctx = ContentContext {
+        requests: 24.0,
+        popularity: 1.0,
+        urgency_factor: urgency,
+    };
     let eq = solver.solve_with(&vec![ctx; params.time_steps], None);
     let marginal = eq.density_marginal_q(params.time_steps);
     let axis = marginal.axis().clone();
@@ -415,7 +471,10 @@ pub fn ablation_population() -> Vec<Row> {
             num_contents: 1,
             epochs: 1,
             slots_per_epoch: 20,
-            params: Params { num_edps: m, ..params.clone() },
+            params: Params {
+                num_edps: m,
+                ..params.clone()
+            },
             seed: 4100 + m as u64,
             ..SimConfig::default()
         };
@@ -458,8 +517,10 @@ mod tests {
         assert!(secs(1.0) < secs(2.0), "reduced should be faster");
         // Trajectories agree within a few percent of storage.
         let full: Vec<&Row> = rows.iter().filter(|r| r.series == "full-state").collect();
-        let reduced: Vec<&Row> =
-            rows.iter().filter(|r| r.series == "reduced-state").collect();
+        let reduced: Vec<&Row> = rows
+            .iter()
+            .filter(|r| r.series == "reduced-state")
+            .collect();
         assert_eq!(full.len(), reduced.len());
         for (f, r) in full.iter().zip(&reduced) {
             assert!((f.y - r.y).abs() < 0.08, "t={}: {} vs {}", f.x, f.y, r.y);
@@ -562,7 +623,10 @@ mod tests {
         // With the matched context the finite market tracks the mean field
         // tightly at every M (sub-0.15 Wasserstein on a unit interval);
         // the big-M run is within sampling noise of zero.
-        assert!(dist.iter().all(|(_, d)| (0.0..=0.15).contains(d)), "{dist:?}");
+        assert!(
+            dist.iter().all(|(_, d)| (0.0..=0.15).contains(d)),
+            "{dist:?}"
+        );
         assert!(dist[3].1 < 0.1, "M = 300 gap too large: {dist:?}");
     }
 
@@ -575,7 +639,10 @@ mod tests {
                 .map(|r| r.y)
                 .expect("row")
         };
-        assert!(policy_at(4.0) > policy_at(0.0), "salvage should keep caching alive");
+        assert!(
+            policy_at(4.0) > policy_at(0.0),
+            "salvage should keep caching alive"
+        );
     }
 
     #[test]
@@ -589,6 +656,9 @@ mod tests {
                 .expect("series")
         };
         assert!(final_err("conservative-mass-error") < 1e-10);
-        assert!(final_err("advective-mass-error") > 1e-4, "advective error too small");
+        assert!(
+            final_err("advective-mass-error") > 1e-4,
+            "advective error too small"
+        );
     }
 }

@@ -37,9 +37,7 @@ fn run_scheme_seeded(params: &Params, scheme: &str, seed: u64) -> SimReport {
     cfg.seed = seed;
     let policy: Box<dyn CachingPolicy> = match scheme {
         "MFG-CP" => Box::new(MfgCpPolicy::new(cfg.params.clone()).expect("valid params")),
-        "MFG" => {
-            Box::new(MfgCpPolicy::without_sharing(cfg.params.clone()).expect("valid params"))
-        }
+        "MFG" => Box::new(MfgCpPolicy::without_sharing(cfg.params.clone()).expect("valid params")),
         "UDCS" => Box::new(Udcs::default()),
         "MPC" => Box::new(MostPopularCaching::default()),
         "RR" => Box::new(RandomReplacement),
@@ -58,7 +56,11 @@ struct SchemeMetrics {
 
 fn run_scheme(params: &Params, scheme: &str) -> SchemeMetrics {
     const SEEDS: [u64; 3] = [1200, 1201, 1202];
-    let mut m = SchemeMetrics { utility: 0.0, income: 0.0, staleness: 0.0 };
+    let mut m = SchemeMetrics {
+        utility: 0.0,
+        income: 0.0,
+        staleness: 0.0,
+    };
     for &seed in &SEEDS {
         let report = run_scheme_seeded(params, scheme, seed);
         m.utility += report.mean_utility();
@@ -80,11 +82,24 @@ const SCHEMES: [&str; 5] = ["MFG-CP", "MFG", "UDCS", "MPC", "RR"];
 pub fn fig12_total_vs_eta1() -> Vec<Row> {
     let mut rows = Vec::new();
     for &eta1 in &[1.0, 2.0, 3.0, 4.0] {
-        let params = Params { eta1, ..base_params() };
+        let params = Params {
+            eta1,
+            ..base_params()
+        };
         for scheme in SCHEMES {
             let m = run_scheme(&params, scheme);
-            rows.push(Row::new("fig12", format!("{scheme}-utility"), eta1, m.utility));
-            rows.push(Row::new("fig12", format!("{scheme}-income"), eta1, m.income));
+            rows.push(Row::new(
+                "fig12",
+                format!("{scheme}-utility"),
+                eta1,
+                m.utility,
+            ));
+            rows.push(Row::new(
+                "fig12",
+                format!("{scheme}-income"),
+                eta1,
+                m.income,
+            ));
         }
     }
     rows
@@ -111,17 +126,30 @@ pub fn fig13_popularity_sweep() -> Vec<Row> {
             .solve()
             .expect("sweep converges");
         // The no-sharing mean field for the MFG baseline.
-        let eq_ns = MfgSolver::new(Params { p_bar: 0.0, ..params.clone() })
-            .expect("valid params")
-            .solve()
-            .expect("sweep converges");
+        let eq_ns = MfgSolver::new(Params {
+            p_bar: 0.0,
+            ..params.clone()
+        })
+        .expect("valid params")
+        .solve()
+        .expect("sweep converges");
 
         let q0 = params.lambda0_mean;
         let mut eval = |scheme: &str, policy: &RolloutPolicy<'_>, market| {
             let mut rng = seeded_rng(1300 + (pop * 100.0) as u64);
             let r = rollout_under_mean_field(market, policy, q0, false, &mut rng);
-            rows.push(Row::new("fig13", format!("{scheme}-utility"), pop, r.utility()));
-            rows.push(Row::new("fig13", format!("{scheme}-staleness"), pop, r.staleness_cost));
+            rows.push(Row::new(
+                "fig13",
+                format!("{scheme}-utility"),
+                pop,
+                r.utility(),
+            ));
+            rows.push(Row::new(
+                "fig13",
+                format!("{scheme}-staleness"),
+                pop,
+                r.staleness_cost,
+            ));
         };
 
         eval("MFG-CP", &RolloutPolicy::Equilibrium(&eq), &eq);
@@ -130,9 +158,17 @@ pub fn fig13_popularity_sweep() -> Vec<Row> {
         // evaluated in the shared market without sharing flows.
         let udcs = Udcs::default();
         let udcs_x = (udcs.gain * pop * (1.0 - 0.3 * udcs.overlap_discount) * 0.5).clamp(0.0, 1.0);
-        eval("UDCS", &RolloutPolicy::Feedback(Box::new(move |_t, _q| udcs_x)), &eq_ns);
+        eval(
+            "UDCS",
+            &RolloutPolicy::Feedback(Box::new(move |_t, _q| udcs_x)),
+            &eq_ns,
+        );
         // MPC caches the popular content at full rate.
-        eval("MPC", &RolloutPolicy::Feedback(Box::new(|_t, _q| 1.0)), &eq_ns);
+        eval(
+            "MPC",
+            &RolloutPolicy::Feedback(Box::new(|_t, _q| 1.0)),
+            &eq_ns,
+        );
         eval("RR", &RolloutPolicy::Random, &eq_ns);
     }
     rows
@@ -146,9 +182,24 @@ pub fn fig14_scheme_comparison() -> Vec<Row> {
     let mut rows = Vec::new();
     for (idx, scheme) in SCHEMES.iter().enumerate() {
         let m = run_scheme(&params, scheme);
-        rows.push(Row::new("fig14", format!("{scheme}-utility"), idx as f64, m.utility));
-        rows.push(Row::new("fig14", format!("{scheme}-income"), idx as f64, m.income));
-        rows.push(Row::new("fig14", format!("{scheme}-staleness"), idx as f64, m.staleness));
+        rows.push(Row::new(
+            "fig14",
+            format!("{scheme}-utility"),
+            idx as f64,
+            m.utility,
+        ));
+        rows.push(Row::new(
+            "fig14",
+            format!("{scheme}-income"),
+            idx as f64,
+            m.income,
+        ));
+        rows.push(Row::new(
+            "fig14",
+            format!("{scheme}-staleness"),
+            idx as f64,
+            m.staleness,
+        ));
     }
     rows
 }
@@ -193,8 +244,10 @@ mod tests {
     #[test]
     fn fig13_popularity_lifts_utility() {
         let rows = fig13_popularity_sweep();
-        let series: Vec<&Row> =
-            rows.iter().filter(|r| r.series == "MFG-CP-utility").collect();
+        let series: Vec<&Row> = rows
+            .iter()
+            .filter(|r| r.series == "MFG-CP-utility")
+            .collect();
         assert_eq!(series.len(), 5);
         assert!(
             series.last().unwrap().y > series.first().unwrap().y,
@@ -217,7 +270,10 @@ mod tests {
     fn table2_mfgcp_flat_while_baselines_grow() {
         let rows = table2_computation_time();
         let series = |scheme: &str| -> Vec<f64> {
-            rows.iter().filter(|r| r.series == scheme).map(|r| r.y).collect()
+            rows.iter()
+                .filter(|r| r.series == scheme)
+                .map(|r| r.y)
+                .collect()
         };
         let mfgcp = series("MFG-CP");
         let rr = series("RR");

@@ -28,7 +28,12 @@ pub fn fig04_meanfield_evolution() -> Vec<Row> {
         let marginal = eq.density_marginal_q(step);
         let t = step as f64 * eq.dt();
         for (j, &d) in marginal.values().iter().enumerate() {
-            rows.push(Row::new("fig04", format!("t={t:.2}"), marginal.axis().at(j), d));
+            rows.push(Row::new(
+                "fig04",
+                format!("t={t:.2}"),
+                marginal.axis().at(j),
+                d,
+            ));
         }
     }
     // Fixed remaining-space slices over time (the paper tracks 30/60/70 MB).
@@ -86,14 +91,24 @@ pub fn fig05_policy_evolution() -> Vec<Row> {
     for &t in &[0.0, 0.25, 0.5, 0.75] {
         let mut q = 0.0;
         while q <= 1.0 + 1e-9 {
-            rows.push(Row::new("fig05", format!("t={t:.2}"), q, eq.policy_at(t, h, q)));
+            rows.push(Row::new(
+                "fig05",
+                format!("t={t:.2}"),
+                q,
+                eq.policy_at(t, h, q),
+            ));
             q += 0.05;
         }
     }
     for &q in &[0.1, 0.2, 0.3, 0.4, 0.5] {
         for step in 0..params.time_steps {
             let t = step as f64 * eq.dt();
-            rows.push(Row::new("fig05", format!("q={q:.1}"), t, eq.policy_at(t, h, q)));
+            rows.push(Row::new(
+                "fig05",
+                format!("q={q:.1}"),
+                t,
+                eq.policy_at(t, h, q),
+            ));
         }
     }
     rows
@@ -102,7 +117,11 @@ pub fn fig05_policy_evolution() -> Vec<Row> {
 fn heatmap(exp: &'static str, lambda0_std: f64) -> Vec<Row> {
     let mut rows = Vec::new();
     for &q_size in &[0.6, 0.8, 1.0] {
-        let params = Params { q_size, lambda0_std, ..base_params() };
+        let params = Params {
+            q_size,
+            lambda0_std,
+            ..base_params()
+        };
         let eq = solve(params.clone());
         for step in (0..=params.time_steps).step_by(2) {
             let t = step as f64 * eq.dt();
@@ -143,8 +162,11 @@ mod tests {
         let params = base_params();
         let dq = params.q_size / (params.grid_q - 1) as f64;
         for &t in &["t=0.00", "t=0.50", "t=1.00"] {
-            let total: f64 =
-                rows.iter().filter(|r| r.series == t).map(|r| r.y * dq).sum();
+            let total: f64 = rows
+                .iter()
+                .filter(|r| r.series == t)
+                .map(|r| r.y * dq)
+                .sum();
             assert!((total - 1.0).abs() < 0.05, "series {t} mass {total}");
         }
     }
@@ -162,8 +184,14 @@ mod tests {
         let start = series[0];
         let peak = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let end = *series.last().unwrap();
-        assert!(peak > start + 0.02, "no initial increase: start {start}, peak {peak}");
-        assert!(end < peak - 0.02, "no later decrease: peak {peak}, end {end}");
+        assert!(
+            peak > start + 0.02,
+            "no initial increase: start {start}, peak {peak}"
+        );
+        assert!(
+            end < peak - 0.02,
+            "no later decrease: peak {peak}, end {end}"
+        );
     }
 
     #[test]
@@ -180,7 +208,12 @@ mod tests {
                 .map(|r| r.y)
                 .expect("row exists")
         };
-        assert!(at(0.6) > at(0.3), "x*(q=0.6) = {} vs x*(q=0.3) = {}", at(0.6), at(0.3));
+        assert!(
+            at(0.6) > at(0.3),
+            "x*(q=0.6) = {} vs x*(q=0.3) = {}",
+            at(0.6),
+            at(0.3)
+        );
         for r in &rows {
             assert!((0.0..=1.0).contains(&r.y), "invalid rate {}", r.y);
         }
@@ -190,7 +223,10 @@ mod tests {
     fn fig06_and_07_cover_all_sizes() {
         for rows in [fig06_heatmap_qk(), fig07_heatmap_sigma()] {
             for qk in ["Qk=0.6", "Qk=0.8", "Qk=1.0"] {
-                assert!(rows.iter().any(|r| r.series.starts_with(qk)), "missing {qk}");
+                assert!(
+                    rows.iter().any(|r| r.series.starts_with(qk)),
+                    "missing {qk}"
+                );
             }
             assert!(rows.iter().all(|r| r.y >= 0.0), "negative density");
         }

@@ -13,8 +13,12 @@ pub use ablations::{
     ablation_population, ablation_relaxation, ablation_stepper, ablation_terminal,
 };
 pub use channel::fig03_channel;
-pub use comparisons::{fig12_total_vs_eta1, fig13_popularity_sweep, fig14_scheme_comparison, table2_computation_time};
-pub use meanfield::{fig04_meanfield_evolution, fig05_policy_evolution, fig06_heatmap_qk, fig07_heatmap_sigma};
+pub use comparisons::{
+    fig12_total_vs_eta1, fig13_popularity_sweep, fig14_scheme_comparison, table2_computation_time,
+};
+pub use meanfield::{
+    fig04_meanfield_evolution, fig05_policy_evolution, fig06_heatmap_qk, fig07_heatmap_sigma,
+};
 pub use sweeps::{fig08_w5_sweep, fig09_convergence, fig10_init_distribution, fig11_eta1_time};
 
 use mfgcp_core::Params;

@@ -32,7 +32,12 @@ pub fn fig08_w5_sweep() -> Vec<Row> {
                 *q,
             ));
         }
-        rows.push(Row::new("fig08", "staleness", w5, eq.accumulated_staleness_cost()));
+        rows.push(Row::new(
+            "fig08",
+            "staleness",
+            w5,
+            eq.accumulated_staleness_cost(),
+        ));
         rows.push(Row::new("fig08", "utility", w5, eq.accumulated_utility()));
     }
     rows
@@ -53,7 +58,12 @@ pub fn fig09_convergence() -> Vec<Row> {
         let mut rng = seeded_rng(90 + (q0 * 10.0) as u64);
         let r = rollout_under_mean_field(&eq, &RolloutPolicy::Equilibrium(&eq), q0, true, &mut rng);
         for (n, &q) in r.q_path.iter().enumerate() {
-            rows.push(Row::new("fig09", format!("q0={q0:.1}-state"), n as f64 * eq.dt(), q));
+            rows.push(Row::new(
+                "fig09",
+                format!("q0={q0:.1}-state"),
+                n as f64 * eq.dt(),
+                q,
+            ));
         }
         for (n, &u) in r.utility_path.iter().enumerate() {
             rows.push(Row::new(
@@ -77,7 +87,10 @@ pub fn fig09_convergence() -> Vec<Row> {
 pub fn fig10_init_distribution() -> Vec<Row> {
     let mut rows = Vec::new();
     for &mean in &[0.5, 0.6, 0.7, 0.8] {
-        let params = Params { lambda0_mean: mean, ..base_params() };
+        let params = Params {
+            lambda0_mean: mean,
+            ..base_params()
+        };
         let eq = MfgSolver::new(params.clone())
             .expect("valid params")
             .solve()
@@ -109,14 +122,22 @@ pub fn fig10_init_distribution() -> Vec<Row> {
 pub fn fig11_eta1_time() -> Vec<Row> {
     let mut rows = Vec::new();
     for &eta1 in &[1.0, 2.0, 3.0, 4.0] {
-        let params = Params { eta1, ..base_params() };
+        let params = Params {
+            eta1,
+            ..base_params()
+        };
         let eq = MfgSolver::new(params.clone())
             .expect("valid params")
             .solve()
             .expect("sweep converges");
         for (n, b) in eq.utility_series().iter().enumerate() {
             let t = n as f64 * eq.dt();
-            rows.push(Row::new("fig11", format!("eta1={eta1:.0}-utility"), t, b.total()));
+            rows.push(Row::new(
+                "fig11",
+                format!("eta1={eta1:.0}-utility"),
+                t,
+                b.total(),
+            ));
             rows.push(Row::new(
                 "fig11",
                 format!("eta1={eta1:.0}-income"),
@@ -153,8 +174,11 @@ mod tests {
     fn fig09_rollouts_stabilize() {
         let rows = fig09_convergence();
         // Residuals decay (Alg. 2 converges).
-        let res: Vec<f64> =
-            rows.iter().filter(|r| r.series == "residual").map(|r| r.y).collect();
+        let res: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.series == "residual")
+            .map(|r| r.y)
+            .collect();
         assert!(res.len() >= 2);
         assert!(res.last().unwrap() < &res[0]);
         // The paper: the larger q0 starts with the lowest utility.
@@ -174,7 +198,10 @@ mod tests {
         // lower trading income".
         let rows = fig11_eta1_time();
         let total = |series: &str| {
-            rows.iter().filter(|r| r.series == series).map(|r| r.y).sum::<f64>()
+            rows.iter()
+                .filter(|r| r.series == series)
+                .map(|r| r.y)
+                .sum::<f64>()
         };
         assert!(total("eta1=4-income") < total("eta1=1-income"));
         assert!(total("eta1=4-utility") < total("eta1=1-utility"));
@@ -185,7 +212,9 @@ mod tests {
         let rows = fig10_init_distribution();
         for m in ["0.5", "0.6", "0.7", "0.8"] {
             assert!(rows.iter().any(|r| r.series == format!("mean={m}-utility")));
-            assert!(rows.iter().any(|r| r.series == format!("mean={m}-sharebenefit")));
+            assert!(rows
+                .iter()
+                .any(|r| r.series == format!("mean={m}-sharebenefit")));
         }
         // Sharing benefits are non-negative.
         assert!(rows

@@ -35,7 +35,12 @@ pub struct Row {
 impl Row {
     /// Construct a row.
     pub fn new(exp: &'static str, series: impl Into<String>, x: f64, y: f64) -> Self {
-        Self { exp, series: series.into(), x, y }
+        Self {
+            exp,
+            series: series.into(),
+            x,
+            y,
+        }
     }
 }
 

@@ -88,7 +88,12 @@ pub fn rollout_under_mean_field(
         q = (q + drift * dt + noise).clamp(0.0, params.q_size);
         q_path.push(q);
     }
-    RolloutResult { q_path, utility_path, trading_income: income, staleness_cost: staleness }
+    RolloutResult {
+        q_path,
+        utility_path,
+        trading_income: income,
+        staleness_cost: staleness,
+    }
 }
 
 #[cfg(test)]
@@ -98,7 +103,12 @@ mod tests {
     use mfgcp_sde::seeded_rng;
 
     fn eq() -> Equilibrium {
-        let params = Params { time_steps: 12, grid_h: 8, grid_q: 24, ..Params::default() };
+        let params = Params {
+            time_steps: 12,
+            grid_h: 8,
+            grid_q: 24,
+            ..Params::default()
+        };
         MfgSolver::new(params).unwrap().solve().unwrap()
     }
 

@@ -33,17 +33,30 @@ impl CaseProbabilities {
         let own_full = sigmoid.eval(alpha_qk - q); // ≈ 1 when own cache suffices
         let peer_full = sigmoid.eval(alpha_qk - q_peer);
         let peer_short = sigmoid.eval(q_peer - alpha_qk);
-        Self { p1: own_full, p2: own_short * peer_full, p3: own_short * peer_short }
+        Self {
+            p1: own_full,
+            p2: own_short * peer_full,
+            p3: own_short * peer_short,
+        }
     }
 
     /// Partial derivatives `(∂P¹/∂q, ∂P²/∂q, ∂P³/∂q)` — the expressions
     /// below Eq. (24) used in the Lipschitz argument of Lemma 1.
-    pub fn derivatives_wrt_q(sigmoid: Sigmoid, q: f64, q_peer: f64, alpha_qk: f64) -> (f64, f64, f64) {
+    pub fn derivatives_wrt_q(
+        sigmoid: Sigmoid,
+        q: f64,
+        q_peer: f64,
+        alpha_qk: f64,
+    ) -> (f64, f64, f64) {
         let d_own_full = -sigmoid.derivative(alpha_qk - q);
         let d_own_short = sigmoid.derivative(q - alpha_qk);
         let peer_full = sigmoid.eval(alpha_qk - q_peer);
         let peer_short = sigmoid.eval(q_peer - alpha_qk);
-        (d_own_full, d_own_short * peer_full, d_own_short * peer_short)
+        (
+            d_own_full,
+            d_own_short * peer_full,
+            d_own_short * peer_short,
+        )
     }
 
     /// Sum of the three probabilities (≈ 1 away from the threshold; the
@@ -87,7 +100,11 @@ mod tests {
     fn probabilities_sum_near_one_away_from_threshold() {
         for &(q, qp) in &[(0.0, 0.0), (0.9, 0.05), (0.05, 0.9), (0.95, 0.95)] {
             let c = CaseProbabilities::compute(sig(), q, qp, 0.2);
-            assert!((c.total() - 1.0).abs() < 0.05, "at ({q},{qp}): {}", c.total());
+            assert!(
+                (c.total() - 1.0).abs() < 0.05,
+                "at ({q},{qp}): {}",
+                c.total()
+            );
         }
     }
 
@@ -96,7 +113,9 @@ mod tests {
         // When the EDP is short, p2 + p3 ≈ p_short regardless of the peer.
         let c_full_peer = CaseProbabilities::compute(sig(), 0.9, 0.0, 0.2);
         let c_short_peer = CaseProbabilities::compute(sig(), 0.9, 0.9, 0.2);
-        assert!((c_full_peer.p2 + c_full_peer.p3 - (c_short_peer.p2 + c_short_peer.p3)).abs() < 1e-9);
+        assert!(
+            (c_full_peer.p2 + c_full_peer.p3 - (c_short_peer.p2 + c_short_peer.p3)).abs() < 1e-9
+        );
     }
 
     #[test]

@@ -1,27 +1,49 @@
 //! Convergence diagnostics for the iterative best-response learning scheme.
 
 /// The outcome of the Picard iteration of Alg. 2.
+///
+/// Two residual series are recorded per iteration:
+///
+/// * [`ConvergenceReport::residuals`] — the *undamped* best-response gap
+///   `max|BR(x^ψ) − x^ψ|`. This is the quantity Alg. 2 line 6 gates on:
+///   it vanishes exactly at a fixed point of the best-response map,
+///   independent of how aggressively the iterate is damped.
+/// * [`ConvergenceReport::update_norms`] — the damped *applied* update
+///   `max|x^{ψ+1} − x^ψ| = ω·max|BR(x^ψ) − x^ψ|`. Gating on this quantity
+///   (a historical bug) under-reports the distance to equilibrium by the
+///   factor `ω`, and under fictitious play's `ω = 1/(ψ+1)` schedule it
+///   decays to zero *regardless* of whether the best response has
+///   stabilized — declaring spurious convergence.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ConvergenceReport {
-    /// Whether the sup-norm policy residual dropped below the tolerance
+    /// Whether the undamped best-response gap dropped below the tolerance
     /// within the iteration budget.
     pub converged: bool,
     /// Number of iterations performed (`ψ` at exit).
     pub iterations: usize,
-    /// Sup-norm policy residual after each iteration —
-    /// `max_{t,S} |x^ψ(t,S) − x^{ψ−1}(t,S)|`, the quantity of Alg. 2 line 6.
+    /// Undamped sup-norm best-response gap after each iteration —
+    /// `max_{t,S} |BR(x^ψ)(t,S) − x^ψ(t,S)|`, the Alg. 2 line 6 quantity
+    /// and the gate for `converged`.
     pub residuals: Vec<f64>,
+    /// Damped applied update after each iteration —
+    /// `max_{t,S} |x^{ψ+1}(t,S) − x^ψ(t,S)| = ω·residuals[ψ]` with the
+    /// iteration's mixing weight `ω`. Useful for post-mortems on the
+    /// damping schedule; never used as a stopping rule.
+    pub update_norms: Vec<f64>,
 }
 
 impl ConvergenceReport {
-    /// The final residual (`+∞` when no iteration ran).
+    /// The final undamped best-response gap (`+∞` when no iteration ran).
     pub fn final_residual(&self) -> f64 {
         self.residuals.last().copied().unwrap_or(f64::INFINITY)
     }
 
     /// Empirical contraction factor: the geometric mean of successive
-    /// residual ratios. Below 1 indicates the fixed-point map contracts
-    /// (the premise of Thm. 2). `None` with fewer than 2 iterations.
+    /// ratios of the *undamped* best-response gaps. Below 1 indicates the
+    /// fixed-point map contracts (the premise of Thm. 2). Computed on the
+    /// undamped series so a decaying damping schedule (fictitious play)
+    /// cannot fake a contraction. `None` with fewer than 2 iterations or
+    /// no usable (positive) ratio.
     pub fn contraction_factor(&self) -> Option<f64> {
         if self.residuals.len() < 2 {
             return None;
@@ -47,7 +69,12 @@ mod tests {
 
     #[test]
     fn final_residual_of_empty_report_is_infinite() {
-        let r = ConvergenceReport { converged: false, iterations: 0, residuals: vec![] };
+        let r = ConvergenceReport {
+            converged: false,
+            iterations: 0,
+            residuals: vec![],
+            update_norms: vec![],
+        };
         assert!(r.final_residual().is_infinite());
         assert!(r.contraction_factor().is_none());
     }
@@ -58,6 +85,7 @@ mod tests {
             converged: true,
             iterations: 4,
             residuals: vec![1.0, 0.5, 0.25, 0.125],
+            update_norms: vec![0.5, 0.25, 0.125, 0.0625],
         };
         let c = r.contraction_factor().unwrap();
         assert!((c - 0.5).abs() < 1e-12);
@@ -70,7 +98,24 @@ mod tests {
             converged: true,
             iterations: 3,
             residuals: vec![1.0, 0.0, 0.0],
+            update_norms: vec![0.5, 0.0, 0.0],
         };
         assert!(r.contraction_factor().is_none());
+    }
+
+    #[test]
+    fn contraction_factor_ignores_the_damping_schedule() {
+        // A fictitious-play style run where the applied updates decay
+        // purely because ω = 1/(ψ+1) shrinks, while the best-response gap
+        // stalls: the contraction factor must read the stall (≈ 1), not
+        // the fake decay of the update norms.
+        let r = ConvergenceReport {
+            converged: false,
+            iterations: 4,
+            residuals: vec![0.4, 0.4, 0.4, 0.4],
+            update_norms: vec![0.4, 0.2, 0.1333, 0.1],
+        };
+        let c = r.contraction_factor().unwrap();
+        assert!((c - 1.0).abs() < 1e-12, "contraction factor {c}");
     }
 }

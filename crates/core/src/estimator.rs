@@ -85,12 +85,18 @@ impl MeanFieldEstimator {
         let thr = self.params.alpha_qk();
         let mass_sharers = density.weighted_integral(|_h, q| f64::from(u8::from(q <= thr)));
         let mass_needers = density.weighted_integral(|_h, q| f64::from(u8::from(q > thr)));
-        let q_sharers =
-            density.weighted_integral(|_h, q| if q <= thr { q } else { 0.0 });
-        let q_needers =
-            density.weighted_integral(|_h, q| if q > thr { q } else { 0.0 });
-        let avg_sharers = if mass_sharers > 1e-12 { q_sharers / mass_sharers } else { 0.0 };
-        let avg_needers = if mass_needers > 1e-12 { q_needers / mass_needers } else { 0.0 };
+        let q_sharers = density.weighted_integral(|_h, q| if q <= thr { q } else { 0.0 });
+        let q_needers = density.weighted_integral(|_h, q| if q > thr { q } else { 0.0 });
+        let avg_sharers = if mass_sharers > 1e-12 {
+            q_sharers / mass_sharers
+        } else {
+            0.0
+        };
+        let avg_needers = if mass_needers > 1e-12 {
+            q_needers / mass_needers
+        } else {
+            0.0
+        };
         (avg_needers - avg_sharers).abs()
     }
 
@@ -191,7 +197,11 @@ mod tests {
             (-0.5 * z1 * z1).exp() + (-0.5 * z2 * z2).exp()
         });
         lam.normalize();
-        assert!((est.delta_q(&lam) - 0.6).abs() < 0.02, "Δq = {}", est.delta_q(&lam));
+        assert!(
+            (est.delta_q(&lam) - 0.6).abs() < 0.02,
+            "Δq = {}",
+            est.delta_q(&lam)
+        );
     }
 
     #[test]
@@ -233,7 +243,11 @@ mod tests {
         let policy = Field2d::from_fn(grid(), |_h, _q| 0.3);
         let snap = est.snapshot(&lam, &policy);
         assert!((snap.q_bar - est.q_bar(&lam)).abs() < 1e-12);
-        assert!((snap.price - (5.0 - 1.0 * 0.3)).abs() < 1e-6, "price {}", snap.price);
+        assert!(
+            (snap.price - (5.0 - 1.0 * 0.3)).abs() < 1e-6,
+            "price {}",
+            snap.price
+        );
         assert!(snap.sharer_fraction >= 0.0 && snap.sharer_fraction <= 1.0);
         assert!(snap.case3_fraction >= 0.0 && snap.case3_fraction <= 1.0);
     }

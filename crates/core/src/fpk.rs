@@ -1,11 +1,21 @@
 //! The forward FPK sweep of Eq. (15): evolve the mean-field density `λ`
 //! under the closed-loop caching drift (Alg. 2 line 8).
 
-use mfgcp_pde::{Field2d, FokkerPlanck2d, Grid2d, ImplicitFokkerPlanck2d};
+use mfgcp_pde::{Field2d, FokkerPlanck2d, Grid2d, ImplicitFokkerPlanck2d, StepperScratch};
 use mfgcp_sde::Normal;
 
 use crate::params::{CoreError, Params};
 use crate::utility::ContentContext;
+
+/// Reusable cross-iteration workspace for [`FpkSolver::solve_into`]: the
+/// closed-loop caching drift field plus the stepper scratch, allocated
+/// once (via [`FpkSolver::scratch`]) and reused across every Picard
+/// iteration of Alg. 2.
+#[derive(Debug, Clone)]
+pub struct FpkScratch {
+    by: Field2d,
+    stepper: StepperScratch,
+}
 
 /// Forward FPK solver.
 #[derive(Debug, Clone)]
@@ -14,6 +24,9 @@ pub struct FpkSolver {
     stepper: FokkerPlanck2d,
     implicit: ImplicitFokkerPlanck2d,
     grid: Grid2d,
+    /// Channel drift `b_h(h)` — state-only, so assembled once here rather
+    /// than on every solve.
+    channel_drift: Field2d,
 }
 
 impl FpkSolver {
@@ -29,7 +42,22 @@ impl FpkSolver {
             .expect("validated diffusions");
         let implicit = ImplicitFokkerPlanck2d::new(params.diffusion_h(), params.diffusion_q())
             .expect("validated diffusions");
-        Ok(Self { params, stepper, implicit, grid })
+        let channel_drift = Field2d::from_fn(grid.clone(), |h, _q| params.drift_h(h));
+        Ok(Self {
+            params,
+            stepper,
+            implicit,
+            grid,
+            channel_drift,
+        })
+    }
+
+    /// A fresh workspace for [`FpkSolver::solve_into`].
+    pub fn scratch(&self) -> FpkScratch {
+        FpkScratch {
+            by: Field2d::zeros(self.grid.clone()),
+            stepper: StepperScratch::new(),
+        }
     }
 
     /// The state grid.
@@ -67,38 +95,78 @@ impl FpkSolver {
         contexts: &[ContentContext],
         policy: &[Field2d],
     ) -> Vec<Field2d> {
+        let mut out = Vec::new();
+        self.solve_into(&initial, contexts, policy, &mut out, &mut self.scratch());
+        out
+    }
+
+    /// [`FpkSolver::solve`] writing the trajectory into a caller-owned
+    /// vector (resized and fully overwritten) with a reusable workspace —
+    /// the allocation-free path the Picard loop of Alg. 2 runs on. The
+    /// closed-loop drift assembly is fanned out over contiguous h-columns
+    /// on [`Params::worker_threads`] scoped threads; each grid point is a
+    /// pure function of the policy, so the result is bit-identical for any
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`FpkSolver::solve`], or if
+    /// reused buffers live on a different grid.
+    pub fn solve_into(
+        &self,
+        initial: &Field2d,
+        contexts: &[ContentContext],
+        policy: &[Field2d],
+        out: &mut Vec<Field2d>,
+        scratch: &mut FpkScratch,
+    ) {
         let n_steps = self.params.time_steps;
         assert_eq!(policy.len(), n_steps, "need one policy field per time step");
         assert_eq!(contexts.len(), n_steps, "need one context per time step");
         assert_eq!(initial.grid(), &self.grid, "initial density grid mismatch");
         let dt = self.params.dt();
         let (nx, ny) = (self.grid.x().len(), self.grid.y().len());
+        let threads = self.params.assembly_threads(nx);
 
-        let mut bx = Field2d::zeros(self.grid.clone());
-        for i in 0..nx {
-            let bh = self.params.drift_h(self.grid.x().at(i));
-            for j in 0..ny {
-                bx.set(i, j, bh);
-            }
+        out.resize_with(n_steps + 1, || Field2d::zeros(self.grid.clone()));
+        for f in out.iter() {
+            assert_eq!(f.grid(), &self.grid, "reused buffer grid mismatch");
         }
-        let mut by = Field2d::zeros(self.grid.clone());
-
-        let mut out = Vec::with_capacity(n_steps + 1);
-        out.push(initial);
+        out[0].values_mut().copy_from_slice(initial.values());
         for n in 0..n_steps {
-            assert_eq!(policy[n].grid(), &self.grid, "policy grid mismatch at step {n}");
+            assert_eq!(
+                policy[n].grid(),
+                &self.grid,
+                "policy grid mismatch at step {n}"
+            );
             let ctx = &contexts[n];
-            for i in 0..nx {
-                for j in 0..ny {
-                    let x = policy[n].at(i, j);
-                    by.set(i, j, self.params.drift_q(x, ctx.popularity, ctx.urgency_factor));
+            let pol = &policy[n];
+            crate::parallel::for_each_column(threads, ny, scratch.by.values_mut(), |i, by_col| {
+                for (j, b) in by_col.iter_mut().enumerate() {
+                    *b = self
+                        .params
+                        .drift_q(pol.at(i, j), ctx.popularity, ctx.urgency_factor);
                 }
-            }
-            let mut lam = out[n].clone();
+            });
+            let (head, tail) = out.split_at_mut(n + 1);
+            let lam = &mut tail[0];
+            lam.values_mut().copy_from_slice(head[n].values());
             if self.params.implicit_steppers {
-                self.implicit.step(&mut lam, &bx, &by, dt);
+                self.implicit.step_scratch(
+                    lam,
+                    &self.channel_drift,
+                    &scratch.by,
+                    dt,
+                    &mut scratch.stepper,
+                );
             } else {
-                self.stepper.step(&mut lam, &bx, &by, dt);
+                self.stepper.step_scratch(
+                    lam,
+                    &self.channel_drift,
+                    &scratch.by,
+                    dt,
+                    &mut scratch.stepper,
+                );
             }
             for v in lam.values_mut() {
                 if *v < 0.0 {
@@ -106,9 +174,7 @@ impl FpkSolver {
                 }
             }
             lam.normalize();
-            out.push(lam);
         }
-        out
     }
 }
 
@@ -117,7 +183,12 @@ mod tests {
     use super::*;
 
     fn params() -> Params {
-        Params { time_steps: 20, grid_h: 12, grid_q: 48, ..Params::default() }
+        Params {
+            time_steps: 20,
+            grid_h: 12,
+            grid_q: 48,
+            ..Params::default()
+        }
     }
 
     #[test]
@@ -139,10 +210,7 @@ mod tests {
         let ctx = ContentContext::from_params(&p);
         let contexts = vec![ctx; p.time_steps];
         // Aggressive caching everywhere: drift pushes mass towards q = 0.
-        let policy = vec![
-            Field2d::from_fn(solver.grid().clone(), |_h, _q| 1.0);
-            p.time_steps
-        ];
+        let policy = vec![Field2d::from_fn(solver.grid().clone(), |_h, _q| 1.0); p.time_steps];
         let traj = solver.solve(solver.initial_density(), &contexts, &policy);
         assert_eq!(traj.len(), p.time_steps + 1);
         for (n, lam) in traj.iter().enumerate() {
@@ -156,12 +224,13 @@ mod tests {
         let p = params();
         let solver = FpkSolver::new(p.clone()).unwrap();
         // Low urgency so the refill drift does not mask the control.
-        let ctx = ContentContext { requests: 10.0, popularity: 0.3, urgency_factor: 0.01 };
+        let ctx = ContentContext {
+            requests: 10.0,
+            popularity: 0.3,
+            urgency_factor: 0.01,
+        };
         let contexts = vec![ctx; p.time_steps];
-        let policy = vec![
-            Field2d::from_fn(solver.grid().clone(), |_h, _q| 1.0);
-            p.time_steps
-        ];
+        let policy = vec![Field2d::from_fn(solver.grid().clone(), |_h, _q| 1.0); p.time_steps];
         let traj = solver.solve(solver.initial_density(), &contexts, &policy);
         let mean0 = traj[0].weighted_integral(|_h, q| q);
         let mean_t = traj[p.time_steps].weighted_integral(|_h, q| q);
@@ -176,7 +245,11 @@ mod tests {
         let p = params();
         let solver = FpkSolver::new(p.clone()).unwrap();
         // x = 0 and strong urgency factor: Eq. (4) drift is positive.
-        let ctx = ContentContext { requests: 10.0, popularity: 0.3, urgency_factor: 0.1 };
+        let ctx = ContentContext {
+            requests: 10.0,
+            popularity: 0.3,
+            urgency_factor: 0.1,
+        };
         let contexts = vec![ctx; p.time_steps];
         let policy = vec![Field2d::zeros(solver.grid().clone()); p.time_steps];
         let traj = solver.solve(solver.initial_density(), &contexts, &policy);

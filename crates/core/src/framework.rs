@@ -66,7 +66,10 @@ impl Framework {
     ///
     /// Propagates parameter-validation failures.
     pub fn new(params: Params, config: FrameworkConfig) -> Result<Self, CoreError> {
-        Ok(Self { solver: MfgSolver::new(params)?, config })
+        Ok(Self {
+            solver: MfgSolver::new(params)?,
+            config,
+        })
     }
 
     /// The underlying solver.
@@ -91,7 +94,11 @@ impl Framework {
             .enumerate()
             .map(|(k, o)| match o {
                 Some(out) => KnapsackItem::from_equilibrium(k, &out.equilibrium),
-                None => KnapsackItem { content: k, value: 0.0, weight: 0.0 },
+                None => KnapsackItem {
+                    content: k,
+                    value: 0.0,
+                    weight: 0.0,
+                },
             })
             .collect();
         let plan = solve_fractional(&items, capacity);
@@ -111,10 +118,7 @@ impl Framework {
     /// # Panics
     ///
     /// Panics if epochs have inconsistent content counts.
-    pub fn run_epochs(
-        &self,
-        epochs: &[Vec<ContentContext>],
-    ) -> Vec<Vec<Option<EpochOutcome>>> {
+    pub fn run_epochs(&self, epochs: &[Vec<ContentContext>]) -> Vec<Vec<Option<EpochOutcome>>> {
         let Some(first) = epochs.first() else {
             return Vec::new();
         };
@@ -122,7 +126,11 @@ impl Framework {
         let mut carried: Vec<Option<mfgcp_pde::Field2d>> = vec![None; k_contents];
         let mut all = Vec::with_capacity(epochs.len());
         for contexts in epochs {
-            assert_eq!(contexts.len(), k_contents, "content count changed between epochs");
+            assert_eq!(
+                contexts.len(),
+                k_contents,
+                "content count changed between epochs"
+            );
             let outcomes: Vec<Option<EpochOutcome>> = contexts
                 .iter()
                 .enumerate()
@@ -131,15 +139,16 @@ impl Framework {
                         return None;
                     }
                     let per_step = vec![*ctx; self.solver.params().time_steps];
-                    let equilibrium =
-                        self.solver.solve_with(&per_step, carried[k].clone());
-                    Some(EpochOutcome { content: k, equilibrium })
+                    let equilibrium = self.solver.solve_with(&per_step, carried[k].clone());
+                    Some(EpochOutcome {
+                        content: k,
+                        equilibrium,
+                    })
                 })
                 .collect();
             for (k, o) in outcomes.iter().enumerate() {
                 if let Some(out) = o {
-                    carried[k] =
-                        Some(out.equilibrium.density.last().expect("non-empty").clone());
+                    carried[k] = Some(out.equilibrium.density.last().expect("non-empty").clone());
                 }
             }
             all.push(outcomes);
@@ -167,7 +176,10 @@ impl Framework {
                 }
                 let per_step = vec![*ctx; self.solver.params().time_steps];
                 let equilibrium = self.solver.solve_with(&per_step, None);
-                Some(EpochOutcome { content: k, equilibrium })
+                Some(EpochOutcome {
+                    content: k,
+                    equilibrium,
+                })
             })
             .collect()
     }
@@ -191,8 +203,16 @@ mod tests {
     fn epoch_skips_undemanded_contents() {
         let fw = Framework::new(tiny_params(), FrameworkConfig::default()).unwrap();
         let contexts = vec![
-            ContentContext { requests: 10.0, popularity: 0.5, urgency_factor: 0.1 },
-            ContentContext { requests: 0.0, popularity: 0.1, urgency_factor: 0.1 },
+            ContentContext {
+                requests: 10.0,
+                popularity: 0.5,
+                urgency_factor: 0.1,
+            },
+            ContentContext {
+                requests: 0.0,
+                popularity: 0.1,
+                urgency_factor: 0.1,
+            },
         ];
         let outcomes = fw.run_epoch(&contexts);
         assert!(outcomes[0].is_some());
@@ -202,8 +222,11 @@ mod tests {
     #[test]
     fn demanded_contents_earn_positive_utility() {
         let fw = Framework::new(tiny_params(), FrameworkConfig::default()).unwrap();
-        let contexts =
-            vec![ContentContext { requests: 10.0, popularity: 0.4, urgency_factor: 0.1 }];
+        let contexts = vec![ContentContext {
+            requests: 10.0,
+            popularity: 0.4,
+            urgency_factor: 0.1,
+        }];
         let outcomes = fw.run_epoch(&contexts);
         let out = outcomes[0].as_ref().unwrap();
         assert_eq!(out.content, 0);
@@ -215,9 +238,21 @@ mod tests {
     fn capacity_budget_prunes_the_plan() {
         let fw = Framework::new(tiny_params(), FrameworkConfig::default()).unwrap();
         let contexts = vec![
-            ContentContext { requests: 20.0, popularity: 0.6, urgency_factor: 0.1 },
-            ContentContext { requests: 10.0, popularity: 0.3, urgency_factor: 0.1 },
-            ContentContext { requests: 2.0, popularity: 0.05, urgency_factor: 0.1 },
+            ContentContext {
+                requests: 20.0,
+                popularity: 0.6,
+                urgency_factor: 0.1,
+            },
+            ContentContext {
+                requests: 10.0,
+                popularity: 0.3,
+                urgency_factor: 0.1,
+            },
+            ContentContext {
+                requests: 2.0,
+                popularity: 0.05,
+                urgency_factor: 0.1,
+            },
         ];
         let (outcomes, generous) = fw.run_epoch_with_capacity(&contexts, 10.0);
         assert_eq!(outcomes.len(), 3);
@@ -233,7 +268,11 @@ mod tests {
     #[test]
     fn rolling_epochs_chain_the_density() {
         let fw = Framework::new(tiny_params(), FrameworkConfig::default()).unwrap();
-        let ctx = ContentContext { requests: 10.0, popularity: 0.4, urgency_factor: 0.05 };
+        let ctx = ContentContext {
+            requests: 10.0,
+            popularity: 0.4,
+            urgency_factor: 0.05,
+        };
         let epochs = vec![vec![ctx], vec![ctx], vec![ctx]];
         let all = fw.run_epochs(&epochs);
         assert_eq!(all.len(), 3);
@@ -247,14 +286,25 @@ mod tests {
             .last()
             .copied()
             .unwrap();
-        let start_of_1 = all[1][0].as_ref().unwrap().equilibrium.mean_remaining_space()[0];
+        let start_of_1 = all[1][0]
+            .as_ref()
+            .unwrap()
+            .equilibrium
+            .mean_remaining_space()[0];
         assert!(
             (end_of_0 - start_of_1).abs() < 1e-9,
             "epoch 1 start {start_of_1} vs epoch 0 end {end_of_0}"
         );
         // And differs from the fresh-prior start of epoch 0.
-        let start_of_0 = all[0][0].as_ref().unwrap().equilibrium.mean_remaining_space()[0];
-        assert!((start_of_1 - start_of_0).abs() > 1e-3, "chaining had no effect");
+        let start_of_0 = all[0][0]
+            .as_ref()
+            .unwrap()
+            .equilibrium
+            .mean_remaining_space()[0];
+        assert!(
+            (start_of_1 - start_of_0).abs() > 1e-3,
+            "chaining had no effect"
+        );
     }
 
     #[test]
@@ -267,8 +317,16 @@ mod tests {
     fn more_popular_content_earns_more() {
         let fw = Framework::new(tiny_params(), FrameworkConfig::default()).unwrap();
         let contexts = vec![
-            ContentContext { requests: 20.0, popularity: 0.6, urgency_factor: 0.1 },
-            ContentContext { requests: 5.0, popularity: 0.1, urgency_factor: 0.1 },
+            ContentContext {
+                requests: 20.0,
+                popularity: 0.6,
+                urgency_factor: 0.1,
+            },
+            ContentContext {
+                requests: 5.0,
+                popularity: 0.1,
+                urgency_factor: 0.1,
+            },
         ];
         let outcomes = fw.run_epoch(&contexts);
         let hot = outcomes[0].as_ref().unwrap().utility();

@@ -7,7 +7,7 @@
 //! optimal caching rate `x*(t, h, q)` from `∂_q V` at every step. This is
 //! exactly lines 4–5 of Alg. 2.
 
-use mfgcp_pde::{BackwardParabolic2d, Field2d, Grid2d, ImplicitBackward2d};
+use mfgcp_pde::{BackwardParabolic2d, Field2d, Grid2d, ImplicitBackward2d, StepperScratch};
 
 use crate::estimator::MeanFieldSnapshot;
 use crate::params::{CoreError, Params};
@@ -30,6 +30,17 @@ impl HjbSolution {
     }
 }
 
+/// Reusable cross-iteration workspace for [`HjbSolver::solve_into`]: the
+/// closed-loop drift and running-reward fields plus the stepper scratch,
+/// allocated once (via [`HjbSolver::scratch`]) and reused across every
+/// Picard iteration of Alg. 2.
+#[derive(Debug, Clone)]
+pub struct HjbScratch {
+    by: Field2d,
+    source: Field2d,
+    stepper: StepperScratch,
+}
+
 /// Backward HJB solver.
 #[derive(Debug, Clone)]
 pub struct HjbSolver {
@@ -38,6 +49,9 @@ pub struct HjbSolver {
     stepper: BackwardParabolic2d,
     implicit: ImplicitBackward2d,
     grid: Grid2d,
+    /// Channel drift `b_h(h)` — state-only, so assembled once here rather
+    /// than on every solve.
+    channel_drift: Field2d,
 }
 
 impl HjbSolver {
@@ -54,7 +68,24 @@ impl HjbSolver {
         let implicit = ImplicitBackward2d::new(params.diffusion_h(), params.diffusion_q())
             .expect("validated diffusions");
         let utility = Utility::new(params.clone());
-        Ok(Self { params, utility, stepper, implicit, grid })
+        let channel_drift = Field2d::from_fn(grid.clone(), |h, _q| params.drift_h(h));
+        Ok(Self {
+            params,
+            utility,
+            stepper,
+            implicit,
+            grid,
+            channel_drift,
+        })
+    }
+
+    /// A fresh workspace for [`HjbSolver::solve_into`].
+    pub fn scratch(&self) -> HjbScratch {
+        HjbScratch {
+            by: Field2d::zeros(self.grid.clone()),
+            source: Field2d::zeros(self.grid.clone()),
+            stepper: StepperScratch::new(),
+        }
     }
 
     /// The utility evaluator (shared with callers that need breakdowns).
@@ -80,69 +111,116 @@ impl HjbSolver {
         contexts: &[ContentContext],
         snapshots: &[MeanFieldSnapshot],
     ) -> HjbSolution {
+        let mut values = Vec::new();
+        let mut policy = Vec::new();
+        self.solve_into(
+            contexts,
+            snapshots,
+            &mut values,
+            &mut policy,
+            &mut self.scratch(),
+        );
+        HjbSolution { values, policy }
+    }
+
+    /// [`HjbSolver::solve`] writing into caller-owned `values`/`policy`
+    /// vectors (resized and fully overwritten) with a reusable workspace —
+    /// the allocation-free path the Picard loop of Alg. 2 runs on. The
+    /// per-grid-point assembly is fanned out over contiguous h-columns on
+    /// [`Params::worker_threads`] scoped threads; because each point is a
+    /// pure function of the previous value surface, the result is
+    /// bit-identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or if reused buffers live on a
+    /// different grid.
+    pub fn solve_into(
+        &self,
+        contexts: &[ContentContext],
+        snapshots: &[MeanFieldSnapshot],
+        values: &mut Vec<Field2d>,
+        policy: &mut Vec<Field2d>,
+        scratch: &mut HjbScratch,
+    ) {
         let n_steps = self.params.time_steps;
         assert_eq!(contexts.len(), n_steps, "need one context per time step");
         assert_eq!(snapshots.len(), n_steps, "need one snapshot per time step");
         let dt = self.params.dt();
         let (nx, ny) = (self.grid.x().len(), self.grid.y().len());
+        let threads = self.params.assembly_threads(nx);
 
-        let mut values = vec![Field2d::zeros(self.grid.clone()); n_steps + 1];
+        values.resize_with(n_steps + 1, || Field2d::zeros(self.grid.clone()));
+        policy.resize_with(n_steps, || Field2d::zeros(self.grid.clone()));
+        for f in values.iter().chain(policy.iter()) {
+            assert_eq!(f.grid(), &self.grid, "reused buffer grid mismatch");
+        }
         // Terminal condition: V(T) = γ·(Q_k − q) (salvage value of the
         // cached inventory; γ = 0 reproduces the paper's V(T) = 0).
-        if self.params.terminal_value_weight > 0.0 {
-            let gamma = self.params.terminal_value_weight;
-            let qk = self.params.q_size;
-            values[n_steps] = Field2d::from_fn(self.grid.clone(), |_h, q| gamma * (qk - q));
-        }
-        let mut policy = vec![Field2d::zeros(self.grid.clone()); n_steps];
-        let mut bx = Field2d::zeros(self.grid.clone());
-        let mut by = Field2d::zeros(self.grid.clone());
-        let mut source = Field2d::zeros(self.grid.clone());
-
-        // Channel drift is state-only; precompute once.
+        let gamma = self.params.terminal_value_weight;
+        let qk = self.params.q_size;
         for i in 0..nx {
-            let bh = self.params.drift_h(self.grid.x().at(i));
             for j in 0..ny {
-                bx.set(i, j, bh);
+                values[n_steps].set(i, j, gamma * (qk - self.grid.y().at(j)));
             }
         }
 
         for n in (0..n_steps).rev() {
             let ctx = &contexts[n];
             let snap = &snapshots[n];
-            let v_next = values[n + 1].clone();
+            let (head, tail) = values.split_at_mut(n + 1);
+            let v_next = &tail[0];
 
             // Extract x* from ∂_q V(t_{n+1}) (Thm. 1), then build the
-            // closed-loop drift and running reward for the step back.
+            // closed-loop drift and running reward for the step back —
+            // independently per h-column, so fanned out over threads.
             let dq = self.grid.y().dx();
-            for i in 0..nx {
-                let h = self.grid.x().at(i);
-                for j in 0..ny {
-                    let dv_dq = if j == 0 {
-                        (v_next.at(i, 1) - v_next.at(i, 0)) / dq
-                    } else if j == ny - 1 {
-                        (v_next.at(i, ny - 1) - v_next.at(i, ny - 2)) / dq
-                    } else {
-                        (v_next.at(i, j + 1) - v_next.at(i, j - 1)) / (2.0 * dq)
-                    };
-                    let x = self.utility.optimal_control(dv_dq);
-                    policy[n].set(i, j, x);
-                    by.set(i, j, self.params.drift_q(x, ctx.popularity, ctx.urgency_factor));
-                    let q = self.grid.y().at(j);
-                    source.set(i, j, self.utility.evaluate(ctx, snap, x, h, q));
-                }
-            }
+            crate::parallel::for_each_column3(
+                threads,
+                ny,
+                policy[n].values_mut(),
+                scratch.by.values_mut(),
+                scratch.source.values_mut(),
+                |i, pol_col, by_col, src_col| {
+                    let h = self.grid.x().at(i);
+                    for j in 0..ny {
+                        let dv_dq = if j == 0 {
+                            (v_next.at(i, 1) - v_next.at(i, 0)) / dq
+                        } else if j == ny - 1 {
+                            (v_next.at(i, ny - 1) - v_next.at(i, ny - 2)) / dq
+                        } else {
+                            (v_next.at(i, j + 1) - v_next.at(i, j - 1)) / (2.0 * dq)
+                        };
+                        let x = self.utility.optimal_control(dv_dq);
+                        pol_col[j] = x;
+                        by_col[j] = self.params.drift_q(x, ctx.popularity, ctx.urgency_factor);
+                        src_col[j] = self.utility.evaluate(ctx, snap, x, h, self.grid.y().at(j));
+                    }
+                },
+            );
 
-            let mut v = v_next;
+            let v = &mut head[n];
+            v.values_mut().copy_from_slice(tail[0].values());
             if self.params.implicit_steppers {
-                self.implicit.step_back(&mut v, &bx, &by, &source, dt);
+                self.implicit.step_back_scratch(
+                    v,
+                    &self.channel_drift,
+                    &scratch.by,
+                    &scratch.source,
+                    dt,
+                    &mut scratch.stepper,
+                );
             } else {
-                self.stepper.step_back(&mut v, &bx, &by, &source, dt);
+                self.stepper.step_back_scratch(
+                    v,
+                    &self.channel_drift,
+                    &scratch.by,
+                    &scratch.source,
+                    dt,
+                    &mut scratch.stepper,
+                );
             }
-            values[n] = v;
         }
-
-        HjbSolution { values, policy }
     }
 }
 
@@ -162,7 +240,12 @@ mod tests {
     }
 
     fn solve_default() -> (HjbSolver, HjbSolution) {
-        let params = Params { time_steps: 20, grid_h: 12, grid_q: 32, ..Params::default() };
+        let params = Params {
+            time_steps: 20,
+            grid_h: 12,
+            grid_q: 32,
+            ..Params::default()
+        };
         let ctx = ContentContext::from_params(&params);
         let solver = HjbSolver::new(params.clone()).unwrap();
         let contexts = vec![ctx; params.time_steps];
@@ -174,7 +257,13 @@ mod tests {
     #[test]
     fn terminal_condition_is_zero() {
         let (_, sol) = solve_default();
-        assert!(sol.values.last().unwrap().values().iter().all(|&v| v == 0.0));
+        assert!(sol
+            .values
+            .last()
+            .unwrap()
+            .values()
+            .iter()
+            .all(|&v| v == 0.0));
     }
 
     #[test]
@@ -196,9 +285,12 @@ mod tests {
         // Salvage value keeps the policy caching near the horizon where
         // the γ = 0 solve has already shut down.
         let salvage_late = sol.policy[9].interpolate(5.0e-5, 0.6);
-        let plain = HjbSolver::new(Params { terminal_value_weight: 0.0, ..params })
-            .unwrap()
-            .solve(&vec![ctx; 10], &vec![snapshot(); 10]);
+        let plain = HjbSolver::new(Params {
+            terminal_value_weight: 0.0,
+            ..params
+        })
+        .unwrap()
+        .solve(&vec![ctx; 10], &vec![snapshot(); 10]);
         let plain_late = plain.policy[9].interpolate(5.0e-5, 0.6);
         assert!(
             salvage_late > plain_late,
@@ -269,10 +361,23 @@ mod tests {
         // A demand burst confined to the second half of the horizon should
         // produce more aggressive early caching than no burst at all
         // (the backward sweep anticipates it).
-        let params = Params { time_steps: 20, grid_h: 8, grid_q: 32, ..Params::default() };
+        let params = Params {
+            time_steps: 20,
+            grid_h: 8,
+            grid_q: 32,
+            ..Params::default()
+        };
         let solver = HjbSolver::new(params.clone()).unwrap();
-        let quiet = ContentContext { requests: 2.0, popularity: 0.1, urgency_factor: 0.01 };
-        let burst = ContentContext { requests: 40.0, popularity: 0.8, urgency_factor: 0.01 };
+        let quiet = ContentContext {
+            requests: 2.0,
+            popularity: 0.1,
+            urgency_factor: 0.01,
+        };
+        let burst = ContentContext {
+            requests: 40.0,
+            popularity: 0.8,
+            urgency_factor: 0.01,
+        };
         let snaps = vec![snapshot(); 20];
 
         let flat = solver.solve(&vec![quiet; 20], &snaps);
@@ -298,7 +403,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "one context per time step")]
     fn mismatched_contexts_rejected() {
-        let params = Params { time_steps: 10, ..Params::default() };
+        let params = Params {
+            time_steps: 10,
+            ..Params::default()
+        };
         let solver = HjbSolver::new(params.clone()).unwrap();
         let snaps = vec![snapshot(); 10];
         solver.solve(&[], &snaps);

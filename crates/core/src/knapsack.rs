@@ -78,7 +78,10 @@ impl CachePlan {
 ///
 /// Panics if `capacity` is negative or any weight is negative/non-finite.
 pub fn solve_fractional(items: &[KnapsackItem], capacity: f64) -> CachePlan {
-    assert!(capacity >= 0.0 && capacity.is_finite(), "capacity must be >= 0");
+    assert!(
+        capacity >= 0.0 && capacity.is_finite(),
+        "capacity must be >= 0"
+    );
     for it in items {
         assert!(
             it.weight >= 0.0 && it.weight.is_finite() && it.value.is_finite(),
@@ -118,7 +121,11 @@ pub fn solve_fractional(items: &[KnapsackItem], capacity: f64) -> CachePlan {
         .zip(&fractions)
         .map(|(it, f)| it.weight * f)
         .sum();
-    CachePlan { fractions, total_value, total_weight }
+    CachePlan {
+        fractions,
+        total_value,
+        total_weight,
+    }
 }
 
 fn density(it: &KnapsackItem) -> f64 {
@@ -142,7 +149,10 @@ fn density(it: &KnapsackItem) -> f64 {
 /// Panics if `resolution == 0`, `capacity < 0`, or items are invalid.
 pub fn solve_01(items: &[KnapsackItem], capacity: f64, resolution: usize) -> CachePlan {
     assert!(resolution > 0, "resolution must be > 0");
-    assert!(capacity >= 0.0 && capacity.is_finite(), "capacity must be >= 0");
+    assert!(
+        capacity >= 0.0 && capacity.is_finite(),
+        "capacity must be >= 0"
+    );
     for it in items {
         assert!(
             it.weight >= 0.0 && it.weight.is_finite() && it.value.is_finite(),
@@ -192,9 +202,21 @@ pub fn solve_01(items: &[KnapsackItem], capacity: f64, resolution: usize) -> Cac
             c -= w[i];
         }
     }
-    let total_value = items.iter().zip(&fractions).map(|(it, f)| it.value * f).sum();
-    let total_weight = items.iter().zip(&fractions).map(|(it, f)| it.weight * f).sum();
-    CachePlan { fractions, total_value, total_weight }
+    let total_value = items
+        .iter()
+        .zip(&fractions)
+        .map(|(it, f)| it.value * f)
+        .sum();
+    let total_weight = items
+        .iter()
+        .zip(&fractions)
+        .map(|(it, f)| it.weight * f)
+        .sum();
+    CachePlan {
+        fractions,
+        total_value,
+        total_weight,
+    }
 }
 
 #[cfg(test)]
@@ -202,7 +224,11 @@ mod tests {
     use super::*;
 
     fn item(content: usize, value: f64, weight: f64) -> KnapsackItem {
-        KnapsackItem { content, value, weight }
+        KnapsackItem {
+            content,
+            value,
+            weight,
+        }
     }
 
     #[test]

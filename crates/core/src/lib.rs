@@ -65,6 +65,7 @@ mod framework;
 mod hjb;
 mod knapsack;
 mod mfg;
+mod parallel;
 mod params;
 mod pricing;
 mod rate;
@@ -75,13 +76,13 @@ mod utility;
 pub use cases::CaseProbabilities;
 pub use diag::ConvergenceReport;
 pub use estimator::{MeanFieldEstimator, MeanFieldSnapshot};
-pub use fpk::FpkSolver;
+pub use fpk::{FpkScratch, FpkSolver};
 pub use framework::{EpochOutcome, Framework, FrameworkConfig};
-pub use hjb::{HjbSolution, HjbSolver};
+pub use hjb::{HjbScratch, HjbSolution, HjbSolver};
 pub use knapsack::{solve_01, solve_fractional, CachePlan, KnapsackItem};
 pub use mfg::{Equilibrium, MfgSolver, SolveMethod};
 pub use params::{CoreError, Params};
-pub use pricing::{finite_population_price, mean_field_price};
+pub use pricing::{finite_population_price, mean_field_price, SharedSupplyPricer};
 pub use rate::RateModel;
 pub use reduced::{ReducedEquilibrium, ReducedMfgSolver};
 pub use sigmoid::Sigmoid;

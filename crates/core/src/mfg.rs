@@ -11,8 +11,19 @@
 //! 3. relaxes the policy (`x ← (1−ω)x_old + ω x_new`) — the practical
 //!    realization of the contraction mapping in Thm. 2;
 //! 4. solves the FPK equation forwards under the relaxed policy (line 8);
-//! 5. stops when the sup-norm policy change falls below the preset
-//!    threshold (line 6).
+//! 5. stops when the *undamped* sup-norm best-response gap
+//!    `max|BR(x) − x|` falls below the preset threshold (line 6). The gap
+//!    is measured before the relaxation is applied: the damped update
+//!    `ω·|BR(x) − x|` shrinks with the mixing weight, not with proximity
+//!    to equilibrium, and is recorded separately in
+//!    [`ConvergenceReport::update_norms`].
+//!
+//! The HJB/FPK sweeps run on cross-iteration scratch buffers and fan
+//! their per-grid-point assembly out over h-columns with scoped threads
+//! ([`Params::worker_threads`]); results are bit-identical for any thread
+//! count.
+
+use std::sync::OnceLock;
 
 use mfgcp_pde::Field2d;
 
@@ -25,7 +36,7 @@ use crate::utility::{ContentContext, Utility, UtilityBreakdown};
 
 /// A mean-field equilibrium: the fixed point `(V*, λ*)` of the coupled
 /// HJB–FPK system, together with the induced policy and prices.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Equilibrium {
     /// The parameters the equilibrium was computed under.
     pub params: Params,
@@ -41,6 +52,29 @@ pub struct Equilibrium {
     pub snapshots: Vec<MeanFieldSnapshot>,
     /// Convergence diagnostics of the Picard iteration.
     pub report: ConvergenceReport,
+    /// Lazily computed per-step utility breakdown (the O(N·nx·ny)
+    /// quadrature behind [`Equilibrium::utility_series`]), cached so the
+    /// `accumulated_*` accessors share one computation.
+    utility_cache: OnceLock<Vec<UtilityBreakdown>>,
+}
+
+impl Clone for Equilibrium {
+    fn clone(&self) -> Self {
+        let utility_cache = OnceLock::new();
+        if let Some(series) = self.utility_cache.get() {
+            let _ = utility_cache.set(series.clone());
+        }
+        Self {
+            params: self.params.clone(),
+            contexts: self.contexts.clone(),
+            policy: self.policy.clone(),
+            density: self.density.clone(),
+            values: self.values.clone(),
+            snapshots: self.snapshots.clone(),
+            report: self.report.clone(),
+            utility_cache,
+        }
+    }
 }
 
 impl Equilibrium {
@@ -78,7 +112,16 @@ impl Equilibrium {
 
     /// Population-average utility breakdown at each macro step:
     /// `Ū(t_n) = ∬ U(x*(S), S) λ(t_n, S) dS`, split by component.
-    pub fn utility_series(&self) -> Vec<UtilityBreakdown> {
+    ///
+    /// Computed once on first call and cached for the lifetime of the
+    /// equilibrium, so `accumulated_utility`, `accumulated_trading_income`
+    /// and `accumulated_staleness_cost` share a single quadrature pass.
+    pub fn utility_series(&self) -> &[UtilityBreakdown] {
+        self.utility_cache
+            .get_or_init(|| self.compute_utility_series())
+    }
+
+    fn compute_utility_series(&self) -> Vec<UtilityBreakdown> {
         let utility = Utility::new(self.params.clone());
         let grid = self.policy[0].grid().clone();
         let (nx, ny) = (grid.x().len(), grid.y().len());
@@ -131,13 +174,19 @@ impl Equilibrium {
     /// Accumulated trading income over the horizon (Figs. 12, 14).
     pub fn accumulated_trading_income(&self) -> f64 {
         let dt = self.dt();
-        self.utility_series().iter().map(|b| b.trading_income * dt).sum()
+        self.utility_series()
+            .iter()
+            .map(|b| b.trading_income * dt)
+            .sum()
     }
 
     /// Accumulated staleness cost over the horizon (Figs. 8, 13).
     pub fn accumulated_staleness_cost(&self) -> f64 {
         let dt = self.dt();
-        self.utility_series().iter().map(|b| b.staleness_cost * dt).sum()
+        self.utility_series()
+            .iter()
+            .map(|b| b.staleness_cost * dt)
+            .sum()
     }
 
     /// A quantitative Nash check (Def. 3): roll a tagged EDP's
@@ -273,11 +322,7 @@ impl MfgSolver {
     ///
     /// Panics if `contexts.len() != params.time_steps` or the initial
     /// density is on the wrong grid.
-    pub fn solve_with(
-        &self,
-        contexts: &[ContentContext],
-        initial: Option<Field2d>,
-    ) -> Equilibrium {
+    pub fn solve_with(&self, contexts: &[ContentContext], initial: Option<Field2d>) -> Equilibrium {
         self.solve_with_method(contexts, initial, SolveMethod::PicardRelaxation)
     }
 
@@ -298,21 +343,32 @@ impl MfgSolver {
 
         // Initial guesses: density frozen at λ(0), zero policy.
         let mut density: Vec<Field2d> = vec![lambda0.clone(); n_steps + 1];
-        let mut policy: Vec<Field2d> =
-            vec![Field2d::zeros(self.fpk.grid().clone()); n_steps];
+        let mut policy: Vec<Field2d> = vec![Field2d::zeros(self.fpk.grid().clone()); n_steps];
         let mut values: Vec<Field2d> = Vec::new();
+        let mut br_policy: Vec<Field2d> = Vec::new();
+        let mut snapshots: Vec<MeanFieldSnapshot> = Vec::with_capacity(n_steps);
+        let mut hjb_scratch = self.hjb.scratch();
+        let mut fpk_scratch = self.fpk.scratch();
         let mut residuals = Vec::new();
+        let mut update_norms = Vec::new();
         let mut converged = false;
         let mut iterations = 0;
 
         for psi in 0..self.params.max_iterations {
             iterations += 1;
             // (line 9) Mean-field estimates along the current trajectory.
-            let snapshots: Vec<MeanFieldSnapshot> = (0..n_steps)
-                .map(|n| self.estimator.snapshot(&density[n], &policy[n]))
-                .collect();
-            // (lines 4-5) Backward HJB → candidate best response.
-            let sol = self.hjb.solve(contexts, &snapshots);
+            snapshots.clear();
+            snapshots
+                .extend((0..n_steps).map(|n| self.estimator.snapshot(&density[n], &policy[n])));
+            // (lines 4-5) Backward HJB → candidate best response, written
+            // into buffers reused across iterations.
+            self.hjb.solve_into(
+                contexts,
+                &snapshots,
+                &mut values,
+                &mut br_policy,
+                &mut hjb_scratch,
+            );
             // Mix the best response into the iterate: Picard uses a fixed
             // relaxation weight ω on the policy; fictitious play averages
             // with the 1/(ψ+1) schedule.
@@ -321,18 +377,25 @@ impl MfgSolver {
                 SolveMethod::FictitiousPlay => 1.0 / (psi as f64 + 1.0),
             };
             let mut residual = 0.0_f64;
-            for (pol, new) in policy.iter_mut().zip(&sol.policy) {
+            let mut update_norm = 0.0_f64;
+            for (pol, new) in policy.iter_mut().zip(&br_policy) {
                 for (d, x_new) in pol.values_mut().iter_mut().zip(new.values()) {
                     let relaxed = (1.0 - omega) * *d + omega * x_new;
-                    residual = residual.max((relaxed - *d).abs());
+                    residual = residual.max((x_new - *d).abs());
+                    update_norm = update_norm.max((relaxed - *d).abs());
                     *d = relaxed;
                 }
             }
-            values = sol.values;
             residuals.push(residual);
+            update_norms.push(update_norm);
             // (line 8) Forward FPK under the mixed policy.
-            density = self.fpk.solve(lambda0.clone(), contexts, &policy);
-            // (line 6) Stop when the policy has stopped moving.
+            self.fpk
+                .solve_into(&lambda0, contexts, &policy, &mut density, &mut fpk_scratch);
+            // (line 6) Stop on the undamped best-response gap. The applied
+            // update ω·|BR(x) − x| shrinks with the damping weight even far
+            // from equilibrium — under fictitious play ω = 1/(ψ+1) → 0 it
+            // decays unconditionally — so gating on it reports spurious
+            // convergence.
             if residual < self.params.tolerance {
                 converged = true;
                 break;
@@ -340,9 +403,8 @@ impl MfgSolver {
         }
 
         // Final consistent snapshots for the returned equilibrium.
-        let snapshots: Vec<MeanFieldSnapshot> = (0..n_steps)
-            .map(|n| self.estimator.snapshot(&density[n], &policy[n]))
-            .collect();
+        snapshots.clear();
+        snapshots.extend((0..n_steps).map(|n| self.estimator.snapshot(&density[n], &policy[n])));
 
         Equilibrium {
             params: self.params.clone(),
@@ -351,7 +413,13 @@ impl MfgSolver {
             density,
             values,
             snapshots,
-            report: ConvergenceReport { converged, iterations, residuals },
+            report: ConvergenceReport {
+                converged,
+                iterations,
+                residuals,
+                update_norms,
+            },
+            utility_cache: OnceLock::new(),
         }
     }
 }
@@ -410,7 +478,7 @@ mod tests {
         let eq = solver.solve().unwrap();
         let series = eq.utility_series();
         assert_eq!(series.len(), 16);
-        for b in &series {
+        for b in series {
             assert!(b.total().is_finite());
             assert!(b.trading_income > 0.0);
         }
@@ -432,14 +500,20 @@ mod tests {
     #[test]
     fn implicit_steppers_reach_the_same_equilibrium() {
         let explicit = MfgSolver::new(fast_params()).unwrap().solve().unwrap();
-        let implicit = MfgSolver::new(Params { implicit_steppers: true, ..fast_params() })
-            .unwrap()
-            .solve()
-            .unwrap();
+        let implicit = MfgSolver::new(Params {
+            implicit_steppers: true,
+            ..fast_params()
+        })
+        .unwrap()
+        .solve()
+        .unwrap();
         let a = explicit.mean_remaining_space();
         let b = implicit.mean_remaining_space();
         for (n, (x, y)) in a.iter().zip(&b).enumerate() {
-            assert!((x - y).abs() < 0.05, "step {n}: explicit {x} vs implicit {y}");
+            assert!(
+                (x - y).abs() < 0.05,
+                "step {n}: explicit {x} vs implicit {y}"
+            );
         }
         for &p in &implicit.price_series() {
             assert!((0.0..=5.0).contains(&p));
@@ -467,6 +541,75 @@ mod tests {
         for (n, (x, y)) in a.iter().zip(&b).enumerate() {
             assert!((x - y).abs() < 0.05, "step {n}: picard {x} vs fp {y}");
         }
+    }
+
+    #[test]
+    fn solve_is_bit_identical_across_worker_thread_counts() {
+        let reference = MfgSolver::new(Params {
+            worker_threads: 1,
+            ..fast_params()
+        })
+        .unwrap()
+        .solve()
+        .unwrap();
+        for threads in [2, 8] {
+            let eq = MfgSolver::new(Params {
+                worker_threads: threads,
+                ..fast_params()
+            })
+            .unwrap()
+            .solve()
+            .unwrap();
+            assert_eq!(eq.report.iterations, reference.report.iterations);
+            for (n, (a, b)) in eq.policy.iter().zip(&reference.policy).enumerate() {
+                assert_eq!(a.values(), b.values(), "policy step {n}, {threads} threads");
+            }
+            for (n, (a, b)) in eq.density.iter().zip(&reference.density).enumerate() {
+                assert_eq!(
+                    a.values(),
+                    b.values(),
+                    "density step {n}, {threads} threads"
+                );
+            }
+            for (n, (a, b)) in eq.values.iter().zip(&reference.values).enumerate() {
+                assert_eq!(a.values(), b.values(), "values step {n}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn utility_series_cache_matches_recomputation_and_survives_clone() {
+        let solver = MfgSolver::new(fast_params()).unwrap();
+        let eq = solver.solve().unwrap();
+        let first = eq.utility_series().to_vec();
+        // Second call must hand back the same cached slice.
+        assert_eq!(eq.utility_series().as_ptr(), eq.utility_series().as_ptr());
+        let cloned = eq.clone();
+        let second = cloned.utility_series();
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(second) {
+            assert_eq!(a.total(), b.total());
+            assert_eq!(a.trading_income, b.trading_income);
+        }
+    }
+
+    #[test]
+    fn report_tracks_damped_and_undamped_series_separately() {
+        let solver = MfgSolver::new(fast_params()).unwrap();
+        let eq = solver.solve().unwrap();
+        let r = &eq.report;
+        assert_eq!(r.residuals.len(), r.update_norms.len());
+        let omega = eq.params.relaxation;
+        for (psi, (gap, applied)) in r.residuals.iter().zip(&r.update_norms).enumerate() {
+            // Applied update is exactly ω times the undamped gap under
+            // Picard relaxation.
+            assert!(
+                (applied - omega * gap).abs() < 1e-12,
+                "iteration {psi}: gap {gap}, applied {applied}"
+            );
+        }
+        // The gate is on the undamped gap.
+        assert!(r.final_residual() < eq.params.tolerance);
     }
 
     #[test]

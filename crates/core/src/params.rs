@@ -152,10 +152,18 @@ pub struct Params {
     // ---- Alg. 2 fixed point ----
     /// Maximum best-response iterations `ψ_th`.
     pub max_iterations: usize,
-    /// Sup-norm policy tolerance ("preset threshold" of Alg. 2 line 6).
+    /// Sup-norm policy tolerance ("preset threshold" of Alg. 2 line 6),
+    /// applied to the *undamped* best-response gap `max|BR(x) − x|` — not
+    /// the damped applied update `ω·|BR(x) − x|` (see
+    /// [`crate::ConvergenceReport`]).
     pub tolerance: f64,
     /// Picard relaxation weight `ω ∈ (0, 1]` mixing successive policies.
     pub relaxation: f64,
+    /// Worker threads for the per-grid-point HJB/FPK assembly passes;
+    /// `0` = one per available core. The assembly is a pure function of the
+    /// previous iterate, split over contiguous h-columns, so results are
+    /// bit-identical for any value.
+    pub worker_threads: usize,
 }
 
 impl Default for Params {
@@ -196,6 +204,7 @@ impl Default for Params {
             max_iterations: 40,
             tolerance: 2e-3,
             relaxation: 0.5,
+            worker_threads: 0,
         }
     }
 }
@@ -206,7 +215,10 @@ macro_rules! require {
         // tripping clippy's negated-partial-ord lint.
         if $cond {
         } else {
-            return Err(CoreError::BadParam { name: $name, message: $msg.to_string() });
+            return Err(CoreError::BadParam {
+                name: $name,
+                message: $msg.to_string(),
+            });
         }
     };
 }
@@ -218,8 +230,16 @@ impl Params {
     ///
     /// Returns the first violated constraint.
     pub fn validate(&self) -> Result<(), CoreError> {
-        require!(self.num_edps >= 2, "num_edps", "need at least 2 EDPs for a game");
-        require!(self.q_size > 0.0 && self.q_size <= 1.0, "q_size", "must be in (0, 1]");
+        require!(
+            self.num_edps >= 2,
+            "num_edps",
+            "need at least 2 EDPs for a game"
+        );
+        require!(
+            self.q_size > 0.0 && self.q_size <= 1.0,
+            "q_size",
+            "must be in (0, 1]"
+        );
         require!(self.requests >= 0.0, "requests", "must be >= 0");
         require!(
             (0.0..=1.0).contains(&self.popularity),
@@ -241,7 +261,11 @@ impl Params {
         require!(self.eta1 >= 0.0, "eta1", "must be >= 0");
         require!(self.eta2 >= 0.0, "eta2", "must be >= 0");
         require!(self.p_bar >= 0.0, "p_bar", "must be >= 0");
-        require!(self.alpha > 0.0 && self.alpha < 1.0, "alpha", "must be in (0, 1)");
+        require!(
+            self.alpha > 0.0 && self.alpha < 1.0,
+            "alpha",
+            "must be in (0, 1)"
+        );
         require!(self.sigmoid_l > 0.0, "sigmoid_l", "must be > 0");
         require!(self.varsigma_h > 0.0, "varsigma_h", "must be > 0");
         require!(self.varrho_h > 0.0, "varrho_h", "must be > 0");
@@ -320,6 +344,21 @@ impl Params {
     pub fn diffusion_q(&self) -> f64 {
         0.5 * self.varrho_q * self.varrho_q
     }
+
+    /// Threads to use for an assembly pass over `nx` h-columns:
+    /// `worker_threads` (0 = one per available core), clamped so every
+    /// thread gets at least four columns — below that spawn overhead
+    /// dominates the arithmetic. Never affects results, only wall-clock.
+    pub(crate) fn assembly_threads(&self, nx: usize) -> usize {
+        let requested = if self.worker_threads > 0 {
+            self.worker_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        requested.clamp(1, (nx / 4).max(1))
+    }
 }
 
 #[cfg(test)]
@@ -352,14 +391,62 @@ mod tests {
     fn validation_catches_each_violation() {
         let base = Params::default();
         let cases: Vec<(&str, Params)> = vec![
-            ("num_edps", Params { num_edps: 1, ..base.clone() }),
-            ("q_size", Params { q_size: 0.0, ..base.clone() }),
-            ("w5", Params { w5: 0.0, ..base.clone() }),
-            ("alpha", Params { alpha: 1.0, ..base.clone() }),
-            ("upsilon_h", Params { upsilon_h: 1.0, ..base.clone() }),
-            ("relaxation", Params { relaxation: 0.0, ..base.clone() }),
-            ("tolerance", Params { tolerance: 0.0, ..base.clone() }),
-            ("lambda0_std", Params { lambda0_std: 0.0, ..base.clone() }),
+            (
+                "num_edps",
+                Params {
+                    num_edps: 1,
+                    ..base.clone()
+                },
+            ),
+            (
+                "q_size",
+                Params {
+                    q_size: 0.0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "w5",
+                Params {
+                    w5: 0.0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "alpha",
+                Params {
+                    alpha: 1.0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "upsilon_h",
+                Params {
+                    upsilon_h: 1.0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "relaxation",
+                Params {
+                    relaxation: 0.0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "tolerance",
+                Params {
+                    tolerance: 0.0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "lambda0_std",
+                Params {
+                    lambda0_std: 0.0,
+                    ..base.clone()
+                },
+            ),
         ];
         for (name, p) in cases {
             match p.validate() {
@@ -399,7 +486,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = CoreError::NotConverged { residual: 0.5, iterations: 7 };
+        let e = CoreError::NotConverged {
+            residual: 0.5,
+            iterations: 7,
+        };
         assert!(e.to_string().contains("7 iterations"));
     }
 }

@@ -44,13 +44,86 @@ pub fn finite_population_price(
     (p_hat - eta1 * supply / (m - 1) as f64).max(0.0)
 }
 
+/// Shared-supply evaluation of Eq. (5): one O(M) pass per (content, slot)
+/// builds `Σ_i x_i`, after which every EDP's price is the O(1) identity
+/// `p̂ − η₁·Q_k·(Σx − x_i)/(M − 1)` — the competitor sum `Σ_{i'≠i} x_{i'}`
+/// rewritten as total-minus-own. This turns the market-clearing pricing
+/// pass from O(M²) per content into O(M); [`finite_population_price`] is
+/// kept as the per-EDP reference implementation and property-test oracle.
+#[derive(Clone, Copy, Debug)]
+pub struct SharedSupplyPricer {
+    p_hat: f64,
+    /// `η₁·Q_k`, folded once.
+    eta1_q: f64,
+    m: usize,
+    /// `Σ_i x_i` over the whole population (own strategy included).
+    sum_x: f64,
+}
+
+impl SharedSupplyPricer {
+    /// Accumulate the shared supply sum for one (content, slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strategies` is empty.
+    pub fn new(p_hat: f64, eta1: f64, q_size: f64, strategies: &[f64]) -> Self {
+        assert!(!strategies.is_empty(), "need at least one EDP");
+        Self::from_sum(
+            p_hat,
+            eta1,
+            q_size,
+            strategies.len(),
+            strategies.iter().sum(),
+        )
+    }
+
+    /// Build from an already-accumulated population sum `Σ_i x_i` over `m`
+    /// EDPs (for callers that fold the sum in their own pass, avoiding a
+    /// strategy-profile allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn from_sum(p_hat: f64, eta1: f64, q_size: f64, m: usize, sum_x: f64) -> Self {
+        assert!(m > 0, "need at least one EDP");
+        Self {
+            p_hat,
+            eta1_q: eta1 * q_size,
+            m,
+            sum_x,
+        }
+    }
+
+    /// Eq. (5) price for an EDP whose own caching rate is `own` — O(1).
+    ///
+    /// `own` must be the same value that entered the sum in
+    /// [`SharedSupplyPricer::new`]; the monopolist case (`M = 1`) prices at
+    /// the cap exactly like the reference.
+    pub fn price(&self, own: f64) -> f64 {
+        if self.m == 1 {
+            return self.p_hat.max(0.0);
+        }
+        (self.p_hat - self.eta1_q * (self.sum_x - own) / (self.m - 1) as f64).max(0.0)
+    }
+}
+
 /// Mean-field price of Eq. (17): `p̂ − η₁·Q_k·∬ λ·x* dh dq`, floored at 0.
 ///
 /// # Panics
 ///
 /// Panics if `density` and `policy` are not on the same grid.
-pub fn mean_field_price(p_hat: f64, eta1: f64, q_size: f64, density: &Field2d, policy: &Field2d) -> f64 {
-    assert_eq!(density.grid(), policy.grid(), "density/policy grid mismatch");
+pub fn mean_field_price(
+    p_hat: f64,
+    eta1: f64,
+    q_size: f64,
+    density: &Field2d,
+    policy: &Field2d,
+) -> f64 {
+    assert_eq!(
+        density.grid(),
+        policy.grid(),
+        "density/policy grid mismatch"
+    );
     let mut supply = 0.0;
     for (lam, x) in density.values().iter().zip(policy.values()) {
         supply += lam * x;
@@ -65,7 +138,10 @@ mod tests {
     use mfgcp_pde::{Axis, Grid2d};
 
     fn grid() -> Grid2d {
-        Grid2d::new(Axis::new(0.0, 1.0, 11).unwrap(), Axis::new(0.0, 1.0, 11).unwrap())
+        Grid2d::new(
+            Axis::new(0.0, 1.0, 11).unwrap(),
+            Axis::new(0.0, 1.0, 11).unwrap(),
+        )
     }
 
     #[test]
@@ -94,6 +170,31 @@ mod tests {
     fn price_never_negative() {
         let p = finite_population_price(1.0, 100.0, 1.0, &[0.0, 1.0], 0);
         assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn shared_sum_matches_reference_on_small_profiles() {
+        let strategies = [0.0, 0.25, 1.0, 0.6];
+        let pricer = SharedSupplyPricer::new(5.0, 2.0, 0.8, &strategies);
+        for (i, &x) in strategies.iter().enumerate() {
+            let oracle = finite_population_price(5.0, 2.0, 0.8, &strategies, i);
+            assert!((pricer.price(x) - oracle).abs() < 1e-12, "EDP {i}");
+        }
+    }
+
+    #[test]
+    fn shared_sum_monopolist_charges_the_cap() {
+        let pricer = SharedSupplyPricer::new(5.0, 1.0, 1.0, &[0.8]);
+        assert_eq!(pricer.price(0.8), 5.0);
+        let negative_cap = SharedSupplyPricer::new(-1.0, 1.0, 1.0, &[0.8]);
+        assert_eq!(negative_cap.price(0.8), 0.0);
+    }
+
+    #[test]
+    fn shared_sum_floors_at_zero() {
+        let strategies = [0.0, 1.0];
+        let pricer = SharedSupplyPricer::new(1.0, 100.0, 1.0, &strategies);
+        assert_eq!(pricer.price(0.0), 0.0);
     }
 
     #[test]

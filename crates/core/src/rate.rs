@@ -33,9 +33,17 @@ impl RateModel {
     pub fn new(scale: f64, h_max: f64, snr_coeff: f64) -> Self {
         assert!(scale.is_finite() && scale > 0.0, "scale must be > 0");
         assert!(h_max.is_finite() && h_max > 0.0, "h_max must be > 0");
-        assert!(snr_coeff.is_finite() && snr_coeff > 0.0, "snr_coeff must be > 0");
+        assert!(
+            snr_coeff.is_finite() && snr_coeff > 0.0,
+            "snr_coeff must be > 0"
+        );
         let norm = (1.0 + snr_coeff * h_max * h_max).log2();
-        Self { scale, snr_coeff, norm, h_max }
+        Self {
+            scale,
+            snr_coeff,
+            norm,
+            h_max,
+        }
     }
 
     /// Default calibration from [`crate::Params`]: the SNR coefficient puts

@@ -75,7 +75,12 @@ impl ReducedMfgSolver {
         params.validate()?;
         let axis = Axis::new(0.0, params.q_size, params.grid_q).expect("validated q axis");
         let sigmoid = Sigmoid::new(params.sigmoid_l);
-        Ok(Self { utility: Utility::new(params.clone()), params, axis, sigmoid })
+        Ok(Self {
+            utility: Utility::new(params.clone()),
+            params,
+            axis,
+            sigmoid,
+        })
     }
 
     /// The q axis.
@@ -158,6 +163,7 @@ impl ReducedMfgSolver {
         let mut policy = vec![Field1d::zeros(self.axis.clone()); n_steps];
         let mut values: Vec<Field1d> = Vec::new();
         let mut residuals = Vec::new();
+        let mut update_norms = Vec::new();
         let mut converged = false;
         let mut iterations = 0;
 
@@ -195,7 +201,8 @@ impl ReducedMfgSolver {
                     new_policy[n].values_mut()[j] = x;
                     drift[j] = p.drift_q(x, ctx.popularity, ctx.urgency_factor);
                     source[j] =
-                        self.utility.evaluate(&ctx, &snapshots[n], x, h_mean, self.axis.at(j));
+                        self.utility
+                            .evaluate(&ctx, &snapshots[n], x, h_mean, self.axis.at(j));
                 }
                 let mut v = v_next;
                 backward.step_back(&mut v, &drift, &source, dt);
@@ -203,27 +210,31 @@ impl ReducedMfgSolver {
             }
             values = vals;
 
-            // Relax.
+            // Relax; the stopping rule reads the undamped best-response
+            // gap, the applied (damped) update is recorded separately —
+            // see `ConvergenceReport` for why the distinction matters.
             let omega = p.relaxation;
             let mut residual = 0.0_f64;
+            let mut update_norm = 0.0_f64;
             for n in 0..n_steps {
                 for j in 0..nq {
                     let old = policy[n].at(j);
-                    let relaxed = (1.0 - omega) * old + omega * new_policy[n].at(j);
-                    residual = residual.max((relaxed - old).abs());
+                    let x_new = new_policy[n].at(j);
+                    let relaxed = (1.0 - omega) * old + omega * x_new;
+                    residual = residual.max((x_new - old).abs());
+                    update_norm = update_norm.max((relaxed - old).abs());
                     policy[n].values_mut()[j] = relaxed;
                 }
             }
             residuals.push(residual);
+            update_norms.push(update_norm);
 
             // Forward FPK.
             let mut lam = lambda0.clone();
             density[0] = lam.clone();
             for n in 0..n_steps {
                 let drift: Vec<f64> = (0..nq)
-                    .map(|j| {
-                        p.drift_q(policy[n].at(j), ctx.popularity, ctx.urgency_factor)
-                    })
+                    .map(|j| p.drift_q(policy[n].at(j), ctx.popularity, ctx.urgency_factor))
                     .collect();
                 forward.step(&mut lam, &drift, dt);
                 for v in lam.values_mut() {
@@ -241,8 +252,9 @@ impl ReducedMfgSolver {
             }
         }
 
-        let prices: Vec<f64> =
-            (0..n_steps).map(|n| self.snapshot(&density[n], &policy[n]).price).collect();
+        let prices: Vec<f64> = (0..n_steps)
+            .map(|n| self.snapshot(&density[n], &policy[n]).price)
+            .collect();
 
         ReducedEquilibrium {
             params: p.clone(),
@@ -250,7 +262,12 @@ impl ReducedMfgSolver {
             density,
             values,
             prices,
-            report: ConvergenceReport { converged, iterations, residuals },
+            report: ConvergenceReport {
+                converged,
+                iterations,
+                residuals,
+                update_norms,
+            },
         }
     }
 }
@@ -260,7 +277,12 @@ mod tests {
     use super::*;
 
     fn fast() -> Params {
-        Params { time_steps: 16, grid_q: 48, max_iterations: 60, ..Params::default() }
+        Params {
+            time_steps: 16,
+            grid_q: 48,
+            max_iterations: 60,
+            ..Params::default()
+        }
     }
 
     #[test]
@@ -289,10 +311,13 @@ mod tests {
         // remaining-space trajectories should agree to a few percent.
         let params = fast();
         let reduced = ReducedMfgSolver::new(params.clone()).unwrap().solve();
-        let full = crate::MfgSolver::new(Params { grid_h: 10, ..params })
-            .unwrap()
-            .solve()
-            .unwrap();
+        let full = crate::MfgSolver::new(Params {
+            grid_h: 10,
+            ..params
+        })
+        .unwrap()
+        .solve()
+        .unwrap();
         let a = reduced.mean_remaining_space();
         let b = full.mean_remaining_space();
         for (n, (x, y)) in a.iter().zip(&b).enumerate() {

@@ -16,7 +16,10 @@ impl Sigmoid {
     ///
     /// Panics unless `l` is finite and strictly positive.
     pub fn new(l: f64) -> Self {
-        assert!(l.is_finite() && l > 0.0, "sigmoid sharpness must be > 0, got {l}");
+        assert!(
+            l.is_finite() && l > 0.0,
+            "sigmoid sharpness must be > 0, got {l}"
+        );
         Self { l }
     }
 

@@ -81,7 +81,11 @@ impl Utility {
     pub fn new(params: Params) -> Self {
         let sigmoid = Sigmoid::new(params.sigmoid_l);
         let rate = RateModel::from_params(&params);
-        Self { params, sigmoid, rate }
+        Self {
+            params,
+            sigmoid,
+            rate,
+        }
     }
 
     /// The parameters in use.
@@ -226,7 +230,10 @@ mod tests {
         let base = u.trading_income(&ctx, &mf(), 0.1);
         let pricier = MeanFieldSnapshot { price: 5.0, ..mf() };
         assert!(u.trading_income(&ctx, &pricier, 0.1) > base);
-        let busier = ContentContext { requests: 20.0, ..ctx };
+        let busier = ContentContext {
+            requests: 20.0,
+            ..ctx
+        };
         assert!(u.trading_income(&busier, &mf(), 0.1) > base);
     }
 
@@ -264,7 +271,10 @@ mod tests {
     fn sharing_cost_only_in_case_2() {
         let (u, _) = setup();
         // q = 0.9 (short), q̄ = 0.05 (peer full) → deep in case 2.
-        let mf_case2 = MeanFieldSnapshot { q_bar: 0.05, ..mf() };
+        let mf_case2 = MeanFieldSnapshot {
+            q_bar: 0.05,
+            ..mf()
+        };
         let c = u.sharing_cost(&mf_case2, 0.9);
         assert!((c - 1.0 * 0.85).abs() < 0.05, "cost {c}");
         // q = 0.05 (own cache full) → no sharing needed.

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use mfgcp_core::{
-    solve_01, solve_fractional, CaseProbabilities, ContentContext, KnapsackItem,
-    MeanFieldSnapshot, Params, RateModel, Sigmoid, Utility,
+    finite_population_price, solve_01, solve_fractional, CaseProbabilities, ContentContext,
+    KnapsackItem, MeanFieldSnapshot, Params, RateModel, SharedSupplyPricer, Sigmoid, Utility,
 };
 
 fn snapshot(price: f64, q_bar: f64) -> MeanFieldSnapshot {
@@ -121,6 +121,27 @@ proptest! {
         let x_scaled = u_scaled.optimal_control(dv);
         // Larger quadratic cost never increases the caching rate.
         prop_assert!(x_scaled <= x_base + 1e-12);
+    }
+
+    /// The O(1) shared-sum pricer reproduces the O(M) Eq. (5) reference
+    /// for every EDP of an arbitrary strategy profile: the total-minus-own
+    /// rewrite of the competitor sum is exact up to float round-off.
+    #[test]
+    fn shared_sum_price_matches_the_per_edp_reference(
+        strategies in proptest::collection::vec(0.0_f64..=1.0, 1..40),
+        p_hat in 0.5_f64..=10.0,
+        eta1 in 0.0_f64..=5.0,
+        q_size in 0.05_f64..=2.0,
+    ) {
+        let pricer = SharedSupplyPricer::new(p_hat, eta1, q_size, &strategies);
+        for (i, &own) in strategies.iter().enumerate() {
+            let oracle = finite_population_price(p_hat, eta1, q_size, &strategies, i);
+            let fast = pricer.price(own);
+            prop_assert!(
+                (fast - oracle).abs() <= 1e-9,
+                "EDP {i}: shared-sum {fast} vs reference {oracle}"
+            );
+        }
     }
 
     /// Params validation accepts small perturbations of the defaults and

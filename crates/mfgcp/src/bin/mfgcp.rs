@@ -22,9 +22,11 @@ fn main() {
     match command {
         Command::Help => print!("{HELP}"),
         Command::Solve { params } => run_solve(*params),
-        Command::Simulate { config, scheme, mobility } => {
-            run_simulate(*config, scheme, mobility)
-        }
+        Command::Simulate {
+            config,
+            scheme,
+            mobility,
+        } => run_simulate(*config, scheme, mobility),
     }
 }
 
@@ -69,7 +71,10 @@ fn run_solve(params: Params) {
     println!("Accumulated utility: {:.3}", eq.accumulated_utility());
     println!("Deviation gap (Nash check): {:.4}", eq.deviation_gap(11));
     println!("\nPolicy x*(t, h = mean, q):");
-    println!("{:>6} {:>8} {:>8} {:>8} {:>8} {:>8}", "t", "q=0.1", "q=0.3", "q=0.5", "q=0.7", "q=0.9");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "t", "q=0.1", "q=0.3", "q=0.5", "q=0.7", "q=0.9"
+    );
     let h = eq.params.upsilon_h;
     let qk = eq.params.q_size;
     for frac in [0.0, 0.25, 0.5, 0.75] {
@@ -99,14 +104,21 @@ fn run_simulate(config: SimConfig, scheme: Scheme, mobility: bool) {
         if mobility { ", mobile requesters" } else { "" }
     );
     let params = config.params.clone();
-    let policy: Box<dyn CachingPolicy> = match scheme {
-        Scheme::MfgCp => Box::new(MfgCpPolicy::new(params).expect("validated params")),
+    let built = match scheme {
+        Scheme::MfgCp => MfgCpPolicy::new(params).map(|p| Box::new(p) as Box<dyn CachingPolicy>),
         Scheme::Mfg => {
-            Box::new(MfgCpPolicy::without_sharing(params).expect("validated params"))
+            MfgCpPolicy::without_sharing(params).map(|p| Box::new(p) as Box<dyn CachingPolicy>)
         }
-        Scheme::Udcs => Box::new(Udcs::default()),
-        Scheme::Mpc => Box::new(MostPopularCaching::default()),
-        Scheme::Rr => Box::new(RandomReplacement),
+        Scheme::Udcs => Ok(Box::new(Udcs::default()) as Box<dyn CachingPolicy>),
+        Scheme::Mpc => Ok(Box::new(MostPopularCaching::default()) as Box<dyn CachingPolicy>),
+        Scheme::Rr => Ok(Box::new(RandomReplacement) as Box<dyn CachingPolicy>),
+    };
+    let policy = match built {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     };
     let mut sim = match Simulation::new(config, policy) {
         Ok(s) => s,
@@ -119,8 +131,20 @@ fn run_simulate(config: SimConfig, scheme: Scheme, mobility: bool) {
     let (c1, c2, c3) = report.case_totals();
     println!("\n{:<22} {:>12}", "metric", "value");
     println!("{:<22} {:>12.3}", "mean utility", report.mean_utility());
-    println!("{:<22} {:>12.3}", "mean trading income", report.mean_trading_income());
-    println!("{:<22} {:>12.3}", "mean staleness cost", report.mean_staleness_cost());
-    println!("{:<22} {:>12.3}", "mean sharing benefit", report.mean_sharing_benefit());
+    println!(
+        "{:<22} {:>12.3}",
+        "mean trading income",
+        report.mean_trading_income()
+    );
+    println!(
+        "{:<22} {:>12.3}",
+        "mean staleness cost",
+        report.mean_staleness_cost()
+    );
+    println!(
+        "{:<22} {:>12.3}",
+        "mean sharing benefit",
+        report.mean_sharing_benefit()
+    );
     println!("{:<22} {:>12}", "cases (1/2/3)", format!("{c1}/{c2}/{c3}"));
 }

@@ -104,7 +104,11 @@ impl core::fmt::Display for CliError {
             }
             CliError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
             CliError::MissingValue(flag) => write!(f, "flag `{flag}` needs a value"),
-            CliError::BadValue { flag, value, expected } => {
+            CliError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
                 write!(f, "bad value `{value}` for `{flag}`: expected {expected}")
             }
         }
@@ -120,7 +124,7 @@ mfgcp - joint mobile edge caching and pricing via mean-field games
 USAGE:
     mfgcp solve    [--eta1 X] [--w5 X] [--q-size X] [--requests X]
                    [--time-steps N] [--grid-h N] [--grid-q N]
-                   [--salvage G] [--lambda0-mean X]
+                   [--salvage G] [--lambda0-mean X] [--threads N]
     mfgcp simulate [--scheme mfg-cp|mfg|udcs|mpc|rr] [--edps N]
                    [--requesters N] [--contents K] [--epochs E]
                    [--slots N] [--seed S] [--mobility]
@@ -169,6 +173,7 @@ fn apply_param_flag(params: &mut Params, flag: &str, value: &str) -> Result<bool
         "--grid-q" => params.grid_q = parse_usize(flag, value)?,
         "--salvage" => params.terminal_value_weight = parse_f64(flag, value)?,
         "--lambda0-mean" => params.lambda0_mean = parse_f64(flag, value)?,
+        "--threads" => params.worker_threads = parse_usize(flag, value)?,
         _ => return Ok(false),
     }
     Ok(true)
@@ -185,13 +190,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut params = Params::default();
             let mut it = args[1..].iter();
             while let Some(flag) = it.next() {
-                let value =
-                    it.next().ok_or_else(|| CliError::MissingValue(flag.clone()))?;
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue(flag.clone()))?;
                 if !apply_param_flag(&mut params, flag, value)? {
                     return Err(CliError::UnknownFlag(flag.clone()));
                 }
             }
-            Ok(Command::Solve { params: Box::new(params) })
+            Ok(Command::Solve {
+                params: Box::new(params),
+            })
         }
         "simulate" => {
             let mut config = SimConfig {
@@ -217,8 +225,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     mobility = true;
                     continue;
                 }
-                let value =
-                    it.next().ok_or_else(|| CliError::MissingValue(flag.clone()))?;
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue(flag.clone()))?;
                 match flag.as_str() {
                     "--scheme" => scheme = Scheme::parse(value)?,
                     "--edps" => {
@@ -230,6 +239,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--epochs" => config.epochs = parse_usize(flag, value)?,
                     "--slots" => config.slots_per_epoch = parse_usize(flag, value)?,
                     "--seed" => config.seed = parse_u64(flag, value)?,
+                    "--threads" => {
+                        config.worker_threads = parse_usize(flag, value)?;
+                        config.params.worker_threads = config.worker_threads;
+                    }
                     other => {
                         if !apply_param_flag(&mut config.params, other, value)? {
                             return Err(CliError::UnknownFlag(flag.clone()));
@@ -237,7 +250,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     }
                 }
             }
-            Ok(Command::Simulate { config: Box::new(config), scheme, mobility })
+            Ok(Command::Simulate {
+                config: Box::new(config),
+                scheme,
+                mobility,
+            })
         }
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -278,7 +295,11 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::Simulate { config, scheme, mobility } => {
+            Command::Simulate {
+                config,
+                scheme,
+                mobility,
+            } => {
                 assert_eq!(scheme, Scheme::Udcs);
                 assert_eq!(config.num_edps, 50);
                 assert_eq!(config.params.num_edps, 50, "kept consistent for Eq. (5)");
@@ -286,6 +307,23 @@ mod tests {
                 assert_eq!(config.seed, 9);
                 assert_eq!(config.params.eta1, 3.0);
                 assert!(mobility);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threads_flag_reaches_both_layers() {
+        let cmd = parse(&argv("solve --threads 4")).unwrap();
+        match cmd {
+            Command::Solve { params } => assert_eq!(params.worker_threads, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(&argv("simulate --threads 2")).unwrap();
+        match cmd {
+            Command::Simulate { config, .. } => {
+                assert_eq!(config.worker_threads, 2);
+                assert_eq!(config.params.worker_threads, 2);
             }
             other => panic!("unexpected {other:?}"),
         }

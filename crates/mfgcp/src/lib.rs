@@ -41,8 +41,8 @@ pub use mfgcp_workload as workload;
 pub mod prelude {
     pub use mfgcp_core::{
         solve_01, solve_fractional, CachePlan, ContentContext, Equilibrium, Framework,
-        FrameworkConfig, KnapsackItem, MeanFieldEstimator, MeanFieldSnapshot, MfgSolver,
-        Params, ReducedMfgSolver, Utility, UtilityBreakdown,
+        FrameworkConfig, KnapsackItem, MeanFieldEstimator, MeanFieldSnapshot, MfgSolver, Params,
+        ReducedMfgSolver, Utility, UtilityBreakdown,
     };
     pub use mfgcp_net::{ChannelState, NetworkConfig, Topology};
     pub use mfgcp_sde::{seeded_rng, EulerMaruyama, OrnsteinUhlenbeck, SimRng};

@@ -83,7 +83,11 @@ impl ChannelState {
     /// Panics if the topology's dimensions changed.
     pub fn refresh_distances(&mut self, topo: &Topology) {
         assert_eq!(topo.num_edps(), self.num_edps, "EDP count changed");
-        assert_eq!(topo.num_requesters(), self.num_requesters, "requester count changed");
+        assert_eq!(
+            topo.num_requesters(),
+            self.num_requesters,
+            "requester count changed"
+        );
         for i in 0..self.num_edps {
             for j in 0..self.num_requesters {
                 let k = self.idx(i, j);
@@ -92,11 +96,45 @@ impl ChannelState {
         }
     }
 
+    /// Recompute the cached link distances from explicit requester
+    /// positions, without touching the topology's nearest-EDP association.
+    ///
+    /// Equivalent to cloning the topology, calling `update_requesters`,
+    /// and then [`ChannelState::refresh_distances`] — but O(M·J) with no
+    /// allocation and no wasted re-association, for the per-slot case
+    /// where walkers move continuously but association only changes at
+    /// epoch boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology's EDP count or the position count changed.
+    pub fn refresh_distances_from_positions(
+        &mut self,
+        topo: &Topology,
+        positions: &[crate::Point],
+    ) {
+        assert_eq!(topo.num_edps(), self.num_edps, "EDP count changed");
+        assert_eq!(
+            positions.len(),
+            self.num_requesters,
+            "requester count changed"
+        );
+        for i in 0..self.num_edps {
+            let e = topo.edp(i);
+            let row = i * self.num_requesters;
+            for (j, p) in positions.iter().enumerate() {
+                self.distances[row + j] = e.distance(p);
+            }
+        }
+    }
+
     /// Advance every link by `dt` using the exact OU transition, clamping
     /// into the configured fading band.
     pub fn advance<R: Rng + ?Sized>(&mut self, dt: f64, rng: &mut R) {
         for h in &mut self.fading {
-            *h = self.cfg.clamp_fading(self.process.sample_transition(*h, dt, rng));
+            *h = self
+                .cfg
+                .clamp_fading(self.process.sample_transition(*h, dt, rng));
         }
     }
 
@@ -155,7 +193,10 @@ mod tests {
     fn small() -> (Topology, NetworkConfig) {
         let edps = vec![Point::new(0.0, 0.0), Point::new(200.0, 0.0)];
         let requesters = vec![Point::new(10.0, 0.0), Point::new(190.0, 0.0)];
-        (Topology::with_positions(edps, requesters), NetworkConfig::default())
+        (
+            Topology::with_positions(edps, requesters),
+            NetworkConfig::default(),
+        )
     }
 
     #[test]
@@ -220,6 +261,24 @@ mod tests {
         topo.update_requesters(vec![Point::new(400.0, 0.0), Point::new(190.0, 0.0)]);
         ch.refresh_distances(&topo);
         assert!(ch.gain(0, 0) < before, "gain should drop with distance");
+    }
+
+    #[test]
+    fn refresh_from_positions_matches_topology_rebuild() {
+        let (topo, cfg) = small();
+        let mut rng = seeded_rng(14);
+        let mut via_positions = ChannelState::init(&topo, &cfg, &mut rng);
+        let mut via_rebuild = via_positions.clone();
+        let moved = vec![Point::new(321.0, -45.0), Point::new(-17.0, 60.0)];
+        via_positions.refresh_distances_from_positions(&topo, &moved);
+        let mut probe = topo.clone();
+        probe.update_requesters(moved);
+        via_rebuild.refresh_distances(&probe);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(via_positions.gain(i, j), via_rebuild.gain(i, j));
+            }
+        }
     }
 
     #[test]

@@ -64,9 +64,7 @@ mod tests {
         let mut rng = seeded_rng(6);
         let n = 40_000;
         let inside = (0..n)
-            .filter(|_| {
-                uniform_in_disc(1.0, &mut rng).distance(&Point::default()) < 0.5
-            })
+            .filter(|_| uniform_in_disc(1.0, &mut rng).distance(&Point::default()) < 0.5)
             .count();
         let frac = inside as f64 / n as f64;
         assert!((frac - 0.25).abs() < 0.01, "fraction {frac}");

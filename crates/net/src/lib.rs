@@ -33,8 +33,8 @@ mod topology;
 
 pub use channel::ChannelState;
 pub use config::NetworkConfig;
-pub use mobility::{MobileRequesters, RandomWaypoint};
 pub use geometry::{uniform_in_disc, Point};
+pub use mobility::{MobileRequesters, RandomWaypoint};
 pub use topology::Topology;
 
 /// Shannon rate of Eq. (2) given the desired-link gain, the total

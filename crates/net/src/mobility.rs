@@ -26,7 +26,11 @@ impl Default for RandomWaypoint {
     fn default() -> Self {
         // Pedestrian speeds on the epoch time scale (an epoch ≈ 100 s):
         // 1–2 m/s → 100–200 m per epoch.
-        Self { speed_min: 100.0, speed_max: 200.0, pause: 0.1 }
+        Self {
+            speed_min: 100.0,
+            speed_max: 200.0,
+            pause: 0.1,
+        }
     }
 }
 
@@ -77,9 +81,17 @@ impl MobileRequesters {
         let n = positions.len();
         let waypoints = (0..n).map(|_| uniform_in_disc(radius, rng)).collect();
         let phases = (0..n)
-            .map(|_| Phase::Walking { speed: rng.random_range(model.speed_min..=model.speed_max) })
+            .map(|_| Phase::Walking {
+                speed: rng.random_range(model.speed_min..=model.speed_max),
+            })
             .collect();
-        Self { model, radius, positions, waypoints, phases }
+        Self {
+            model,
+            radius,
+            positions,
+            waypoints,
+            phases,
+        }
     }
 
     /// Current positions.
@@ -96,8 +108,7 @@ impl MobileRequesters {
                     if left <= 0.0 {
                         self.waypoints[i] = uniform_in_disc(self.radius, rng);
                         self.phases[i] = Phase::Walking {
-                            speed: rng
-                                .random_range(self.model.speed_min..=self.model.speed_max),
+                            speed: rng.random_range(self.model.speed_min..=self.model.speed_max),
                         };
                     } else {
                         self.phases[i] = Phase::Paused { remaining: left };
@@ -111,7 +122,9 @@ impl MobileRequesters {
                     if travel >= dist {
                         // Arrive and pause.
                         self.positions[i] = target;
-                        self.phases[i] = Phase::Paused { remaining: self.model.pause };
+                        self.phases[i] = Phase::Paused {
+                            remaining: self.model.pause,
+                        };
                     } else {
                         let frac = travel / dist;
                         self.positions[i] = Point::new(
@@ -131,14 +144,17 @@ mod tests {
     use mfgcp_sde::seeded_rng;
 
     fn start() -> Vec<Point> {
-        vec![Point::new(0.0, 0.0), Point::new(10.0, 10.0), Point::new(-50.0, 20.0)]
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(-50.0, 20.0),
+        ]
     }
 
     #[test]
     fn walkers_stay_inside_the_disc() {
         let mut rng = seeded_rng(31);
-        let mut mob =
-            MobileRequesters::new(start(), 100.0, RandomWaypoint::default(), &mut rng);
+        let mut mob = MobileRequesters::new(start(), 100.0, RandomWaypoint::default(), &mut rng);
         for _ in 0..200 {
             mob.step(0.05, &mut rng);
             for p in mob.positions() {
@@ -165,7 +181,11 @@ mod tests {
     #[test]
     fn arrival_triggers_a_pause_then_a_new_waypoint() {
         let mut rng = seeded_rng(33);
-        let model = RandomWaypoint { speed_min: 1e6, speed_max: 1e6, pause: 0.2 };
+        let model = RandomWaypoint {
+            speed_min: 1e6,
+            speed_max: 1e6,
+            pause: 0.2,
+        };
         let mut mob = MobileRequesters::new(start(), 100.0, model, &mut rng);
         // Huge speed: arrives within one step.
         mob.step(0.01, &mut rng);
@@ -189,7 +209,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "speed_min")]
     fn invalid_speeds_rejected() {
-        RandomWaypoint { speed_min: 0.0, speed_max: 1.0, pause: 0.0 }.validated();
+        RandomWaypoint {
+            speed_min: 0.0,
+            speed_max: 1.0,
+            pause: 0.0,
+        }
+        .validated();
     }
 
     #[test]

@@ -29,16 +29,14 @@ impl Topology {
     /// # Panics
     ///
     /// Panics if `m == 0`.
-    pub fn random<R: Rng + ?Sized>(
-        m: usize,
-        j: usize,
-        cfg: &NetworkConfig,
-        rng: &mut R,
-    ) -> Self {
+    pub fn random<R: Rng + ?Sized>(m: usize, j: usize, cfg: &NetworkConfig, rng: &mut R) -> Self {
         assert!(m > 0, "need at least one EDP");
-        let edps: Vec<Point> = (0..m).map(|_| uniform_in_disc(cfg.area_radius, rng)).collect();
-        let requesters: Vec<Point> =
-            (0..j).map(|_| uniform_in_disc(cfg.area_radius, rng)).collect();
+        let edps: Vec<Point> = (0..m)
+            .map(|_| uniform_in_disc(cfg.area_radius, rng))
+            .collect();
+        let requesters: Vec<Point> = (0..j)
+            .map(|_| uniform_in_disc(cfg.area_radius, rng))
+            .collect();
         Self::with_positions(edps, requesters)
     }
 
@@ -62,7 +60,12 @@ impl Topology {
             serving_edp.push(best);
             served[best].push(j);
         }
-        Self { edps, requesters, serving_edp, served }
+        Self {
+            edps,
+            requesters,
+            serving_edp,
+            served,
+        }
     }
 
     /// Number of EDPs.

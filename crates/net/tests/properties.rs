@@ -3,8 +3,7 @@
 use proptest::prelude::*;
 
 use mfgcp_net::{
-    channel_gain, shannon_rate, MobileRequesters, NetworkConfig, Point, RandomWaypoint,
-    Topology,
+    channel_gain, shannon_rate, MobileRequesters, NetworkConfig, Point, RandomWaypoint, Topology,
 };
 
 proptest! {

@@ -27,7 +27,12 @@ impl Axis {
         {
             return Err(PdeError::EmptyInterval { lo, hi });
         }
-        Ok(Self { lo, hi, n, dx: (hi - lo) / (n - 1) as f64 })
+        Ok(Self {
+            lo,
+            hi,
+            n,
+            dx: (hi - lo) / (n - 1) as f64,
+        })
     }
 
     /// Lower bound.
@@ -191,7 +196,10 @@ mod tests {
 
     #[test]
     fn grid_index_is_row_major() {
-        let g = Grid2d::new(Axis::new(0.0, 1.0, 3).unwrap(), Axis::new(0.0, 1.0, 4).unwrap());
+        let g = Grid2d::new(
+            Axis::new(0.0, 1.0, 3).unwrap(),
+            Axis::new(0.0, 1.0, 4).unwrap(),
+        );
         assert_eq!(g.len(), 12);
         assert_eq!(g.index(0, 0), 0);
         assert_eq!(g.index(0, 3), 3);
@@ -201,7 +209,10 @@ mod tests {
 
     #[test]
     fn cell_area_matches_spacings() {
-        let g = Grid2d::new(Axis::new(0.0, 1.0, 11).unwrap(), Axis::new(0.0, 2.0, 21).unwrap());
+        let g = Grid2d::new(
+            Axis::new(0.0, 1.0, 11).unwrap(),
+            Axis::new(0.0, 2.0, 21).unwrap(),
+        );
         assert!((g.cell_area() - 0.01).abs() < 1e-14);
     }
 }

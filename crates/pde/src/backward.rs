@@ -103,7 +103,8 @@ impl BackwardParabolic1d {
             } else {
                 (v[i - 1] - 2.0 * v[i] + v[i + 1]) * inv_dx2
             };
-            self.scratch.push(v[i] + dt * (drift[i] * grad + self.diffusion * lap + source[i]));
+            self.scratch
+                .push(v[i] + dt * (drift[i] * grad + self.diffusion * lap + source[i]));
         }
         value.values_mut().copy_from_slice(&self.scratch);
     }
@@ -147,6 +148,24 @@ impl BackwardParabolic2d {
         source: &Field2d,
         dt: f64,
     ) {
+        self.step_back_scratch(value, bx, by, source, dt, &mut crate::StepperScratch::new());
+    }
+
+    /// [`BackwardParabolic2d::step_back`] with a caller-owned
+    /// [`crate::StepperScratch`] so repeated sweeps allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is not on the value's grid.
+    pub fn step_back_scratch(
+        &self,
+        value: &mut Field2d,
+        bx: &Field2d,
+        by: &Field2d,
+        source: &Field2d,
+        dt: f64,
+        scratch: &mut crate::StepperScratch,
+    ) {
         assert_eq!(value.grid(), bx.grid(), "bx grid mismatch");
         assert_eq!(value.grid(), by.grid(), "by grid mismatch");
         assert_eq!(value.grid(), source.grid(), "source grid mismatch");
@@ -158,9 +177,9 @@ impl BackwardParabolic2d {
             (by_max, self.diffusion_y, grid.y().dx()),
         ]);
         let (n_sub, sub_dt) = self.limit.substeps(dt, max_dt);
-        let mut next = vec![0.0; grid.len()];
+        let next = scratch.buf_for(grid.len());
         for _ in 0..n_sub {
-            self.substep(value, bx, by, source, sub_dt, &grid, &mut next);
+            self.substep(value, bx, by, source, sub_dt, &grid, next);
         }
     }
 
@@ -215,8 +234,8 @@ impl BackwardParabolic2d {
                     (value.at(i, j - 1) - 2.0 * v + value.at(i, j + 1)) * inv_dy2
                 };
 
-                next[grid.index(i, j)] = v
-                    + dt * (b_x * grad_x
+                next[grid.index(i, j)] = v + dt
+                    * (b_x * grad_x
                         + b_y * grad_y
                         + self.diffusion_x * lap_x
                         + self.diffusion_y * lap_y

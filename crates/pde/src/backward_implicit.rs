@@ -80,7 +80,9 @@ impl ImplicitBackward1d {
     ///
     /// Returns an error if `diffusion` is negative or non-finite.
     pub fn new(diffusion: f64) -> Result<Self, PdeError> {
-        Ok(Self { diffusion: check_diffusion("diffusion", diffusion)? })
+        Ok(Self {
+            diffusion: check_diffusion("diffusion", diffusion)?,
+        })
     }
 
     /// Step `value` backwards by `dt` in one implicit solve.
@@ -134,29 +136,46 @@ impl ImplicitBackward2d {
         source: &Field2d,
         dt: f64,
     ) {
+        self.step_back_scratch(value, bx, by, source, dt, &mut crate::StepperScratch::new());
+    }
+
+    /// [`ImplicitBackward2d::step_back`] with a caller-owned
+    /// [`crate::StepperScratch`] so repeated sweeps allocate nothing
+    /// beyond the Thomas solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics on grid mismatches.
+    pub fn step_back_scratch(
+        &self,
+        value: &mut Field2d,
+        bx: &Field2d,
+        by: &Field2d,
+        source: &Field2d,
+        dt: f64,
+        scratch: &mut crate::StepperScratch,
+    ) {
         assert_eq!(value.grid(), bx.grid(), "bx grid mismatch");
         assert_eq!(value.grid(), by.grid(), "by grid mismatch");
         assert_eq!(value.grid(), source.grid(), "source grid mismatch");
         let grid: Grid2d = value.grid().clone();
         let (nx, ny) = (grid.x().len(), grid.y().len());
         let (dx, dy) = (grid.x().dx(), grid.y().dx());
+        let (col, col_drift, row_drift) = scratch.lie_buffers(nx, ny);
 
         for (v, s) in value.values_mut().iter_mut().zip(source.values()) {
             *v += dt * s;
         }
-        let mut col = vec![0.0; nx];
-        let mut col_drift = vec![0.0; nx];
         for j in 0..ny {
             for i in 0..nx {
                 col[i] = value.at(i, j);
                 col_drift[i] = bx.at(i, j);
             }
-            implicit_back_sweep(&mut col, &col_drift, self.diffusion_x, dt, dx);
+            implicit_back_sweep(col, col_drift, self.diffusion_x, dt, dx);
             for (i, &v) in col.iter().enumerate() {
                 value.set(i, j, v);
             }
         }
-        let mut row_drift = vec![0.0; ny];
         for i in 0..nx {
             for (j, rd) in row_drift.iter_mut().enumerate() {
                 *rd = by.at(i, j);
@@ -164,7 +183,7 @@ impl ImplicitBackward2d {
             let start = grid.index(i, 0);
             implicit_back_sweep(
                 &mut value.values_mut()[start..start + ny],
-                &row_drift,
+                row_drift,
                 self.diffusion_y,
                 dt,
                 dy,
@@ -220,7 +239,9 @@ mod tests {
         let (lo, hi) = v
             .values()
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &x| (l.min(x), h.max(x)));
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &x| {
+                (l.min(x), h.max(x))
+            });
         let drift = vec![1.5; 51];
         let src = vec![0.0; 51];
         stepper.step_back(&mut v, &drift, &src, 20.0);

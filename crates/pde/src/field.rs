@@ -14,7 +14,10 @@ impl Field1d {
     /// A zero field on `axis`.
     pub fn zeros(axis: Axis) -> Self {
         let n = axis.len();
-        Self { axis, values: vec![0.0; n] }
+        Self {
+            axis,
+            values: vec![0.0; n],
+        }
     }
 
     /// A field filled from a function of the coordinate.
@@ -30,7 +33,10 @@ impl Field1d {
     /// Returns [`PdeError::ShapeMismatch`] if `values.len() != axis.len()`.
     pub fn from_values(axis: Axis, values: Vec<f64>) -> Result<Self, PdeError> {
         if values.len() != axis.len() {
-            return Err(PdeError::ShapeMismatch { expected: axis.len(), actual: values.len() });
+            return Err(PdeError::ShapeMismatch {
+                expected: axis.len(),
+                actual: values.len(),
+            });
         }
         Ok(Self { axis, values })
     }
@@ -119,7 +125,10 @@ impl Field2d {
     /// A zero field on `grid`.
     pub fn zeros(grid: Grid2d) -> Self {
         let n = grid.len();
-        Self { grid, values: vec![0.0; n] }
+        Self {
+            grid,
+            values: vec![0.0; n],
+        }
     }
 
     /// A field filled from a function of the coordinates `(x, y)`.
@@ -142,7 +151,10 @@ impl Field2d {
     /// Returns [`PdeError::ShapeMismatch`] on a length mismatch.
     pub fn from_values(grid: Grid2d, values: Vec<f64>) -> Result<Self, PdeError> {
         if values.len() != grid.len() {
-            return Err(PdeError::ShapeMismatch { expected: grid.len(), actual: values.len() });
+            return Err(PdeError::ShapeMismatch {
+                expected: grid.len(),
+                actual: values.len(),
+            });
         }
         Ok(Self { grid, values })
     }
@@ -256,7 +268,10 @@ impl Field2d {
 
     /// Maximum value of the field.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 

@@ -29,7 +29,11 @@ fn check_diffusion(name: &'static str, d: f64) -> Result<f64, PdeError> {
 /// Upwind face flux between two adjacent cells.
 #[inline]
 fn face_flux(b_face: f64, left: f64, right: f64, d: f64, dx: f64) -> f64 {
-    let advective = if b_face > 0.0 { b_face * left } else { b_face * right };
+    let advective = if b_face > 0.0 {
+        b_face * left
+    } else {
+        b_face * right
+    };
     advective - d * (right - left) / dx
 }
 
@@ -88,7 +92,8 @@ impl FokkerPlanck1d {
         self.flux.reserve(n - 1);
         for i in 0..n - 1 {
             let b_face = 0.5 * (drift[i] + drift[i + 1]);
-            self.flux.push(face_flux(b_face, lam[i], lam[i + 1], self.diffusion, dx));
+            self.flux
+                .push(face_flux(b_face, lam[i], lam[i + 1], self.diffusion, dx));
         }
         let scale = dt / dx;
         let values = density.values_mut();
@@ -131,6 +136,23 @@ impl FokkerPlanck2d {
     ///
     /// Panics if the drift fields are not on the density's grid.
     pub fn step(&self, density: &mut Field2d, bx: &Field2d, by: &Field2d, dt: f64) {
+        self.step_scratch(density, bx, by, dt, &mut crate::StepperScratch::new());
+    }
+
+    /// [`FokkerPlanck2d::step`] with a caller-owned [`crate::StepperScratch`]
+    /// so repeated steps (e.g. the Picard loop of Alg. 2) allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drift fields are not on the density's grid.
+    pub fn step_scratch(
+        &self,
+        density: &mut Field2d,
+        bx: &Field2d,
+        by: &Field2d,
+        dt: f64,
+        scratch: &mut crate::StepperScratch,
+    ) {
         assert_eq!(density.grid(), bx.grid(), "bx grid mismatch");
         assert_eq!(density.grid(), by.grid(), "by grid mismatch");
         let grid = density.grid().clone();
@@ -141,9 +163,9 @@ impl FokkerPlanck2d {
             (by_max, self.diffusion_y, grid.y().dx()),
         ]);
         let (n_sub, sub_dt) = self.limit.substeps(dt, max_dt);
-        let mut delta = vec![0.0; grid.len()];
+        let delta = scratch.buf_for(grid.len());
         for _ in 0..n_sub {
-            self.substep(density, bx, by, sub_dt, &grid, &mut delta);
+            self.substep(density, bx, by, sub_dt, &grid, delta);
         }
     }
 
@@ -165,7 +187,13 @@ impl FokkerPlanck2d {
         for i in 0..nx - 1 {
             for j in 0..ny {
                 let b_face = 0.5 * (bx.at(i, j) + bx.at(i + 1, j));
-                let f = face_flux(b_face, density.at(i, j), density.at(i + 1, j), self.diffusion_x, dx);
+                let f = face_flux(
+                    b_face,
+                    density.at(i, j),
+                    density.at(i + 1, j),
+                    self.diffusion_x,
+                    dx,
+                );
                 delta[grid.index(i, j)] -= scale_x * f;
                 delta[grid.index(i + 1, j)] += scale_x * f;
             }
@@ -175,7 +203,13 @@ impl FokkerPlanck2d {
         for i in 0..nx {
             for j in 0..ny - 1 {
                 let b_face = 0.5 * (by.at(i, j) + by.at(i, j + 1));
-                let f = face_flux(b_face, density.at(i, j), density.at(i, j + 1), self.diffusion_y, dy);
+                let f = face_flux(
+                    b_face,
+                    density.at(i, j),
+                    density.at(i, j + 1),
+                    self.diffusion_y,
+                    dy,
+                );
                 delta[grid.index(i, j)] -= scale_y * f;
                 delta[grid.index(i, j + 1)] += scale_y * f;
             }
@@ -213,18 +247,27 @@ mod tests {
         for _ in 0..50 {
             fpk.step(&mut lam, &drift, 0.02);
         }
-        assert!((lam.integral() - m0).abs() < 1e-12, "mass drifted: {}", lam.integral());
+        assert!(
+            (lam.integral() - m0).abs() < 1e-12,
+            "mass drifted: {}",
+            lam.integral()
+        );
     }
 
     #[test]
     fn density_stays_nonnegative_1d() {
         let mut fpk = FokkerPlanck1d::new(0.01).unwrap();
         let mut lam = gaussian_field(axis(0.0, 1.0, 61), 0.5, 0.05);
-        let drift: Vec<f64> = (0..61).map(|i| if i % 2 == 0 { 0.4 } else { -0.4 }).collect();
+        let drift: Vec<f64> = (0..61)
+            .map(|i| if i % 2 == 0 { 0.4 } else { -0.4 })
+            .collect();
         for _ in 0..100 {
             fpk.step(&mut lam, &drift, 0.01);
         }
-        assert!(lam.values().iter().all(|&v| v >= -1e-12), "negative density");
+        assert!(
+            lam.values().iter().all(|&v| v >= -1e-12),
+            "negative density"
+        );
     }
 
     #[test]
@@ -239,7 +282,11 @@ mod tests {
             fpk.step(&mut lam, &drift, t / 100.0);
         }
         let mean1 = lam.first_moment();
-        assert!((mean1 - mean0 - 0.2).abs() < 0.01, "mean moved {}", mean1 - mean0);
+        assert!(
+            (mean1 - mean0 - 0.2).abs() < 0.01,
+            "mean moved {}",
+            mean1 - mean0
+        );
     }
 
     #[test]
@@ -258,7 +305,11 @@ mod tests {
         }
         let sd = (varrho * varrho / (2.0 * theta)).sqrt();
         let reference = gaussian_field(ax, mu, sd);
-        assert!(lam.sup_distance(&reference) < 0.25, "sup dist {}", lam.sup_distance(&reference));
+        assert!(
+            lam.sup_distance(&reference) < 0.25,
+            "sup dist {}",
+            lam.sup_distance(&reference)
+        );
         // Moments are a sharper check than pointwise density values.
         assert!((lam.first_moment() - mu).abs() < 0.01);
     }
@@ -279,8 +330,15 @@ mod tests {
         for _ in 0..40 {
             fpk.step(&mut lam, &bx, &by, 0.025);
         }
-        assert!((lam.integral() - m0).abs() < 1e-10, "mass drifted: {}", lam.integral());
-        assert!(lam.values().iter().all(|&v| v >= -1e-12), "negative density");
+        assert!(
+            (lam.integral() - m0).abs() < 1e-10,
+            "mass drifted: {}",
+            lam.integral()
+        );
+        assert!(
+            lam.values().iter().all(|&v| v >= -1e-12),
+            "negative density"
+        );
     }
 
     #[test]
@@ -310,7 +368,11 @@ mod tests {
         }
         let marg = lam2.marginal_y();
         // Same initial data, same scheme → the agreement should be tight.
-        assert!(marg.sup_distance(&lam1) < 1e-8, "dist {}", marg.sup_distance(&lam1));
+        assert!(
+            marg.sup_distance(&lam1) < 1e-8,
+            "dist {}",
+            marg.sup_distance(&lam1)
+        );
     }
 
     #[test]

@@ -72,7 +72,9 @@ impl ImplicitFokkerPlanck1d {
     ///
     /// Returns an error if `diffusion` is negative or non-finite.
     pub fn new(diffusion: f64) -> Result<Self, PdeError> {
-        Ok(Self { diffusion: check_diffusion("diffusion", diffusion)? })
+        Ok(Self {
+            diffusion: check_diffusion("diffusion", diffusion)?,
+        })
     }
 
     /// Advance `density` by `dt` in a single implicit solve (no CFL bound).
@@ -116,27 +118,43 @@ impl ImplicitFokkerPlanck2d {
     ///
     /// Panics if drift fields are not on the density's grid.
     pub fn step(&self, density: &mut Field2d, bx: &Field2d, by: &Field2d, dt: f64) {
+        self.step_scratch(density, bx, by, dt, &mut crate::StepperScratch::new());
+    }
+
+    /// [`ImplicitFokkerPlanck2d::step`] with a caller-owned
+    /// [`crate::StepperScratch`] so repeated steps allocate nothing
+    /// beyond the Thomas solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if drift fields are not on the density's grid.
+    pub fn step_scratch(
+        &self,
+        density: &mut Field2d,
+        bx: &Field2d,
+        by: &Field2d,
+        dt: f64,
+        scratch: &mut crate::StepperScratch,
+    ) {
         assert_eq!(density.grid(), bx.grid(), "bx grid mismatch");
         assert_eq!(density.grid(), by.grid(), "by grid mismatch");
         let grid: Grid2d = density.grid().clone();
         let (nx, ny) = (grid.x().len(), grid.y().len());
         let (dx, dy) = (grid.x().dx(), grid.y().dx());
+        let (col, col_drift, row_drift) = scratch.lie_buffers(nx, ny);
 
         // X-direction sweeps (one tridiagonal solve per j-column).
-        let mut col = vec![0.0; nx];
-        let mut col_drift = vec![0.0; nx];
         for j in 0..ny {
             for i in 0..nx {
                 col[i] = density.at(i, j);
                 col_drift[i] = bx.at(i, j);
             }
-            implicit_sweep(&mut col, &col_drift, self.diffusion_x, dt, dx);
+            implicit_sweep(col, col_drift, self.diffusion_x, dt, dx);
             for (i, &v) in col.iter().enumerate() {
                 density.set(i, j, v);
             }
         }
         // Y-direction sweeps (rows are contiguous in memory).
-        let mut row_drift = vec![0.0; ny];
         for i in 0..nx {
             for (j, rd) in row_drift.iter_mut().enumerate() {
                 *rd = by.at(i, j);
@@ -144,7 +162,7 @@ impl ImplicitFokkerPlanck2d {
             let start = grid.index(i, 0);
             implicit_sweep(
                 &mut density.values_mut()[start..start + ny],
-                &row_drift,
+                row_drift,
                 self.diffusion_y,
                 dt,
                 dy,
@@ -182,7 +200,11 @@ mod tests {
             for _ in 0..10 {
                 stepper.step(&mut lam, &drift, dt);
             }
-            assert!((lam.integral() - m0).abs() < 1e-10, "dt = {dt}: {}", lam.integral());
+            assert!(
+                (lam.integral() - m0).abs() < 1e-10,
+                "dt = {dt}: {}",
+                lam.integral()
+            );
         }
     }
 
@@ -254,7 +276,11 @@ mod tests {
             implicit.step(&mut a, &bx, &by, 0.01);
             explicit.step(&mut b, &bx, &by, 0.01);
         }
-        assert!((a.integral() - m0).abs() < 1e-10, "implicit mass {}", a.integral());
+        assert!(
+            (a.integral() - m0).abs() < 1e-10,
+            "implicit mass {}",
+            a.integral()
+        );
         // Splitting + backward-Euler smearing vs the explicit reference:
         // compare relative to the density peak (~8 on this grid).
         let rel = a.sup_distance(&b) / b.max();

@@ -55,6 +55,7 @@ mod fokker_planck;
 mod implicit;
 pub mod linalg;
 mod ops;
+mod scratch;
 mod stability;
 
 pub use axis::{Axis, Grid2d};
@@ -64,6 +65,7 @@ pub use field::{Field1d, Field2d};
 pub use fokker_planck::{FokkerPlanck1d, FokkerPlanck2d};
 pub use implicit::{ImplicitFokkerPlanck1d, ImplicitFokkerPlanck2d};
 pub use ops::{central_gradient, second_difference, upwind_gradient, Derivative1d};
+pub use scratch::StepperScratch;
 pub use stability::StabilityLimit;
 
 /// Errors from grid/solver construction.
@@ -105,10 +107,16 @@ impl core::fmt::Display for PdeError {
                 write!(f, "axis interval [{lo}, {hi}] is empty")
             }
             PdeError::BadCoefficient { name, value } => {
-                write!(f, "coefficient `{name}` must be finite and >= 0, got {value}")
+                write!(
+                    f,
+                    "coefficient `{name}` must be finite and >= 0, got {value}"
+                )
             }
             PdeError::ShapeMismatch { expected, actual } => {
-                write!(f, "field shape mismatch: expected {expected} values, got {actual}")
+                write!(
+                    f,
+                    "field shape mismatch: expected {expected} values, got {actual}"
+                )
             }
         }
     }
@@ -123,10 +131,20 @@ mod tests {
     #[test]
     fn errors_render() {
         assert!(PdeError::TooFewPoints { n: 1 }.to_string().contains('1'));
-        assert!(PdeError::EmptyInterval { lo: 1.0, hi: 0.0 }.to_string().contains("empty"));
-        assert!(PdeError::BadCoefficient { name: "d", value: -1.0 }.to_string().contains('d'));
-        assert!(
-            PdeError::ShapeMismatch { expected: 4, actual: 2 }.to_string().contains("mismatch")
-        );
+        assert!(PdeError::EmptyInterval { lo: 1.0, hi: 0.0 }
+            .to_string()
+            .contains("empty"));
+        assert!(PdeError::BadCoefficient {
+            name: "d",
+            value: -1.0
+        }
+        .to_string()
+        .contains('d'));
+        assert!(PdeError::ShapeMismatch {
+            expected: 4,
+            actual: 2
+        }
+        .to_string()
+        .contains("mismatch"));
     }
 }

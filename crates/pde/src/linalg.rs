@@ -61,7 +61,10 @@ pub fn solve_dense(a: &[f64], rhs: &[f64], n: usize) -> Vec<f64> {
                     .expect("no NaN in matrix")
             })
             .expect("non-empty range");
-        assert!(m[pivot_row * n + col].abs() > 1e-300, "singular matrix at column {col}");
+        assert!(
+            m[pivot_row * n + col].abs() > 1e-300,
+            "singular matrix at column {col}"
+        );
         if pivot_row != col {
             for k in 0..n {
                 m.swap(col * n + k, pivot_row * n + k);
@@ -97,7 +100,9 @@ pub fn solve_dense(a: &[f64], rhs: &[f64], n: usize) -> Vec<f64> {
 /// Panics if the lengths differ.
 pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "length mismatch");
-    a.iter().zip(b).fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+    a.iter()
+        .zip(b)
+        .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
 }
 
 #[cfg(test)]

@@ -25,7 +25,10 @@ impl StabilityLimit {
     ///
     /// Panics if `safety` is outside `(0, 1]`.
     pub fn with_safety(safety: f64) -> Self {
-        assert!(safety > 0.0 && safety <= 1.0, "safety must be in (0, 1], got {safety}");
+        assert!(
+            safety > 0.0 && safety <= 1.0,
+            "safety must be in (0, 1], got {safety}"
+        );
         Self { safety }
     }
 

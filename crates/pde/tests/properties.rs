@@ -8,17 +8,14 @@ use mfgcp_pde::{
 };
 
 /// A diagonally dominant tridiagonal system (always solvable by Thomas).
-fn dominant_system(
-    n: usize,
-) -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>)> {
+fn dominant_system(n: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>)> {
     (
         proptest::collection::vec(-1.0_f64..1.0, n),
         proptest::collection::vec(-1.0_f64..1.0, n),
         proptest::collection::vec(-5.0_f64..5.0, n),
     )
         .prop_map(move |(a, c, d)| {
-            let b: Vec<f64> =
-                (0..n).map(|i| 2.5 + a[i].abs() + c[i].abs()).collect();
+            let b: Vec<f64> = (0..n).map(|i| 2.5 + a[i].abs() + c[i].abs()).collect();
             (a, b, c, d)
         })
 }

@@ -26,7 +26,10 @@ impl BrownianIncrements {
     /// Returns an error if `dt` is not strictly positive and finite.
     pub fn new(dt: f64) -> Result<Self, SdeError> {
         let dt = require_positive("dt", dt)?;
-        Ok(Self { sqrt_dt: dt.sqrt(), dt })
+        Ok(Self {
+            sqrt_dt: dt.sqrt(),
+            dt,
+        })
     }
 
     /// The step size this source was built for.
@@ -67,7 +70,9 @@ impl BrownianPath {
             times.push(n as f64 * dt);
             values.push(w);
         }
-        Self { path: SamplePath::new(times, values) }
+        Self {
+            path: SamplePath::new(times, values),
+        }
     }
 
     /// Borrow the underlying sample path.

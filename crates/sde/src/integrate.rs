@@ -24,7 +24,10 @@ impl EulerMaruyama {
     ///
     /// Panics if `dt` is not strictly positive and finite.
     pub fn new(dt: f64) -> Self {
-        assert!(dt.is_finite() && dt > 0.0, "dt must be finite and > 0, got {dt}");
+        assert!(
+            dt.is_finite() && dt > 0.0,
+            "dt must be finite and > 0, got {dt}"
+        );
         Self { dt }
     }
 
@@ -125,7 +128,10 @@ mod tests {
         }
         let mean = sum / n as f64;
         let var = sum_sq / n as f64 - mean * mean;
-        assert!((mean - ou.transition_mean(h0, t1)).abs() < 0.02, "mean {mean}");
+        assert!(
+            (mean - ou.transition_mean(h0, t1)).abs() < 0.02,
+            "mean {mean}"
+        );
         assert!((var - ou.transition_variance(t1)).abs() < 0.01, "var {var}");
     }
 

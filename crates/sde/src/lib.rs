@@ -132,7 +132,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = SdeError::NonPositive { name: "sigma", value: -1.0 };
+        let e = SdeError::NonPositive {
+            name: "sigma",
+            value: -1.0,
+        };
         assert!(e.to_string().contains("sigma"));
         let e = SdeError::NonFinite { name: "mu" };
         assert!(e.to_string().contains("mu"));

@@ -149,8 +149,14 @@ mod tests {
         }
         let mean = sum / n as f64;
         let var = sum_sq / n as f64 - mean * mean;
-        assert!((mean - p.transition_mean(h0, delta)).abs() < 5e-3, "mean {mean}");
-        assert!((var - p.transition_variance(delta)).abs() < 5e-3, "var {var}");
+        assert!(
+            (mean - p.transition_mean(h0, delta)).abs() < 5e-3,
+            "mean {mean}"
+        );
+        assert!(
+            (var - p.transition_variance(delta)).abs() < 5e-3,
+            "var {var}"
+        );
     }
 
     #[test]

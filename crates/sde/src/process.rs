@@ -109,7 +109,11 @@ mod tests {
 
     #[test]
     fn closed_loop_substitutes_the_policy() {
-        let dyn_ = CachingDynamics { qk: 100.0, w1: 1.0, sigma: 0.1 };
+        let dyn_ = CachingDynamics {
+            qk: 100.0,
+            w1: 1.0,
+            sigma: 0.1,
+        };
         let closed = dyn_.with_policy(|_t, q| if q > 50.0 { 1.0 } else { 0.0 });
         assert_eq!(closed.drift(0.0, 80.0), -100.0);
         assert_eq!(closed.drift(0.0, 20.0), 0.0);

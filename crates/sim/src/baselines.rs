@@ -54,7 +54,10 @@ impl MfgCpPolicy {
     ///
     /// Propagates parameter validation failures.
     pub fn without_sharing(params: Params) -> Result<Self, SimError> {
-        let no_share = Params { p_bar: 0.0, ..params };
+        let no_share = Params {
+            p_bar: 0.0,
+            ..params
+        };
         Ok(Self {
             solver: MfgSolver::new(no_share)?,
             equilibria: Vec::new(),
@@ -102,8 +105,10 @@ impl CachingPolicy for MfgCpPolicy {
                     Some(&size) if size != self.solver.params().q_size => {
                         // Heterogeneous catalog: a dedicated solve at this
                         // content's own size.
-                        let params =
-                            Params { q_size: size, ..self.solver.params().clone() };
+                        let params = Params {
+                            q_size: size,
+                            ..self.solver.params().clone()
+                        };
                         MfgSolver::new(params)
                             .ok()
                             .map(|solver| solver.solve_with(&per_step, None))
@@ -195,7 +200,11 @@ pub struct Udcs {
 
 impl Default for Udcs {
     fn default() -> Self {
-        Self { gain: 3.0, overlap_discount: 0.8, h_ref: 10.0e-5 }
+        Self {
+            gain: 3.0,
+            overlap_discount: 0.8,
+            h_ref: 10.0e-5,
+        }
     }
 }
 
@@ -237,7 +246,12 @@ mod tests {
     }
 
     fn small_params() -> Params {
-        Params { time_steps: 12, grid_h: 8, grid_q: 24, ..Params::default() }
+        Params {
+            time_steps: 12,
+            grid_h: 8,
+            grid_q: 24,
+            ..Params::default()
+        }
     }
 
     #[test]
@@ -270,11 +284,20 @@ mod tests {
         let mut rng = seeded_rng(4);
         let free = udcs.decide(&ctx(0, 0.5), &mut rng);
         let crowded = udcs.decide(
-            &DecisionContext { neighbor_cached_fraction: 1.0, ..ctx(0, 0.5) },
+            &DecisionContext {
+                neighbor_cached_fraction: 1.0,
+                ..ctx(0, 0.5)
+            },
             &mut rng,
         );
         assert!(crowded < free);
-        let weak = udcs.decide(&DecisionContext { h: 1.0e-5, ..ctx(0, 0.5) }, &mut rng);
+        let weak = udcs.decide(
+            &DecisionContext {
+                h: 1.0e-5,
+                ..ctx(0, 0.5)
+            },
+            &mut rng,
+        );
         assert!(weak < free);
     }
 
@@ -284,8 +307,16 @@ mod tests {
         assert_eq!(p.name(), "MFG-CP");
         assert!(p.allows_sharing());
         let contexts = vec![
-            ContentContext { requests: 10.0, popularity: 0.4, urgency_factor: 0.05 },
-            ContentContext { requests: 0.0, popularity: 0.1, urgency_factor: 0.05 },
+            ContentContext {
+                requests: 10.0,
+                popularity: 0.4,
+                urgency_factor: 0.05,
+            },
+            ContentContext {
+                requests: 0.0,
+                popularity: 0.1,
+                urgency_factor: 0.05,
+            },
         ];
         p.prepare_epoch(&contexts);
         assert!(p.equilibrium(0).is_some());
@@ -294,7 +325,13 @@ mod tests {
         let x = p.decide(&ctx(0, 0.6), &mut rng);
         assert!((0.0..=1.0).contains(&x));
         // Undemanded content → no caching.
-        let x1 = p.decide(&DecisionContext { content: 1, ..ctx(0, 0.6) }, &mut rng);
+        let x1 = p.decide(
+            &DecisionContext {
+                content: 1,
+                ..ctx(0, 0.6)
+            },
+            &mut rng,
+        );
         assert_eq!(x1, 0.0);
     }
 

@@ -1,8 +1,8 @@
 //! Simulator configuration with the paper's §V-A defaults.
 
 use mfgcp_core::Params;
-use mfgcp_workload::Catalog;
 use mfgcp_net::{NetworkConfig, RandomWaypoint};
+use mfgcp_workload::Catalog;
 use mfgcp_workload::TimelinessConfig;
 
 use crate::SimError;
@@ -41,6 +41,10 @@ pub struct SimConfig {
     pub timeliness: TimelinessConfig,
     /// Master RNG seed (per-EDP streams derive from it).
     pub seed: u64,
+    /// Worker threads for the parallel per-EDP phase; `0` = one per
+    /// available core. Results are bit-identical for any value — every
+    /// random draw comes from the owning EDP's private stream.
+    pub worker_threads: usize,
 }
 
 impl Default for SimConfig {
@@ -59,6 +63,7 @@ impl Default for SimConfig {
             mobility: None,
             timeliness: TimelinessConfig::default(),
             seed: 42,
+            worker_threads: 0,
         }
     }
 }
@@ -121,7 +126,11 @@ impl SimConfig {
                     "must be empty or have one entry per content",
                 ));
             }
-            if self.content_sizes.iter().any(|&s| s.is_nan() || s <= 0.0 || s > 1.0) {
+            if self
+                .content_sizes
+                .iter()
+                .any(|&s| s.is_nan() || s <= 0.0 || s > 1.0)
+            {
                 return Err(bad("content_sizes", "every size must be in (0, 1]"));
             }
         }
@@ -171,7 +180,13 @@ mod tests {
 
     #[test]
     fn defaults_match_the_paper_and_validate() {
-        let c = SimConfig { params: Params { num_edps: 300, ..Params::default() }, ..SimConfig::default() };
+        let c = SimConfig {
+            params: Params {
+                num_edps: 300,
+                ..Params::default()
+            },
+            ..SimConfig::default()
+        };
         assert_eq!(c.num_edps, 300);
         assert_eq!(c.num_contents, 20);
         c.validate().unwrap();

@@ -49,7 +49,11 @@ impl Edp {
             x: vec![0.0; num_contents],
             popularity: Popularity::zipf(num_contents, zipf_iota)?,
             timeliness: Timeliness::new(num_contents, timeliness),
-            rng: seeded_rng(master_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(id as u64)),
+            rng: seeded_rng(
+                master_seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(id as u64),
+            ),
             metrics: EdpMetrics::default(),
         })
     }

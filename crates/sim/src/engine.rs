@@ -15,10 +15,11 @@
 //!    resolution and metric accounting (Alg. 1 lines 11–14).
 //!
 //! Parallel sections split the EDP vector into disjoint chunks with
-//! `crossbeam::scope`; every random draw comes from the owning EDP's
-//! stream, so results are bit-identical regardless of thread count.
+//! `std::thread::scope`; every random draw comes from the owning EDP's
+//! stream, so results are bit-identical regardless of thread count (the
+//! count itself is `SimConfig::worker_threads`, 0 = one per core).
 
-use mfgcp_core::{finite_population_price, ContentContext, RateModel};
+use mfgcp_core::{ContentContext, RateModel, SharedSupplyPricer};
 use mfgcp_net::{ChannelState, MobileRequesters, Topology};
 use mfgcp_sde::{seeded_rng, SimRng};
 use mfgcp_workload::{trace::SyntheticYoutubeTrace, trace::Trace, RequestBatch, RequestProcess};
@@ -100,6 +101,29 @@ pub struct Simulation {
     /// Moving requester population, if mobility is enabled.
     mobility: Option<MobileRequesters>,
     master_rng: SimRng,
+    /// Accumulated wall-clock nanoseconds spent in market clearing
+    /// (instrumentation only; never feeds back into the dynamics).
+    market_nanos: u128,
+    /// Per-slot market workspace, reused across slots.
+    market_scratch: MarketScratch,
+}
+
+/// Reusable per-slot buffers of [`Simulation::clear_market`]'s fused
+/// population pass; allocation-free after the first slot.
+#[derive(Debug, Default)]
+struct MarketScratch {
+    /// `Σ_i x_{i,k}` per content (Eq. (5) shared supply).
+    sum_x: Vec<f64>,
+    /// Best-stocked qualified sharer per content `(id, q)`.
+    best: Vec<Option<(usize, f64)>>,
+    /// Runner-up sharer per content (used when the best is the buyer).
+    second: Vec<Option<(usize, f64)>>,
+    /// Contiguous k = 0 strategy column for the mean-price statistic.
+    x0: Vec<f64>,
+    /// Sharing thresholds `α·Q_k`, hoisted out of the population loop.
+    alpha_qks: Vec<f64>,
+    /// Per-content `(edp, requests)` lists, `i` ascending.
+    requesters: Vec<Vec<(usize, u64)>>,
 }
 
 impl Simulation {
@@ -143,13 +167,17 @@ impl Simulation {
             });
         }
         let mut master_rng = seeded_rng(cfg.seed);
-        let topology = Topology::random(cfg.num_edps, cfg.num_requesters, &cfg.network, &mut master_rng);
+        let topology = Topology::random(
+            cfg.num_edps,
+            cfg.num_requesters,
+            &cfg.network,
+            &mut master_rng,
+        );
         let channels = ChannelState::init(&topology, &cfg.network, &mut master_rng);
         let q_sizes = cfg.resolved_sizes();
         // λ(0) is specified as a fraction of each content's own size.
-        let frac_dist =
-            mfgcp_sde::Normal::new(cfg.params.lambda0_mean, cfg.params.lambda0_std)
-                .expect("validated initial distribution");
+        let frac_dist = mfgcp_sde::Normal::new(cfg.params.lambda0_mean, cfg.params.lambda0_std)
+            .expect("validated initial distribution");
         let mut edps = Vec::with_capacity(cfg.num_edps);
         for id in 0..cfg.num_edps {
             let mut e = Edp::new(
@@ -167,8 +195,9 @@ impl Simulation {
         }
         let rate_model = RateModel::from_params(&cfg.params);
         let mobility = cfg.mobility.map(|model| {
-            let positions =
-                (0..topology.num_requesters()).map(|j| topology.requester(j)).collect();
+            let positions = (0..topology.num_requesters())
+                .map(|j| topology.requester(j))
+                .collect();
             MobileRequesters::new(positions, cfg.network.area_radius, model, &mut master_rng)
         });
         Ok(Self {
@@ -182,6 +211,8 @@ impl Simulation {
             q_sizes,
             mobility,
             master_rng,
+            market_nanos: 0,
+            market_scratch: MarketScratch::default(),
         })
     }
 
@@ -202,15 +233,17 @@ impl Simulation {
     fn epoch_contexts(&self, weights: &[f64]) -> Vec<ContentContext> {
         let m = self.cfg.num_edps as f64;
         let requesters_per_edp = self.cfg.num_requesters as f64 / m;
-        let requests_per_epoch = self.cfg.request_prob
-            * requesters_per_edp
-            * self.cfg.slots_per_epoch as f64;
+        let requests_per_epoch =
+            self.cfg.request_prob * requesters_per_edp * self.cfg.slots_per_epoch as f64;
         (0..self.cfg.num_contents)
             .map(|k| {
-                let pop: f64 =
-                    self.edps.iter().map(|e| e.popularity.get(k)).sum::<f64>() / m;
-                let urg: f64 =
-                    self.edps.iter().map(|e| e.timeliness.factor(k)).sum::<f64>() / m;
+                let pop: f64 = self.edps.iter().map(|e| e.popularity.get(k)).sum::<f64>() / m;
+                let urg: f64 = self
+                    .edps
+                    .iter()
+                    .map(|e| e.timeliness.factor(k))
+                    .sum::<f64>()
+                    / m;
                 ContentContext {
                     requests: requests_per_epoch * weights[k],
                     popularity: pop,
@@ -227,7 +260,11 @@ impl Simulation {
         if served.is_empty() {
             return self.cfg.params.upsilon_h;
         }
-        served.iter().map(|&j| self.channels.fading(i, j)).sum::<f64>() / served.len() as f64
+        served
+            .iter()
+            .map(|&j| self.channels.fading(i, j))
+            .sum::<f64>()
+            / served.len() as f64
     }
 
     /// Run the configured number of epochs, consuming per-slot dynamics.
@@ -261,8 +298,7 @@ impl Simulation {
         let dt = self.cfg.slot_dt();
         let k_contents = self.cfg.num_contents;
         // Per-epoch request tallies for the Eq. (3) popularity update.
-        let mut epoch_counts: Vec<Vec<usize>> =
-            vec![vec![0; k_contents]; self.cfg.num_edps];
+        let mut epoch_counts: Vec<Vec<usize>> = vec![vec![0; k_contents]; self.cfg.num_edps];
 
         for slot in 0..self.cfg.slots_per_epoch {
             let t_in_epoch = slot as f64 * dt;
@@ -271,10 +307,11 @@ impl Simulation {
             if let Some(mob) = &mut self.mobility {
                 mob.step(dt, &mut self.master_rng);
                 // Distances track the walkers continuously; association
-                // only changes at epoch boundaries.
-                let mut probe = self.topology.clone();
-                probe.update_requesters(mob.positions().to_vec());
-                self.channels.refresh_distances(&probe);
+                // only changes at epoch boundaries, so refresh straight
+                // from the walker positions instead of cloning and
+                // re-associating the whole topology every slot.
+                self.channels
+                    .refresh_distances_from_positions(&self.topology, mob.positions());
             }
 
             // Center-published occupancy per content (for UDCS overlap).
@@ -285,11 +322,13 @@ impl Simulation {
                         / self.cfg.num_edps as f64
                 })
                 .collect();
-            let mean_fadings: Vec<f64> =
-                (0..self.cfg.num_edps).map(|i| self.mean_fading(i)).collect();
+            let mean_fadings: Vec<f64> = (0..self.cfg.num_edps)
+                .map(|i| self.mean_fading(i))
+                .collect();
 
             // ---- Parallel phase: requests, decisions, state integration.
-            let batches = self.parallel_edp_phase(&process, &mean_fadings, &cached_fraction, t_in_epoch, dt);
+            let batches =
+                self.parallel_edp_phase(&process, &mean_fadings, &cached_fraction, t_in_epoch, dt);
 
             // ---- Sequential phase: market clearing per content.
             let slot_stats = self.clear_market(&batches, &mean_fadings, dt);
@@ -333,16 +372,22 @@ impl Simulation {
         let policy = &*self.policy;
         let topology = &self.topology;
         let q_sizes = &self.q_sizes;
-        let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let n_threads = if cfg.worker_threads > 0 {
+            cfg.worker_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
         let chunk_size = self.edps.len().div_ceil(n_threads).max(1);
-        let mut batches: Vec<RequestBatch> = vec![RequestBatch::empty(cfg.num_contents); self.edps.len()];
+        let mut batches: Vec<RequestBatch> =
+            vec![RequestBatch::empty(cfg.num_contents); self.edps.len()];
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut edp_chunks: Vec<&mut [Edp]> = self.edps.chunks_mut(chunk_size).collect();
-            let batch_chunks: Vec<&mut [RequestBatch]> =
-                batches.chunks_mut(chunk_size).collect();
+            let batch_chunks: Vec<&mut [RequestBatch]> = batches.chunks_mut(chunk_size).collect();
             for (edp_chunk, batch_chunk) in edp_chunks.drain(..).zip(batch_chunks) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (e, batch) in edp_chunk.iter_mut().zip(batch_chunk.iter_mut()) {
                         let served = topology.served_by(e.id).len();
                         *batch = process.generate(served, &mut e.rng);
@@ -374,10 +419,13 @@ impl Simulation {
                             let raw = policy.decide(&ctx, &mut e.rng);
                             // Defensive: a buggy policy returning NaN/∞ must
                             // not poison the market state.
-                            let x = if raw.is_finite() { raw.clamp(0.0, 1.0) } else { 0.0 };
+                            let x = if raw.is_finite() {
+                                raw.clamp(0.0, 1.0)
+                            } else {
+                                0.0
+                            };
                             e.x[k] = x;
-                            let drift =
-                                cfg.params.drift_q(x, ctx.popularity, ctx.urgency_factor);
+                            let drift = cfg.params.drift_q(x, ctx.popularity, ctx.urgency_factor);
                             let noise = cfg.params.varrho_q
                                 * dt.sqrt()
                                 * mfgcp_sde::StandardNormal.sample(&mut e.rng);
@@ -393,64 +441,117 @@ impl Simulation {
                     }
                 });
             }
-        })
-        .expect("simulation worker panicked");
+        });
         batches
     }
 
     /// Sequential market clearing; returns slot-level aggregates.
+    ///
+    /// Pricing uses the shared-supply form of Eq. (5): one O(M) pass per
+    /// content accumulates `Σ_i x_i`, then each requesting EDP's price is
+    /// the O(1) total-minus-own identity — O(M·K) per slot overall, versus
+    /// the O(M²·K) of calling [`finite_population_price`] per EDP. The
+    /// center's best-stocked-peer assignment likewise precomputes the two
+    /// lowest-remaining-space qualified sharers per content once, so each
+    /// request resolves its peer in O(1) instead of scanning all sharers.
     fn clear_market(
         &mut self,
         batches: &[RequestBatch],
         mean_fadings: &[f64],
         _dt: f64,
     ) -> SlotAggregates {
+        let start = std::time::Instant::now();
         let cfg = &self.cfg;
         let sharing_allowed = self.policy.allows_sharing();
+        let m = self.edps.len();
+        let kk = cfg.num_contents;
         let mut agg = SlotAggregates::default();
-        let mut price_sum = 0.0;
-        let mut price_count = 0usize;
 
-        for k in 0..cfg.num_contents {
-            let q_size = self.q_sizes[k];
-            let alpha_qk = cfg.params.alpha * q_size;
-            // Realized strategy profile for Eq. (5).
-            let strategies: Vec<f64> = self.edps.iter().map(|e| e.x[k]).collect();
-            // Center's list of qualified sharers for this content.
-            let sharers: Vec<usize> = self
-                .edps
-                .iter()
-                .filter(|e| e.can_share(k, alpha_qk))
-                .map(|e| e.id)
-                .collect();
-
-            for i in 0..self.edps.len() {
+        // One fused pass over the population gathers everything the
+        // per-content phases need: the Eq. (5) supply sums, the two
+        // best-stocked qualified sharers per content, the k = 0 strategy
+        // column (for the mean-price statistic) and each content's
+        // requester list. Interleaving per-content scans the other way
+        // (content-outer, population-inner) re-reads every EDP's heap state
+        // `K` times per slot, which dominates the market wall time once
+        // `M` outgrows the cache. All per-content accumulation orders stay
+        // `i` ascending, so sums are bit-identical to the separate passes.
+        let s = &mut self.market_scratch;
+        s.sum_x.clear();
+        s.sum_x.resize(kk, 0.0);
+        s.best.clear();
+        s.best.resize(kk, None);
+        s.second.clear();
+        s.second.resize(kk, None);
+        s.x0.clear();
+        s.x0.resize(m, 0.0);
+        s.alpha_qks.clear();
+        s.alpha_qks
+            .extend(self.q_sizes.iter().map(|&q| cfg.params.alpha * q));
+        s.requesters.resize_with(kk, Vec::new);
+        for r in &mut s.requesters {
+            r.clear();
+        }
+        for (i, e) in self.edps.iter().enumerate() {
+            s.x0[i] = e.x[0];
+            for k in 0..kk {
+                s.sum_x[k] += e.x[k];
+                // Center's peer assignment: the best-stocked qualified
+                // sharer has the smallest remaining space. Tracking the two
+                // smallest (first-minimal on ties, matching a `min_by` scan
+                // in id order) answers every "minimum excluding EDP i"
+                // query in O(1).
+                if e.can_share(k, s.alpha_qks[k]) {
+                    let cand = (e.id, e.q[k]);
+                    match s.best[k] {
+                        Some(b) if cand.1 >= b.1 => {
+                            if s.second[k].map_or(true, |sec| cand.1 < sec.1) {
+                                s.second[k] = Some(cand);
+                            }
+                        }
+                        _ => {
+                            s.second[k] = s.best[k];
+                            s.best[k] = Some(cand);
+                        }
+                    }
+                }
                 let requests = batches[i].counts[k] as u64;
-                let price = finite_population_price(
-                    cfg.params.p_hat,
-                    cfg.params.eta1,
-                    q_size,
-                    &strategies,
-                    i,
-                );
-                if k == 0 {
-                    price_sum += price;
-                    price_count += 1;
+                if requests > 0 {
+                    s.requesters[k].push((i, requests));
                 }
-                if requests == 0 {
-                    continue;
-                }
+            }
+        }
+
+        for k in 0..kk {
+            let q_size = self.q_sizes[k];
+            let alpha_qk = s.alpha_qks[k];
+            let pricer = SharedSupplyPricer::from_sum(
+                cfg.params.p_hat,
+                cfg.params.eta1,
+                q_size,
+                m,
+                s.sum_x[k],
+            );
+            // The k = 0 mean-price series averages over *every* EDP
+            // (idle ones included), exactly like the per-EDP pricing
+            // loop it replaces — now a dedicated O(M) pass over the
+            // contiguous strategy column.
+            if k == 0 {
+                agg.mean_price = s.x0.iter().map(|&x| pricer.price(x)).sum::<f64>() / m as f64;
+            }
+            let (best, second) = (s.best[k], s.second[k]);
+
+            for &(i, requests) in &s.requesters[k] {
+                let price = pricer.price(self.edps[i].x[k]);
                 // The center assigns "a suitable EDP" (§IV-B): the
                 // best-stocked qualified peer — smallest remaining space —
                 // which both completes the most data and minimizes the
                 // buyer's fee.
                 let peer = if sharing_allowed && self.edps[i].q[k] > alpha_qk {
-                    sharers
-                        .iter()
-                        .copied()
-                        .filter(|&s| s != i)
-                        .map(|s| (s, self.edps[s].q[k]))
-                        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("states are finite"))
+                    match best {
+                        Some((s, _)) if s == i => second,
+                        found => found,
+                    }
                 } else {
                     None
                 };
@@ -488,8 +589,15 @@ impl Simulation {
                 }
             }
         }
-        agg.mean_price = if price_count > 0 { price_sum / price_count as f64 } else { 0.0 };
+        self.market_nanos += start.elapsed().as_nanos();
         agg
+    }
+
+    /// Total wall-clock time spent inside market clearing so far, in
+    /// nanoseconds (instrumentation for the `BENCH_market.json` sweep; has
+    /// no effect on simulation results).
+    pub fn market_clearing_nanos(&self) -> u128 {
+        self.market_nanos
     }
 }
 
@@ -535,16 +643,89 @@ mod tests {
 
     #[test]
     fn states_remain_in_bounds() {
+        // The bound is per content: q_k ∈ [0, Q_k], with Q_k from the
+        // resolved (possibly heterogeneous) sizes — checking the global
+        // `params.q_size` would miss violations whenever Q_k < q_size.
+        let check = |sim: &Simulation| {
+            for e in &sim.edps {
+                for (k, &q) in e.q.iter().enumerate() {
+                    assert!(
+                        (0.0..=sim.q_sizes[k]).contains(&q),
+                        "content {k}: q = {q} outside [0, {}]",
+                        sim.q_sizes[k]
+                    );
+                }
+                for &x in &e.x {
+                    assert!((0.0..=1.0).contains(&x));
+                }
+            }
+        };
         let mut sim = small_sim(Box::new(MostPopularCaching::default()));
         let _ = sim.run();
-        for e in &sim.edps {
-            for &q in &e.q {
-                assert!((0.0..=sim.cfg.params.q_size).contains(&q));
-            }
-            for &x in &e.x {
-                assert!((0.0..=1.0).contains(&x));
+        check(&sim);
+        // Heterogeneous catalog: contents strictly smaller than the global
+        // q_size would previously slip through the global bound.
+        let mut cfg = SimConfig::small();
+        cfg.content_sizes = vec![0.3, 1.0, 0.15, 0.6];
+        let mut sim = Simulation::new(cfg, Box::new(MostPopularCaching::default())).unwrap();
+        let _ = sim.run();
+        check(&sim);
+    }
+
+    #[test]
+    fn run_is_bit_identical_across_thread_counts() {
+        let report = |threads: usize| {
+            let mut cfg = SimConfig::small();
+            cfg.worker_threads = threads;
+            Simulation::new(cfg, Box::new(MostPopularCaching::default()))
+                .unwrap()
+                .run()
+        };
+        let baseline = report(1);
+        for threads in [2, 8] {
+            let r = report(threads);
+            assert_eq!(baseline.per_edp, r.per_edp, "with {threads} threads");
+            assert_eq!(baseline.series.len(), r.series.len());
+            for (a, b) in baseline.series.iter().zip(&r.series) {
+                assert_eq!(a, b, "with {threads} threads");
             }
         }
+    }
+
+    #[test]
+    fn k0_mean_price_matches_the_per_edp_reference() {
+        // Regression for the shared-sum rewrite: the k = 0 mean-price
+        // statistic must equal the mean of per-EDP Eq. (5) prices from the
+        // O(M) reference, averaged over every EDP — idle ones included
+        // (the seed implementation priced before its requests == 0
+        // early-continue).
+        use mfgcp_core::finite_population_price;
+        let mut sim = small_sim(Box::new(MostPopularCaching::default()));
+        for (i, e) in sim.edps.iter_mut().enumerate() {
+            e.x[0] = 0.05 + 0.9 * (i as f64) / 11.0;
+        }
+        let m = sim.edps.len();
+        let batches = vec![RequestBatch::empty(sim.cfg.num_contents); m];
+        let mean_fadings = vec![sim.cfg.params.upsilon_h; m];
+        let agg = sim.clear_market(&batches, &mean_fadings, 0.1);
+        let strategies: Vec<f64> = sim.edps.iter().map(|e| e.x[0]).collect();
+        let oracle = (0..m)
+            .map(|i| {
+                finite_population_price(
+                    sim.cfg.params.p_hat,
+                    sim.cfg.params.eta1,
+                    sim.q_sizes[0],
+                    &strategies,
+                    i,
+                )
+            })
+            .sum::<f64>()
+            / m as f64;
+        assert!(
+            (agg.mean_price - oracle).abs() < 1e-9,
+            "{} vs oracle {oracle}",
+            agg.mean_price
+        );
     }
 
     #[test]
@@ -608,7 +789,10 @@ mod tests {
         let report = sim.run();
         let paid: f64 = report.per_edp.iter().map(|m| m.sharing_cost).sum();
         let earned: f64 = report.per_edp.iter().map(|m| m.sharing_benefit).sum();
-        assert!((paid - earned).abs() < 1e-9, "paid {paid} vs earned {earned}");
+        assert!(
+            (paid - earned).abs() < 1e-9,
+            "paid {paid} vs earned {earned}"
+        );
     }
 
     #[test]
@@ -663,6 +847,9 @@ mod tests {
         let cfg = SimConfig::small();
         let trace = Trace::new(2, vec![1.0, 1.0]).unwrap();
         let err = Simulation::with_trace(cfg, Box::new(RandomReplacement), trace);
-        assert!(matches!(err, Err(SimError::BadConfig { name: "trace", .. })));
+        assert!(matches!(
+            err,
+            Err(SimError::BadConfig { name: "trace", .. })
+        ));
     }
 }

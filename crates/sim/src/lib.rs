@@ -103,7 +103,10 @@ mod tests {
 
     #[test]
     fn errors_render() {
-        let e = SimError::BadConfig { name: "num_edps", message: "must be > 0".into() };
+        let e = SimError::BadConfig {
+            name: "num_edps",
+            message: "must be > 0".into(),
+        };
         assert!(e.to_string().contains("num_edps"));
         let e = SimError::Workload(mfgcp_workload::WorkloadError::EmptyCatalog);
         assert!(e.to_string().contains("workload"));

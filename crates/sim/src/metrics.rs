@@ -45,15 +45,22 @@ impl EdpMetrics {
 
 /// Population aggregates sampled once per slot (time series for the
 /// evolution figures).
+///
+/// The `mean_remaining_space`, `mean_caching_rate` and `mean_price`
+/// state/price columns track **content `k = 0` only** — the paper's
+/// evolution figures (Figs. 4–7, 11) follow a single tagged content, and
+/// `k = 0` is the most popular one under the Zipf initial ranking. The
+/// `slot_*` flow columns aggregate over the whole catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SlotMetrics {
     /// Slot start time within the run.
     pub t: f64,
     /// Population-mean remaining space of content 0 (the tracked content).
     pub mean_remaining_space: f64,
-    /// Population-mean caching rate of content 0.
+    /// Population-mean caching rate of content 0 (the tracked content).
     pub mean_caching_rate: f64,
-    /// Mean trading price of content 0 across EDPs.
+    /// Mean Eq. (5) trading price of content 0 across *all* EDPs (idle
+    /// requesters included).
     pub mean_price: f64,
     /// Population-mean utility accumulated in this slot.
     pub slot_utility: f64,
@@ -140,7 +147,11 @@ pub fn gini_utility(metrics: &[EdpMetrics]) -> f64 {
         return 0.0;
     }
     // G = (2·Σ i·x_(i) / (n·Σx)) − (n+1)/n with 1-based ranks.
-    let weighted: f64 = xs.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+    let weighted: f64 = xs
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
     (2.0 * weighted / (n * total) - (n + 1.0) / n).max(0.0)
 }
 
@@ -164,7 +175,11 @@ mod tests {
 
     #[test]
     fn merge_adds_componentwise() {
-        let mut a = EdpMetrics { trading_income: 1.0, case_counts: (1, 0, 0), ..Default::default() };
+        let mut a = EdpMetrics {
+            trading_income: 1.0,
+            case_counts: (1, 0, 0),
+            ..Default::default()
+        };
         let b = EdpMetrics {
             trading_income: 2.0,
             requests_served: 3,
@@ -188,11 +203,23 @@ mod tests {
     #[test]
     fn std_utility_basics() {
         assert_eq!(std_utility(&[]), 0.0);
-        let equal = vec![EdpMetrics { trading_income: 5.0, ..Default::default() }; 4];
+        let equal = vec![
+            EdpMetrics {
+                trading_income: 5.0,
+                ..Default::default()
+            };
+            4
+        ];
         assert_eq!(std_utility(&equal), 0.0);
         let spread = vec![
-            EdpMetrics { trading_income: 4.0, ..Default::default() },
-            EdpMetrics { trading_income: 6.0, ..Default::default() },
+            EdpMetrics {
+                trading_income: 4.0,
+                ..Default::default()
+            },
+            EdpMetrics {
+                trading_income: 6.0,
+                ..Default::default()
+            },
         ];
         // Sample std dev of {4, 6} = √2.
         assert!((std_utility(&spread) - 2.0_f64.sqrt()).abs() < 1e-12);
@@ -200,7 +227,13 @@ mod tests {
 
     #[test]
     fn gini_of_equal_utilities_is_zero() {
-        let ms = vec![EdpMetrics { trading_income: 5.0, ..Default::default() }; 10];
+        let ms = vec![
+            EdpMetrics {
+                trading_income: 5.0,
+                ..Default::default()
+            };
+            10
+        ];
         assert!(gini_utility(&ms) < 1e-12);
         assert_eq!(gini_utility(&[]), 0.0);
         assert_eq!(gini_utility(&ms[..1]), 0.0);
@@ -215,7 +248,10 @@ mod tests {
         assert!(g > 0.85, "gini {g}");
         // A mild spread sits in between.
         let spread: Vec<EdpMetrics> = (0..10)
-            .map(|i| EdpMetrics { trading_income: 10.0 + i as f64, ..Default::default() })
+            .map(|i| EdpMetrics {
+                trading_income: 10.0 + i as f64,
+                ..Default::default()
+            })
             .collect();
         let gs = gini_utility(&spread);
         assert!(gs > 0.0 && gs < g);
@@ -224,8 +260,14 @@ mod tests {
     #[test]
     fn gini_handles_negative_utilities() {
         let ms = vec![
-            EdpMetrics { staleness_cost: 5.0, ..Default::default() }, // utility -5
-            EdpMetrics { trading_income: 5.0, ..Default::default() }, // utility +5
+            EdpMetrics {
+                staleness_cost: 5.0,
+                ..Default::default()
+            }, // utility -5
+            EdpMetrics {
+                trading_income: 5.0,
+                ..Default::default()
+            }, // utility +5
         ];
         let g = gini_utility(&ms);
         assert!((0.0..=1.0).contains(&g));
@@ -234,8 +276,14 @@ mod tests {
     #[test]
     fn aggregates_average_across_edps() {
         let ms = vec![
-            EdpMetrics { trading_income: 4.0, ..Default::default() },
-            EdpMetrics { trading_income: 6.0, ..Default::default() },
+            EdpMetrics {
+                trading_income: 4.0,
+                ..Default::default()
+            },
+            EdpMetrics {
+                trading_income: 6.0,
+                ..Default::default()
+            },
         ];
         assert_eq!(mean_trading_income(&ms), 5.0);
         assert_eq!(mean_utility(&ms), 5.0);

@@ -21,7 +21,14 @@ use rand::RngExt as _;
 ///
 /// Panics if `params` fails validation.
 pub fn time_mfgcp(params: &Params, m: usize) -> Duration {
-    let p = Params { num_edps: m, ..params.clone() };
+    // Single-threaded assembly: Table II compares *algorithmic* scaling in
+    // M, and a fixed thread count keeps the measurement insensitive to
+    // scheduler contention (e.g. when run alongside other tests).
+    let p = Params {
+        num_edps: m,
+        worker_threads: 1,
+        ..params.clone()
+    };
     let solver = MfgSolver::new(p.clone()).expect("valid params");
     let ctx = ContentContext::from_params(&p);
     let contexts = vec![ctx; p.time_steps];
@@ -56,8 +63,9 @@ pub fn time_rr(m: usize, k: usize, slots: usize) -> Duration {
 ///
 /// Panics if `k == 0`.
 pub fn time_mpc(m: usize, k: usize, slots: usize) -> Duration {
-    let mut pops: Vec<Popularity> =
-        (0..m).map(|_| Popularity::zipf(k, 0.8).expect("k > 0")).collect();
+    let mut pops: Vec<Popularity> = (0..m)
+        .map(|_| Popularity::zipf(k, 0.8).expect("k > 0"))
+        .collect();
     let mut rng = seeded_rng(7);
     let counts: Vec<usize> = (0..k).map(|_| rng.random_range(0..20)).collect();
     let start = Instant::now();
@@ -93,7 +101,13 @@ mod tests {
     use super::*;
 
     fn small_params() -> Params {
-        Params { time_steps: 10, grid_h: 8, grid_q: 24, max_iterations: 20, ..Params::default() }
+        Params {
+            time_steps: 10,
+            grid_h: 8,
+            grid_q: 24,
+            max_iterations: 20,
+            ..Params::default()
+        }
     }
 
     #[test]

@@ -24,7 +24,10 @@ impl Content {
     /// Returns an error if either field is not strictly positive.
     pub fn new(size: f64, update_period: f64) -> Result<Self, WorkloadError> {
         if size.is_nan() || size <= 0.0 || !size.is_finite() {
-            return Err(WorkloadError::NonPositive { name: "size", value: size });
+            return Err(WorkloadError::NonPositive {
+                name: "size",
+                value: size,
+            });
         }
         if update_period.is_nan() || update_period <= 0.0 || !update_period.is_finite() {
             return Err(WorkloadError::NonPositive {
@@ -32,7 +35,10 @@ impl Content {
                 value: update_period,
             });
         }
-        Ok(Self { size, update_period })
+        Ok(Self {
+            size,
+            update_period,
+        })
     }
 }
 
@@ -69,7 +75,9 @@ impl Catalog {
             return Err(WorkloadError::EmptyCatalog);
         }
         let c = Content::new(size_mb * MEGABYTE, 3600.0)?;
-        Ok(Self { contents: vec![c; k] })
+        Ok(Self {
+            contents: vec![c; k],
+        })
     }
 
     /// Number of contents `K`.

@@ -95,11 +95,17 @@ mod tests {
     #[test]
     fn errors_render() {
         assert!(WorkloadError::EmptyCatalog.to_string().contains("catalog"));
-        assert!(WorkloadError::NonPositive { name: "iota", value: 0.0 }
-            .to_string()
-            .contains("iota"));
-        assert!(WorkloadError::Parse { line: 3, message: "bad".into() }
-            .to_string()
-            .contains("line 3"));
+        assert!(WorkloadError::NonPositive {
+            name: "iota",
+            value: 0.0
+        }
+        .to_string()
+        .contains("iota"));
+        assert!(WorkloadError::Parse {
+            line: 3,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("line 3"));
     }
 }

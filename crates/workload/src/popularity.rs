@@ -24,7 +24,10 @@ impl Popularity {
     pub fn zipf(k: usize, iota: f64) -> Result<Self, WorkloadError> {
         let z = Zipf::new(k, iota)?;
         let initial = z.probabilities().to_vec();
-        Ok(Self { current: initial.clone(), initial })
+        Ok(Self {
+            current: initial.clone(),
+            initial,
+        })
     }
 
     /// Initialize from explicit prior probabilities (used by trace-driven
@@ -43,7 +46,10 @@ impl Popularity {
         } else {
             vec![1.0 / prior.len() as f64; prior.len()]
         };
-        Ok(Self { current: initial.clone(), initial })
+        Ok(Self {
+            current: initial.clone(),
+            initial,
+        })
     }
 
     /// Number of contents `K`.

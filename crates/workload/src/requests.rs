@@ -20,7 +20,10 @@ pub struct RequestBatch {
 impl RequestBatch {
     /// An empty batch over `k` contents.
     pub fn empty(k: usize) -> Self {
-        Self { counts: vec![0; k], urgencies: vec![Vec::new(); k] }
+        Self {
+            counts: vec![0; k],
+            urgencies: vec![Vec::new(); k],
+        }
     }
 
     /// Total number of requests in the slot, `Σ_k |I_k(t)|`.
@@ -103,7 +106,13 @@ impl RequestProcess {
         self.weights = if total > 0.0 {
             weights
                 .into_iter()
-                .map(|w| if w.is_finite() && w > 0.0 { w / total } else { 0.0 })
+                .map(|w| {
+                    if w.is_finite() && w > 0.0 {
+                        w / total
+                    } else {
+                        0.0
+                    }
+                })
                 .collect()
         } else {
             vec![1.0 / k as f64; k]
@@ -123,7 +132,10 @@ impl RequestProcess {
         for _ in 0..num_requesters {
             if rng.random_range(0.0_f64..1.0) < self.request_prob {
                 let u: f64 = rng.random_range(0.0..1.0);
-                let k = self.cumulative.partition_point(|&c| c < u).min(self.len() - 1);
+                let k = self
+                    .cumulative
+                    .partition_point(|&c| c < u)
+                    .min(self.len() - 1);
                 batch.counts[k] += 1;
                 batch.urgencies[k].push(rng.random_range(0.0..self.timeliness.l_max));
             }

@@ -29,7 +29,11 @@ impl Default for TimelinessConfig {
     fn default() -> Self {
         // ξ = 0.1 is the paper's §V-A setting; L_max = 5 gives ξ^L a
         // dynamic range of 1 … 1e-5, plenty to differentiate urgencies.
-        Self { l_max: 5.0, xi: 0.1, smoothing: 0.2 }
+        Self {
+            l_max: 5.0,
+            xi: 0.1,
+            smoothing: 0.2,
+        }
     }
 }
 
@@ -50,15 +54,28 @@ impl TimelinessConfig {
     /// Returns an error unless `l_max > 0`, `0 < ξ < 1`, `0 < α <= 1`.
     pub fn with_smoothing(l_max: f64, xi: f64, smoothing: f64) -> Result<Self, WorkloadError> {
         if l_max.is_nan() || l_max <= 0.0 || !l_max.is_finite() {
-            return Err(WorkloadError::NonPositive { name: "l_max", value: l_max });
+            return Err(WorkloadError::NonPositive {
+                name: "l_max",
+                value: l_max,
+            });
         }
         if xi.is_nan() || xi <= 0.0 || xi >= 1.0 {
-            return Err(WorkloadError::NonPositive { name: "xi", value: xi });
+            return Err(WorkloadError::NonPositive {
+                name: "xi",
+                value: xi,
+            });
         }
         if smoothing.is_nan() || smoothing <= 0.0 || smoothing > 1.0 {
-            return Err(WorkloadError::NonPositive { name: "smoothing", value: smoothing });
+            return Err(WorkloadError::NonPositive {
+                name: "smoothing",
+                value: smoothing,
+            });
         }
-        Ok(Self { l_max, xi, smoothing })
+        Ok(Self {
+            l_max,
+            xi,
+            smoothing,
+        })
     }
 
     /// The urgency factor `ξ^L` appearing in the caching dynamics (Eq. (4)).
@@ -77,7 +94,10 @@ pub struct Timeliness {
 impl Timeliness {
     /// Start with all contents at half of `L_max` (no information yet).
     pub fn new(k: usize, config: TimelinessConfig) -> Self {
-        Self { current: vec![config.l_max / 2.0; k], config }
+        Self {
+            current: vec![config.l_max / 2.0; k],
+            config,
+        }
     }
 
     /// The configuration in use.
@@ -103,7 +123,10 @@ impl Timeliness {
         if urgencies.is_empty() {
             return;
         }
-        let sum: f64 = urgencies.iter().map(|l| l.clamp(0.0, self.config.l_max)).sum();
+        let sum: f64 = urgencies
+            .iter()
+            .map(|l| l.clamp(0.0, self.config.l_max))
+            .sum();
         let batch_mean = sum / urgencies.len() as f64;
         let alpha = self.config.smoothing;
         self.current[k] = (1.0 - alpha) * self.current[k] + alpha * batch_mean;

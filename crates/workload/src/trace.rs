@@ -54,7 +54,10 @@ impl Trace {
                 ),
             });
         }
-        Ok(Self { categories, weights })
+        Ok(Self {
+            categories,
+            weights,
+        })
     }
 
     /// Number of categories `K`.
@@ -164,8 +167,7 @@ impl SyntheticYoutubeTrace {
                 // Trend drift (random walk in log space).
                 log_pop[k] += self.drift_sigma * StandardNormal.sample(rng);
                 let seasonal = 1.0 + self.seasonal_amplitude * (t + phases[k]).sin();
-                let volume =
-                    (self.volume_sigma * StandardNormal.sample(rng)).exp();
+                let volume = (self.volume_sigma * StandardNormal.sample(rng)).exp();
                 weights.push(log_pop[k].exp() * seasonal.max(0.05) * volume);
             }
         }
@@ -219,10 +221,12 @@ pub fn parse_kaggle_csv(text: &str, num_categories: usize) -> Result<Trace, Work
     })?;
     let cols = split_csv_line(header);
     let find = |name: &str| -> Result<usize, WorkloadError> {
-        cols.iter().position(|c| c.trim() == name).ok_or_else(|| WorkloadError::Parse {
-            line: 1,
-            message: format!("missing column `{name}`"),
-        })
+        cols.iter()
+            .position(|c| c.trim() == name)
+            .ok_or_else(|| WorkloadError::Parse {
+                line: 1,
+                message: format!("missing column `{name}`"),
+            })
     };
     let date_col = find("trending_date")?;
     let cat_col = find("category_id")?;
@@ -243,7 +247,11 @@ pub fn parse_kaggle_csv(text: &str, num_categories: usize) -> Result<Trace, Work
         if fields.len() <= needed {
             return Err(WorkloadError::Parse {
                 line: line_no + 1,
-                message: format!("expected at least {} fields, got {}", needed + 1, fields.len()),
+                message: format!(
+                    "expected at least {} fields, got {}",
+                    needed + 1,
+                    fields.len()
+                ),
             });
         }
         let date = fields[date_col].trim().to_owned();
@@ -257,15 +265,21 @@ pub fn parse_kaggle_csv(text: &str, num_categories: usize) -> Result<Trace, Work
         if cat >= num_categories {
             continue; // beyond the K categories the experiment keeps
         }
-        let views: f64 = fields[views_col].trim().parse().map_err(|e| WorkloadError::Parse {
-            line: line_no + 1,
-            message: format!("bad views value: {e}"),
-        })?;
+        let views: f64 = fields[views_col]
+            .trim()
+            .parse()
+            .map_err(|e| WorkloadError::Parse {
+                line: line_no + 1,
+                message: format!("bad views value: {e}"),
+            })?;
         *cells.entry((epoch, cat)).or_insert(0.0) += views;
     }
 
     if date_order.is_empty() {
-        return Err(WorkloadError::Parse { line: 2, message: "no data rows".into() });
+        return Err(WorkloadError::Parse {
+            line: 2,
+            message: "no data rows".into(),
+        });
     }
     let epochs = date_order.len();
     let mut weights = vec![0.0; epochs * num_categories];
@@ -283,7 +297,11 @@ mod tests {
     #[test]
     fn synthetic_trace_has_requested_shape() {
         let mut rng = seeded_rng(19);
-        let cfg = SyntheticYoutubeTrace { categories: 20, epochs: 50, ..Default::default() };
+        let cfg = SyntheticYoutubeTrace {
+            categories: 20,
+            epochs: 50,
+            ..Default::default()
+        };
         let t = cfg.generate(&mut rng).unwrap();
         assert_eq!(t.num_categories(), 20);
         assert_eq!(t.num_epochs(), 50);
@@ -301,7 +319,12 @@ mod tests {
         let t = cfg.generate(&mut rng).unwrap();
         let means = t.mean_weights();
         // Head categories should dominate tail categories on average.
-        assert!(means[0] > means[19] * 2.0, "head {} tail {}", means[0], means[19]);
+        assert!(
+            means[0] > means[19] * 2.0,
+            "head {} tail {}",
+            means[0],
+            means[19]
+        );
     }
 
     #[test]

@@ -28,10 +28,12 @@ impl Zipf {
             return Err(WorkloadError::EmptyCatalog);
         }
         if iota.is_nan() || iota <= 0.0 || !iota.is_finite() {
-            return Err(WorkloadError::NonPositive { name: "iota", value: iota });
+            return Err(WorkloadError::NonPositive {
+                name: "iota",
+                value: iota,
+            });
         }
-        let mut probabilities: Vec<f64> =
-            (1..=k).map(|rank| (rank as f64).powf(-iota)).collect();
+        let mut probabilities: Vec<f64> = (1..=k).map(|rank| (rank as f64).powf(-iota)).collect();
         let total: f64 = probabilities.iter().sum();
         for p in &mut probabilities {
             *p /= total;
@@ -44,7 +46,11 @@ impl Zipf {
         }
         // Guard against floating-point shortfall in the last bucket.
         *cumulative.last_mut().expect("k >= 1") = 1.0;
-        Ok(Self { probabilities, cumulative, iota })
+        Ok(Self {
+            probabilities,
+            cumulative,
+            iota,
+        })
     }
 
     /// The steepness parameter `ι`.
@@ -75,7 +81,9 @@ impl Zipf {
     /// Sample a rank (0-based) by inverse-CDF binary search.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random_range(0.0..1.0);
-        self.cumulative.partition_point(|&c| c < u).min(self.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.len() - 1)
     }
 }
 
@@ -117,7 +125,11 @@ mod tests {
         }
         for (k, &count) in counts.iter().enumerate() {
             let freq = count as f64 / n as f64;
-            assert!((freq - z.pmf(k)).abs() < 0.01, "rank {k}: {freq} vs {}", z.pmf(k));
+            assert!(
+                (freq - z.pmf(k)).abs() < 0.01,
+                "rank {k}: {freq} vs {}",
+                z.pmf(k)
+            );
         }
     }
 

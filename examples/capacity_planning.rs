@@ -11,7 +11,12 @@ use mfgcp::core::{solve_01, solve_fractional, KnapsackItem};
 use mfgcp::prelude::*;
 
 fn main() {
-    let params = Params { time_steps: 20, grid_h: 10, grid_q: 36, ..Params::default() };
+    let params = Params {
+        time_steps: 20,
+        grid_h: 10,
+        grid_q: 36,
+        ..Params::default()
+    };
 
     // A small catalog: four contents with Zipf-skewed demand and mixed
     // urgency (the per-content workload contexts of one Alg. 1 epoch).
@@ -33,25 +38,36 @@ fn main() {
         .iter()
         .enumerate()
         .filter_map(|(k, o)| {
-            o.as_ref().map(|out| KnapsackItem::from_equilibrium(k, &out.equilibrium))
+            o.as_ref()
+                .map(|out| KnapsackItem::from_equilibrium(k, &out.equilibrium))
         })
         .collect();
 
-    println!("{:>8} {:>10} {:>10} {:>10}", "content", "value", "weight", "density");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "content", "value", "weight", "density"
+    );
     for it in &items {
         println!(
             "{:>8} {:>10.2} {:>10.3} {:>10.1}",
             it.content,
             it.value,
             it.weight,
-            if it.weight > 0.0 { it.value / it.weight } else { f64::INFINITY }
+            if it.weight > 0.0 {
+                it.value / it.weight
+            } else {
+                f64::INFINITY
+            }
         );
     }
 
     // Sweep the capacity budget: how much of the unconstrained plan fits?
     let total_weight: f64 = items.iter().map(|i| i.weight).sum();
     println!("\nUnconstrained storage demand: {total_weight:.3} content units");
-    println!("\n{:>10} {:>14} {:>14} {:>24}", "capacity", "frac. value", "0/1 value", "0/1 kept contents");
+    println!(
+        "\n{:>10} {:>14} {:>14} {:>24}",
+        "capacity", "frac. value", "0/1 value", "0/1 kept contents"
+    );
     for &cap in &[0.25, 0.5, 0.75, 1.0] {
         let frac = solve_fractional(&items, cap);
         let zo = solve_01(&items, cap, 10_000);
@@ -62,7 +78,10 @@ fn main() {
             zo.total_value,
             format!("{:?}", zo.kept_contents(&items)),
         );
-        assert!(frac.total_value >= zo.total_value - 1e-9, "LP bound violated");
+        assert!(
+            frac.total_value >= zo.total_value - 1e-9,
+            "LP bound violated"
+        );
     }
     println!("\nThe fractional plan upper-bounds the 0/1 plan (LP relaxation),");
     println!("and both prioritize high-utility-per-byte contents — the paper's");

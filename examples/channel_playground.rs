@@ -14,8 +14,16 @@ fn main() {
     // --- Part 1: mean reversion of a single fading link (Eq. (1)).
     let cfg = NetworkConfig::default();
     let ou = cfg.fading_process();
-    println!("OU fading: ς_h = {}, υ_h = {:.1e}, ϱ_h = {:.1e}", ou.varsigma(), ou.upsilon(), ou.varrho());
-    println!("Stationary std dev: {:.2e}\n", ou.stationary_variance().sqrt());
+    println!(
+        "OU fading: ς_h = {}, υ_h = {:.1e}, ϱ_h = {:.1e}",
+        ou.varsigma(),
+        ou.upsilon(),
+        ou.varrho()
+    );
+    println!(
+        "Stationary std dev: {:.2e}\n",
+        ou.stationary_variance().sqrt()
+    );
 
     let em = EulerMaruyama::new(1e-3);
     let start_high = em.integrate(&ou, 9.0e-5, 0.0, 2.0, &mut rng);
@@ -37,7 +45,10 @@ fn main() {
     let mut rng = seeded_rng(4);
     let topo = Topology::random(6, 24, &cfg, &mut rng);
     let mut channels = ChannelState::init(&topo, &cfg, &mut rng);
-    println!("\n6 EDPs / 24 requesters in a {:.0} m disc; per-EDP mean rates:", cfg.area_radius);
+    println!(
+        "\n6 EDPs / 24 requesters in a {:.0} m disc; per-EDP mean rates:",
+        cfg.area_radius
+    );
     println!("{:>4} {:>8} {:>14}", "EDP", "#served", "mean rate Mb/s");
     for i in 0..topo.num_edps() {
         let served = topo.served_by(i).len();

@@ -27,7 +27,9 @@ fn config() -> SimConfig {
 }
 
 fn run(policy: Box<dyn CachingPolicy>) -> SimReport {
-    Simulation::new(config(), policy).expect("valid config").run()
+    Simulation::new(config(), policy)
+        .expect("valid config")
+        .run()
 }
 
 fn main() {
@@ -36,8 +38,12 @@ fn main() {
     println!("K = 8 contents, 2 epochs x 30 trading slots, synthetic YouTube trace.\n");
 
     let reports = vec![
-        run(Box::new(MfgCpPolicy::new(params.clone()).expect("valid params"))),
-        run(Box::new(MfgCpPolicy::without_sharing(params).expect("valid params"))),
+        run(Box::new(
+            MfgCpPolicy::new(params.clone()).expect("valid params"),
+        )),
+        run(Box::new(
+            MfgCpPolicy::without_sharing(params).expect("valid params"),
+        )),
         run(Box::new(Udcs::default())),
         run(Box::new(MostPopularCaching::default())),
         run(Box::new(RandomReplacement)),

@@ -44,20 +44,36 @@ fn main() {
 
     println!("MFG-CP with per-size equilibria:");
     println!("  mean utility        : {:>10.3}", report.mean_utility());
-    println!("  mean trading income : {:>10.3}", report.mean_trading_income());
-    println!("  mean staleness cost : {:>10.3}", report.mean_staleness_cost());
-    println!("  mean sharing benefit: {:>10.3}", report.mean_sharing_benefit());
+    println!(
+        "  mean trading income : {:>10.3}",
+        report.mean_trading_income()
+    );
+    println!(
+        "  mean staleness cost : {:>10.3}",
+        report.mean_staleness_cost()
+    );
+    println!(
+        "  mean sharing benefit: {:>10.3}",
+        report.mean_sharing_benefit()
+    );
     let (c1, c2, c3) = report.case_totals();
     println!("  cases (own/peer/center): {c1}/{c2}/{c3}");
 
     // Contrast with a static, uniform-size market under the same scheme.
-    let uniform = SimConfig { content_sizes: Vec::new(), mobility: None, ..cfg };
+    let uniform = SimConfig {
+        content_sizes: Vec::new(),
+        mobility: None,
+        ..cfg
+    };
     let policy = MfgCpPolicy::new(uniform.params.clone()).expect("valid params");
     let mut sim = Simulation::new(uniform, Box::new(policy)).expect("valid config");
     let base = sim.run();
     println!("\nUniform 100 MB catalog, static requesters (baseline):");
     println!("  mean utility        : {:>10.3}", base.mean_utility());
-    println!("  mean trading income : {:>10.3}", base.mean_trading_income());
+    println!(
+        "  mean trading income : {:>10.3}",
+        base.mean_trading_income()
+    );
 
     println!("\nSmaller contents earn proportionally less per trade but are");
     println!("cheaper to keep fresh; mobility stirs the serving sets and");

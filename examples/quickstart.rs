@@ -13,8 +13,10 @@ fn main() {
     // Paper defaults: M = 300 EDPs, Q_k = 100 MB (1.0 content unit),
     // λ(0) ~ N(0.7, 0.1²), p̂ = 5, η₁/p̂ = 0.2, T = 1.
     let params = Params::default();
-    println!("Solving the MFG-CP equilibrium (grid {}x{}, {} time steps)...",
-        params.grid_h, params.grid_q, params.time_steps);
+    println!(
+        "Solving the MFG-CP equilibrium (grid {}x{}, {} time steps)...",
+        params.grid_h, params.grid_q, params.time_steps
+    );
 
     let solver = MfgSolver::new(params).expect("valid parameters");
     let eq = solver.solve().expect("the default game converges");
@@ -30,7 +32,10 @@ fn main() {
 
     // The equilibrium policy: caching rate as a function of (t, h, q).
     println!("\nEquilibrium caching rate x*(t, h=υ_h, q):");
-    println!("{:>6} {:>8} {:>8} {:>8} {:>8}", "t", "q=0.2", "q=0.4", "q=0.6", "q=0.8");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>8}",
+        "t", "q=0.2", "q=0.4", "q=0.6", "q=0.8"
+    );
     let h = eq.params.upsilon_h;
     for &t in &[0.0, 0.25, 0.5, 0.75] {
         println!(
@@ -62,7 +67,10 @@ fn main() {
     println!("  staleness cost : {:>8.3}", first.staleness_cost);
     println!("  sharing cost   : {:>8.3}", first.sharing_cost);
     println!("  net            : {:>8.3}", first.total());
-    println!("\nAccumulated utility over the horizon: {:.3}", eq.accumulated_utility());
+    println!(
+        "\nAccumulated utility over the horizon: {:.3}",
+        eq.accumulated_utility()
+    );
 
     // The mean-field density: how the population's remaining space evolves.
     let means = eq.mean_remaining_space();

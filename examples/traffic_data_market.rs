@@ -13,7 +13,12 @@
 use mfgcp::prelude::*;
 
 fn main() {
-    let params = Params { time_steps: 24, grid_h: 10, grid_q: 40, ..Params::default() };
+    let params = Params {
+        time_steps: 24,
+        grid_h: 10,
+        grid_q: 40,
+        ..Params::default()
+    };
     let cfg = TimelinessConfig::default(); // ξ = 0.1, L_max = 5
 
     // Drivers demand traffic data urgently (L ≈ 2.5); financial news can
@@ -28,15 +33,20 @@ fn main() {
         popularity: 0.4,
         urgency_factor: cfg.urgency_factor(0.5),
     };
-    println!("Urgency factors: traffic ξ^2.5 = {:.4}, news ξ^0.5 = {:.4}\n",
-        traffic.urgency_factor, news.urgency_factor);
+    println!(
+        "Urgency factors: traffic ξ^2.5 = {:.4}, news ξ^0.5 = {:.4}\n",
+        traffic.urgency_factor, news.urgency_factor
+    );
 
-    let framework = Framework::new(params.clone(), FrameworkConfig::default())
-        .expect("valid parameters");
+    let framework =
+        Framework::new(params.clone(), FrameworkConfig::default()).expect("valid parameters");
     println!("Running one Alg. 1 epoch over the two contents...");
     let outcomes = framework.run_epoch(&[traffic, news]);
 
-    let traffic_eq = &outcomes[0].as_ref().expect("traffic is demanded").equilibrium;
+    let traffic_eq = &outcomes[0]
+        .as_ref()
+        .expect("traffic is demanded")
+        .equilibrium;
     let news_eq = &outcomes[1].as_ref().expect("news is demanded").equilibrium;
 
     println!("\nMean remaining space over the epoch (lower = more cached):");

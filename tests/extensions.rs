@@ -32,7 +32,10 @@ fn small_config() -> SimConfig {
 #[test]
 fn heterogeneous_catalog_under_mfgcp_solves_per_size() {
     let sizes = vec![1.0, 0.5, 0.25];
-    let cfg = SimConfig { content_sizes: sizes.clone(), ..small_config() };
+    let cfg = SimConfig {
+        content_sizes: sizes.clone(),
+        ..small_config()
+    };
     let policy = MfgCpPolicy::new(cfg.params.clone())
         .unwrap()
         .with_content_sizes(sizes.clone());
@@ -49,7 +52,10 @@ fn heterogeneous_catalog_under_mfgcp_solves_per_size() {
 
 #[test]
 fn mobility_with_mfgcp_stays_consistent() {
-    let cfg = SimConfig { mobility: Some(RandomWaypoint::default()), ..small_config() };
+    let cfg = SimConfig {
+        mobility: Some(RandomWaypoint::default()),
+        ..small_config()
+    };
     let policy = MfgCpPolicy::new(cfg.params.clone()).unwrap();
     let mut sim = Simulation::new(cfg, Box::new(policy)).unwrap();
     let report = sim.run();
@@ -59,7 +65,11 @@ fn mobility_with_mfgcp_stays_consistent() {
     let earned: f64 = report.per_edp.iter().map(|m| m.sharing_benefit).sum();
     assert!((paid - earned).abs() < 1e-9);
     // Fairness in a symmetric market stays reasonable.
-    assert!(report.gini_utility() < 0.5, "gini {}", report.gini_utility());
+    assert!(
+        report.gini_utility() < 0.5,
+        "gini {}",
+        report.gini_utility()
+    );
 }
 
 #[test]
@@ -91,15 +101,26 @@ fn salvage_and_implicit_switches_compose() {
     // space is NOT guaranteed pointwise, but the late-horizon caching is):
     let plain_end = explicit0.last().unwrap();
     let salvage_end = trajectories[1].2.last().unwrap();
-    assert!(salvage_end < plain_end, "salvage {salvage_end} vs plain {plain_end}");
+    assert!(
+        salvage_end < plain_end,
+        "salvage {salvage_end} vs plain {plain_end}"
+    );
 }
 
 #[test]
 fn capacity_framework_scales_rates_sensibly() {
     let fw = Framework::new(small_params(), FrameworkConfig::default()).unwrap();
     let contexts = vec![
-        ContentContext { requests: 20.0, popularity: 0.5, urgency_factor: 0.05 },
-        ContentContext { requests: 8.0, popularity: 0.2, urgency_factor: 0.05 },
+        ContentContext {
+            requests: 20.0,
+            popularity: 0.5,
+            urgency_factor: 0.05,
+        },
+        ContentContext {
+            requests: 8.0,
+            popularity: 0.2,
+            urgency_factor: 0.05,
+        },
     ];
     let (outcomes, plan) = fw.run_epoch_with_capacity(&contexts, 0.3);
     assert!(plan.total_weight <= 0.3 + 1e-9);
@@ -109,7 +130,11 @@ fn capacity_framework_scales_rates_sensibly() {
         .enumerate()
         .map(|(k, o)| match o {
             Some(out) => KnapsackItem::from_equilibrium(k, &out.equilibrium),
-            None => KnapsackItem { content: k, value: 0.0, weight: 0.0 },
+            None => KnapsackItem {
+                content: k,
+                value: 0.0,
+                weight: 0.0,
+            },
         })
         .collect();
     if items[0].weight > 0.0 && items[1].weight > 0.0 {
@@ -121,11 +146,18 @@ fn capacity_framework_scales_rates_sensibly() {
 #[test]
 fn cli_surface_is_reachable_from_the_facade() {
     use mfgcp::cli::{parse, Command};
-    let args: Vec<String> =
-        ["solve", "--time-steps", "8", "--grid-q", "16", "--grid-h", "8"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    let args: Vec<String> = [
+        "solve",
+        "--time-steps",
+        "8",
+        "--grid-q",
+        "16",
+        "--grid-h",
+        "8",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     match parse(&args).unwrap() {
         Command::Solve { params } => {
             // The parsed params actually drive a solve end-to-end.

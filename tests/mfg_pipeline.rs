@@ -68,13 +68,21 @@ fn finite_population_tracks_the_mean_field() {
     // smoothed timeliness estimator stays at L = L_max/2, so the urgency
     // factor is ξ^2.5.
     let urgency = TimelinessConfig::default().urgency_factor(2.5);
-    let ctx = ContentContext { requests: 18.0, popularity: 1.0, urgency_factor: urgency };
+    let ctx = ContentContext {
+        requests: 18.0,
+        popularity: 1.0,
+        urgency_factor: urgency,
+    };
     let eq = solver.solve_with(&vec![ctx; p.time_steps], None);
 
     let predicted = eq.mean_remaining_space();
     // Both start at the same initial distribution mean.
     let sim_start = report.series.first().unwrap().mean_remaining_space;
-    assert!((sim_start - predicted[0]).abs() < 0.1, "start: {sim_start} vs {}", predicted[0]);
+    assert!(
+        (sim_start - predicted[0]).abs() < 0.1,
+        "start: {sim_start} vs {}",
+        predicted[0]
+    );
     // Directional agreement at the end of the horizon: the finite
     // population should move the same way the mean field predicts.
     let sim_end = report.series.last().unwrap().mean_remaining_space;

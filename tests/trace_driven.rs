@@ -40,8 +40,7 @@ fn kaggle_csv_drives_a_simulation() {
         seed: 5,
         ..Default::default()
     };
-    let mut sim =
-        Simulation::with_trace(cfg, Box::new(RandomReplacement), trace).unwrap();
+    let mut sim = Simulation::with_trace(cfg, Box::new(RandomReplacement), trace).unwrap();
     let report = sim.run();
     assert_eq!(report.epochs, 2);
     assert_eq!(report.series.len(), 30);
@@ -77,8 +76,8 @@ fn synthetic_trace_matches_the_kaggle_interface() {
         seed: 13,
         ..Default::default()
     };
-    let mut sim = Simulation::with_trace(cfg, Box::new(MostPopularCaching { top_k: 1 }), synth)
-        .unwrap();
+    let mut sim =
+        Simulation::with_trace(cfg, Box::new(MostPopularCaching { top_k: 1 }), synth).unwrap();
     let report = sim.run();
     assert_eq!(report.epochs, 4);
     assert!(report.mean_trading_income() > 0.0);

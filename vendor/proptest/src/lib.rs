@@ -1,0 +1,285 @@
+//! Vendored, dependency-light stand-in for the `proptest` crate.
+//!
+//! The build environment is fully offline, so the real `proptest` cannot be
+//! fetched. This crate reimplements the subset the workspace's property
+//! tests use — [`Strategy`] with `prop_map`, range and tuple strategies,
+//! [`collection::vec`], the [`proptest!`] macro, and the
+//! `prop_assert!`/`prop_assert_eq!` assertions — as a deterministic
+//! random-input harness:
+//!
+//! * each `proptest!` test runs `PROPTEST_CASES` cases (default 64),
+//! * inputs are drawn from a per-test RNG seeded from the test name, so
+//!   runs are reproducible without a persistence file,
+//! * failures panic immediately (no shrinking — the harness favors
+//!   reproducibility over minimization).
+
+use rand::{RngExt, SeedableRng};
+
+/// The RNG handed to strategies while sampling.
+pub type TestRng = rand::rngs::StdRng;
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            strategy: self,
+            func: f,
+        }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    func: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.func)(self.strategy.sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Inclusive bounds on a generated collection's length.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{SizeRange, Strategy, TestRng};
+    use rand::RngExt;
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate `Vec`s whose length lies in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                rng.random_range(self.size.lo..=self.size.hi)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Number of cases each `proptest!` test runs (`PROPTEST_CASES` env
+/// override, default 64).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Drive one property test: run [`cases`] cases with a deterministic
+/// per-test RNG derived from the test name (FNV-1a), so failures are
+/// reproducible without a persistence file.
+pub fn run_cases(name: &str, mut case: impl FnMut(&mut TestRng)) {
+    let mut seed: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for i in 0..cases() {
+        let mut rng = TestRng::seed_from_u64(seed ^ (u64::from(i) << 32));
+        case(&mut rng);
+    }
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its inputs [`cases`] times.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), |__proptest_rng| {
+                $(let $pat = $crate::Strategy::sample(&($strat), __proptest_rng);)+
+                $body
+            });
+        }
+    )*};
+}
+
+/// Assert a property holds (panics on failure, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert two values are equal (panics on failure, like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs.
+
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{Just, Map, SizeRange, Strategy, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_sample_in_bounds() {
+        crate::run_cases("ranges_and_vecs", |rng| {
+            let x = (0.5_f64..2.0).sample(rng);
+            assert!((0.5..2.0).contains(&x));
+            let n = (1_usize..=5).sample(rng);
+            assert!((1..=5).contains(&n));
+            let v = collection::vec(-1.0_f64..1.0, 2..6).sample(rng);
+            assert!(v.len() >= 2 && v.len() < 6);
+            assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        });
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let strat = (0.0_f64..1.0, 0.0_f64..1.0).prop_map(|(a, b)| a + b);
+        crate::run_cases("prop_map", |rng| {
+            let s = strat.sample(rng);
+            assert!((0.0..2.0).contains(&s));
+        });
+    }
+
+    #[test]
+    fn just_yields_its_value() {
+        crate::run_cases("just", |rng| {
+            assert_eq!(Just(7_i32).sample(rng), 7);
+        });
+    }
+
+    proptest! {
+        /// The macro itself: patterns, multiple bindings, trailing comma.
+        #[test]
+        fn macro_generates_cases(
+            (a, b) in (0_u64..10, 10_u64..20),
+            v in collection::vec(0.0_f64..1.0, 3),
+        ) {
+            prop_assert!(a < b);
+            prop_assert_eq!(v.len(), 3);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Vendored, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment for this repository is fully offline, so the real
+//! crates-io `rand` cannot be fetched. This crate implements exactly the
+//! subset of the `rand` 0.10 API surface the workspace uses:
+//!
+//! * [`Rng`] — the object-safe core trait (`next_u64`/`next_u32`);
+//! * [`RngExt`] — `random::<T>()`, `random_range(..)`, `random_bool(p)`;
+//! * [`SeedableRng`] — `seed_from_u64`;
+//! * [`rngs::StdRng`] — a deterministic, seedable generator
+//!   (SplitMix64-seeded xoshiro256++).
+//!
+//! Determinism is a workspace-wide contract: every stochastic component
+//! takes an explicit RNG, and simulation results must be bit-identical for
+//! a fixed seed regardless of thread count. `StdRng` here is a pure-state
+//! PRNG with no global or thread-local state, so that contract holds by
+//! construction. The stream is **not** compatible with crates-io `rand`'s
+//! `StdRng` (which never guaranteed cross-version stability either).
+
+use core::ops::{Range, RangeInclusive};
+
+/// The core random number generator trait (object safe).
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (high bits of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be constructed from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a 64-bit seed (SplitMix64 key expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from an RNG via [`RngExt::random`].
+pub trait Random: Sized {
+    /// Draw a uniform value.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for u64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Random for usize {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Random for bool {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges samplable via [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        // Denominator 2^53 − 1 makes both endpoints reachable.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        lo + (hi - lo) * unit
+    }
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// A uniform value of type `T`.
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// A uniform value from `range`.
+    fn random_range<T, RA: SampleRange<T>>(&mut self, range: RA) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use crate::{Rng, SeedableRng};
+
+    /// The workspace-standard deterministic generator: xoshiro256++ with
+    /// SplitMix64 key expansion. Pure value state — `Clone` gives an
+    /// independent replay of the same stream, and there is no global state.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64: guarantees a non-zero xoshiro state for any seed.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_f64_is_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_sampling_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = r.random_range(2.0_f64..5.0);
+            assert!((2.0..5.0).contains(&x));
+            let y = r.random_range(1.0_f64..=2.0);
+            assert!((1.0..=2.0).contains(&y));
+            let n = r.random_range(3_usize..10);
+            assert!((3..10).contains(&n));
+            let m = r.random_range(0_u64..=4);
+            assert!(m <= 4);
+        }
+    }
+
+    #[test]
+    fn mean_of_unit_samples_is_near_half() {
+        let mut r = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.random()
+        }
+        let mut r = StdRng::seed_from_u64(5);
+        let via_ref = draw(&mut r);
+        let mut r2 = StdRng::seed_from_u64(5);
+        assert_eq!(via_ref, r2.next_u64());
+    }
+}
