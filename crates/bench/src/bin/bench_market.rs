@@ -7,11 +7,20 @@
 //! scan per content), so `per_slot_micros / M` should stay roughly constant
 //! across the sweep — the old per-EDP competitor sums made it grow linearly
 //! in M. Run: `cargo run --release -p mfgcp-bench --bin bench_market`
+//!
+//! Flags:
+//!
+//! * `--sizes M1,M2,...` — override the default `100,1000,10000` sweep
+//!   (CI's bench-smoke job runs `--sizes 100,1000`);
+//! * `--telemetry FILE.jsonl` — stream per-slot `market.slot` events and
+//!   one `bench.sample` summary per population through the shared
+//!   `mfgcp-obs` recorder.
 
 use std::io::Write as _;
 use std::time::Instant;
 
 use mfgcp_core::Params;
+use mfgcp_obs::{JsonlSink, RecorderHandle};
 use mfgcp_sim::baselines::MostPopularCaching;
 use mfgcp_sim::{SimConfig, Simulation};
 
@@ -44,7 +53,7 @@ fn config(m: usize) -> SimConfig {
     }
 }
 
-fn measure(m: usize) -> Sample {
+fn measure(m: usize, recorder: &RecorderHandle) -> Sample {
     // Warm-up epoch to page in the allocator and caches, then take the
     // best of three measured epochs (minimum filters scheduler noise).
     let _ = Simulation::new(config(m), Box::new(MostPopularCaching::default()))
@@ -56,6 +65,7 @@ fn measure(m: usize) -> Sample {
         let slots = cfg.epochs * cfg.slots_per_epoch;
         let mut sim =
             Simulation::new(cfg, Box::new(MostPopularCaching::default())).expect("valid config");
+        sim.set_recorder(recorder.clone());
         let start = Instant::now();
         let _ = sim.run();
         let wall = start.elapsed();
@@ -73,11 +83,58 @@ fn measure(m: usize) -> Sample {
             best = Some(sample);
         }
     }
-    best.expect("three samples taken")
+    let best = best.expect("three samples taken");
+    recorder.event(
+        "bench.sample",
+        &[
+            ("m", best.m.into()),
+            ("slots", best.slots.into()),
+            ("wall_millis", best.wall_millis.into()),
+            ("market_per_slot_micros", best.market_per_slot_micros.into()),
+            (
+                "market_per_slot_per_edp_nanos",
+                best.market_per_slot_per_edp_nanos.into(),
+            ),
+        ],
+    );
+    best
+}
+
+/// Hand-rolled flag parsing: `--sizes M1,M2,...` and `--telemetry FILE`.
+fn parse_args() -> (Vec<usize>, RecorderHandle) {
+    let mut sizes = vec![100, 1000, 10000];
+    let mut recorder = RecorderHandle::noop();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--sizes" => {
+                let value = it.next().expect("--sizes needs a comma-separated list");
+                sizes = value
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--sizes entries must be integers"))
+                    .collect();
+                assert!(!sizes.is_empty(), "--sizes must name at least one M");
+            }
+            "--telemetry" => {
+                let path = it.next().expect("--telemetry needs a file path");
+                let sink = JsonlSink::create(&path)
+                    .unwrap_or_else(|e| panic!("cannot create telemetry file `{path}`: {e}"));
+                recorder = RecorderHandle::new(std::sync::Arc::new(sink));
+            }
+            other => {
+                eprintln!(
+                    "unknown flag `{other}` (supported: --sizes M1,M2,... --telemetry FILE.jsonl)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    (sizes, recorder)
 }
 
 fn main() {
-    let samples: Vec<Sample> = [100, 1000, 10000].iter().map(|&m| measure(m)).collect();
+    let (sizes, recorder) = parse_args();
+    let samples: Vec<Sample> = sizes.iter().map(|&m| measure(m, &recorder)).collect();
 
     let mut json = String::from("{\n  \"bench\": \"market_clearing\",\n  \"unit_note\": \"per-slot market time; per-EDP column flat <=> O(M) scaling\",\n  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
@@ -105,5 +162,6 @@ fn main() {
             s.m, s.market_per_slot_micros, s.market_per_slot_per_edp_nanos
         );
     }
+    recorder.flush();
     eprintln!("wrote BENCH_market.json");
 }

@@ -1,6 +1,7 @@
 //! The forward FPK sweep of Eq. (15): evolve the mean-field density `λ`
 //! under the closed-loop caching drift (Alg. 2 line 8).
 
+use mfgcp_obs::RecorderHandle;
 use mfgcp_pde::{Field2d, FokkerPlanck2d, Grid2d, ImplicitFokkerPlanck2d, StepperScratch};
 use mfgcp_sde::Normal;
 
@@ -27,6 +28,7 @@ pub struct FpkSolver {
     /// Channel drift `b_h(h)` — state-only, so assembled once here rather
     /// than on every solve.
     channel_drift: Field2d,
+    recorder: RecorderHandle,
 }
 
 impl FpkSolver {
@@ -49,7 +51,21 @@ impl FpkSolver {
             implicit,
             grid,
             channel_drift,
+            recorder: RecorderHandle::noop(),
         })
+    }
+
+    /// Attach a telemetry recorder. Each macro step of
+    /// [`FpkSolver::solve_into`] then emits the `pde.fpk.mass_drift` gauge
+    /// (stepper mass-conservation error measured before clipping, with the
+    /// clipped negative mass as a field); the recorder also propagates to
+    /// the underlying steppers for CFL-margin gauges and non-finite
+    /// sentinels. Telemetry reads state only — solves are bit-identical
+    /// with recording on or off.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.stepper.set_recorder(recorder.clone());
+        self.implicit.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 
     /// A fresh workspace for [`FpkSolver::solve_into`].
@@ -168,9 +184,28 @@ impl FpkSolver {
                     &mut scratch.stepper,
                 );
             }
-            for v in lam.values_mut() {
-                if *v < 0.0 {
-                    *v = 0.0;
+            if self.recorder.enabled() {
+                // The mass integral and clip accumulator are telemetry-only
+                // derived quantities; the branch below leaves `lam` exactly
+                // as the disabled path does.
+                let mass = lam.integral();
+                let mut clipped = 0.0;
+                for v in lam.values_mut() {
+                    if *v < 0.0 {
+                        clipped -= *v;
+                        *v = 0.0;
+                    }
+                }
+                self.recorder.gauge(
+                    "pde.fpk.mass_drift",
+                    mass - 1.0,
+                    &[("step", n.into()), ("clipped", clipped.into())],
+                );
+            } else {
+                for v in lam.values_mut() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
                 }
             }
             lam.normalize();

@@ -7,6 +7,7 @@
 //! optimal caching rate `x*(t, h, q)` from `∂_q V` at every step. This is
 //! exactly lines 4–5 of Alg. 2.
 
+use mfgcp_obs::RecorderHandle;
 use mfgcp_pde::{BackwardParabolic2d, Field2d, Grid2d, ImplicitBackward2d, StepperScratch};
 
 use crate::estimator::MeanFieldSnapshot;
@@ -77,6 +78,15 @@ impl HjbSolver {
             grid,
             channel_drift,
         })
+    }
+
+    /// Attach a telemetry recorder, propagated to the underlying backward
+    /// steppers (CFL-margin gauges and non-finite sentinels). Telemetry
+    /// reads state only — sweeps are bit-identical with recording on or
+    /// off.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.stepper.set_recorder(recorder.clone());
+        self.implicit.set_recorder(recorder);
     }
 
     /// A fresh workspace for [`HjbSolver::solve_into`].

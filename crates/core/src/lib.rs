@@ -80,7 +80,7 @@ pub use fpk::{FpkScratch, FpkSolver};
 pub use framework::{EpochOutcome, Framework, FrameworkConfig};
 pub use hjb::{HjbScratch, HjbSolution, HjbSolver};
 pub use knapsack::{solve_01, solve_fractional, CachePlan, KnapsackItem};
-pub use mfg::{Equilibrium, MfgSolver, SolveMethod};
+pub use mfg::{Equilibrium, MfgSolver, SolveMethod, SolveWorkspace};
 pub use params::{CoreError, Params};
 pub use pricing::{finite_population_price, mean_field_price, SharedSupplyPricer};
 pub use rate::RateModel;

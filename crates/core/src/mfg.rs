@@ -23,14 +23,16 @@
 //! ([`Params::worker_threads`]); results are bit-identical for any thread
 //! count.
 
+use std::mem;
 use std::sync::OnceLock;
 
+use mfgcp_obs::RecorderHandle;
 use mfgcp_pde::Field2d;
 
 use crate::diag::ConvergenceReport;
 use crate::estimator::{MeanFieldEstimator, MeanFieldSnapshot};
-use crate::fpk::FpkSolver;
-use crate::hjb::HjbSolver;
+use crate::fpk::{FpkScratch, FpkSolver};
+use crate::hjb::{HjbScratch, HjbSolver};
 use crate::params::{CoreError, Params};
 use crate::utility::{ContentContext, Utility, UtilityBreakdown};
 
@@ -261,6 +263,35 @@ pub enum SolveMethod {
     FictitiousPlay,
 }
 
+impl SolveMethod {
+    /// The scheme's telemetry label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SolveMethod::PicardRelaxation => "picard",
+            SolveMethod::FictitiousPlay => "fictitious_play",
+        }
+    }
+}
+
+/// Reusable buffers and scratches for repeated solves: the full
+/// trajectory vectors (policy, density, values, best response), the
+/// snapshot vector and the HJB/FPK stepper scratches. Built once via
+/// [`MfgSolver::workspace`] and fed to [`MfgSolver::solve_with_workspace`],
+/// so back-to-back solves (timing sweeps, per-content solves) reuse every
+/// allocation instead of re-growing the trajectories each call.
+#[derive(Debug)]
+pub struct SolveWorkspace {
+    policy: Vec<Field2d>,
+    density: Vec<Field2d>,
+    values: Vec<Field2d>,
+    br_policy: Vec<Field2d>,
+    snapshots: Vec<MeanFieldSnapshot>,
+    hjb_scratch: HjbScratch,
+    fpk_scratch: FpkScratch,
+    residuals: Vec<f64>,
+    update_norms: Vec<f64>,
+}
+
 /// MFG-CP solver implementing Alg. 2.
 #[derive(Debug, Clone)]
 pub struct MfgSolver {
@@ -268,6 +299,7 @@ pub struct MfgSolver {
     hjb: HjbSolver,
     fpk: FpkSolver,
     estimator: MeanFieldEstimator,
+    recorder: RecorderHandle,
 }
 
 impl MfgSolver {
@@ -283,12 +315,53 @@ impl MfgSolver {
             fpk: FpkSolver::new(params.clone())?,
             estimator: MeanFieldEstimator::new(params.clone()),
             params,
+            recorder: RecorderHandle::noop(),
         })
+    }
+
+    /// Attach a telemetry recorder: the Picard loop then emits a
+    /// `solver.solve` span wrapping per-iteration `solver.hjb`/`solver.fpk`
+    /// spans and `solver.iteration` events (undamped residual, applied
+    /// update norm, mixing weight), and the recorder propagates into the
+    /// HJB/FPK solvers and their steppers (mass drift, CFL margins,
+    /// non-finite sentinels). Telemetry reads state only — solves are
+    /// bit-identical with recording on or off.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.hjb.set_recorder(recorder.clone());
+        self.fpk.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// Builder-style [`MfgSolver::set_recorder`].
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.set_recorder(recorder);
+        self
     }
 
     /// The parameters in use.
     pub fn params(&self) -> &Params {
         &self.params
+    }
+
+    /// The §V-A initial mean-field density (delegates to the FPK solver).
+    pub fn initial_density(&self) -> Field2d {
+        self.fpk.initial_density()
+    }
+
+    /// A reusable workspace for [`MfgSolver::solve_with_workspace`].
+    pub fn workspace(&self) -> SolveWorkspace {
+        SolveWorkspace {
+            policy: Vec::new(),
+            density: Vec::new(),
+            values: Vec::new(),
+            br_policy: Vec::new(),
+            snapshots: Vec::new(),
+            hjb_scratch: self.hjb.scratch(),
+            fpk_scratch: self.fpk.scratch(),
+            residuals: Vec::new(),
+            update_norms: Vec::new(),
+        }
     }
 
     /// Solve with the stationary workload context implied by the
@@ -337,38 +410,98 @@ impl MfgSolver {
         initial: Option<Field2d>,
         method: SolveMethod,
     ) -> Equilibrium {
+        let mut ws = self.workspace();
+        let report = self.solve_with_workspace(contexts, initial.as_ref(), method, &mut ws);
+        Equilibrium {
+            params: self.params.clone(),
+            contexts: contexts.to_vec(),
+            policy: mem::take(&mut ws.policy),
+            density: mem::take(&mut ws.density),
+            values: mem::take(&mut ws.values),
+            snapshots: mem::take(&mut ws.snapshots),
+            report,
+            utility_cache: OnceLock::new(),
+        }
+    }
+
+    /// The Picard/fictitious-play loop itself, running entirely on the
+    /// caller-owned [`SolveWorkspace`]: after the workspace's first use,
+    /// repeated solves allocate nothing, which is what the Table II timing
+    /// sweeps measure. Returns the convergence report; the equilibrium
+    /// trajectories stay in the workspace (see [`MfgSolver::solve_with_method`]
+    /// for the owned-`Equilibrium` wrapper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contexts.len() != params.time_steps` or the initial
+    /// density is on the wrong grid.
+    pub fn solve_with_workspace(
+        &self,
+        contexts: &[ContentContext],
+        initial: Option<&Field2d>,
+        method: SolveMethod,
+        ws: &mut SolveWorkspace,
+    ) -> ConvergenceReport {
         let n_steps = self.params.time_steps;
         assert_eq!(contexts.len(), n_steps, "need one context per time step");
-        let lambda0 = initial.unwrap_or_else(|| self.fpk.initial_density());
+        let grid = self.fpk.grid();
+        let owned_initial;
+        let lambda0 = match initial {
+            Some(f) => f,
+            None => {
+                owned_initial = self.fpk.initial_density();
+                &owned_initial
+            }
+        };
+        assert_eq!(lambda0.grid(), grid, "initial density grid mismatch");
 
-        // Initial guesses: density frozen at λ(0), zero policy.
-        let mut density: Vec<Field2d> = vec![lambda0.clone(); n_steps + 1];
-        let mut policy: Vec<Field2d> = vec![Field2d::zeros(self.fpk.grid().clone()); n_steps];
-        let mut values: Vec<Field2d> = Vec::new();
-        let mut br_policy: Vec<Field2d> = Vec::new();
-        let mut snapshots: Vec<MeanFieldSnapshot> = Vec::with_capacity(n_steps);
-        let mut hjb_scratch = self.hjb.scratch();
-        let mut fpk_scratch = self.fpk.scratch();
-        let mut residuals = Vec::new();
-        let mut update_norms = Vec::new();
+        let solve_span = self.recorder.span_with(
+            "solver.solve",
+            &[
+                ("method", method.as_str().into()),
+                ("time_steps", n_steps.into()),
+                ("grid_h", grid.x().len().into()),
+                ("grid_q", grid.y().len().into()),
+            ],
+        );
+
+        // Initial guesses: density frozen at λ(0), zero policy — exactly
+        // the cold-start state, regardless of what a reused workspace held.
+        ws.density
+            .resize_with(n_steps + 1, || Field2d::zeros(grid.clone()));
+        for f in ws.density.iter_mut() {
+            assert_eq!(f.grid(), grid, "reused density buffer grid mismatch");
+            f.values_mut().copy_from_slice(lambda0.values());
+        }
+        ws.policy
+            .resize_with(n_steps, || Field2d::zeros(grid.clone()));
+        for f in ws.policy.iter_mut() {
+            assert_eq!(f.grid(), grid, "reused policy buffer grid mismatch");
+            f.values_mut().fill(0.0);
+        }
+        ws.residuals.clear();
+        ws.update_norms.clear();
         let mut converged = false;
         let mut iterations = 0;
 
         for psi in 0..self.params.max_iterations {
             iterations += 1;
             // (line 9) Mean-field estimates along the current trajectory.
-            snapshots.clear();
-            snapshots
-                .extend((0..n_steps).map(|n| self.estimator.snapshot(&density[n], &policy[n])));
+            ws.snapshots.clear();
+            ws.snapshots.extend(
+                (0..n_steps).map(|n| self.estimator.snapshot(&ws.density[n], &ws.policy[n])),
+            );
             // (lines 4-5) Backward HJB → candidate best response, written
             // into buffers reused across iterations.
+            let hjb_span = self.recorder.span("solver.hjb");
             self.hjb.solve_into(
                 contexts,
-                &snapshots,
-                &mut values,
-                &mut br_policy,
-                &mut hjb_scratch,
+                &ws.snapshots,
+                &mut ws.values,
+                &mut ws.br_policy,
+                &mut ws.hjb_scratch,
             );
+            hjb_span.close(&[]);
             // Mix the best response into the iterate: Picard uses a fixed
             // relaxation weight ω on the policy; fictitious play averages
             // with the 1/(ψ+1) schedule.
@@ -378,7 +511,7 @@ impl MfgSolver {
             };
             let mut residual = 0.0_f64;
             let mut update_norm = 0.0_f64;
-            for (pol, new) in policy.iter_mut().zip(&br_policy) {
+            for (pol, new) in ws.policy.iter_mut().zip(&ws.br_policy) {
                 for (d, x_new) in pol.values_mut().iter_mut().zip(new.values()) {
                     let relaxed = (1.0 - omega) * *d + omega * x_new;
                     residual = residual.max((x_new - *d).abs());
@@ -386,11 +519,27 @@ impl MfgSolver {
                     *d = relaxed;
                 }
             }
-            residuals.push(residual);
-            update_norms.push(update_norm);
+            ws.residuals.push(residual);
+            ws.update_norms.push(update_norm);
             // (line 8) Forward FPK under the mixed policy.
-            self.fpk
-                .solve_into(&lambda0, contexts, &policy, &mut density, &mut fpk_scratch);
+            let fpk_span = self.recorder.span("solver.fpk");
+            self.fpk.solve_into(
+                lambda0,
+                contexts,
+                &ws.policy,
+                &mut ws.density,
+                &mut ws.fpk_scratch,
+            );
+            fpk_span.close(&[]);
+            self.recorder.event(
+                "solver.iteration",
+                &[
+                    ("psi", psi.into()),
+                    ("residual", residual.into()),
+                    ("update_norm", update_norm.into()),
+                    ("omega", omega.into()),
+                ],
+            );
             // (line 6) Stop on the undamped best-response gap. The applied
             // update ω·|BR(x) − x| shrinks with the damping weight even far
             // from equilibrium — under fictitious play ω = 1/(ψ+1) → 0 it
@@ -403,24 +552,22 @@ impl MfgSolver {
         }
 
         // Final consistent snapshots for the returned equilibrium.
-        snapshots.clear();
-        snapshots.extend((0..n_steps).map(|n| self.estimator.snapshot(&density[n], &policy[n])));
+        ws.snapshots.clear();
+        ws.snapshots
+            .extend((0..n_steps).map(|n| self.estimator.snapshot(&ws.density[n], &ws.policy[n])));
 
-        Equilibrium {
-            params: self.params.clone(),
-            contexts: contexts.to_vec(),
-            policy,
-            density,
-            values,
-            snapshots,
-            report: ConvergenceReport {
-                converged,
-                iterations,
-                residuals,
-                update_norms,
-            },
-            utility_cache: OnceLock::new(),
-        }
+        let report = ConvergenceReport {
+            converged,
+            iterations,
+            residuals: ws.residuals.clone(),
+            update_norms: ws.update_norms.clone(),
+        };
+        solve_span.close(&[
+            ("converged", converged.into()),
+            ("iterations", iterations.into()),
+            ("final_residual", report.final_residual().into()),
+        ]);
+        report
     }
 }
 
@@ -610,6 +757,95 @@ mod tests {
         }
         // The gate is on the undamped gap.
         assert!(r.final_residual() < eq.params.tolerance);
+    }
+
+    #[test]
+    fn recording_telemetry_does_not_perturb_the_solve() {
+        use mfgcp_obs::{Kind, MemorySink, Value};
+        use std::sync::Arc;
+
+        let reference = MfgSolver::new(fast_params()).unwrap().solve().unwrap();
+        let sink = Arc::new(MemorySink::new());
+        let solver = MfgSolver::new(fast_params())
+            .unwrap()
+            .with_recorder(mfgcp_obs::RecorderHandle::new(sink.clone()));
+        let eq = solver.solve().unwrap();
+
+        // Bit-identical trajectories: telemetry reads, never perturbs.
+        assert_eq!(eq.report.iterations, reference.report.iterations);
+        for (a, b) in eq.policy.iter().zip(&reference.policy) {
+            assert_eq!(a.values(), b.values());
+        }
+        for (a, b) in eq.density.iter().zip(&reference.density) {
+            assert_eq!(a.values(), b.values());
+        }
+        for (a, b) in eq.values.iter().zip(&reference.values) {
+            assert_eq!(a.values(), b.values());
+        }
+
+        // The emitted stream is schema-valid and structurally sane.
+        let events = sink.events();
+        assert!(!events.is_empty());
+        let text = events
+            .iter()
+            .map(|e| e.to_json_line())
+            .collect::<Vec<_>>()
+            .join("\n");
+        mfgcp_obs::schema::validate_str(&text).unwrap();
+
+        // One solver.solve span; its close reports the same convergence
+        // data as the returned report.
+        let close = events
+            .iter()
+            .find(|e| e.kind == Kind::SpanClose && e.name == "solver.solve")
+            .expect("solver.solve span close");
+        assert_eq!(close.field("converged"), Some(&Value::Bool(true)));
+        assert_eq!(
+            close.field("iterations"),
+            Some(&Value::U64(eq.report.iterations as u64))
+        );
+        assert_eq!(
+            close.field("final_residual"),
+            Some(&Value::F64(eq.report.final_residual()))
+        );
+        // One iteration event and one hjb/fpk span pair per iteration.
+        let iter_events = events
+            .iter()
+            .filter(|e| e.name == "solver.iteration")
+            .count();
+        assert_eq!(iter_events, eq.report.iterations);
+        let hjb_opens = events
+            .iter()
+            .filter(|e| e.kind == Kind::SpanOpen && e.name == "solver.hjb")
+            .count();
+        assert_eq!(hjb_opens, eq.report.iterations);
+        // Mass-drift gauges flow up from the FPK solver.
+        assert!(events.iter().any(|e| e.name == "pde.fpk.mass_drift"));
+        assert!(events.iter().any(|e| e.name == "pde.fpk.cfl_margin"));
+    }
+
+    #[test]
+    fn workspace_reuse_reproduces_the_fresh_solve() {
+        let solver = MfgSolver::new(fast_params()).unwrap();
+        let ctx = ContentContext::from_params(solver.params());
+        let contexts = vec![ctx; solver.params().time_steps];
+        let fresh = solver.solve_with(&contexts, None);
+        let initial = solver.initial_density();
+
+        let mut ws = solver.workspace();
+        // Solve twice into the same workspace: the second run must be
+        // unaffected by the first one's leftover state.
+        for _ in 0..2 {
+            let report = solver.solve_with_workspace(
+                &contexts,
+                Some(&initial),
+                SolveMethod::PicardRelaxation,
+                &mut ws,
+            );
+            assert_eq!(report.iterations, fresh.report.iterations);
+            assert_eq!(report.residuals, fresh.report.residuals);
+            assert_eq!(report.update_norms, fresh.report.update_norms);
+        }
     }
 
     #[test]

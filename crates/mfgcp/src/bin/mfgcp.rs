@@ -6,6 +6,8 @@
 //! mfgcp simulate --scheme mfg-cp --edps 50 --mobility
 //! ```
 
+use std::sync::Arc;
+
 use mfgcp::cli::{parse, Command, Scheme, HELP};
 use mfgcp::prelude::*;
 
@@ -21,16 +23,32 @@ fn main() {
     };
     match command {
         Command::Help => print!("{HELP}"),
-        Command::Solve { params } => run_solve(*params),
+        Command::Solve { params, telemetry } => run_solve(*params, telemetry.as_deref()),
         Command::Simulate {
             config,
             scheme,
             mobility,
-        } => run_simulate(*config, scheme, mobility),
+            telemetry,
+        } => run_simulate(*config, scheme, mobility, telemetry.as_deref()),
     }
 }
 
-fn run_solve(params: Params) {
+/// Open the `--telemetry` JSONL sink, exiting with a diagnostic when the
+/// path is not writable. `None` stays the no-op recorder.
+fn open_recorder(telemetry: Option<&str>) -> RecorderHandle {
+    match telemetry {
+        None => RecorderHandle::noop(),
+        Some(path) => match JsonlSink::create(path) {
+            Ok(sink) => RecorderHandle::new(Arc::new(sink)),
+            Err(e) => {
+                eprintln!("error: cannot create telemetry file `{path}`: {e}");
+                std::process::exit(1);
+            }
+        },
+    }
+}
+
+fn run_solve(params: Params, telemetry: Option<&str>) {
     println!(
         "Solving MFG-CP equilibrium: grid {}x{}, {} steps, eta1 = {}, w5 = {}, salvage = {}",
         params.grid_h,
@@ -40,8 +58,9 @@ fn run_solve(params: Params) {
         params.w5,
         params.terminal_value_weight
     );
+    let recorder = open_recorder(telemetry);
     let solver = match MfgSolver::new(params) {
-        Ok(s) => s,
+        Ok(s) => s.with_recorder(recorder.clone()),
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);
@@ -49,6 +68,7 @@ fn run_solve(params: Params) {
     };
     let ctx = ContentContext::from_params(solver.params());
     let eq = solver.solve_with(&vec![ctx; solver.params().time_steps], None);
+    recorder.flush();
     println!(
         "Converged: {} ({} iterations, final residual {:.2e})",
         eq.report.converged,
@@ -87,7 +107,7 @@ fn run_solve(params: Params) {
     }
 }
 
-fn run_simulate(config: SimConfig, scheme: Scheme, mobility: bool) {
+fn run_simulate(config: SimConfig, scheme: Scheme, mobility: bool, telemetry: Option<&str>) {
     let mut config = config;
     if mobility {
         config.mobility = Some(mfgcp::net::RandomWaypoint::default());
@@ -120,6 +140,7 @@ fn run_simulate(config: SimConfig, scheme: Scheme, mobility: bool) {
             std::process::exit(1);
         }
     };
+    let recorder = open_recorder(telemetry);
     let mut sim = match Simulation::new(config, policy) {
         Ok(s) => s,
         Err(e) => {
@@ -127,7 +148,9 @@ fn run_simulate(config: SimConfig, scheme: Scheme, mobility: bool) {
             std::process::exit(1);
         }
     };
+    sim.set_recorder(recorder.clone());
     let report = sim.run();
+    recorder.flush();
     let (c1, c2, c3) = report.case_totals();
     println!("\n{:<22} {:>12}", "metric", "value");
     println!("{:<22} {:>12.3}", "mean utility", report.mean_utility());

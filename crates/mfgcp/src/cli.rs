@@ -62,6 +62,8 @@ pub enum Command {
     Solve {
         /// Model parameters after flag overrides.
         params: Box<Params>,
+        /// Telemetry JSONL output path (`--telemetry`), if requested.
+        telemetry: Option<String>,
     },
     /// `mfgcp simulate [...]`: a finite-population market run.
     Simulate {
@@ -71,6 +73,8 @@ pub enum Command {
         scheme: Scheme,
         /// Enable random-waypoint requester mobility.
         mobility: bool,
+        /// Telemetry JSONL output path (`--telemetry`), if requested.
+        telemetry: Option<String>,
     },
     /// `mfgcp help` or `--help`.
     Help,
@@ -125,15 +129,21 @@ USAGE:
     mfgcp solve    [--eta1 X] [--w5 X] [--q-size X] [--requests X]
                    [--time-steps N] [--grid-h N] [--grid-q N]
                    [--salvage G] [--lambda0-mean X] [--threads N]
+                   [--telemetry FILE.jsonl]
     mfgcp simulate [--scheme mfg-cp|mfg|udcs|mpc|rr] [--edps N]
                    [--requesters N] [--contents K] [--epochs E]
                    [--slots N] [--seed S] [--mobility]
+                   [--telemetry FILE.jsonl]
                    (plus all `solve` flags for the game parameters)
     mfgcp help
 
 `solve` computes one mean-field equilibrium (Alg. 2) and prints the
 policy, price trajectory and utility breakdown. `simulate` runs the
 finite-population market (Alg. 1 lines 11-14) under the chosen scheme.
+
+`--telemetry FILE` streams structured events (solver iterations, PDE
+health, market clearing, mobility) to FILE as one JSON object per line;
+see DESIGN.md for the event schema. Recording never changes results.
 ";
 
 fn parse_f64(flag: &str, value: &str) -> Result<f64, CliError> {
@@ -188,17 +198,21 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "solve" => {
             let mut params = Params::default();
+            let mut telemetry = None;
             let mut it = args[1..].iter();
             while let Some(flag) = it.next() {
                 let value = it
                     .next()
                     .ok_or_else(|| CliError::MissingValue(flag.clone()))?;
-                if !apply_param_flag(&mut params, flag, value)? {
+                if flag == "--telemetry" {
+                    telemetry = Some(value.clone());
+                } else if !apply_param_flag(&mut params, flag, value)? {
                     return Err(CliError::UnknownFlag(flag.clone()));
                 }
             }
             Ok(Command::Solve {
                 params: Box::new(params),
+                telemetry,
             })
         }
         "simulate" => {
@@ -219,6 +233,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             };
             let mut scheme = Scheme::MfgCp;
             let mut mobility = false;
+            let mut telemetry = None;
             let mut it = args[1..].iter();
             while let Some(flag) = it.next() {
                 if flag == "--mobility" {
@@ -230,6 +245,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .ok_or_else(|| CliError::MissingValue(flag.clone()))?;
                 match flag.as_str() {
                     "--scheme" => scheme = Scheme::parse(value)?,
+                    "--telemetry" => telemetry = Some(value.clone()),
                     "--edps" => {
                         config.num_edps = parse_usize(flag, value)?;
                         config.params.num_edps = config.num_edps;
@@ -254,6 +270,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 config: Box::new(config),
                 scheme,
                 mobility,
+                telemetry,
             })
         }
         other => Err(CliError::UnknownCommand(other.to_string())),
@@ -279,13 +296,40 @@ mod tests {
     fn solve_applies_parameter_flags() {
         let cmd = parse(&argv("solve --eta1 2.5 --time-steps 20 --salvage 1.5")).unwrap();
         match cmd {
-            Command::Solve { params } => {
+            Command::Solve { params, telemetry } => {
                 assert_eq!(params.eta1, 2.5);
                 assert_eq!(params.time_steps, 20);
                 assert_eq!(params.terminal_value_weight, 1.5);
+                assert_eq!(telemetry, None);
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn telemetry_flag_parses_on_both_commands() {
+        let cmd = parse(&argv("solve --telemetry out.jsonl --eta1 2")).unwrap();
+        match cmd {
+            Command::Solve { params, telemetry } => {
+                assert_eq!(telemetry.as_deref(), Some("out.jsonl"));
+                assert_eq!(params.eta1, 2.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(&argv("simulate --scheme rr --telemetry run.jsonl")).unwrap();
+        match cmd {
+            Command::Simulate {
+                scheme, telemetry, ..
+            } => {
+                assert_eq!(scheme, Scheme::Rr);
+                assert_eq!(telemetry.as_deref(), Some("run.jsonl"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("solve --telemetry")),
+            Err(CliError::MissingValue(f)) if f == "--telemetry"
+        ));
     }
 
     #[test]
@@ -299,6 +343,7 @@ mod tests {
                 config,
                 scheme,
                 mobility,
+                ..
             } => {
                 assert_eq!(scheme, Scheme::Udcs);
                 assert_eq!(config.num_edps, 50);
@@ -316,7 +361,7 @@ mod tests {
     fn threads_flag_reaches_both_layers() {
         let cmd = parse(&argv("solve --threads 4")).unwrap();
         match cmd {
-            Command::Solve { params } => assert_eq!(params.worker_threads, 4),
+            Command::Solve { params, .. } => assert_eq!(params.worker_threads, 4),
             other => panic!("unexpected {other:?}"),
         }
         let cmd = parse(&argv("simulate --threads 2")).unwrap();

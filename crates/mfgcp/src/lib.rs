@@ -14,6 +14,8 @@
 //! * [`pde`] — finite-difference grids and the forward/backward parabolic
 //!   kernels the HJB/FPK solvers are built on;
 //! * [`net`] — geometry, path loss, SINR and Shannon rates (Eq. (2));
+//! * [`obs`] — the structured-telemetry layer: recorder handles, JSONL
+//!   sinks and the event-schema validator behind `--telemetry`;
 //! * [`workload`] — content catalog, Zipf popularity (Def. 1, Eq. (3)),
 //!   timeliness (Def. 2), request processes and the trace layer.
 //!
@@ -32,6 +34,7 @@ pub mod cli;
 
 pub use mfgcp_core as core;
 pub use mfgcp_net as net;
+pub use mfgcp_obs as obs;
 pub use mfgcp_pde as pde;
 pub use mfgcp_sde as sde;
 pub use mfgcp_sim as sim;
@@ -45,6 +48,7 @@ pub mod prelude {
         ReducedMfgSolver, Utility, UtilityBreakdown,
     };
     pub use mfgcp_net::{ChannelState, NetworkConfig, Topology};
+    pub use mfgcp_obs::{JsonlSink, MemorySink, RecorderHandle};
     pub use mfgcp_sde::{seeded_rng, EulerMaruyama, OrnsteinUhlenbeck, SimRng};
     pub use mfgcp_sim::{
         baselines::{MfgCpPolicy, MostPopularCaching, RandomReplacement, Udcs},

@@ -7,6 +7,7 @@
 //! simulator advances positions every slot and re-associates requesters
 //! with their nearest EDP every epoch.
 
+use mfgcp_obs::RecorderHandle;
 use rand::{Rng, RngExt as _};
 
 use crate::geometry::{uniform_in_disc, Point};
@@ -67,6 +68,7 @@ pub struct MobileRequesters {
     positions: Vec<Point>,
     waypoints: Vec<Point>,
     phases: Vec<Phase>,
+    recorder: RecorderHandle,
 }
 
 impl MobileRequesters {
@@ -91,7 +93,16 @@ impl MobileRequesters {
             positions,
             waypoints,
             phases,
+            recorder: RecorderHandle::noop(),
         }
+    }
+
+    /// Attach a telemetry recorder: [`MobileRequesters::step`] then emits
+    /// a `net.mobility.step` event whenever at least one walker reaches
+    /// its waypoint (fields: `arrivals`, `walkers`). Telemetry reads state
+    /// only — the walk itself (and its RNG consumption) is unaffected.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 
     /// Current positions.
@@ -101,6 +112,7 @@ impl MobileRequesters {
 
     /// Advance every requester by `dt`.
     pub fn step<R: Rng + ?Sized>(&mut self, dt: f64, rng: &mut R) {
+        let mut arrivals: u64 = 0;
         for i in 0..self.positions.len() {
             match self.phases[i] {
                 Phase::Paused { remaining } => {
@@ -125,6 +137,7 @@ impl MobileRequesters {
                         self.phases[i] = Phase::Paused {
                             remaining: self.model.pause,
                         };
+                        arrivals += 1;
                     } else {
                         let frac = travel / dist;
                         self.positions[i] = Point::new(
@@ -134,6 +147,17 @@ impl MobileRequesters {
                     }
                 }
             }
+        }
+        // Only waypoint arrivals are reported — an every-slot event would
+        // drown the stream without adding information.
+        if arrivals > 0 {
+            self.recorder.event(
+                "net.mobility.step",
+                &[
+                    ("arrivals", arrivals.into()),
+                    ("walkers", self.positions.len().into()),
+                ],
+            );
         }
     }
 }
@@ -204,6 +228,29 @@ mod tests {
             .zip(&at_waypoint)
             .any(|(a, b)| a.distance(b) > 1.0);
         assert!(moved, "stuck after pause");
+    }
+
+    #[test]
+    fn arrival_event_reports_the_arrival_count() {
+        use mfgcp_obs::{MemorySink, RecorderHandle, Value};
+        let mut rng = seeded_rng(35);
+        let model = RandomWaypoint {
+            speed_min: 1e6,
+            speed_max: 1e6,
+            pause: 10.0,
+        };
+        let mut mob = MobileRequesters::new(start(), 100.0, model, &mut rng);
+        let sink = std::sync::Arc::new(MemorySink::new());
+        mob.set_recorder(RecorderHandle::new(sink.clone()));
+        // Huge speed: all three walkers arrive within one step.
+        mob.step(0.01, &mut rng);
+        // Long pause: the next step has no arrivals and emits nothing.
+        mob.step(0.01, &mut rng);
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "net.mobility.step");
+        assert_eq!(events[0].field("arrivals"), Some(&Value::U64(3)));
+        assert_eq!(events[0].field("walkers"), Some(&Value::U64(3)));
     }
 
     #[test]

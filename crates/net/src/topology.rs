@@ -5,6 +5,7 @@
 //! EDP that is nearest geographically"; `J_i(t)` is the set of requesters
 //! served by EDP `i`.
 
+use mfgcp_obs::RecorderHandle;
 use rand::Rng;
 
 use crate::config::NetworkConfig;
@@ -20,6 +21,7 @@ pub struct Topology {
     serving_edp: Vec<usize>,
     /// `served[i]` = indices of requesters associated with EDP `i`.
     served: Vec<Vec<usize>>,
+    recorder: RecorderHandle,
 }
 
 impl Topology {
@@ -65,7 +67,16 @@ impl Topology {
             requesters,
             serving_edp,
             served,
+            recorder: RecorderHandle::noop(),
         }
+    }
+
+    /// Attach a telemetry recorder: every
+    /// [`Topology::update_requesters`] then emits a `net.reassociation`
+    /// event counting how many requesters changed serving EDP. Telemetry
+    /// reads state only — the association itself is unaffected.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 
     /// Number of EDPs.
@@ -115,7 +126,23 @@ impl Topology {
             self.requesters.len(),
             "requester count must not change"
         );
-        let rebuilt = Topology::with_positions(std::mem::take(&mut self.edps), positions);
+        let mut rebuilt = Topology::with_positions(std::mem::take(&mut self.edps), positions);
+        rebuilt.recorder = std::mem::replace(&mut self.recorder, RecorderHandle::noop());
+        if rebuilt.recorder.enabled() {
+            let moved = rebuilt
+                .serving_edp
+                .iter()
+                .zip(&self.serving_edp)
+                .filter(|(new, old)| new != old)
+                .count();
+            rebuilt.recorder.event(
+                "net.reassociation",
+                &[
+                    ("moved", moved.into()),
+                    ("requesters", rebuilt.serving_edp.len().into()),
+                ],
+            );
+        }
         *self = rebuilt;
     }
 
@@ -211,5 +238,26 @@ mod tests {
     #[should_panic(expected = "at least one EDP")]
     fn empty_edps_rejected() {
         Topology::with_positions(vec![], vec![Point::default()]);
+    }
+
+    #[test]
+    fn reassociation_event_counts_moved_requesters() {
+        use mfgcp_obs::{MemorySink, Value};
+        let mut t = square_topology();
+        let sink = std::sync::Arc::new(MemorySink::new());
+        t.set_recorder(RecorderHandle::new(sink.clone()));
+        // Move requester 0 next to EDP 3; everyone else stays put.
+        let mut positions: Vec<Point> = (0..t.num_requesters()).map(|j| t.requester(j)).collect();
+        positions[0] = Point::new(0.95, 0.95);
+        t.update_requesters(positions.clone());
+        // A second update with the same positions moves nobody — and the
+        // recorder must survive the internal rebuild.
+        t.update_requesters(positions);
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "net.reassociation");
+        assert_eq!(events[0].field("moved"), Some(&Value::U64(1)));
+        assert_eq!(events[0].field("requesters"), Some(&Value::U64(5)));
+        assert_eq!(events[1].field("moved"), Some(&Value::U64(0)));
     }
 }

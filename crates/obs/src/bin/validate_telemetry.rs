@@ -1,0 +1,59 @@
+//! Validate telemetry JSONL files against the schema in `mfgcp_obs::schema`.
+//!
+//! Usage: `validate_telemetry FILE [FILE...]` (or `-` for stdin).
+//! Exits non-zero and prints `file:line: message` on the first violation
+//! in each input; prints a per-file summary on success. CI's bench-smoke
+//! job runs this over the telemetry emitted by `bench_market`.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use mfgcp_obs::schema::validate_str;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: validate_telemetry FILE [FILE...]   ('-' reads stdin)");
+        return if args.is_empty() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    let mut failed = false;
+    for path in &args {
+        let text = if path == "-" {
+            let mut buf = String::new();
+            match std::io::stdin().read_to_string(&mut buf) {
+                Ok(_) => buf,
+                Err(e) => {
+                    eprintln!("-: cannot read stdin: {e}");
+                    failed = true;
+                    continue;
+                }
+            }
+        } else {
+            match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{path}: cannot read: {e}");
+                    failed = true;
+                    continue;
+                }
+            }
+        };
+        match validate_str(&text) {
+            Ok(lines) => println!("{path}: ok ({lines} events)"),
+            Err(e) => {
+                eprintln!("{path}:{e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

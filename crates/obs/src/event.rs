@@ -1,0 +1,263 @@
+//! The typed event model and its JSONL serialization.
+
+use crate::json;
+
+/// A scalar field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, indices, nanoseconds).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point measurement. Non-finite values serialize as the JSON
+    /// strings `"NaN"`, `"inf"`, `"-inf"` (JSON has no non-finite numbers).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-form text (kept rare: labels, enum names).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Self::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+
+impl Value {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => {
+                out.push_str(&v.to_string());
+            }
+            Value::I64(v) => {
+                out.push_str(&v.to_string());
+            }
+            Value::F64(v) => json::write_f64(out, *v),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(s) => json::write_str(out, s),
+        }
+    }
+}
+
+/// The five record kinds of the telemetry schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// A span opened: `span` carries its id.
+    SpanOpen,
+    /// A span closed: `span` carries the matching id, `nanos` the
+    /// monotonic wall-clock duration.
+    SpanClose,
+    /// A monotonically meaningful integer sample (`value`: u64).
+    Counter,
+    /// A point-in-time float sample (`value`: f64).
+    Gauge,
+    /// A typed point event carrying only `fields`.
+    Event,
+}
+
+impl Kind {
+    /// The schema's wire name for the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Kind::SpanOpen => "span_open",
+            Kind::SpanClose => "span_close",
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Event => "event",
+        }
+    }
+
+    /// Parse a wire name back into a kind.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "span_open" => Kind::SpanOpen,
+            "span_close" => Kind::SpanClose,
+            "counter" => Kind::Counter,
+            "gauge" => Kind::Gauge,
+            "event" => Kind::Event,
+            _ => return None,
+        })
+    }
+}
+
+/// One telemetry record. Serialized as exactly one JSONL line; see
+/// [`crate::schema`] for the normative field table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Strictly increasing per-handle sequence number, starting at 0.
+    pub seq: u64,
+    /// Monotonic nanoseconds since the owning handle was created.
+    pub t_nanos: u64,
+    /// Record kind.
+    pub kind: Kind,
+    /// Dotted event name (`layer.subject`, e.g. `solver.iteration`).
+    pub name: &'static str,
+    /// Span id for [`Kind::SpanOpen`] / [`Kind::SpanClose`].
+    pub span: Option<u64>,
+    /// Span duration in nanoseconds for [`Kind::SpanClose`].
+    pub nanos: Option<u64>,
+    /// Payload for [`Kind::Counter`] / [`Kind::Gauge`].
+    pub value: Option<Value>,
+    /// Additional scalar fields.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Serialize to one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"t_nanos\":");
+        out.push_str(&self.t_nanos.to_string());
+        out.push_str(",\"kind\":\"");
+        out.push_str(self.kind.as_str());
+        out.push_str("\",\"name\":");
+        json::write_str(&mut out, self.name);
+        if let Some(id) = self.span {
+            out.push_str(",\"span\":");
+            out.push_str(&id.to_string());
+        }
+        if let Some(n) = self.nanos {
+            out.push_str(",\"nanos\":");
+            out.push_str(&n.to_string());
+        }
+        if let Some(v) = &self.value {
+            out.push_str(",\"value\":");
+            v.write_json(&mut out);
+        }
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_str(&mut out, k);
+                out.push(':');
+                v.write_json(&mut out);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Look up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == name).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event() -> Event {
+        Event {
+            seq: 7,
+            t_nanos: 1234,
+            kind: Kind::Gauge,
+            name: "pde.fpk.mass_drift",
+            span: None,
+            nanos: None,
+            value: Some(Value::F64(-1.5e-16)),
+            fields: vec![("step", Value::U64(3)), ("clipped", Value::F64(0.0))],
+        }
+    }
+
+    #[test]
+    fn serializes_to_one_parseable_line() {
+        let line = event().to_json_line();
+        assert!(!line.contains('\n'));
+        let parsed = json::parse(&line).unwrap();
+        assert_eq!(parsed.get("seq").unwrap().as_u64(), Some(7));
+        assert_eq!(parsed.get("kind").unwrap().as_str(), Some("gauge"));
+        assert_eq!(parsed.get("value").unwrap().as_f64(), Some(-1.5e-16));
+        let fields = parsed.get("fields").unwrap();
+        assert_eq!(fields.get("step").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_strings() {
+        let mut e = event();
+        e.value = Some(Value::F64(f64::NAN));
+        e.fields = vec![("hi", Value::F64(f64::INFINITY))];
+        let line = e.to_json_line();
+        let parsed = json::parse(&line).unwrap();
+        assert_eq!(parsed.get("value").unwrap().as_str(), Some("NaN"));
+        assert_eq!(
+            parsed.get("fields").unwrap().get("hi").unwrap().as_str(),
+            Some("inf")
+        );
+    }
+
+    #[test]
+    fn field_lookup_and_kind_roundtrip() {
+        let e = event();
+        assert_eq!(e.field("step"), Some(&Value::U64(3)));
+        assert_eq!(e.field("missing"), None);
+        for k in [
+            Kind::SpanOpen,
+            Kind::SpanClose,
+            Kind::Counter,
+            Kind::Gauge,
+            Kind::Event,
+        ] {
+            assert_eq!(Kind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(Kind::parse("nope"), None);
+    }
+
+    #[test]
+    fn value_conversions_cover_the_scalar_types() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(3u32), Value::U64(3));
+        assert_eq!(Value::from(-3i64), Value::I64(-3));
+        assert_eq!(Value::from(0.5), Value::F64(0.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+    }
+}

@@ -1,0 +1,68 @@
+//! Structured observability layer for the MFG-CP reproduction.
+//!
+//! The solver and market simulator are numerical black boxes without
+//! telemetry: [`ConvergenceReport`-style] post-hoc summaries say *whether* a
+//! run converged, not where its time went, whether the PDE kernels stayed
+//! inside their CFL bounds, or what the market did slot by slot. This crate
+//! provides the missing layer:
+//!
+//! * a typed event model ([`Event`], [`Value`], [`Kind`]) covering spans
+//!   (with monotonic wall-clock timing), counters, gauges and point events;
+//! * a [`Recorder`] sink trait with a no-op default ([`Noop`]) so
+//!   instrumented hot paths cost one branch when telemetry is off;
+//! * a cheap, cloneable [`RecorderHandle`] that owns the sequence counter
+//!   and the monotonic epoch and is what instrumented code carries around;
+//! * an in-memory sink for tests ([`MemorySink`]) and a line-delimited JSON
+//!   sink ([`JsonlSink`]) for production runs;
+//! * a hand-rolled minimal JSON emitter/parser ([`json`]) — the dependency
+//!   allowlist has neither `serde` nor `tracing`, and the subset needed
+//!   here (flat objects of scalars) is small;
+//! * the documented event schema and its validator ([`schema`]), also
+//!   exposed as the `validate_telemetry` binary the CI bench-smoke job runs
+//!   over emitted telemetry.
+//!
+//! [`ConvergenceReport`-style]: https://github.com/mfgcp/mfgcp
+//!
+//! # Design rules
+//!
+//! 1. **Telemetry reads state, never perturbs it.** Recorders receive
+//!    copies of already-computed numbers; no instrumentation site may
+//!    branch on recorder state in a way that changes the numerics.
+//!    Determinism tests upstream run with recording enabled and assert
+//!    bit-identical equilibria.
+//! 2. **Near-zero overhead when disabled.** [`RecorderHandle::enabled`] is
+//!    a null check; every emit helper returns before building its payload
+//!    when disabled, and expensive derived quantities (mass integrals,
+//!    non-finite scans) must be guarded by `enabled()` at the call site.
+//! 3. **One line per event, schema-checked.** Every sink ultimately speaks
+//!    the JSONL schema of [`schema`]; CI validates emitted telemetry
+//!    line-by-line and fails on violations.
+//!
+//! # Example
+//!
+//! ```
+//! use mfgcp_obs::{MemorySink, RecorderHandle, Kind};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(MemorySink::new());
+//! let rec = RecorderHandle::new(sink.clone());
+//! let span = rec.span("solve");
+//! rec.gauge("residual", 0.125, &[("iteration", 3u64.into())]);
+//! span.close(&[("converged", true.into())]);
+//! let events = sink.events();
+//! assert_eq!(events.len(), 3);
+//! assert_eq!(events[1].kind, Kind::Gauge);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod event;
+pub mod json;
+mod recorder;
+pub mod schema;
+mod sinks;
+
+pub use event::{Event, Kind, Value};
+pub use recorder::{OnceFlag, Recorder, RecorderHandle, Span};
+pub use sinks::{JsonlSink, MemorySink, Noop};

@@ -1,0 +1,141 @@
+//! The built-in [`Recorder`] sinks: no-op, in-memory and JSONL.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::Event;
+use crate::recorder::Recorder;
+
+/// The disabled sink: reports [`Recorder::enabled`] `== false`, so a
+/// handle built over it degenerates to the no-op handle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Noop;
+
+impl Recorder for Noop {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: Event) {}
+}
+
+/// An in-memory sink for tests: stores every event, in order.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of all events recorded so far, in `seq` order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Recorder for MemorySink {
+    fn record(&self, event: Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event);
+    }
+}
+
+/// A line-delimited JSON sink writing one [`Event::to_json_line`] per line.
+///
+/// I/O errors are swallowed: telemetry must never take down a numerical
+/// run. The writer is buffered; [`Recorder::flush`] (or drop) flushes it.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncating) the file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Recorder for JsonlSink {
+    fn record(&self, event: Event) {
+        let mut line = event.to_json_line();
+        line.push('\n');
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writer.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = self
+            .writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RecorderHandle;
+    use std::sync::Arc;
+
+    #[test]
+    fn memory_sink_stores_in_order() {
+        let sink = Arc::new(MemorySink::new());
+        let rec = RecorderHandle::new(sink.clone());
+        assert!(sink.is_empty());
+        rec.event("first", &[]);
+        rec.event("second", &[]);
+        let events = sink.events();
+        assert_eq!(sink.len(), 2);
+        assert_eq!(events[0].name, "first");
+        assert_eq!(events[1].name, "second");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path =
+            std::env::temp_dir().join(format!("mfgcp-obs-test-{}.jsonl", std::process::id()));
+        {
+            let sink = Arc::new(JsonlSink::create(&path).unwrap());
+            let rec = RecorderHandle::new(sink);
+            let span = rec.span("outer");
+            rec.gauge("g", 2.5, &[("k", "v".into())]);
+            span.close(&[]);
+            rec.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            crate::json::parse(line).unwrap();
+        }
+        let gauge = crate::json::parse(lines[1]).unwrap();
+        assert_eq!(gauge.get("value").unwrap().as_f64(), Some(2.5));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -12,10 +12,13 @@
 //! advection–diffusion CFL bound — both handled internally, so callers use
 //! macro steps aligned with the control-update grid of Alg. 2.
 
+use mfgcp_obs::{OnceFlag, RecorderHandle};
+
 use crate::axis::Grid2d;
 use crate::field::{Field1d, Field2d};
 use crate::ops::Derivative1d;
 use crate::stability::StabilityLimit;
+use crate::telemetry::{report_cfl, report_nonfinite};
 use crate::PdeError;
 
 fn check_diffusion(name: &'static str, d: f64) -> Result<f64, PdeError> {
@@ -117,6 +120,8 @@ pub struct BackwardParabolic2d {
     diffusion_x: f64,
     diffusion_y: f64,
     limit: StabilityLimit,
+    recorder: RecorderHandle,
+    nonfinite: OnceFlag,
 }
 
 impl BackwardParabolic2d {
@@ -131,7 +136,16 @@ impl BackwardParabolic2d {
             diffusion_x: check_diffusion("diffusion_x", diffusion_x)?,
             diffusion_y: check_diffusion("diffusion_y", diffusion_y)?,
             limit: StabilityLimit::default(),
+            recorder: RecorderHandle::noop(),
+            nonfinite: OnceFlag::new(),
         })
+    }
+
+    /// Attach a telemetry recorder: every macro step then emits the
+    /// `pde.hjb.cfl_margin` gauge, and the first non-finite value surface
+    /// entry fires the `pde.hjb.nonfinite` sentinel (once per instance).
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 
     /// Step `value` backwards by `dt` under drift fields `(bx, by)` and the
@@ -177,10 +191,19 @@ impl BackwardParabolic2d {
             (by_max, self.diffusion_y, grid.y().dx()),
         ]);
         let (n_sub, sub_dt) = self.limit.substeps(dt, max_dt);
+        report_cfl(
+            &self.recorder,
+            "pde.hjb.cfl_margin",
+            max_dt,
+            dt,
+            n_sub,
+            sub_dt,
+        );
         let next = scratch.buf_for(grid.len());
         for _ in 0..n_sub {
             self.substep(value, bx, by, source, sub_dt, &grid, next);
         }
+        report_nonfinite(&self.recorder, &self.nonfinite, "pde.hjb.nonfinite", value);
     }
 
     #[allow(clippy::too_many_arguments)] // internal kernel: all fields are hot-loop state

@@ -107,6 +107,8 @@ impl ImplicitBackward1d {
 pub struct ImplicitBackward2d {
     diffusion_x: f64,
     diffusion_y: f64,
+    recorder: mfgcp_obs::RecorderHandle,
+    nonfinite: mfgcp_obs::OnceFlag,
 }
 
 impl ImplicitBackward2d {
@@ -119,7 +121,16 @@ impl ImplicitBackward2d {
         Ok(Self {
             diffusion_x: check_diffusion("diffusion_x", diffusion_x)?,
             diffusion_y: check_diffusion("diffusion_y", diffusion_y)?,
+            recorder: mfgcp_obs::RecorderHandle::noop(),
+            nonfinite: mfgcp_obs::OnceFlag::new(),
         })
+    }
+
+    /// Attach a telemetry recorder: the first non-finite value surface
+    /// entry fires the `pde.hjb.nonfinite` sentinel (once per instance).
+    /// The implicit solve has no CFL bound, so no margin gauge is emitted.
+    pub fn set_recorder(&mut self, recorder: mfgcp_obs::RecorderHandle) {
+        self.recorder = recorder;
     }
 
     /// Step `value` backwards by `dt`: add the reward, then one implicit
@@ -189,6 +200,12 @@ impl ImplicitBackward2d {
                 dy,
             );
         }
+        crate::telemetry::report_nonfinite(
+            &self.recorder,
+            &self.nonfinite,
+            "pde.hjb.nonfinite",
+            value,
+        );
     }
 }
 

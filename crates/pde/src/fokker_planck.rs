@@ -14,9 +14,12 @@
 //! its band). Total mass `Σ λ · cell` is then conserved *exactly*, the
 //! discrete counterpart of `∬ λ dh dq = 1`.
 
+use mfgcp_obs::{OnceFlag, RecorderHandle};
+
 use crate::axis::Grid2d;
 use crate::field::{Field1d, Field2d};
 use crate::stability::StabilityLimit;
+use crate::telemetry::{report_cfl, report_nonfinite};
 use crate::PdeError;
 
 fn check_diffusion(name: &'static str, d: f64) -> Result<f64, PdeError> {
@@ -112,6 +115,8 @@ pub struct FokkerPlanck2d {
     diffusion_x: f64,
     diffusion_y: f64,
     limit: StabilityLimit,
+    recorder: RecorderHandle,
+    nonfinite: OnceFlag,
 }
 
 impl FokkerPlanck2d {
@@ -126,7 +131,16 @@ impl FokkerPlanck2d {
             diffusion_x: check_diffusion("diffusion_x", diffusion_x)?,
             diffusion_y: check_diffusion("diffusion_y", diffusion_y)?,
             limit: StabilityLimit::default(),
+            recorder: RecorderHandle::noop(),
+            nonfinite: OnceFlag::new(),
         })
+    }
+
+    /// Attach a telemetry recorder: every macro step then emits the
+    /// `pde.fpk.cfl_margin` gauge, and the first non-finite density value
+    /// fires the `pde.fpk.nonfinite` sentinel (once per stepper instance).
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 
     /// Advance `density` by `dt` under drift fields `(bx, by)`, sub-stepping
@@ -163,10 +177,24 @@ impl FokkerPlanck2d {
             (by_max, self.diffusion_y, grid.y().dx()),
         ]);
         let (n_sub, sub_dt) = self.limit.substeps(dt, max_dt);
+        report_cfl(
+            &self.recorder,
+            "pde.fpk.cfl_margin",
+            max_dt,
+            dt,
+            n_sub,
+            sub_dt,
+        );
         let delta = scratch.buf_for(grid.len());
         for _ in 0..n_sub {
             self.substep(density, bx, by, sub_dt, &grid, delta);
         }
+        report_nonfinite(
+            &self.recorder,
+            &self.nonfinite,
+            "pde.fpk.nonfinite",
+            density,
+        );
     }
 
     fn substep(

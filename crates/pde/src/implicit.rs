@@ -96,6 +96,8 @@ impl ImplicitFokkerPlanck1d {
 pub struct ImplicitFokkerPlanck2d {
     diffusion_x: f64,
     diffusion_y: f64,
+    recorder: mfgcp_obs::RecorderHandle,
+    nonfinite: mfgcp_obs::OnceFlag,
 }
 
 impl ImplicitFokkerPlanck2d {
@@ -108,7 +110,16 @@ impl ImplicitFokkerPlanck2d {
         Ok(Self {
             diffusion_x: check_diffusion("diffusion_x", diffusion_x)?,
             diffusion_y: check_diffusion("diffusion_y", diffusion_y)?,
+            recorder: mfgcp_obs::RecorderHandle::noop(),
+            nonfinite: mfgcp_obs::OnceFlag::new(),
         })
+    }
+
+    /// Attach a telemetry recorder: the first non-finite density value
+    /// fires the `pde.fpk.nonfinite` sentinel (once per instance). The
+    /// implicit solve has no CFL bound, so no margin gauge is emitted.
+    pub fn set_recorder(&mut self, recorder: mfgcp_obs::RecorderHandle) {
+        self.recorder = recorder;
     }
 
     /// Advance `density` by `dt`: one implicit x-sweep per column, then one
@@ -168,6 +179,12 @@ impl ImplicitFokkerPlanck2d {
                 dy,
             );
         }
+        crate::telemetry::report_nonfinite(
+            &self.recorder,
+            &self.nonfinite,
+            "pde.fpk.nonfinite",
+            density,
+        );
     }
 }
 

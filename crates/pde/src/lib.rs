@@ -57,6 +57,7 @@ pub mod linalg;
 mod ops;
 mod scratch;
 mod stability;
+mod telemetry;
 
 pub use axis::{Axis, Grid2d};
 pub use backward::{BackwardParabolic1d, BackwardParabolic2d};

@@ -1,0 +1,109 @@
+//! Shared instrumentation helpers for the 2-D steppers.
+//!
+//! Every helper early-returns on a disabled recorder, so the numerical
+//! kernels pay one branch per macro step when telemetry is off. None of
+//! them touch the fields they observe: telemetry reads state, never
+//! perturbs it.
+
+use mfgcp_obs::{OnceFlag, RecorderHandle};
+
+use crate::field::Field2d;
+
+/// Emit the CFL health gauge for one macro step: `value` is the headroom
+/// ratio `max_dt / sub_dt` (≥ 1 when the sub-stepping honoured the bound;
+/// `"inf"` when the step has no dynamics and the bound is vacuous).
+pub(crate) fn report_cfl(
+    rec: &RecorderHandle,
+    name: &'static str,
+    max_dt: f64,
+    dt: f64,
+    n_sub: usize,
+    sub_dt: f64,
+) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.gauge(
+        name,
+        max_dt / sub_dt,
+        &[
+            ("max_dt", max_dt.into()),
+            ("dt", dt.into()),
+            ("substeps", n_sub.into()),
+        ],
+    );
+}
+
+/// Scan `field` for the first non-finite value and fire the sentinel event
+/// `name` exactly once per stepper instance, carrying the grid coordinates
+/// `(i, j)` of the poisoned cell. The O(grid) scan only runs while the
+/// recorder is enabled and the flag has not fired yet.
+pub(crate) fn report_nonfinite(
+    rec: &RecorderHandle,
+    flag: &OnceFlag,
+    name: &'static str,
+    field: &Field2d,
+) {
+    if !rec.enabled() || flag.fired() {
+        return;
+    }
+    if let Some(idx) = field.values().iter().position(|v| !v.is_finite()) {
+        if flag.fire() {
+            let ny = field.grid().y().len();
+            rec.event(
+                name,
+                &[
+                    ("i", (idx / ny).into()),
+                    ("j", (idx % ny).into()),
+                    ("value", field.values()[idx].into()),
+                ],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::{Axis, Grid2d};
+    use mfgcp_obs::{Kind, MemorySink, Value};
+    use std::sync::Arc;
+
+    fn grid() -> Grid2d {
+        Grid2d::new(
+            Axis::new(0.0, 1.0, 4).unwrap(),
+            Axis::new(0.0, 1.0, 5).unwrap(),
+        )
+    }
+
+    #[test]
+    fn nonfinite_sentinel_fires_once_with_coordinates() {
+        let sink = Arc::new(MemorySink::new());
+        let rec = RecorderHandle::new(sink.clone());
+        let flag = OnceFlag::new();
+        let mut f = Field2d::zeros(grid());
+        report_nonfinite(&rec, &flag, "pde.test.nonfinite", &f);
+        assert!(sink.is_empty(), "finite field must not fire");
+        // Poison cell (2, 3): row-major index 2*5 + 3.
+        f.set(2, 3, f64::NAN);
+        report_nonfinite(&rec, &flag, "pde.test.nonfinite", &f);
+        report_nonfinite(&rec, &flag, "pde.test.nonfinite", &f);
+        let events = sink.events();
+        assert_eq!(events.len(), 1, "sentinel must fire exactly once");
+        assert_eq!(events[0].kind, Kind::Event);
+        assert_eq!(events[0].field("i"), Some(&Value::U64(2)));
+        assert_eq!(events[0].field("j"), Some(&Value::U64(3)));
+    }
+
+    #[test]
+    fn cfl_gauge_reports_headroom_and_substeps() {
+        let sink = Arc::new(MemorySink::new());
+        let rec = RecorderHandle::new(sink.clone());
+        report_cfl(&rec, "pde.test.cfl_margin", 0.3, 1.0, 4, 0.25);
+        report_cfl(&rec, "pde.test.cfl_margin", f64::INFINITY, 1.0, 1, 1.0);
+        let events = sink.events();
+        assert_eq!(events[0].value, Some(Value::F64(0.3 / 0.25)));
+        assert_eq!(events[0].field("substeps"), Some(&Value::U64(4)));
+        assert_eq!(events[1].value, Some(Value::F64(f64::INFINITY)));
+    }
+}

@@ -12,6 +12,7 @@
 use rand::RngExt as _;
 
 use mfgcp_core::{ContentContext, Equilibrium, MfgSolver, Params};
+use mfgcp_obs::RecorderHandle;
 use mfgcp_sde::SimRng;
 
 use crate::policy::{CachingPolicy, DecisionContext};
@@ -28,6 +29,9 @@ pub struct MfgCpPolicy {
     content_sizes: Vec<f64>,
     sharing: bool,
     name: &'static str,
+    /// Kept alongside the solver so the heterogeneous-size path (which
+    /// builds a dedicated solver per odd-sized content) inherits it too.
+    recorder: RecorderHandle,
 }
 
 impl MfgCpPolicy {
@@ -43,6 +47,7 @@ impl MfgCpPolicy {
             content_sizes: Vec::new(),
             sharing: true,
             name: "MFG-CP",
+            recorder: RecorderHandle::noop(),
         })
     }
 
@@ -64,6 +69,7 @@ impl MfgCpPolicy {
             content_sizes: Vec::new(),
             sharing: false,
             name: "MFG",
+            recorder: RecorderHandle::noop(),
         })
     }
 
@@ -90,6 +96,11 @@ impl CachingPolicy for MfgCpPolicy {
         self.sharing
     }
 
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.solver.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
     fn prepare_epoch(&mut self, contexts: &[ContentContext]) {
         // One equilibrium per demanded content (the K' filter of Alg. 1
         // line 5); complexity independent of M (Table II).
@@ -111,6 +122,7 @@ impl CachingPolicy for MfgCpPolicy {
                         };
                         MfgSolver::new(params)
                             .ok()
+                            .map(|solver| solver.with_recorder(self.recorder.clone()))
                             .map(|solver| solver.solve_with(&per_step, None))
                     }
                     _ => Some(self.solver.solve_with(&per_step, None)),

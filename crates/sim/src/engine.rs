@@ -21,6 +21,7 @@
 
 use mfgcp_core::{ContentContext, RateModel, SharedSupplyPricer};
 use mfgcp_net::{ChannelState, MobileRequesters, Topology};
+use mfgcp_obs::RecorderHandle;
 use mfgcp_sde::{seeded_rng, SimRng};
 use mfgcp_workload::{trace::SyntheticYoutubeTrace, trace::Trace, RequestBatch, RequestProcess};
 
@@ -106,6 +107,7 @@ pub struct Simulation {
     market_nanos: u128,
     /// Per-slot market workspace, reused across slots.
     market_scratch: MarketScratch,
+    recorder: RecorderHandle,
 }
 
 /// Reusable per-slot buffers of [`Simulation::clear_market`]'s fused
@@ -213,7 +215,23 @@ impl Simulation {
             master_rng,
             market_nanos: 0,
             market_scratch: MarketScratch::default(),
+            recorder: RecorderHandle::noop(),
         })
+    }
+
+    /// Attach a telemetry recorder to the whole simulation: per-slot
+    /// `market.slot` events, a `sim.prepare_epoch` span around the policy's
+    /// epoch preparation (where MFG-CP's `solver.*` events nest), and the
+    /// `net.*` events of topology re-association and requester mobility.
+    /// Telemetry reads state only — runs are bit-identical with recording
+    /// on or off.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.topology.set_recorder(recorder.clone());
+        if let Some(mob) = &mut self.mobility {
+            mob.set_recorder(recorder.clone());
+        }
+        self.policy.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 
     /// The configuration in use.
@@ -291,7 +309,12 @@ impl Simulation {
         }
         let weights = self.trace.normalized_weights(epoch);
         let contexts = self.epoch_contexts(&weights);
+        let prep = self.recorder.span_with(
+            "sim.prepare_epoch",
+            &[("epoch", epoch.into()), ("contents", contexts.len().into())],
+        );
         self.policy.prepare_epoch(&contexts);
+        prep.close(&[]);
         let process = RequestProcess::new(self.cfg.request_prob, weights, self.cfg.timeliness)
             .expect("validated request parameters");
 
@@ -332,6 +355,23 @@ impl Simulation {
 
             // ---- Sequential phase: market clearing per content.
             let slot_stats = self.clear_market(&batches, &mean_fadings, dt);
+            if self.recorder.enabled() {
+                self.recorder.event(
+                    "market.slot",
+                    &[
+                        ("epoch", epoch.into()),
+                        ("slot", slot.into()),
+                        ("nanos", slot_stats.nanos.into()),
+                        ("volume", slot_stats.volume.into()),
+                        ("case1", slot_stats.case1.into()),
+                        ("case2", slot_stats.case2.into()),
+                        ("case3", slot_stats.case3.into()),
+                        ("mean_price", slot_stats.mean_price.into()),
+                        ("min_price", slot_stats.min_price.into()),
+                        ("max_price", slot_stats.max_price.into()),
+                    ],
+                );
+            }
 
             for (e, batch) in self.edps.iter().zip(&batches) {
                 for (k, &c) in batch.counts.iter().enumerate() {
@@ -543,6 +583,8 @@ impl Simulation {
 
             for &(i, requests) in &s.requesters[k] {
                 let price = pricer.price(self.edps[i].x[k]);
+                agg.min_price = agg.min_price.min(price);
+                agg.max_price = agg.max_price.max(price);
                 // The center assigns "a suitable EDP" (§IV-B): the
                 // best-stocked qualified peer — smallest remaining space —
                 // which both completes the most data and minimizes the
@@ -574,10 +616,20 @@ impl Simulation {
                 m.sharing_cost += out.sharing_cost;
                 m.requests_served += requests;
                 match out.case {
-                    TradeCase::OwnCache => m.case_counts.0 += 1,
-                    TradeCase::PeerShare => m.case_counts.1 += 1,
-                    TradeCase::CenterDownload => m.case_counts.2 += 1,
+                    TradeCase::OwnCache => {
+                        m.case_counts.0 += 1;
+                        agg.case1 += 1;
+                    }
+                    TradeCase::PeerShare => {
+                        m.case_counts.1 += 1;
+                        agg.case2 += 1;
+                    }
+                    TradeCase::CenterDownload => {
+                        m.case_counts.2 += 1;
+                        agg.case3 += 1;
+                    }
                 }
+                agg.volume += requests;
                 agg.income += out.income;
                 agg.staleness += out.staleness_cost;
                 agg.utility += out.income - out.staleness_cost - out.sharing_cost;
@@ -589,7 +641,9 @@ impl Simulation {
                 }
             }
         }
-        self.market_nanos += start.elapsed().as_nanos();
+        let elapsed = start.elapsed().as_nanos();
+        self.market_nanos += elapsed;
+        agg.nanos = u64::try_from(elapsed).unwrap_or(u64::MAX);
         agg
     }
 
@@ -601,13 +655,44 @@ impl Simulation {
     }
 }
 
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 struct SlotAggregates {
     income: f64,
     staleness: f64,
     share_benefit: f64,
     utility: f64,
     mean_price: f64,
+    /// Wall-clock nanoseconds this slot's clearing took.
+    nanos: u64,
+    /// Requests served across the population this slot.
+    volume: u64,
+    /// Per-case trade tallies (own cache / peer share / center download).
+    case1: u64,
+    case2: u64,
+    case3: u64,
+    /// Extremes of the Eq. (5) prices actually charged to requesting EDPs
+    /// this slot (±∞ when nobody requested anything).
+    min_price: f64,
+    max_price: f64,
+}
+
+impl Default for SlotAggregates {
+    fn default() -> Self {
+        Self {
+            income: 0.0,
+            staleness: 0.0,
+            share_benefit: 0.0,
+            utility: 0.0,
+            mean_price: 0.0,
+            nanos: 0,
+            volume: 0,
+            case1: 0,
+            case2: 0,
+            case3: 0,
+            min_price: f64::INFINITY,
+            max_price: f64::NEG_INFINITY,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -690,6 +775,67 @@ mod tests {
                 assert_eq!(a, b, "with {threads} threads");
             }
         }
+    }
+
+    #[test]
+    fn telemetry_neither_perturbs_the_run_nor_breaks_the_schema() {
+        use mfgcp_obs::{schema, Kind, MemorySink, RecorderHandle};
+        let reference = small_sim(Box::new(MostPopularCaching::default())).run();
+        let mut sim = small_sim(Box::new(MostPopularCaching::default()));
+        let sink = std::sync::Arc::new(MemorySink::new());
+        sim.set_recorder(RecorderHandle::new(sink.clone()));
+        let recorded = sim.run();
+        // Bit-identical with recording on.
+        assert_eq!(reference.per_edp, recorded.per_edp);
+        assert_eq!(reference.series.len(), recorded.series.len());
+        for (a, b) in reference.series.iter().zip(&recorded.series) {
+            assert_eq!(a, b);
+        }
+        // The emitted stream passes the JSONL schema validator.
+        let events = sink.events();
+        let text: String = events.iter().map(|e| e.to_json_line() + "\n").collect();
+        assert_eq!(schema::validate_str(&text).unwrap(), events.len());
+        // One market.slot event per simulated slot, volumes consistent
+        // with the per-EDP served-request tallies.
+        let slots: Vec<_> = events.iter().filter(|e| e.name == "market.slot").collect();
+        assert_eq!(slots.len(), recorded.series.len());
+        let volume: u64 = slots
+            .iter()
+            .map(|e| match e.field("volume") {
+                Some(&mfgcp_obs::Value::U64(v)) => v,
+                other => panic!("bad volume field: {other:?}"),
+            })
+            .sum();
+        let served: u64 = recorded.per_edp.iter().map(|m| m.requests_served).sum();
+        assert_eq!(volume, served);
+        // One prepare-epoch span per epoch.
+        let preps = events
+            .iter()
+            .filter(|e| e.name == "sim.prepare_epoch" && e.kind == Kind::SpanOpen)
+            .count();
+        assert_eq!(preps, recorded.epochs);
+    }
+
+    #[test]
+    fn mobility_emits_net_events_through_the_sim_recorder() {
+        use mfgcp_obs::{schema, MemorySink, RecorderHandle};
+        let mut cfg = SimConfig::small();
+        cfg.mobility = Some(mfgcp_net::RandomWaypoint::default());
+        let mut sim = Simulation::new(cfg, Box::new(RandomReplacement)).unwrap();
+        let sink = std::sync::Arc::new(MemorySink::new());
+        sim.set_recorder(RecorderHandle::new(sink.clone()));
+        let _ = sim.run();
+        let events = sink.events();
+        let text: String = events.iter().map(|e| e.to_json_line() + "\n").collect();
+        assert_eq!(schema::validate_str(&text).unwrap(), events.len());
+        assert!(
+            events.iter().any(|e| e.name == "net.reassociation"),
+            "no reassociation events"
+        );
+        assert!(
+            events.iter().any(|e| e.name == "net.mobility.step"),
+            "no mobility arrivals in a 20-slot walk"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The placement-policy abstraction shared by MFG-CP and the baselines.
 
 use mfgcp_core::ContentContext;
+use mfgcp_obs::RecorderHandle;
 use mfgcp_sde::SimRng;
 
 /// Everything a policy may look at when choosing a caching rate — the
@@ -50,6 +51,14 @@ pub trait CachingPolicy: Send + Sync {
     /// baseline and UDCS/RR/MPC do not).
     fn allows_sharing(&self) -> bool {
         true
+    }
+
+    /// Attach a telemetry recorder. Policies that run a solver (MFG-CP)
+    /// propagate it so their per-epoch solves emit `solver.*` and `pde.*`
+    /// events; the stateless baselines ignore it (default). Recording
+    /// never changes decisions — runs stay bit-identical either way.
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        let _ = recorder;
     }
 
     /// Called once per optimization epoch with the per-content workload

@@ -159,7 +159,7 @@ fn cli_surface_is_reachable_from_the_facade() {
     .map(|s| s.to_string())
     .collect();
     match parse(&args).unwrap() {
-        Command::Solve { params } => {
+        Command::Solve { params, .. } => {
             // The parsed params actually drive a solve end-to-end.
             let eq = MfgSolver::new(*params).unwrap().solve().unwrap();
             assert!(eq.report.converged);

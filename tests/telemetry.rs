@@ -1,0 +1,122 @@
+//! End-to-end `--telemetry` checks: the `mfgcp` binary must write
+//! schema-valid JSONL whose solver events agree bit-for-bit with an
+//! in-process reference solve of the same parameters.
+
+use std::process::Command;
+
+use mfgcp::obs::{json, schema};
+use mfgcp::prelude::*;
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("mfgcp-telemetry-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn solve_telemetry_is_schema_valid_and_matches_the_reference_residual() {
+    let path = tmp_path("solve.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_mfgcp"))
+        .args([
+            "solve",
+            "--time-steps",
+            "12",
+            "--grid-h",
+            "8",
+            "--grid-q",
+            "24",
+            "--telemetry",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("mfgcp binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    let events = schema::validate_str(&text).expect("schema-valid telemetry");
+    assert!(events > 0, "telemetry file is empty");
+
+    // Reference: the same parameters solved in-process. The solver is
+    // deterministic, so the binary's run must agree exactly.
+    let params = Params {
+        time_steps: 12,
+        grid_h: 8,
+        grid_q: 24,
+        ..Params::default()
+    };
+    let solver = MfgSolver::new(params).unwrap();
+    let ctx = ContentContext::from_params(solver.params());
+    let eq = solver.solve_with(&vec![ctx; 12], None);
+
+    let close = text
+        .lines()
+        .filter_map(|l| json::parse(l).ok())
+        .find(|v| {
+            v.get("kind").and_then(|k| k.as_str()) == Some("span_close")
+                && v.get("name").and_then(|n| n.as_str()) == Some("solver.solve")
+        })
+        .expect("a solver.solve span close in the stream");
+    let fields = close.get("fields").expect("span-close fields");
+    let residual = fields
+        .get("final_residual")
+        .and_then(|v| v.as_f64())
+        .expect("final_residual field");
+    assert_eq!(residual, eq.report.final_residual());
+    let iterations = fields
+        .get("iterations")
+        .and_then(|v| v.as_u64())
+        .expect("iterations field");
+    assert_eq!(iterations as usize, eq.report.iterations);
+    // One solver.iteration event per reported iteration.
+    let iteration_events = text
+        .lines()
+        .filter_map(|l| json::parse(l).ok())
+        .filter(|v| v.get("name").and_then(|n| n.as_str()) == Some("solver.iteration"))
+        .count();
+    assert_eq!(iteration_events, eq.report.iterations);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn simulate_telemetry_validates_and_covers_market_and_net_events() {
+    let path = tmp_path("simulate.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_mfgcp"))
+        .args([
+            "simulate",
+            "--scheme",
+            "rr",
+            "--edps",
+            "8",
+            "--requesters",
+            "24",
+            "--contents",
+            "3",
+            "--epochs",
+            "2",
+            "--slots",
+            "6",
+            "--mobility",
+            "--telemetry",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("mfgcp binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    schema::validate_str(&text).expect("schema-valid telemetry");
+    let names: Vec<String> = text
+        .lines()
+        .filter_map(|l| json::parse(l).ok())
+        .filter_map(|v| v.get("name").and_then(|n| n.as_str()).map(String::from))
+        .collect();
+    // One market.slot event per simulated slot (2 epochs x 6 slots).
+    assert_eq!(names.iter().filter(|n| *n == "market.slot").count(), 12);
+    assert!(names.iter().any(|n| n == "sim.prepare_epoch"));
+    assert!(names.iter().any(|n| n == "net.reassociation"));
+    std::fs::remove_file(&path).ok();
+}
