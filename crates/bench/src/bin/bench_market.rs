@@ -20,6 +20,7 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use mfgcp_core::Params;
+use mfgcp_obs::json::Json;
 use mfgcp_obs::{JsonlSink, RecorderHandle};
 use mfgcp_sim::baselines::MostPopularCaching;
 use mfgcp_sim::{SimConfig, Simulation};
@@ -136,19 +137,40 @@ fn main() {
     let (sizes, recorder) = parse_args();
     let samples: Vec<Sample> = sizes.iter().map(|&m| measure(m, &recorder)).collect();
 
-    let mut json = String::from("{\n  \"bench\": \"market_clearing\",\n  \"unit_note\": \"per-slot market time; per-EDP column flat <=> O(M) scaling\",\n  \"samples\": [\n");
-    for (i, s) in samples.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"m\": {}, \"slots\": {}, \"epoch_wall_millis\": {:.3}, \"market_per_slot_micros\": {:.3}, \"market_per_slot_per_edp_nanos\": {:.3}}}{}\n",
-            s.m,
-            s.slots,
-            s.wall_millis,
-            s.market_per_slot_micros,
-            s.market_per_slot_per_edp_nanos,
-            if i + 1 < samples.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ]\n}\n");
+    // One escaping/formatting path for every JSON document the workspace
+    // writes: build the report as a `Json` tree and serialize it.
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("market_clearing".into())),
+        (
+            "unit_note".into(),
+            Json::Str("per-slot market time; per-EDP column flat <=> O(M) scaling".into()),
+        ),
+        (
+            "samples".into(),
+            Json::Arr(
+                samples
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("m".into(), Json::Num(s.m as f64)),
+                            ("slots".into(), Json::Num(s.slots as f64)),
+                            ("epoch_wall_millis".into(), Json::Num(s.wall_millis)),
+                            (
+                                "market_per_slot_micros".into(),
+                                Json::Num(s.market_per_slot_micros),
+                            ),
+                            (
+                                "market_per_slot_per_edp_nanos".into(),
+                                Json::Num(s.market_per_slot_per_edp_nanos),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut json = report.to_json_string();
+    json.push('\n');
 
     let mut f = std::fs::File::create("BENCH_market.json").expect("create BENCH_market.json");
     f.write_all(json.as_bytes())

@@ -1,0 +1,288 @@
+//! Policy-server load generator: measures query throughput and latency
+//! of the `mfgcp-serve` TCP server across a sweep of concurrent client
+//! connections and writes `BENCH_serve.json` at the workspace root.
+//!
+//! By default the bench solves a small equilibrium and serves it from an
+//! in-process [`PolicyServer`] on an ephemeral loopback port, so a bare
+//! `cargo run --release -p mfgcp-bench --bin bench_serve` is
+//! self-contained. Point it at an already-running `mfgcp serve` instance
+//! with `--addr` (CI's serve-smoke job does this so the server's own
+//! telemetry stream gets exercised end to end).
+//!
+//! Each sweep point opens C connections; every connection issues a fixed
+//! number of single `(t, h, q)` queries (per-request latency is recorded
+//! for the p50/p99 columns) followed by a fixed number of 16-point
+//! batched queries (amortizes framing, reported as a separate
+//! throughput). The server dedicates one worker to each connection, so C
+//! must stay at or below the server's thread count — the in-process
+//! server is sized for the sweep automatically, and the CI job passes
+//! `--threads` to `mfgcp serve` explicitly.
+//!
+//! Flags:
+//!
+//! * `--quick` — reduced sweep (fewer connections, fewer requests) for CI;
+//! * `--addr HOST:PORT` — benchmark an external server instead of the
+//!   in-process one;
+//! * `--telemetry FILE.jsonl` — stream one `bench.sample` event per sweep
+//!   point through the shared `mfgcp-obs` recorder.
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mfgcp_core::{MfgSolver, Params};
+use mfgcp_obs::json::Json;
+use mfgcp_obs::{JsonlSink, RecorderHandle};
+use mfgcp_serve::{Client, PolicyServer, ServeConfig, ServerHandle};
+
+/// One sweep point: C connections hammering the server.
+struct Sample {
+    connections: usize,
+    requests: usize,
+    throughput_qps: f64,
+    p50_micros: f64,
+    p99_micros: f64,
+    batch16_qps: f64,
+}
+
+struct Load {
+    sizes: Vec<usize>,
+    queries_per_conn: usize,
+    batches_per_conn: usize,
+}
+
+impl Load {
+    fn new(quick: bool) -> Self {
+        if quick {
+            Load {
+                sizes: vec![1, 4],
+                queries_per_conn: 200,
+                batches_per_conn: 25,
+            }
+        } else {
+            Load {
+                sizes: vec![1, 2, 4, 8],
+                queries_per_conn: 2_000,
+                batches_per_conn: 250,
+            }
+        }
+    }
+}
+
+/// Deterministic query points spread over (and slightly past) the grid:
+/// index-hashed so concurrent connections don't all hit one cache line.
+fn probe(i: usize, worker: usize) -> (f64, f64, f64) {
+    let k = (i.wrapping_mul(2_654_435_761).wrapping_add(worker * 97)) % 1_000;
+    let s = k as f64 / 999.0;
+    (2.0 * s, 0.5 + 3.0 * s, 1.1 * (1.0 - s))
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn measure(addr: &str, connections: usize, load: &Load) -> Sample {
+    let start = Instant::now();
+    let per_thread: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect to server");
+                    let mut lat = Vec::with_capacity(load.queries_per_conn);
+                    for i in 0..load.queries_per_conn {
+                        let (t, h, q) = probe(i, worker);
+                        let begin = Instant::now();
+                        client.query(t, h, q).expect("query");
+                        lat.push(begin.elapsed().as_secs_f64() * 1e6);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let mut latencies: Vec<f64> = per_thread.into_iter().flatten().collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let requests = latencies.len();
+
+    // Batched phase: same connections-worth of parallelism, 16-point frames.
+    let batch_start = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..connections {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect to server");
+                for i in 0..load.batches_per_conn {
+                    let points: Vec<[f64; 3]> = (0..16)
+                        .map(|j| {
+                            let (t, h, q) = probe(i * 16 + j, worker);
+                            [t, h, q]
+                        })
+                        .collect();
+                    let answers = client.query_batch(&points).expect("batch");
+                    assert_eq!(answers.len(), 16);
+                }
+            });
+        }
+    });
+    let batch_wall = batch_start.elapsed().as_secs_f64();
+    let batch_points = (connections * load.batches_per_conn * 16) as f64;
+
+    Sample {
+        connections,
+        requests,
+        throughput_qps: requests as f64 / wall,
+        p50_micros: percentile(&latencies, 0.50),
+        p99_micros: percentile(&latencies, 0.99),
+        batch16_qps: batch_points / batch_wall,
+    }
+}
+
+/// Solve a small equilibrium and serve it in-process, sized so every
+/// sweep point gets a dedicated worker per connection.
+fn start_local_server(max_connections: usize) -> ServerHandle {
+    let params = Params {
+        time_steps: 12,
+        grid_h: 8,
+        grid_q: 24,
+        ..Params::default()
+    };
+    let eq = MfgSolver::new(params)
+        .expect("valid params")
+        .solve()
+        .expect("bench solve converges");
+    let config = ServeConfig {
+        threads: max_connections + 2,
+        ..ServeConfig::default()
+    };
+    PolicyServer::start("127.0.0.1:0", Arc::new(eq), config, RecorderHandle::noop())
+        .expect("bind loopback")
+}
+
+/// Hand-rolled flag parsing: `--quick`, `--addr HOST:PORT`,
+/// `--telemetry FILE`.
+fn parse_args() -> (bool, Option<String>, RecorderHandle) {
+    let mut quick = false;
+    let mut addr = None;
+    let mut recorder = RecorderHandle::noop();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--addr" => addr = Some(it.next().expect("--addr needs HOST:PORT")),
+            "--telemetry" => {
+                let path = it.next().expect("--telemetry needs a file path");
+                let sink = JsonlSink::create(&path)
+                    .unwrap_or_else(|e| panic!("cannot create telemetry file `{path}`: {e}"));
+                recorder = RecorderHandle::new(std::sync::Arc::new(sink));
+            }
+            other => {
+                eprintln!(
+                    "unknown flag `{other}` (supported: --quick --addr HOST:PORT --telemetry FILE.jsonl)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    (quick, addr, recorder)
+}
+
+fn main() {
+    let (quick, addr, recorder) = parse_args();
+    let load = Load::new(quick);
+    let max_connections = *load.sizes.iter().max().expect("non-empty sweep");
+
+    let (addr, local) = match addr {
+        Some(a) => (a, None),
+        None => {
+            let handle = start_local_server(max_connections);
+            (handle.local_addr().to_string(), Some(handle))
+        }
+    };
+    eprintln!(
+        "bench_serve: target {addr}, sweep {:?}, {} queries + {}x16 batched per connection",
+        load.sizes, load.queries_per_conn, load.batches_per_conn
+    );
+
+    let samples: Vec<Sample> = load
+        .sizes
+        .iter()
+        .map(|&c| {
+            let s = measure(&addr, c, &load);
+            recorder.event(
+                "bench.sample",
+                &[
+                    ("connections", s.connections.into()),
+                    ("requests", s.requests.into()),
+                    ("throughput_qps", s.throughput_qps.into()),
+                    ("p50_micros", s.p50_micros.into()),
+                    ("p99_micros", s.p99_micros.into()),
+                    ("batch16_qps", s.batch16_qps.into()),
+                ],
+            );
+            s
+        })
+        .collect();
+
+    if let Some(handle) = local {
+        let mut client = Client::connect(&addr).expect("connect for shutdown");
+        client.shutdown_server().expect("shutdown local server");
+        handle.join();
+    }
+
+    // Same single JSON-emitting path as every other BENCH_* report.
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("serve".into())),
+        (
+            "unit_note".into(),
+            Json::Str(
+                "single-query latency percentiles in microseconds; batch16 row \
+                 amortizes framing over 16-point frames"
+                    .into(),
+            ),
+        ),
+        ("quick".into(), Json::Bool(quick)),
+        (
+            "samples".into(),
+            Json::Arr(
+                samples
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("connections".into(), Json::Num(s.connections as f64)),
+                            ("requests".into(), Json::Num(s.requests as f64)),
+                            ("throughput_qps".into(), Json::Num(s.throughput_qps)),
+                            ("p50_micros".into(), Json::Num(s.p50_micros)),
+                            ("p99_micros".into(), Json::Num(s.p99_micros)),
+                            ("batch16_qps".into(), Json::Num(s.batch16_qps)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut json = report.to_json_string();
+    json.push('\n');
+
+    let mut f = std::fs::File::create("BENCH_serve.json").expect("create BENCH_serve.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_serve.json");
+
+    println!("{json}");
+    println!("connections, throughput_qps, p50_micros, p99_micros, batch16_qps");
+    for s in &samples {
+        println!(
+            "{}, {:.0}, {:.1}, {:.1}, {:.0}",
+            s.connections, s.throughput_qps, s.p50_micros, s.p99_micros, s.batch16_qps
+        );
+    }
+    recorder.flush();
+    eprintln!("wrote BENCH_serve.json");
+}

@@ -80,6 +80,69 @@ impl Clone for Equilibrium {
 }
 
 impl Equilibrium {
+    /// Rehydrate an equilibrium from externally stored parts (the loader
+    /// path of the `mfgcp-serve` artifact store). Every structural
+    /// invariant the accessors rely on is checked: one context and one
+    /// snapshot per macro step, `time_steps` policy fields,
+    /// `time_steps + 1` density and value fields, and all fields on the
+    /// grid implied by `params`. Field *values* are taken as-is —
+    /// including non-finite ones — so a load reproduces the stored
+    /// trajectories bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InconsistentParts`] naming the first violated
+    /// invariant, or a validation error from [`Params::validate`].
+    pub fn from_parts(
+        params: Params,
+        contexts: Vec<ContentContext>,
+        policy: Vec<Field2d>,
+        density: Vec<Field2d>,
+        values: Vec<Field2d>,
+        snapshots: Vec<MeanFieldSnapshot>,
+        report: ConvergenceReport,
+    ) -> Result<Self, CoreError> {
+        params.validate()?;
+        let n = params.time_steps;
+        let inconsistent = |message: String| CoreError::InconsistentParts { message };
+        let check_len = |what: &str, got: usize, want: usize| {
+            if got == want {
+                Ok(())
+            } else {
+                Err(inconsistent(format!(
+                    "{what} has {got} entries, expected {want}"
+                )))
+            }
+        };
+        check_len("contexts", contexts.len(), n)?;
+        check_len("snapshots", snapshots.len(), n)?;
+        check_len("policy", policy.len(), n)?;
+        check_len("density", density.len(), n + 1)?;
+        check_len("values", values.len(), n + 1)?;
+        let grid = params.grid();
+        for (what, fields) in [
+            ("policy", &policy),
+            ("density", &density),
+            ("values", &values),
+        ] {
+            if let Some(i) = fields.iter().position(|f| *f.grid() != grid) {
+                return Err(inconsistent(format!(
+                    "{what}[{i}] is on a different grid than params imply"
+                )));
+            }
+        }
+        Ok(Self {
+            params,
+            contexts,
+            policy,
+            density,
+            values,
+            snapshots,
+            report,
+            utility_cache: OnceLock::new(),
+        })
+    }
+
     /// The macro time step.
     pub fn dt(&self) -> f64 {
         self.params.dt()
@@ -105,6 +168,19 @@ impl Equilibrium {
     /// The equilibrium price trajectory `p_k(t_n)`.
     pub fn price_series(&self) -> Vec<f64> {
         self.snapshots.iter().map(|s| s.price).collect()
+    }
+
+    /// Equilibrium trading price `p*_k(t)` — piecewise constant over the
+    /// macro step containing `t` (clamped to the horizon), matching the
+    /// per-slot pricing the EDPs apply online.
+    pub fn price_at(&self, t: f64) -> f64 {
+        self.snapshots[self.step_of(t)].price
+    }
+
+    /// Mean peer remaining space `q̄₋(t)` (Eq. (18)) over the macro step
+    /// containing `t` (clamped to the horizon).
+    pub fn q_bar_at(&self, t: f64) -> f64 {
+        self.snapshots[self.step_of(t)].q_bar
     }
 
     /// The q-marginal of the density at step `n` (what Figs. 4, 6, 7 plot).
@@ -846,6 +922,81 @@ mod tests {
             assert_eq!(report.residuals, fresh.report.residuals);
             assert_eq!(report.update_norms, fresh.report.update_norms);
         }
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_rejects_mismatches() {
+        let solver = MfgSolver::new(fast_params()).unwrap();
+        let eq = solver.solve().unwrap();
+        let rebuilt = Equilibrium::from_parts(
+            eq.params.clone(),
+            eq.contexts.clone(),
+            eq.policy.clone(),
+            eq.density.clone(),
+            eq.values.clone(),
+            eq.snapshots.clone(),
+            eq.report.clone(),
+        )
+        .unwrap();
+        // Bit-identical trajectories and identical lookups.
+        for (a, b) in rebuilt.policy.iter().zip(&eq.policy) {
+            assert_eq!(a.values(), b.values());
+        }
+        let (t, h, q) = (0.33, 5.0e-5, 0.61);
+        assert_eq!(
+            rebuilt.policy_at(t, h, q).to_bits(),
+            eq.policy_at(t, h, q).to_bits()
+        );
+        assert_eq!(rebuilt.price_at(t).to_bits(), eq.price_at(t).to_bits());
+        assert_eq!(rebuilt.q_bar_at(t).to_bits(), eq.q_bar_at(t).to_bits());
+
+        // Wrong trajectory length.
+        let mut short_policy = eq.policy.clone();
+        short_policy.pop();
+        let err = Equilibrium::from_parts(
+            eq.params.clone(),
+            eq.contexts.clone(),
+            short_policy,
+            eq.density.clone(),
+            eq.values.clone(),
+            eq.snapshots.clone(),
+            eq.report.clone(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InconsistentParts { .. }), "{err}");
+
+        // Wrong grid.
+        let other_grid = Params {
+            grid_q: eq.params.grid_q + 4,
+            ..eq.params.clone()
+        }
+        .grid();
+        let mut bad_density = eq.density.clone();
+        bad_density[0] = Field2d::zeros(other_grid);
+        let err = Equilibrium::from_parts(
+            eq.params.clone(),
+            eq.contexts.clone(),
+            eq.policy.clone(),
+            bad_density,
+            eq.values.clone(),
+            eq.snapshots.clone(),
+            eq.report.clone(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("grid"), "{err}");
+    }
+
+    #[test]
+    fn price_and_q_bar_lookups_select_the_step() {
+        let solver = MfgSolver::new(fast_params()).unwrap();
+        let eq = solver.solve().unwrap();
+        let dt = eq.dt();
+        assert_eq!(eq.price_at(0.0), eq.snapshots[0].price);
+        assert_eq!(eq.price_at(0.5 * dt), eq.snapshots[0].price);
+        assert_eq!(eq.price_at(1.5 * dt), eq.snapshots[1].price);
+        // Clamped past the horizon.
+        assert_eq!(eq.price_at(99.0), eq.snapshots.last().unwrap().price);
+        assert_eq!(eq.q_bar_at(99.0), eq.snapshots.last().unwrap().q_bar);
     }
 
     #[test]

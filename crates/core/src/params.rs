@@ -21,6 +21,13 @@ pub enum CoreError {
         /// Iterations performed.
         iterations: usize,
     },
+    /// Pieces handed to [`crate::Equilibrium::from_parts`] (or
+    /// [`Params::from_canonical_bytes`]) do not fit together — wrong
+    /// trajectory lengths, mismatched grids, or a malformed encoding.
+    InconsistentParts {
+        /// Description of the inconsistency.
+        message: String,
+    },
 }
 
 impl core::fmt::Display for CoreError {
@@ -33,6 +40,9 @@ impl core::fmt::Display for CoreError {
                 f,
                 "best-response iteration did not converge: residual {residual:.3e} after {iterations} iterations"
             ),
+            CoreError::InconsistentParts { message } => {
+                write!(f, "inconsistent equilibrium parts: {message}")
+            }
         }
     }
 }
@@ -345,6 +355,59 @@ impl Params {
         0.5 * self.varrho_q * self.varrho_q
     }
 
+    /// The canonical little-endian encoding of every field, in struct
+    /// declaration order: `f64`s as raw IEEE-754 bits, `usize`s as `u64`,
+    /// `bool`s as one byte. This is the stable wire form behind
+    /// [`Params::fingerprint`] and the equilibrium artifact format of
+    /// `mfgcp-serve`; adding a field to `Params` extends the encoding and
+    /// therefore changes every fingerprint, which is exactly the desired
+    /// behaviour (an old artifact must not silently rehydrate under a
+    /// params struct it has no value for).
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut enc = CanonicalEncoder(Vec::with_capacity(CANONICAL_LEN));
+        visit_canonical(&mut self.clone(), &mut enc);
+        debug_assert_eq!(enc.0.len(), CANONICAL_LEN);
+        enc.0
+    }
+
+    /// Decode [`Params::canonical_bytes`] output back into a `Params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InconsistentParts`] when `bytes` has the wrong
+    /// length, and propagates [`Params::validate`] failures so a decoded
+    /// value upholds every invariant the solvers rely on.
+    pub fn from_canonical_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
+        if bytes.len() != CANONICAL_LEN {
+            return Err(CoreError::InconsistentParts {
+                message: format!(
+                    "canonical params block is {} bytes, expected {CANONICAL_LEN}",
+                    bytes.len()
+                ),
+            });
+        }
+        let mut params = Params::default();
+        let mut dec = CanonicalDecoder { bytes, pos: 0 };
+        visit_canonical(&mut params, &mut dec);
+        debug_assert_eq!(dec.pos, CANONICAL_LEN);
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// A stable 64-bit fingerprint of the parameters: FNV-1a over
+    /// [`Params::canonical_bytes`]. Two `Params` values fingerprint equal
+    /// iff every field is bit-identical (including `-0.0` vs `+0.0` and
+    /// NaN payloads), so an equilibrium artifact stamped with this value
+    /// can be matched exactly against the parameters a reader expects.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in self.canonical_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
     /// Threads to use for an assembly pass over `nx` h-columns:
     /// `worker_threads` (0 = one per available core), clamped so every
     /// thread gets at least four columns — below that spawn overhead
@@ -358,6 +421,105 @@ impl Params {
                 .unwrap_or(1)
         };
         requested.clamp(1, (nx / 4).max(1))
+    }
+}
+
+/// Byte length of [`Params::canonical_bytes`]: 29 `f64`s, 6 `usize`s
+/// (as `u64`), 1 `bool`.
+const CANONICAL_LEN: usize = 29 * 8 + 6 * 8 + 1;
+
+/// One pass over every `Params` field in declaration order. The encoder,
+/// decoder and fingerprint all flow through this single function, so the
+/// canonical field order cannot diverge between them.
+fn visit_canonical(p: &mut Params, v: &mut impl CanonicalVisit) {
+    v.visit_usize(&mut p.num_edps);
+    v.visit_f64(&mut p.q_size);
+    v.visit_f64(&mut p.requests);
+    v.visit_f64(&mut p.popularity);
+    v.visit_f64(&mut p.urgency_factor);
+    v.visit_f64(&mut p.w1);
+    v.visit_f64(&mut p.w2);
+    v.visit_f64(&mut p.w3);
+    v.visit_f64(&mut p.varrho_q);
+    v.visit_f64(&mut p.w4);
+    v.visit_f64(&mut p.w5);
+    v.visit_f64(&mut p.p_hat);
+    v.visit_f64(&mut p.eta1);
+    v.visit_f64(&mut p.eta2);
+    v.visit_f64(&mut p.p_bar);
+    v.visit_f64(&mut p.alpha);
+    v.visit_f64(&mut p.sigmoid_l);
+    v.visit_f64(&mut p.varsigma_h);
+    v.visit_f64(&mut p.upsilon_h);
+    v.visit_f64(&mut p.varrho_h);
+    v.visit_f64(&mut p.h_min);
+    v.visit_f64(&mut p.h_max);
+    v.visit_f64(&mut p.center_rate);
+    v.visit_f64(&mut p.edge_rate_scale);
+    v.visit_f64(&mut p.t_horizon);
+    v.visit_usize(&mut p.time_steps);
+    v.visit_usize(&mut p.grid_h);
+    v.visit_usize(&mut p.grid_q);
+    v.visit_f64(&mut p.lambda0_mean);
+    v.visit_f64(&mut p.lambda0_std);
+    v.visit_bool(&mut p.implicit_steppers);
+    v.visit_f64(&mut p.terminal_value_weight);
+    v.visit_usize(&mut p.max_iterations);
+    v.visit_f64(&mut p.tolerance);
+    v.visit_f64(&mut p.relaxation);
+    v.visit_usize(&mut p.worker_threads);
+}
+
+trait CanonicalVisit {
+    fn visit_f64(&mut self, v: &mut f64);
+    fn visit_usize(&mut self, v: &mut usize);
+    fn visit_bool(&mut self, v: &mut bool);
+}
+
+struct CanonicalEncoder(Vec<u8>);
+
+impl CanonicalVisit for CanonicalEncoder {
+    fn visit_f64(&mut self, v: &mut f64) {
+        self.0.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn visit_usize(&mut self, v: &mut usize) {
+        self.0.extend_from_slice(&(*v as u64).to_le_bytes());
+    }
+
+    fn visit_bool(&mut self, v: &mut bool) {
+        self.0.push(u8::from(*v));
+    }
+}
+
+struct CanonicalDecoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl CanonicalDecoder<'_> {
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        // Length is pre-checked against CANONICAL_LEN, so this never runs
+        // off the end of the slice.
+        let arr: [u8; N] = self.bytes[self.pos..self.pos + N]
+            .try_into()
+            .expect("length checked");
+        self.pos += N;
+        arr
+    }
+}
+
+impl CanonicalVisit for CanonicalDecoder<'_> {
+    fn visit_f64(&mut self, v: &mut f64) {
+        *v = f64::from_bits(u64::from_le_bytes(self.take()));
+    }
+
+    fn visit_usize(&mut self, v: &mut usize) {
+        *v = u64::from_le_bytes(self.take()) as usize;
+    }
+
+    fn visit_bool(&mut self, v: &mut bool) {
+        *v = self.take::<1>()[0] != 0;
     }
 }
 
@@ -491,5 +653,80 @@ mod tests {
             iterations: 7,
         };
         assert!(e.to_string().contains("7 iterations"));
+        let e = CoreError::InconsistentParts {
+            message: "policy length 3".into(),
+        };
+        assert!(e.to_string().contains("policy length 3"));
+    }
+
+    #[test]
+    fn canonical_bytes_roundtrip_exactly() {
+        let p = Params {
+            eta1: 2.5,
+            time_steps: 17,
+            implicit_steppers: true,
+            worker_threads: 3,
+            tolerance: 1.0e-4,
+            ..Params::default()
+        };
+        let bytes = p.canonical_bytes();
+        assert_eq!(bytes.len(), CANONICAL_LEN);
+        let back = Params::from_canonical_bytes(&bytes).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.fingerprint(), p.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_every_field_class() {
+        let base = Params::default();
+        let f = base.fingerprint();
+        // A second computation is stable.
+        assert_eq!(base.fingerprint(), f);
+        for changed in [
+            Params {
+                eta1: base.eta1 + 1.0,
+                ..base.clone()
+            },
+            Params {
+                time_steps: base.time_steps + 1,
+                ..base.clone()
+            },
+            Params {
+                implicit_steppers: !base.implicit_steppers,
+                ..base.clone()
+            },
+        ] {
+            assert_ne!(changed.fingerprint(), f);
+        }
+        // Bit-sensitivity: -0.0 fingerprints differently from +0.0.
+        let pos = Params {
+            terminal_value_weight: 0.0,
+            ..base.clone()
+        };
+        let neg = Params {
+            terminal_value_weight: -0.0,
+            ..base
+        };
+        assert_ne!(pos.fingerprint(), neg.fingerprint());
+    }
+
+    #[test]
+    fn from_canonical_bytes_rejects_bad_input() {
+        let bytes = Params::default().canonical_bytes();
+        // Wrong length.
+        assert!(matches!(
+            Params::from_canonical_bytes(&bytes[..bytes.len() - 1]),
+            Err(CoreError::InconsistentParts { .. })
+        ));
+        // A decoded block still passes validation: zero out w5 (> 0
+        // required) and the decode must fail as BadParam, not produce an
+        // invalid Params.
+        let mut corrupt = bytes;
+        let w5_offset = 8 + 9 * 8; // num_edps (u64) + 9 f64s precede w5
+        corrupt[w5_offset..w5_offset + 8].copy_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            Params::from_canonical_bytes(&corrupt),
+            Err(CoreError::BadParam { name: "w5", .. })
+        ));
     }
 }

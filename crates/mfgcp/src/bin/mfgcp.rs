@@ -1,15 +1,20 @@
-//! The `mfgcp` command-line tool: solve mean-field equilibria and run
-//! finite-population market simulations from the shell.
+//! The `mfgcp` command-line tool: solve mean-field equilibria, run
+//! finite-population market simulations, and serve saved equilibria
+//! over TCP from the shell.
 //!
 //! ```sh
-//! mfgcp solve --eta1 2 --salvage 1
+//! mfgcp solve --eta1 2 --salvage 1 --save-equilibrium eq.bin
 //! mfgcp simulate --scheme mfg-cp --edps 50 --mobility
+//! mfgcp serve --artifact eq.bin --addr 127.0.0.1:7171
+//! mfgcp query --t 0.5 --h 1.2 --q 0.3
 //! ```
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use mfgcp::cli::{parse, Command, Scheme, HELP};
+use mfgcp::cli::{parse, Command, QueryAction, Scheme, HELP};
 use mfgcp::prelude::*;
+use mfgcp::serve::{Client, PolicyServer, ServeConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,13 +28,32 @@ fn main() {
     };
     match command {
         Command::Help => print!("{HELP}"),
-        Command::Solve { params, telemetry } => run_solve(*params, telemetry.as_deref()),
+        Command::Version => println!("{}", mfgcp::serve::build_info()),
+        Command::Solve {
+            params,
+            telemetry,
+            save_equilibrium,
+        } => run_solve(*params, telemetry.as_deref(), save_equilibrium.as_deref()),
         Command::Simulate {
             config,
             scheme,
             mobility,
             telemetry,
         } => run_simulate(*config, scheme, mobility, telemetry.as_deref()),
+        Command::Serve {
+            artifact,
+            addr,
+            threads,
+            read_timeout_secs,
+            telemetry,
+        } => run_serve(
+            &artifact,
+            &addr,
+            threads,
+            read_timeout_secs,
+            telemetry.as_deref(),
+        ),
+        Command::Query { addr, action } => run_query(&addr, action),
     }
 }
 
@@ -48,7 +72,7 @@ fn open_recorder(telemetry: Option<&str>) -> RecorderHandle {
     }
 }
 
-fn run_solve(params: Params, telemetry: Option<&str>) {
+fn run_solve(params: Params, telemetry: Option<&str>, save_equilibrium: Option<&str>) {
     println!(
         "Solving MFG-CP equilibrium: grid {}x{}, {} steps, eta1 = {}, w5 = {}, salvage = {}",
         params.grid_h,
@@ -104,6 +128,95 @@ fn run_solve(params: Params, telemetry: Option<&str>) {
             print!(" {:>8.3}", eq.policy_at(t, h, qf * qk));
         }
         println!();
+    }
+    if let Some(path) = save_equilibrium {
+        match mfgcp::serve::artifact::save(&eq, std::path::Path::new(path)) {
+            Ok(()) => println!("\nSaved equilibrium artifact to {path}"),
+            Err(e) => {
+                eprintln!("error: cannot save equilibrium to `{path}`: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn run_serve(
+    artifact: &str,
+    addr: &str,
+    threads: usize,
+    read_timeout_secs: u64,
+    telemetry: Option<&str>,
+) {
+    let loaded = match mfgcp::serve::load(std::path::Path::new(artifact)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot load artifact `{artifact}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "Loaded artifact {artifact}: format v{}, fingerprint {:016x}, {} steps, grid {}x{}, built by {}",
+        loaded.header.format_version,
+        loaded.header.fingerprint,
+        loaded.header.time_steps,
+        loaded.header.grid_h,
+        loaded.header.grid_q,
+        loaded.header.build_info,
+    );
+    let recorder = open_recorder(telemetry);
+    let config = ServeConfig {
+        threads,
+        read_timeout: Duration::from_secs(read_timeout_secs.max(1)),
+        ..ServeConfig::default()
+    };
+    let handle = match PolicyServer::start(addr, Arc::new(loaded.equilibrium), config, recorder) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot bind `{addr}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "Serving on {} (stop with `mfgcp query --addr {} --shutdown`)",
+        handle.local_addr(),
+        handle.local_addr()
+    );
+    handle.join();
+    println!("Server stopped.");
+}
+
+fn run_query(addr: &str, action: QueryAction) {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to `{addr}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = client.set_timeout(Some(Duration::from_secs(10))) {
+        eprintln!("error: cannot set socket timeout: {e}");
+        std::process::exit(1);
+    }
+    let outcome = match action {
+        QueryAction::Point { t, h, q } => client.query(t, h, q).map(|p| {
+            println!("x*({t}, {h}, {q}) = {}", p.x);
+            println!("p*({t})       = {}", p.price);
+            println!("q_bar({t})    = {}", p.q_bar);
+        }),
+        QueryAction::Ping => client.ping().map(|()| println!("pong from {addr}")),
+        QueryAction::Info => client.info().map(|info| {
+            println!("fingerprint: {:016x}", info.fingerprint);
+            println!("time_steps:  {}", info.time_steps);
+            println!("grid:        {}x{}", info.grid_h, info.grid_q);
+            println!("build_info:  {}", info.build_info);
+        }),
+        QueryAction::Shutdown => client
+            .shutdown_server()
+            .map(|()| println!("server at {addr} acknowledged shutdown")),
+    };
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
 }
 

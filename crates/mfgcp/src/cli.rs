@@ -1,16 +1,24 @@
 //! Command-line interface for the `mfgcp` binary.
 //!
 //! Hand-rolled flag parsing (the approved dependency list has no argument
-//! parser): `mfgcp <command> [--flag value]...` with two commands:
+//! parser): `mfgcp <command> [--flag value]...` with four commands:
 //!
-//! * `solve` — compute one mean-field equilibrium and print its summary;
-//! * `simulate` — run the finite-population market under a scheme.
+//! * `solve` — compute one mean-field equilibrium, print its summary and
+//!   optionally persist it (`--save-equilibrium FILE`);
+//! * `simulate` — run the finite-population market under a scheme;
+//! * `serve` — load a saved equilibrium artifact and answer policy /
+//!   pricing queries over TCP;
+//! * `query` — ask a running server for `(x*, p*, q̄₋)`, ping it, fetch
+//!   its info, or shut it down.
 //!
 //! The parsing layer is pure (string slices in, [`Command`] out) so it is
 //! unit-testable without spawning processes.
 
 use mfgcp_core::Params;
 use mfgcp_sim::SimConfig;
+
+/// Default address for `serve` and `query` when `--addr` is omitted.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7171";
 
 /// Which placement scheme to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +72,8 @@ pub enum Command {
         params: Box<Params>,
         /// Telemetry JSONL output path (`--telemetry`), if requested.
         telemetry: Option<String>,
+        /// Artifact output path (`--save-equilibrium`), if requested.
+        save_equilibrium: Option<String>,
     },
     /// `mfgcp simulate [...]`: a finite-population market run.
     Simulate {
@@ -76,8 +86,50 @@ pub enum Command {
         /// Telemetry JSONL output path (`--telemetry`), if requested.
         telemetry: Option<String>,
     },
+    /// `mfgcp serve [...]`: serve a saved equilibrium over TCP.
+    Serve {
+        /// Path of the artifact to load (`--artifact`).
+        artifact: String,
+        /// Listen address (`--addr`).
+        addr: String,
+        /// Worker thread count (`--threads`, 0 = auto).
+        threads: usize,
+        /// Per-connection read timeout in seconds (`--read-timeout`).
+        read_timeout_secs: u64,
+        /// Telemetry JSONL output path (`--telemetry`), if requested.
+        telemetry: Option<String>,
+    },
+    /// `mfgcp query [...]`: one request against a running server.
+    Query {
+        /// Server address (`--addr`).
+        addr: String,
+        /// What to ask.
+        action: QueryAction,
+    },
     /// `mfgcp help` or `--help`.
     Help,
+    /// `mfgcp --version`: print version and build information.
+    Version,
+}
+
+/// What a `mfgcp query` invocation asks the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryAction {
+    /// Policy query at `(t, h, q)` (`--t`, `--h`, `--q`).
+    Point {
+        /// Query time.
+        t: f64,
+        /// Popularity-ratio coordinate.
+        h: f64,
+        /// Cache-occupancy coordinate.
+        q: f64,
+    },
+    /// Liveness probe (`--ping`).
+    Ping,
+    /// Server/artifact metadata (`--info`).
+    Info,
+    /// Graceful shutdown request (`--shutdown`).
+    Shutdown,
 }
 
 /// CLI parsing errors.
@@ -89,6 +141,8 @@ pub enum CliError {
     UnknownFlag(String),
     /// Flag present without a value.
     MissingValue(String),
+    /// A flag the subcommand requires was absent.
+    MissingFlag(&'static str),
     /// Value failed to parse.
     BadValue {
         /// Flag name.
@@ -108,6 +162,7 @@ impl core::fmt::Display for CliError {
             }
             CliError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
             CliError::MissingValue(flag) => write!(f, "flag `{flag}` needs a value"),
+            CliError::MissingFlag(flag) => write!(f, "required flag `{flag}` is missing"),
             CliError::BadValue {
                 flag,
                 value,
@@ -130,20 +185,31 @@ USAGE:
                    [--time-steps N] [--grid-h N] [--grid-q N]
                    [--salvage G] [--lambda0-mean X] [--threads N]
                    [--telemetry FILE.jsonl]
+                   [--save-equilibrium FILE.eq]
     mfgcp simulate [--scheme mfg-cp|mfg|udcs|mpc|rr] [--edps N]
                    [--requesters N] [--contents K] [--epochs E]
                    [--slots N] [--seed S] [--mobility]
                    [--telemetry FILE.jsonl]
                    (plus all `solve` flags for the game parameters)
+    mfgcp serve    --artifact FILE.eq [--addr HOST:PORT] [--threads N]
+                   [--read-timeout SECS] [--telemetry FILE.jsonl]
+    mfgcp query    [--addr HOST:PORT]
+                   (--t X --h X --q X | --ping | --info | --shutdown)
     mfgcp help
+    mfgcp --version
 
 `solve` computes one mean-field equilibrium (Alg. 2) and prints the
-policy, price trajectory and utility breakdown. `simulate` runs the
+policy, price trajectory and utility breakdown; `--save-equilibrium`
+persists it as a checksummed binary artifact. `simulate` runs the
 finite-population market (Alg. 1 lines 11-14) under the chosen scheme.
+`serve` loads a saved artifact and answers (t, h, q) -> (x*, p*, q_bar)
+queries over TCP (default address 127.0.0.1:7171) until a `--shutdown`
+query stops it. `query` issues one request against a running server.
 
 `--telemetry FILE` streams structured events (solver iterations, PDE
-health, market clearing, mobility) to FILE as one JSON object per line;
-see DESIGN.md for the event schema. Recording never changes results.
+health, market clearing, mobility, serving) to FILE as one JSON object
+per line; see DESIGN.md for the event schema. Recording never changes
+results.
 ";
 
 fn parse_f64(flag: &str, value: &str) -> Result<f64, CliError> {
@@ -196,9 +262,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     };
     match command.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
+        "version" | "--version" | "-V" => Ok(Command::Version),
         "solve" => {
             let mut params = Params::default();
             let mut telemetry = None;
+            let mut save_equilibrium = None;
             let mut it = args[1..].iter();
             while let Some(flag) = it.next() {
                 let value = it
@@ -206,6 +274,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .ok_or_else(|| CliError::MissingValue(flag.clone()))?;
                 if flag == "--telemetry" {
                     telemetry = Some(value.clone());
+                } else if flag == "--save-equilibrium" {
+                    save_equilibrium = Some(value.clone());
                 } else if !apply_param_flag(&mut params, flag, value)? {
                     return Err(CliError::UnknownFlag(flag.clone()));
                 }
@@ -213,6 +283,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             Ok(Command::Solve {
                 params: Box::new(params),
                 telemetry,
+                save_equilibrium,
             })
         }
         "simulate" => {
@@ -273,6 +344,77 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 telemetry,
             })
         }
+        "serve" => {
+            let mut artifact = None;
+            let mut addr = DEFAULT_ADDR.to_string();
+            let mut threads = 0usize;
+            let mut read_timeout_secs = 30u64;
+            let mut telemetry = None;
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue(flag.clone()))?;
+                match flag.as_str() {
+                    "--artifact" => artifact = Some(value.clone()),
+                    "--addr" => addr = value.clone(),
+                    "--threads" => threads = parse_usize(flag, value)?,
+                    "--read-timeout" => read_timeout_secs = parse_u64(flag, value)?,
+                    "--telemetry" => telemetry = Some(value.clone()),
+                    _ => return Err(CliError::UnknownFlag(flag.clone())),
+                }
+            }
+            let artifact = artifact.ok_or(CliError::MissingFlag("--artifact"))?;
+            Ok(Command::Serve {
+                artifact,
+                addr,
+                threads,
+                read_timeout_secs,
+                telemetry,
+            })
+        }
+        "query" => {
+            let mut addr = DEFAULT_ADDR.to_string();
+            let mut probe = None;
+            let (mut t, mut h, mut q) = (None, None, None);
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--ping" => {
+                        probe = Some(QueryAction::Ping);
+                        continue;
+                    }
+                    "--info" => {
+                        probe = Some(QueryAction::Info);
+                        continue;
+                    }
+                    "--shutdown" => {
+                        probe = Some(QueryAction::Shutdown);
+                        continue;
+                    }
+                    _ => {}
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue(flag.clone()))?;
+                match flag.as_str() {
+                    "--addr" => addr = value.clone(),
+                    "--t" => t = Some(parse_f64(flag, value)?),
+                    "--h" => h = Some(parse_f64(flag, value)?),
+                    "--q" => q = Some(parse_f64(flag, value)?),
+                    _ => return Err(CliError::UnknownFlag(flag.clone())),
+                }
+            }
+            let action = match probe {
+                Some(action) => action,
+                None => QueryAction::Point {
+                    t: t.ok_or(CliError::MissingFlag("--t"))?,
+                    h: h.ok_or(CliError::MissingFlag("--h"))?,
+                    q: q.ok_or(CliError::MissingFlag("--q"))?,
+                },
+            };
+            Ok(Command::Query { addr, action })
+        }
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -296,11 +438,16 @@ mod tests {
     fn solve_applies_parameter_flags() {
         let cmd = parse(&argv("solve --eta1 2.5 --time-steps 20 --salvage 1.5")).unwrap();
         match cmd {
-            Command::Solve { params, telemetry } => {
+            Command::Solve {
+                params,
+                telemetry,
+                save_equilibrium,
+            } => {
                 assert_eq!(params.eta1, 2.5);
                 assert_eq!(params.time_steps, 20);
                 assert_eq!(params.terminal_value_weight, 1.5);
                 assert_eq!(telemetry, None);
+                assert_eq!(save_equilibrium, None);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -310,7 +457,9 @@ mod tests {
     fn telemetry_flag_parses_on_both_commands() {
         let cmd = parse(&argv("solve --telemetry out.jsonl --eta1 2")).unwrap();
         match cmd {
-            Command::Solve { params, telemetry } => {
+            Command::Solve {
+                params, telemetry, ..
+            } => {
                 assert_eq!(telemetry.as_deref(), Some("out.jsonl"));
                 assert_eq!(params.eta1, 2.0);
             }
@@ -372,6 +521,93 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn solve_accepts_save_equilibrium() {
+        let cmd = parse(&argv("solve --save-equilibrium eq.bin --eta1 2")).unwrap();
+        match cmd {
+            Command::Solve {
+                save_equilibrium, ..
+            } => assert_eq!(save_equilibrium.as_deref(), Some("eq.bin")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_parses_in_all_spellings() {
+        for s in ["version", "--version", "-V"] {
+            assert_eq!(parse(&argv(s)).unwrap(), Command::Version);
+        }
+    }
+
+    #[test]
+    fn serve_requires_an_artifact_and_applies_defaults() {
+        assert!(matches!(
+            parse(&argv("serve")),
+            Err(CliError::MissingFlag("--artifact"))
+        ));
+        let cmd = parse(&argv("serve --artifact eq.bin")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                artifact: "eq.bin".into(),
+                addr: DEFAULT_ADDR.into(),
+                threads: 0,
+                read_timeout_secs: 30,
+                telemetry: None,
+            }
+        );
+        let cmd = parse(&argv(
+            "serve --artifact eq.bin --addr 0.0.0.0:9000 --threads 8 \
+             --read-timeout 5 --telemetry s.jsonl",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                artifact: "eq.bin".into(),
+                addr: "0.0.0.0:9000".into(),
+                threads: 8,
+                read_timeout_secs: 5,
+                telemetry: Some("s.jsonl".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn query_parses_point_and_probe_actions() {
+        let cmd = parse(&argv("query --t 0.5 --h 1.2 --q 0.3")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Query {
+                addr: DEFAULT_ADDR.into(),
+                action: QueryAction::Point {
+                    t: 0.5,
+                    h: 1.2,
+                    q: 0.3
+                },
+            }
+        );
+        for (s, action) in [
+            ("query --ping", QueryAction::Ping),
+            ("query --info", QueryAction::Info),
+            ("query --addr 1.2.3.4:9 --shutdown", QueryAction::Shutdown),
+        ] {
+            match parse(&argv(s)).unwrap() {
+                Command::Query { action: got, .. } => assert_eq!(got, action),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // A point query missing a coordinate names the absent flag.
+        assert!(matches!(
+            parse(&argv("query --t 0.5 --h 1.0")),
+            Err(CliError::MissingFlag("--q"))
+        ));
+        assert!(matches!(
+            parse(&argv("query")),
+            Err(CliError::MissingFlag("--t"))
+        ));
     }
 
     #[test]

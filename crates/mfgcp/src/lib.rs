@@ -17,7 +17,10 @@
 //! * [`obs`] — the structured-telemetry layer: recorder handles, JSONL
 //!   sinks and the event-schema validator behind `--telemetry`;
 //! * [`workload`] — content catalog, Zipf popularity (Def. 1, Eq. (3)),
-//!   timeliness (Def. 2), request processes and the trace layer.
+//!   timeliness (Def. 2), request processes and the trace layer;
+//! * [`serve`] — the serving layer: checksummed equilibrium artifacts
+//!   (`solve --save-equilibrium`) and the TCP policy server / client
+//!   behind `mfgcp serve` and `mfgcp query`.
 //!
 //! ```
 //! use mfgcp::prelude::*;
@@ -37,6 +40,7 @@ pub use mfgcp_net as net;
 pub use mfgcp_obs as obs;
 pub use mfgcp_pde as pde;
 pub use mfgcp_sde as sde;
+pub use mfgcp_serve as serve;
 pub use mfgcp_sim as sim;
 pub use mfgcp_workload as workload;
 

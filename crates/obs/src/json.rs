@@ -7,7 +7,15 @@
 //! JSON document built from objects, arrays, strings, numbers, booleans
 //! and null — strictly a superset of what [`crate::Event`] emits — so the
 //! schema validator can also reject well-formed-but-off-schema lines with
-//! a precise message instead of a parse error.
+//! a precise message instead of a parse error. Nesting is bounded by
+//! [`MAX_DEPTH`] — the parser now sits near externally supplied input
+//! (telemetry files, serving tooling), so a hostile deeply-nested document
+//! fails with a typed [`ParseError`] instead of a stack overflow.
+//!
+//! [`Json::write`] is the emitting counterpart: the benches build their
+//! `BENCH_*.json` reports as [`Json`] trees and serialize them through it,
+//! so every JSON document this workspace writes shares one escaping and
+//! float-formatting path.
 
 use std::fmt;
 
@@ -28,7 +36,66 @@ pub enum Json {
     Obj(Vec<(String, Json)>),
 }
 
+/// Maximum container nesting depth the parser accepts. Deeper documents
+/// fail with a typed [`ParseError`] instead of overflowing the stack —
+/// the parser is recursive-descent, and it now sits behind externally
+/// supplied input (the `mfgcp-serve` tooling and `validate_telemetry`).
+/// No document this workspace emits nests deeper than 3.
+pub const MAX_DEPTH: usize = 128;
+
 impl Json {
+    /// Serialize this value as compact JSON into `out`. Strings go through
+    /// the shared [`write_str`] escaper. Numbers that are exact integers in
+    /// `±2⁵³` print without a fractional part (`100`, not `100.0`); other
+    /// finite numbers use the shortest-roundtrip formatting of
+    /// [`write_f64`]; non-finite numbers become the quoted strings
+    /// `"NaN"` / `"inf"` / `"-inf"`, as everywhere else in this schema.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                let negative_zero = *v == 0.0 && v.is_sign_negative();
+                if v.is_finite() && v.fract() == 0.0 && v.abs() <= 2f64.powi(53) && !negative_zero {
+                    // Integral: print as an integer so counts stay counts.
+                    out.push_str(&format!("{}", *v as i64));
+                } else {
+                    write_f64(out, *v);
+                }
+            }
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// [`Json::write`] into a fresh `String`.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
     /// Object member lookup (first match); `None` on non-objects.
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
@@ -139,6 +206,7 @@ pub fn parse(input: &str) -> Result<Json, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -152,6 +220,8 @@ pub fn parse(input: &str) -> Result<Json, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting depth, bounded by [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -160,6 +230,14 @@ impl<'a> Parser<'a> {
             at: self.pos,
             message,
         }
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting deeper than MAX_DEPTH"));
+        }
+        self.depth += 1;
+        Ok(())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -205,10 +283,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, ParseError> {
         self.expect(b'{', "expected '{'")?;
+        self.enter()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(members));
         }
         loop {
@@ -226,6 +306,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(members));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -235,10 +316,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Json, ParseError> {
         self.expect(b'[', "expected '['")?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -251,6 +334,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -421,6 +505,61 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn deep_nesting_fails_with_a_typed_error_not_a_stack_overflow() {
+        // Well beyond MAX_DEPTH: without the limit this overflows the
+        // stack long before 100k frames.
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let deep = format!("{}0{}", open.repeat(100_000), close.repeat(100_000));
+            let err = parse(&deep).unwrap_err();
+            assert!(err.message.contains("MAX_DEPTH"), "{err}");
+        }
+        // Exactly at the limit still parses.
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        let too_deep = format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&too_deep).is_err());
+        // The depth counter resets on the way out: siblings at the same
+        // depth don't accumulate.
+        let arm = format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH - 2),
+            "]".repeat(MAX_DEPTH - 2)
+        );
+        let wide = format!("[{arm},{arm}]");
+        assert!(parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn writer_roundtrips_documents_and_formats_integral_numbers() {
+        let doc = Json::Obj(vec![
+            ("bench".into(), Json::Str("serve".into())),
+            ("count".into(), Json::Num(12_000.0)),
+            ("p99".into(), Json::Num(1.5e-3)),
+            ("neg_zero".into(), Json::Num(-0.0)),
+            ("ok".into(), Json::Bool(true)),
+            ("none".into(), Json::Null),
+            (
+                "samples".into(),
+                Json::Arr(vec![Json::Num(1.0), Json::Str("x\n\"y".into())]),
+            ),
+        ]);
+        let text = doc.to_json_string();
+        // Integral floats print as integers; everything round-trips.
+        assert!(text.contains("\"count\":12000"), "{text}");
+        assert!(text.contains("\"p99\":0.0015"), "{text}");
+        assert!(text.contains("\"neg_zero\":-0.0"), "{text}");
+        let back = parse(&text).unwrap();
+        assert_eq!(back, doc);
+        // Non-finite numbers degrade to the schema's quoted strings.
+        let nan = Json::Arr(vec![Json::Num(f64::NAN), Json::Num(f64::INFINITY)]);
+        assert_eq!(nan.to_json_string(), r#"["NaN","inf"]"#);
     }
 
     #[test]

@@ -111,8 +111,11 @@ impl RecorderHandle {
         fields: &[(&'static str, Value)],
     ) {
         let Some(inner) = &self.inner else { return };
-        let t_nanos = inner.epoch.elapsed().as_nanos() as u64;
         let mut next_seq = inner.next_seq.lock().unwrap_or_else(|e| e.into_inner());
+        // Stamped under the lock: with concurrent emitters, reading the
+        // clock outside it lets a thread that sampled time first take the
+        // lock second, making t_nanos run backwards relative to seq.
+        let t_nanos = inner.epoch.elapsed().as_nanos() as u64;
         let event = Event {
             seq: *next_seq,
             t_nanos,
@@ -339,6 +342,40 @@ mod tests {
         rec.event("from_original", &[]);
         let seqs: Vec<u64> = sink.events().iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    /// Regression: `t_nanos` must be stamped under the seq lock. Sampling
+    /// the clock before acquiring it lets a thread that read the clock
+    /// first take the lock second, so `t_nanos` ran backwards relative to
+    /// `seq` under concurrent emitters (caught by `validate_telemetry` on
+    /// a multi-worker `mfgcp serve` stream).
+    #[test]
+    fn concurrent_emitters_keep_t_nanos_monotone_in_seq_order() {
+        let sink = Arc::new(MemorySink::new());
+        let rec = RecorderHandle::new(sink.clone());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        rec.counter("hammer", 1, &[]);
+                    }
+                });
+            }
+        });
+        let events = sink.events();
+        assert_eq!(events.len(), 2000);
+        for w in events.windows(2) {
+            assert!(w[0].seq < w[1].seq, "seq order broken");
+            assert!(
+                w[0].t_nanos <= w[1].t_nanos,
+                "t_nanos went backwards: {} after {} (seq {} -> {})",
+                w[1].t_nanos,
+                w[0].t_nanos,
+                w[0].seq,
+                w[1].seq
+            );
+        }
     }
 
     #[test]

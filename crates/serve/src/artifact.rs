@@ -1,0 +1,542 @@
+//! Versioned, CRC-protected binary persistence of a solved [`Equilibrium`].
+//!
+//! # Format (version 1)
+//!
+//! All multi-byte integers are little-endian; every `f64` is written as
+//! its raw IEEE-754 bits, so NaN payloads and ±∞ survive a round-trip
+//! bit-exactly (the header additionally records how many non-finite
+//! payload values the file carries, and the loader recounts them).
+//!
+//! ```text
+//! magic            8 B   b"MFGCPEQ\0"
+//! format version   u16   1
+//! reserved flags   u16   0
+//! build info       u32 length + utf-8      (writer identification)
+//! params block     u32 length + canonical Params bytes
+//! fingerprint      u64   FNV-1a of the params block (recomputed on load)
+//! non-finite count u64   non-finite f64s in the payload sections below
+//! grid axes        h: lo f64, hi f64, n u64; q: lo f64, hi f64, n u64
+//! time steps       u64   N
+//! contexts         N × 3 f64     (requests, popularity, urgency)
+//! snapshots        N × 6 f64     (price, q̄₋, Δq̄, Φ̄², M_k/M, M'_k/M)
+//! policy           N       fields of nx·ny f64
+//! density          N + 1   fields of nx·ny f64
+//! values           N + 1   fields of nx·ny f64
+//! report           converged u8, iterations u64,
+//!                  u64 count + residuals f64s,
+//!                  u64 count + update_norms f64s
+//! crc32            u32   IEEE CRC-32 of every preceding byte
+//! ```
+//!
+//! # Loader check order
+//!
+//! The loader rejects in a deliberate order so each failure is reported
+//! as its real cause: **magic** first (is this even our file type?), then
+//! **format version** (a future-version file is `UnsupportedVersion`, not
+//! a checksum mismatch), then the **CRC** over the whole body (torn
+//! writes, bit rot), and only then structural decoding with typed
+//! [`Truncated`](ArtifactError::Truncated) errors, the **fingerprint**
+//! and **non-finite count** cross-checks, and finally
+//! [`Equilibrium::from_parts`] re-validation of every core invariant.
+//!
+//! # Crash safety
+//!
+//! [`save`] writes to a temporary sibling file, `sync_all`s it, and
+//! atomically renames it over the destination: a crash mid-write leaves
+//! either the old artifact or a stray `.tmp`, never a torn file under
+//! the real name.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use mfgcp_core::{ContentContext, ConvergenceReport, Equilibrium, MeanFieldSnapshot, Params};
+use mfgcp_pde::{Axis, Field2d, Grid2d};
+
+use crate::crc32;
+use crate::error::ArtifactError;
+
+/// File magic: identifies an MFG-CP equilibrium artifact.
+pub const MAGIC: [u8; 8] = *b"MFGCPEQ\0";
+
+/// Format version this build writes and reads.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Metadata decoded from an artifact, available alongside the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactHeader {
+    /// Format version stored in the file.
+    pub format_version: u16,
+    /// Build info string of the writer (see [`crate::build_info`]).
+    pub build_info: String,
+    /// FNV-1a fingerprint of the canonical params block.
+    pub fingerprint: u64,
+    /// Number of non-finite `f64`s in the payload sections.
+    pub non_finite_count: u64,
+    /// Number of macro time steps `N`.
+    pub time_steps: usize,
+    /// Grid resolution along `h`.
+    pub grid_h: usize,
+    /// Grid resolution along `q`.
+    pub grid_q: usize,
+}
+
+/// A successfully loaded artifact: header metadata plus the rehydrated
+/// equilibrium.
+#[derive(Debug, Clone)]
+pub struct LoadedArtifact {
+    /// Decoded header metadata.
+    pub header: ArtifactHeader,
+    /// The rehydrated equilibrium, bit-identical to the one saved.
+    pub equilibrium: Equilibrium,
+}
+
+/// Serializes `eq` into the version-1 artifact byte layout.
+pub fn to_bytes(eq: &Equilibrium, build_info: &str) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.raw(&MAGIC);
+    w.u16(FORMAT_VERSION);
+    w.u16(0); // reserved flags
+    w.bytes_with_len(build_info.as_bytes());
+
+    let params_block = eq.params.canonical_bytes();
+    w.bytes_with_len(&params_block);
+    w.u64(eq.params.fingerprint());
+
+    // Reserve the non-finite count slot; patched once the payload is out.
+    let count_at = w.out.len();
+    w.u64(0);
+
+    let grid = eq.params.grid();
+    w.axis(grid.x());
+    w.axis(grid.y());
+    w.u64(eq.params.time_steps as u64);
+
+    for c in &eq.contexts {
+        w.f64_payload(c.requests);
+        w.f64_payload(c.popularity);
+        w.f64_payload(c.urgency_factor);
+    }
+    for s in &eq.snapshots {
+        w.f64_payload(s.price);
+        w.f64_payload(s.q_bar);
+        w.f64_payload(s.delta_q);
+        w.f64_payload(s.share_benefit);
+        w.f64_payload(s.sharer_fraction);
+        w.f64_payload(s.case3_fraction);
+    }
+    for field in eq.policy.iter().chain(&eq.density).chain(&eq.values) {
+        for &v in field.values() {
+            w.f64_payload(v);
+        }
+    }
+
+    w.u8(u8::from(eq.report.converged));
+    w.u64(eq.report.iterations as u64);
+    w.f64_slice_with_len(&eq.report.residuals);
+    w.f64_slice_with_len(&eq.report.update_norms);
+
+    let non_finite = w.non_finite;
+    w.out[count_at..count_at + 8].copy_from_slice(&non_finite.to_le_bytes());
+
+    let crc = crc32::crc32(&w.out);
+    w.u32(crc);
+    w.out
+}
+
+/// Decodes an artifact from `bytes`, verifying magic, version, CRC,
+/// fingerprint and every structural invariant.
+pub fn from_bytes(bytes: &[u8]) -> Result<LoadedArtifact, ArtifactError> {
+    if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+        return Err(ArtifactError::BadMagic {
+            found: bytes[..bytes.len().min(MAGIC.len())].to_vec(),
+        });
+    }
+    let mut r = Reader::new(bytes);
+    r.skip(MAGIC.len());
+    let format_version = r.u16("format version")?;
+    if format_version != FORMAT_VERSION {
+        return Err(ArtifactError::UnsupportedVersion {
+            found: format_version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    // Checksum the whole body before trusting any declared length or
+    // structural field past the version.
+    if bytes.len() < r.pos + 2 + 4 {
+        return Err(ArtifactError::Truncated {
+            at: bytes.len(),
+            needed: r.pos + 2 + 4 - bytes.len(),
+            section: "crc trailer",
+        });
+    }
+    let body_len = bytes.len() - 4;
+    let stored_crc = u32::from_le_bytes(bytes[body_len..].try_into().expect("4 bytes"));
+    let computed_crc = crc32::crc32(&bytes[..body_len]);
+    if stored_crc != computed_crc {
+        return Err(ArtifactError::CrcMismatch {
+            stored: stored_crc,
+            computed: computed_crc,
+        });
+    }
+    r.limit = body_len;
+
+    let flags = r.u16("reserved flags")?;
+    if flags != 0 {
+        return Err(ArtifactError::Inconsistent {
+            message: format!("reserved flags are {flags:#06X}, expected 0"),
+        });
+    }
+
+    let build_info = String::from_utf8(r.bytes_with_len("build info")?.to_vec()).map_err(|_| {
+        ArtifactError::Inconsistent {
+            message: "build info is not utf-8".into(),
+        }
+    })?;
+
+    let params_block = r.bytes_with_len("params block")?.to_vec();
+    let params = Params::from_canonical_bytes(&params_block)?;
+    let stored_fingerprint = r.u64("fingerprint")?;
+    let computed_fingerprint = params.fingerprint();
+    if stored_fingerprint != computed_fingerprint {
+        return Err(ArtifactError::FingerprintMismatch {
+            stored: stored_fingerprint,
+            computed: computed_fingerprint,
+        });
+    }
+
+    let stored_non_finite = r.u64("non-finite count")?;
+
+    let h_axis = r.axis("h axis")?;
+    let q_axis = r.axis("q axis")?;
+    let grid = Grid2d::new(h_axis, q_axis);
+    if grid != params.grid() {
+        return Err(ArtifactError::Inconsistent {
+            message: "stored grid axes disagree with the params block".into(),
+        });
+    }
+
+    let n = usize::try_from(r.u64("time steps")?).map_err(|_| ArtifactError::Inconsistent {
+        message: "time step count exceeds usize".into(),
+    })?;
+    if n != params.time_steps {
+        return Err(ArtifactError::Inconsistent {
+            message: format!(
+                "stored time step count {n} disagrees with params ({})",
+                params.time_steps
+            ),
+        });
+    }
+
+    let mut contexts = Vec::with_capacity(n);
+    for _ in 0..n {
+        contexts.push(ContentContext {
+            requests: r.f64_payload("contexts")?,
+            popularity: r.f64_payload("contexts")?,
+            urgency_factor: r.f64_payload("contexts")?,
+        });
+    }
+    let mut snapshots = Vec::with_capacity(n);
+    for _ in 0..n {
+        snapshots.push(MeanFieldSnapshot {
+            price: r.f64_payload("snapshots")?,
+            q_bar: r.f64_payload("snapshots")?,
+            delta_q: r.f64_payload("snapshots")?,
+            share_benefit: r.f64_payload("snapshots")?,
+            sharer_fraction: r.f64_payload("snapshots")?,
+            case3_fraction: r.f64_payload("snapshots")?,
+        });
+    }
+
+    let mut read_fields =
+        |count: usize, section: &'static str| -> Result<Vec<Field2d>, ArtifactError> {
+            let mut fields = Vec::with_capacity(count);
+            for _ in 0..count {
+                let values = r.f64_vec(grid.len(), section)?;
+                let field = Field2d::from_values(grid.clone(), values).map_err(|e| {
+                    ArtifactError::Inconsistent {
+                        message: format!("{section} field rejected: {e}"),
+                    }
+                })?;
+                fields.push(field);
+            }
+            Ok(fields)
+        };
+    let policy = read_fields(n, "policy")?;
+    let density = read_fields(n + 1, "density")?;
+    let values = read_fields(n + 1, "values")?;
+
+    let converged = match r.u8("report.converged")? {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(ArtifactError::Inconsistent {
+                message: format!("report.converged is {other}, expected 0 or 1"),
+            })
+        }
+    };
+    let iterations =
+        usize::try_from(r.u64("report.iterations")?).map_err(|_| ArtifactError::Inconsistent {
+            message: "report.iterations exceeds usize".into(),
+        })?;
+    let residuals = {
+        let count = r.u64("report.residuals length")? as usize;
+        r.f64_vec(count, "report.residuals")?
+    };
+    let update_norms = {
+        let count = r.u64("report.update_norms length")? as usize;
+        r.f64_vec(count, "report.update_norms")?
+    };
+    let report = ConvergenceReport {
+        converged,
+        iterations,
+        residuals,
+        update_norms,
+    };
+
+    if r.pos != r.limit {
+        return Err(ArtifactError::TrailingBytes {
+            extra: r.limit - r.pos,
+        });
+    }
+    if r.non_finite != stored_non_finite {
+        return Err(ArtifactError::NonFiniteCountMismatch {
+            stored: stored_non_finite,
+            computed: r.non_finite,
+        });
+    }
+
+    let header = ArtifactHeader {
+        format_version,
+        build_info,
+        fingerprint: stored_fingerprint,
+        non_finite_count: stored_non_finite,
+        time_steps: n,
+        grid_h: grid.x().len(),
+        grid_q: grid.y().len(),
+    };
+    let equilibrium =
+        Equilibrium::from_parts(params, contexts, policy, density, values, snapshots, report)?;
+    Ok(LoadedArtifact {
+        header,
+        equilibrium,
+    })
+}
+
+/// Saves `eq` to `path` atomically, stamping [`crate::build_info`] into
+/// the header.
+pub fn save(eq: &Equilibrium, path: &Path) -> Result<(), ArtifactError> {
+    save_with_build_info(eq, path, &crate::build_info())
+}
+
+/// Saves `eq` to `path` atomically with an explicit build info string.
+///
+/// The bytes are written to a temporary sibling (`<name>.<pid>.tmp`),
+/// flushed with `sync_all`, and renamed over `path`; a crash mid-write
+/// never leaves a torn file under the destination name.
+pub fn save_with_build_info(
+    eq: &Equilibrium,
+    path: &Path,
+    build_info: &str,
+) -> Result<(), ArtifactError> {
+    let bytes = to_bytes(eq, build_info);
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| ArtifactError::Inconsistent {
+            message: format!("artifact path {} has no file name", path.display()),
+        })?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".{}.tmp", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+
+    let result = (|| {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Loads and fully verifies an artifact from `path`.
+pub fn load(path: &Path) -> Result<LoadedArtifact, ArtifactError> {
+    let bytes = fs::read(path)?;
+    from_bytes(&bytes)
+}
+
+/// Byte-layout writer tracking the non-finite payload count.
+struct Writer {
+    out: Vec<u8>,
+    non_finite: u64,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer {
+            out: Vec::new(),
+            non_finite: 0,
+        }
+    }
+
+    fn raw(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A structural float (axis bound): written, not payload-counted.
+    fn f64_raw(&mut self, v: f64) {
+        self.out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// A payload float: counted when non-finite.
+    fn f64_payload(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.non_finite += 1;
+        }
+        self.f64_raw(v);
+    }
+
+    fn bytes_with_len(&mut self, bytes: &[u8]) {
+        self.u32(bytes.len() as u32);
+        self.raw(bytes);
+    }
+
+    fn f64_slice_with_len(&mut self, values: &[f64]) {
+        self.u64(values.len() as u64);
+        for &v in values {
+            self.f64_payload(v);
+        }
+    }
+
+    fn axis(&mut self, axis: &Axis) {
+        self.f64_raw(axis.lo());
+        self.f64_raw(axis.hi());
+        self.u64(axis.len() as u64);
+    }
+}
+
+/// Bounds-checked reader with typed truncation errors, mirroring
+/// [`Writer`]'s non-finite accounting.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Exclusive end of the decodable body (excludes the CRC trailer).
+    limit: usize,
+    non_finite: u64,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader {
+            bytes,
+            pos: 0,
+            limit: bytes.len(),
+            non_finite: 0,
+        }
+    }
+
+    fn skip(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn need(&self, n: usize, section: &'static str) -> Result<(), ArtifactError> {
+        let remaining = self.limit.saturating_sub(self.pos);
+        if remaining < n {
+            Err(ArtifactError::Truncated {
+                at: self.pos,
+                needed: n - remaining,
+                section,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn take<const N: usize>(&mut self, section: &'static str) -> Result<[u8; N], ArtifactError> {
+        self.need(N, section)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.bytes[self.pos..self.pos + N]);
+        self.pos += N;
+        Ok(out)
+    }
+
+    fn u8(&mut self, section: &'static str) -> Result<u8, ArtifactError> {
+        self.take::<1>(section).map(|b| b[0])
+    }
+
+    fn u16(&mut self, section: &'static str) -> Result<u16, ArtifactError> {
+        self.take::<2>(section).map(u16::from_le_bytes)
+    }
+
+    fn u64(&mut self, section: &'static str) -> Result<u64, ArtifactError> {
+        self.take::<8>(section).map(u64::from_le_bytes)
+    }
+
+    fn f64_raw(&mut self, section: &'static str) -> Result<f64, ArtifactError> {
+        self.take::<8>(section)
+            .map(|b| f64::from_bits(u64::from_le_bytes(b)))
+    }
+
+    fn f64_payload(&mut self, section: &'static str) -> Result<f64, ArtifactError> {
+        let v = self.f64_raw(section)?;
+        if !v.is_finite() {
+            self.non_finite += 1;
+        }
+        Ok(v)
+    }
+
+    fn bytes_with_len(&mut self, section: &'static str) -> Result<&'a [u8], ArtifactError> {
+        let len = self.take::<4>(section).map(u32::from_le_bytes)? as usize;
+        self.need(len, section)?;
+        let out = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    /// Reads `count` payload floats, checking the byte budget *before*
+    /// allocating so a corrupt length cannot trigger a huge allocation.
+    fn f64_vec(&mut self, count: usize, section: &'static str) -> Result<Vec<f64>, ArtifactError> {
+        let needed = count.checked_mul(8).ok_or(ArtifactError::Truncated {
+            at: self.pos,
+            needed: usize::MAX,
+            section,
+        })?;
+        self.need(needed, section)?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.f64_payload(section)?);
+        }
+        Ok(out)
+    }
+
+    fn axis(&mut self, section: &'static str) -> Result<Axis, ArtifactError> {
+        let lo = self.f64_raw(section)?;
+        let hi = self.f64_raw(section)?;
+        let n = usize::try_from(self.u64(section)?).map_err(|_| ArtifactError::Inconsistent {
+            message: format!("{section} length exceeds usize"),
+        })?;
+        Axis::new(lo, hi, n).map_err(|e| ArtifactError::Inconsistent {
+            message: format!("{section} rejected: {e}"),
+        })
+    }
+}

@@ -1,0 +1,154 @@
+//! Blocking client for the policy server's frame protocol.
+//!
+//! Used by `mfgcp query`, the `bench_serve` load generator and the
+//! end-to-end tests. One [`Client`] wraps one TCP connection and issues
+//! strictly request/reply exchanges; protocol-level `Error` replies
+//! surface as [`ClientError::Server`] with the typed code intact.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::error::ClientError;
+use crate::protocol::{read_frame, write_frame, Reply, Request, MAX_FRAME_LEN};
+
+/// One served policy query answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyPoint {
+    /// Equilibrium caching policy `x*(t, h, q)`.
+    pub x: f64,
+    /// Equilibrium trading price `p*(t)`.
+    pub price: f64,
+    /// Mean-field average occupancy `q̄₋(t)`.
+    pub q_bar: f64,
+}
+
+/// Server/artifact metadata returned by [`Client::info`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Params fingerprint of the served equilibrium.
+    pub fingerprint: u64,
+    /// Number of macro time steps in the served trajectories.
+    pub time_steps: u64,
+    /// Grid resolution along `h`.
+    pub grid_h: u64,
+    /// Grid resolution along `q`.
+    pub grid_q: u64,
+    /// Build info string of the serving binary.
+    pub build_info: String,
+}
+
+/// A blocking connection to a policy server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sets the read timeout for replies (`None` blocks indefinitely).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Single policy query: `(t, h, q) → (x*, p*, q̄₋)`.
+    pub fn query(&mut self, t: f64, h: f64, q: f64) -> Result<PolicyPoint, ClientError> {
+        match self.roundtrip(&Request::Query { t, h, q })? {
+            Reply::Policy { x, price, q_bar } => Ok(PolicyPoint { x, price, q_bar }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Batched policy query; answers arrive in request order.
+    pub fn query_batch(&mut self, points: &[[f64; 3]]) -> Result<Vec<PolicyPoint>, ClientError> {
+        match self.roundtrip(&Request::QueryBatch(points.to_vec()))? {
+            Reply::PolicyBatch(answers) => Ok(answers
+                .into_iter()
+                .map(|[x, price, q_bar]| PolicyPoint { x, price, q_bar })
+                .collect()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Ping)? {
+            Reply::Pong => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches server/artifact metadata.
+    pub fn info(&mut self) -> Result<ServerInfo, ClientError> {
+        match self.roundtrip(&Request::Info)? {
+            Reply::Info {
+                fingerprint,
+                time_steps,
+                grid_h,
+                grid_q,
+                build_info,
+            } => Ok(ServerInfo {
+                fingerprint,
+                time_steps,
+                grid_h,
+                grid_q,
+                build_info,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Reply::ShutdownAck => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Sends raw payload bytes as one frame — test hook for driving the
+    /// server with deliberately malformed traffic.
+    pub fn send_raw(&mut self, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.stream, payload)
+    }
+
+    /// Reads one raw reply frame — test hook counterpart of
+    /// [`Client::send_raw`]. Returns `None` on clean server close.
+    pub fn read_raw(&mut self) -> Result<Option<Vec<u8>>, ClientError> {
+        Ok(read_frame(&mut self.stream, MAX_FRAME_LEN)?)
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload =
+            read_frame(&mut self.stream, MAX_FRAME_LEN)?.ok_or(ClientError::Unexpected {
+                got: "connection closed before reply",
+            })?;
+        let reply = Reply::decode(&payload).map_err(ClientError::Wire)?;
+        if let Reply::Error { code, message } = reply {
+            return Err(ClientError::Server(crate::error::WireError::new(
+                code, message,
+            )));
+        }
+        Ok(reply)
+    }
+}
+
+fn unexpected(reply: Reply) -> ClientError {
+    ClientError::Unexpected {
+        got: match reply {
+            Reply::Policy { .. } => "policy reply",
+            Reply::PolicyBatch(_) => "batch reply",
+            Reply::Pong => "pong",
+            Reply::Info { .. } => "info reply",
+            Reply::ShutdownAck => "shutdown ack",
+            Reply::Error { .. } => "error reply",
+        },
+    }
+}

@@ -1,0 +1,123 @@
+//! Table-driven CRC-32 (IEEE 802.3 polynomial, reflected form).
+//!
+//! The artifact trailer guards every byte that precedes it with this
+//! checksum so that torn writes and bit rot are detected on load rather
+//! than silently producing a corrupt equilibrium. The dependency list of
+//! this crate is closed, so the implementation is the classic 256-entry
+//! table over the reflected polynomial `0xEDB8_8320`, matching zlib's
+//! `crc32()` (check value: `crc32(b"123456789") == 0xCBF4_3926`).
+
+/// Reflected IEEE polynomial used by zlib, PNG, Ethernet.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Streaming CRC-32 hasher.
+///
+/// ```
+/// let mut h = mfgcp_serve::crc32::Hasher::new();
+/// h.update(b"1234");
+/// h.update(b"56789");
+/// assert_eq!(h.finalize(), 0xCBF4_3926);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hasher {
+    state: u32,
+}
+
+impl Hasher {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Hasher { state: !0 }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let table = table();
+        let mut s = self.state;
+        for &b in bytes {
+            s = (s >> 8) ^ table[((s ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.state = s;
+    }
+
+    /// Returns the final checksum value.
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Hasher::new()
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Hasher::new();
+    h.update(bytes);
+    h.finalize()
+}
+
+/// The 256-entry lookup table, built once at compile time.
+fn table() -> &'static [u32; 256] {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    };
+    &TABLE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_standard_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input_hashes_to_zero() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot_at_every_split() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let whole = crc32(data);
+        for split in 0..=data.len() {
+            let mut h = Hasher::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data = [0u8; 64];
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data;
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "byte {byte} bit {bit}");
+            }
+        }
+    }
+}

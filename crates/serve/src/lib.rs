@@ -1,0 +1,79 @@
+//! Equilibrium artifact store and online policy/pricing server for MFG-CP.
+//!
+//! The solver side of this workspace computes a mean-field equilibrium
+//! `(V*, λ*, x*, p*)` (Alg. 2) — an expensive Picard fixed point — and
+//! until now that result died with the process: every simulation, bench or
+//! downstream query re-ran the full solve. The paper's own deployment
+//! story (§IV) is the opposite: the equilibrium is computed *once* per
+//! optimization epoch on the slow time scale, and EDPs then query the
+//! equilibrium caching policy and trading price online every slot on the
+//! fast time scale. This crate provides that split:
+//!
+//! * [`artifact`] — a versioned, CRC-protected binary format persisting a
+//!   solved [`Equilibrium`](mfgcp_core::Equilibrium) to disk: magic,
+//!   format version, build info, the canonical
+//!   [`Params`](mfgcp_core::Params) block and its fingerprint, grid axes,
+//!   the full policy/density/value trajectories, per-step mean-field
+//!   snapshots and the convergence report, as little-endian `f64` bit
+//!   payloads (non-finite values round-trip bit-exactly and are counted
+//!   in the header), with crash-safe atomic writes and typed rejection of
+//!   wrong magic / version / fingerprint / CRC;
+//! * [`protocol`] — the length-prefixed binary frame protocol spoken over
+//!   TCP: single and batched `(t, h, q)` queries answered with
+//!   `(x*(t,h,q), p*(t), q̄₋(t))`, plus ping / info / graceful-shutdown
+//!   control frames, with bounded frame lengths and typed error replies;
+//! * [`server`] — a multi-threaded TCP policy server over a loaded
+//!   equilibrium: worker thread pool, per-connection read timeouts,
+//!   strict malformed-frame rejection, graceful shutdown, and `mfgcp-obs`
+//!   instrumentation (`serve.request` counters, latency gauges, batch
+//!   sizes) under the telemetry-never-perturbs rules;
+//! * [`client`] — a small blocking client used by `mfgcp query`, the
+//!   `bench_serve` load generator and the end-to-end tests.
+//!
+//! Queries are answered by time-step selection plus bilinear interpolation
+//! on the *rehydrated* equilibrium — the same
+//! [`Equilibrium::policy_at`](mfgcp_core::Equilibrium::policy_at) code
+//! path an in-process caller uses — so a served lookup equals the direct
+//! one to 0 ULP (the e2e tests assert bit equality over a real socket).
+//!
+//! Like `mfgcp-obs`, this crate is std-only: the dependency list is
+//! closed, so the wire format, CRC and server are hand-rolled on
+//! `std::net` + `std::thread`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod artifact;
+pub mod client;
+pub mod crc32;
+pub mod error;
+pub mod protocol;
+pub mod server;
+
+pub use artifact::{load, save, ArtifactHeader, LoadedArtifact, FORMAT_VERSION, MAGIC};
+pub use client::{Client, PolicyPoint, ServerInfo};
+pub use error::{ArtifactError, ClientError, FrameReadError, WireError};
+pub use protocol::{ErrorCode, Reply, Request, MAX_BATCH, MAX_FRAME_LEN};
+pub use server::{PolicyServer, ServeConfig, ServerHandle};
+
+/// Build identification embedded in artifact headers, the `serve.server`
+/// telemetry span and `mfgcp --version`: the crate version plus the git
+/// hash baked in at compile time via the `MFGCP_GIT_HASH` environment
+/// variable (`option_env!`), or `"unknown"` when built outside CI.
+pub fn build_info() -> String {
+    format!(
+        "mfgcp {} ({})",
+        env!("CARGO_PKG_VERSION"),
+        option_env!("MFGCP_GIT_HASH").unwrap_or("unknown")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn build_info_names_the_version() {
+        let info = super::build_info();
+        assert!(info.starts_with("mfgcp "));
+        assert!(info.contains(env!("CARGO_PKG_VERSION")));
+    }
+}

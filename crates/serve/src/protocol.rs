@@ -1,0 +1,667 @@
+//! Length-prefixed binary frame protocol for the policy server.
+//!
+//! Every message on the wire is one *frame*: a little-endian `u32` payload
+//! length followed by that many payload bytes. The first payload byte is
+//! an opcode; the remainder is the opcode-specific body. All multi-byte
+//! integers and all `f64` values are little-endian; floats travel as raw
+//! IEEE-754 bits, so NaN and ±∞ round-trip bit-exactly.
+//!
+//! Request opcodes (client → server):
+//!
+//! | opcode | body | meaning |
+//! |--------|------|---------|
+//! | `0x01` | `t, h, q` (3 × f64) | single policy query |
+//! | `0x02` | `count` (u32) + `count` × 3 × f64 | batched policy query |
+//! | `0x03` | — | ping |
+//! | `0x04` | — | server/artifact info |
+//! | `0x0F` | — | graceful shutdown |
+//!
+//! Reply opcodes (server → client):
+//!
+//! | opcode | body | meaning |
+//! |--------|------|---------|
+//! | `0x81` | `x, price, q_bar` (3 × f64) | answer to `0x01` |
+//! | `0x82` | `count` (u32) + `count` × 3 × f64 | answer to `0x02` |
+//! | `0x83` | — | pong |
+//! | `0x84` | fingerprint u64, time_steps u64, grid_h u64, grid_q u64, build info utf8 | answer to `0x04` |
+//! | `0x8F` | — | shutdown acknowledged |
+//! | `0xEE` | code u16 + utf8 message | typed error reply |
+//!
+//! Frame lengths are bounded ([`MAX_FRAME_LEN`] by default): a reader
+//! rejects an oversized length prefix *before* allocating or consuming
+//! the payload, so a hostile 4 GiB prefix costs the server nothing.
+//! Malformed payloads (empty frame, unknown opcode, truncated body,
+//! over-long batch) decode to a typed [`WireError`] that the server maps
+//! straight into an `0xEE` reply.
+
+use std::io::{self, Read, Write};
+
+use crate::error::{FrameReadError, WireError};
+
+/// Default (and maximum accepted) frame payload length: 1 MiB.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Largest batch size whose reply still fits in a [`MAX_FRAME_LEN`] frame
+/// (opcode byte + u32 count + 24 bytes per point).
+pub const MAX_BATCH: u32 = (MAX_FRAME_LEN - 5) / 24;
+
+/// Machine-readable rejection codes carried by `Error` replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The frame length prefix exceeded the server's bound.
+    FrameTooLong = 1,
+    /// The payload was empty or its body did not match the opcode.
+    Malformed = 2,
+    /// The opcode byte is not one the server understands.
+    UnknownOpcode = 3,
+    /// A batch declared more points than [`MAX_BATCH`].
+    BatchTooLarge = 4,
+    /// The server failed internally while answering.
+    Internal = 5,
+}
+
+impl ErrorCode {
+    /// Wire encoding of the code.
+    pub fn as_u16(self) -> u16 {
+        self as u16
+    }
+
+    /// Decodes a wire value back into a code.
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        match v {
+            1 => Some(ErrorCode::FrameTooLong),
+            2 => Some(ErrorCode::Malformed),
+            3 => Some(ErrorCode::UnknownOpcode),
+            4 => Some(ErrorCode::BatchTooLarge),
+            5 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Single `(t, h, q)` policy query.
+    Query {
+        /// Query time in `[0, T]`.
+        t: f64,
+        /// Popularity-ratio coordinate.
+        h: f64,
+        /// Cache-occupancy coordinate.
+        q: f64,
+    },
+    /// Batched policy query.
+    QueryBatch(
+        /// The `(t, h, q)` points, in request order.
+        Vec<[f64; 3]>,
+    ),
+    /// Liveness probe.
+    Ping,
+    /// Artifact/server metadata request.
+    Info,
+    /// Ask the server to stop accepting connections and drain.
+    Shutdown,
+}
+
+/// A decoded server reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Answer to [`Request::Query`].
+    Policy {
+        /// Equilibrium caching policy `x*(t, h, q)`.
+        x: f64,
+        /// Equilibrium trading price `p*(t)`.
+        price: f64,
+        /// Mean-field average occupancy `q̄₋(t)`.
+        q_bar: f64,
+    },
+    /// Answer to [`Request::QueryBatch`]; `[x, price, q_bar]` per point.
+    PolicyBatch(
+        /// One `[x, price, q_bar]` triple per queried point.
+        Vec<[f64; 3]>,
+    ),
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Info`].
+    Info {
+        /// Params fingerprint of the served equilibrium.
+        fingerprint: u64,
+        /// Number of time steps in the served trajectories.
+        time_steps: u64,
+        /// Grid resolution along `h`.
+        grid_h: u64,
+        /// Grid resolution along `q`.
+        grid_q: u64,
+        /// Build info string of the serving binary.
+        build_info: String,
+    },
+    /// Answer to [`Request::Shutdown`].
+    ShutdownAck,
+    /// Typed protocol error.
+    Error {
+        /// Machine-readable rejection code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+const OP_QUERY: u8 = 0x01;
+const OP_QUERY_BATCH: u8 = 0x02;
+const OP_PING: u8 = 0x03;
+const OP_INFO: u8 = 0x04;
+const OP_SHUTDOWN: u8 = 0x0F;
+const OP_POLICY: u8 = 0x81;
+const OP_POLICY_BATCH: u8 = 0x82;
+const OP_PONG: u8 = 0x83;
+const OP_INFO_REPLY: u8 = 0x84;
+const OP_SHUTDOWN_ACK: u8 = 0x8F;
+const OP_ERROR: u8 = 0xEE;
+
+impl Request {
+    /// Serializes the request into a frame payload (opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Query { t, h, q } => {
+                let mut out = Vec::with_capacity(25);
+                out.push(OP_QUERY);
+                push_f64(&mut out, *t);
+                push_f64(&mut out, *h);
+                push_f64(&mut out, *q);
+                out
+            }
+            Request::QueryBatch(points) => {
+                let mut out = Vec::with_capacity(5 + points.len() * 24);
+                out.push(OP_QUERY_BATCH);
+                out.extend_from_slice(&(points.len() as u32).to_le_bytes());
+                for p in points {
+                    push_f64(&mut out, p[0]);
+                    push_f64(&mut out, p[1]);
+                    push_f64(&mut out, p[2]);
+                }
+                out
+            }
+            Request::Ping => vec![OP_PING],
+            Request::Info => vec![OP_INFO],
+            Request::Shutdown => vec![OP_SHUTDOWN],
+        }
+    }
+
+    /// Parses a frame payload into a request, with typed rejection.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let (&op, body) = payload
+            .split_first()
+            .ok_or_else(|| WireError::new(ErrorCode::Malformed, "empty frame"))?;
+        match op {
+            OP_QUERY => {
+                let mut c = Cursor::new(body);
+                let t = c.f64("query.t")?;
+                let h = c.f64("query.h")?;
+                let q = c.f64("query.q")?;
+                c.finish("query")?;
+                Ok(Request::Query { t, h, q })
+            }
+            OP_QUERY_BATCH => {
+                let mut c = Cursor::new(body);
+                let count = c.u32("batch.count")?;
+                if count > MAX_BATCH {
+                    return Err(WireError::new(
+                        ErrorCode::BatchTooLarge,
+                        format!("batch of {count} points exceeds maximum {MAX_BATCH}"),
+                    ));
+                }
+                let mut points = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    points.push([c.f64("batch.t")?, c.f64("batch.h")?, c.f64("batch.q")?]);
+                }
+                c.finish("batch")?;
+                Ok(Request::QueryBatch(points))
+            }
+            OP_PING => empty_body(body, "ping").map(|()| Request::Ping),
+            OP_INFO => empty_body(body, "info").map(|()| Request::Info),
+            OP_SHUTDOWN => empty_body(body, "shutdown").map(|()| Request::Shutdown),
+            other => Err(WireError::new(
+                ErrorCode::UnknownOpcode,
+                format!("unknown request opcode {other:#04X}"),
+            )),
+        }
+    }
+}
+
+impl Reply {
+    /// Serializes the reply into a frame payload (opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Reply::Policy { x, price, q_bar } => {
+                let mut out = Vec::with_capacity(25);
+                out.push(OP_POLICY);
+                push_f64(&mut out, *x);
+                push_f64(&mut out, *price);
+                push_f64(&mut out, *q_bar);
+                out
+            }
+            Reply::PolicyBatch(points) => {
+                let mut out = Vec::with_capacity(5 + points.len() * 24);
+                out.push(OP_POLICY_BATCH);
+                out.extend_from_slice(&(points.len() as u32).to_le_bytes());
+                for p in points {
+                    push_f64(&mut out, p[0]);
+                    push_f64(&mut out, p[1]);
+                    push_f64(&mut out, p[2]);
+                }
+                out
+            }
+            Reply::Pong => vec![OP_PONG],
+            Reply::Info {
+                fingerprint,
+                time_steps,
+                grid_h,
+                grid_q,
+                build_info,
+            } => {
+                let mut out = Vec::with_capacity(33 + build_info.len());
+                out.push(OP_INFO_REPLY);
+                out.extend_from_slice(&fingerprint.to_le_bytes());
+                out.extend_from_slice(&time_steps.to_le_bytes());
+                out.extend_from_slice(&grid_h.to_le_bytes());
+                out.extend_from_slice(&grid_q.to_le_bytes());
+                out.extend_from_slice(build_info.as_bytes());
+                out
+            }
+            Reply::ShutdownAck => vec![OP_SHUTDOWN_ACK],
+            Reply::Error { code, message } => {
+                let mut out = Vec::with_capacity(3 + message.len());
+                out.push(OP_ERROR);
+                out.extend_from_slice(&code.as_u16().to_le_bytes());
+                out.extend_from_slice(message.as_bytes());
+                out
+            }
+        }
+    }
+
+    /// Parses a frame payload into a reply, with typed rejection.
+    pub fn decode(payload: &[u8]) -> Result<Reply, WireError> {
+        let (&op, body) = payload
+            .split_first()
+            .ok_or_else(|| WireError::new(ErrorCode::Malformed, "empty frame"))?;
+        match op {
+            OP_POLICY => {
+                let mut c = Cursor::new(body);
+                let x = c.f64("policy.x")?;
+                let price = c.f64("policy.price")?;
+                let q_bar = c.f64("policy.q_bar")?;
+                c.finish("policy")?;
+                Ok(Reply::Policy { x, price, q_bar })
+            }
+            OP_POLICY_BATCH => {
+                let mut c = Cursor::new(body);
+                let count = c.u32("batch.count")?;
+                if count > MAX_BATCH {
+                    return Err(WireError::new(
+                        ErrorCode::BatchTooLarge,
+                        format!("batch reply of {count} points exceeds maximum {MAX_BATCH}"),
+                    ));
+                }
+                let mut points = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    points.push([
+                        c.f64("batch.x")?,
+                        c.f64("batch.price")?,
+                        c.f64("batch.q_bar")?,
+                    ]);
+                }
+                c.finish("batch")?;
+                Ok(Reply::PolicyBatch(points))
+            }
+            OP_PONG => empty_body(body, "pong").map(|()| Reply::Pong),
+            OP_INFO_REPLY => {
+                let mut c = Cursor::new(body);
+                let fingerprint = c.u64("info.fingerprint")?;
+                let time_steps = c.u64("info.time_steps")?;
+                let grid_h = c.u64("info.grid_h")?;
+                let grid_q = c.u64("info.grid_q")?;
+                let build_info = String::from_utf8(c.rest().to_vec()).map_err(|_| {
+                    WireError::new(ErrorCode::Malformed, "info.build_info is not utf-8")
+                })?;
+                Ok(Reply::Info {
+                    fingerprint,
+                    time_steps,
+                    grid_h,
+                    grid_q,
+                    build_info,
+                })
+            }
+            OP_SHUTDOWN_ACK => empty_body(body, "shutdown-ack").map(|()| Reply::ShutdownAck),
+            OP_ERROR => {
+                let mut c = Cursor::new(body);
+                let raw = c.u16("error.code")?;
+                let code = ErrorCode::from_u16(raw).ok_or_else(|| {
+                    WireError::new(ErrorCode::Malformed, format!("unknown error code {raw}"))
+                })?;
+                let message = String::from_utf8_lossy(c.rest()).into_owned();
+                Ok(Reply::Error { code, message })
+            }
+            other => Err(WireError::new(
+                ErrorCode::UnknownOpcode,
+                format!("unknown reply opcode {other:#04X}"),
+            )),
+        }
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame payload exceeds u32"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame payload, enforcing the `max_len` bound *before* the
+/// payload is allocated or consumed.
+///
+/// Returns `Ok(None)` on clean end-of-stream (EOF before any prefix
+/// byte); EOF mid-prefix or mid-payload is [`FrameReadError::Truncated`].
+pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Option<Vec<u8>>, FrameReadError> {
+    let mut prefix = [0u8; 4];
+    match read_counted(r, &mut prefix) {
+        Ok(()) => {}
+        Err(ReadCounted::CleanEof) => return Ok(None),
+        Err(ReadCounted::Truncated { got }) => {
+            return Err(FrameReadError::Truncated { got, want: 4 })
+        }
+        Err(ReadCounted::Io(e)) => return Err(FrameReadError::Io(e)),
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len > max_len {
+        return Err(FrameReadError::TooLong {
+            declared: len,
+            max: max_len,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_counted(r, &mut payload) {
+        Ok(()) => Ok(Some(payload)),
+        Err(ReadCounted::CleanEof) => Err(FrameReadError::Truncated {
+            got: 0,
+            want: len as usize,
+        }),
+        Err(ReadCounted::Truncated { got }) => Err(FrameReadError::Truncated {
+            got,
+            want: len as usize,
+        }),
+        Err(ReadCounted::Io(e)) => Err(FrameReadError::Io(e)),
+    }
+}
+
+enum ReadCounted {
+    /// EOF before the first byte of the buffer.
+    CleanEof,
+    /// EOF after `got` bytes (0 < got < buf.len()).
+    Truncated {
+        got: usize,
+    },
+    Io(io::Error),
+}
+
+/// `read_exact` that distinguishes clean EOF, partial EOF and io errors.
+fn read_counted(r: &mut impl Read, buf: &mut [u8]) -> Result<(), ReadCounted> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) if got == 0 => return Err(ReadCounted::CleanEof),
+            Ok(0) => return Err(ReadCounted::Truncated { got }),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ReadCounted::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn empty_body(body: &[u8], what: &'static str) -> Result<(), WireError> {
+    if body.is_empty() {
+        Ok(())
+    } else {
+        Err(WireError::new(
+            ErrorCode::Malformed,
+            format!("{what} carries {} unexpected body byte(s)", body.len()),
+        ))
+    }
+}
+
+/// Bounds-checked little-endian reader over a frame body.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take<const N: usize>(&mut self, what: &str) -> Result<[u8; N], WireError> {
+        let end = self
+            .pos
+            .checked_add(N)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| {
+                WireError::new(
+                    ErrorCode::Malformed,
+                    format!("truncated body while reading {what} at byte {}", self.pos),
+                )
+            })?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.bytes[self.pos..end]);
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, WireError> {
+        self.take::<8>(what)
+            .map(|b| f64::from_bits(u64::from_le_bytes(b)))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        self.take::<8>(what).map(u64::from_le_bytes)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        self.take::<4>(what).map(u32::from_le_bytes)
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, WireError> {
+        self.take::<2>(what).map(u16::from_le_bytes)
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let out = &self.bytes[self.pos..];
+        self.pos = self.bytes.len();
+        out
+    }
+
+    fn finish(&self, what: &str) -> Result<(), WireError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(WireError::new(
+                ErrorCode::Malformed,
+                format!(
+                    "{} trailing byte(s) after {what} body",
+                    self.bytes.len() - self.pos
+                ),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let decoded = Request::decode(&req.encode()).expect("decode");
+        assert_eq!(decoded, req);
+    }
+
+    fn roundtrip_reply(rep: Reply) {
+        let decoded = Reply::decode(&rep.encode()).expect("decode");
+        assert_eq!(decoded, rep);
+    }
+
+    #[test]
+    fn requests_and_replies_roundtrip() {
+        roundtrip_request(Request::Query {
+            t: 0.25,
+            h: 1.5,
+            q: 3.0,
+        });
+        roundtrip_request(Request::QueryBatch(vec![[0.0, 1.0, 2.0], [0.5, 1.25, 7.5]]));
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Info);
+        roundtrip_request(Request::Shutdown);
+        roundtrip_reply(Reply::Policy {
+            x: 0.75,
+            price: 1.25,
+            q_bar: 5.0,
+        });
+        roundtrip_reply(Reply::PolicyBatch(vec![[0.1, 0.2, 0.3]]));
+        roundtrip_reply(Reply::Pong);
+        roundtrip_reply(Reply::Info {
+            fingerprint: 0xDEAD_BEEF_0123_4567,
+            time_steps: 40,
+            grid_h: 16,
+            grid_q: 48,
+            build_info: "mfgcp 0.1.0 (abc1234)".to_string(),
+        });
+        roundtrip_reply(Reply::ShutdownAck);
+        roundtrip_reply(Reply::Error {
+            code: ErrorCode::UnknownOpcode,
+            message: "unknown request opcode 0x55".to_string(),
+        });
+    }
+
+    #[test]
+    fn non_finite_floats_roundtrip_bit_exactly() {
+        let req = Request::Query {
+            t: f64::NAN,
+            h: f64::INFINITY,
+            q: f64::NEG_INFINITY,
+        };
+        match Request::decode(&req.encode()).expect("decode") {
+            Request::Query { t, h, q } => {
+                assert_eq!(t.to_bits(), f64::NAN.to_bits());
+                assert_eq!(h.to_bits(), f64::INFINITY.to_bits());
+                assert_eq!(q.to_bits(), f64::NEG_INFINITY.to_bits());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_decode_to_typed_errors() {
+        let err = Request::decode(&[]).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Malformed);
+
+        let err = Request::decode(&[0x55]).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownOpcode);
+
+        // Query with a short body.
+        let err = Request::decode(&[0x01, 0, 0, 0]).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Malformed);
+
+        // Ping with an unexpected body.
+        let err = Request::decode(&[0x03, 1]).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Malformed);
+
+        // Batch whose declared count exceeds the bound.
+        let mut payload = vec![0x02];
+        payload.extend_from_slice(&(MAX_BATCH + 1).to_le_bytes());
+        let err = Request::decode(&payload).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BatchTooLarge);
+
+        // Batch whose declared count exceeds the supplied bytes.
+        let mut payload = vec![0x02];
+        payload.extend_from_slice(&3u32.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 24]);
+        let err = Request::decode(&payload).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Malformed);
+
+        // Query with trailing junk.
+        let mut payload = Request::Query {
+            t: 0.0,
+            h: 0.0,
+            q: 0.0,
+        }
+        .encode();
+        payload.push(0xAA);
+        let err = Request::decode(&payload).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Malformed);
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_stream() {
+        let payload = Request::Query {
+            t: 1.0,
+            h: 2.0,
+            q: 3.0,
+        }
+        .encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).expect("write");
+        write_frame(&mut wire, &Request::Ping.encode()).expect("write");
+
+        let mut r = wire.as_slice();
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME_LEN).expect("frame 1"),
+            Some(payload)
+        );
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME_LEN).expect("frame 2"),
+            Some(vec![0x03])
+        );
+        assert_eq!(read_frame(&mut r, MAX_FRAME_LEN).expect("eof"), None);
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_the_payload_is_read() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = wire.as_slice();
+        match read_frame(&mut r, MAX_FRAME_LEN) {
+            Err(FrameReadError::TooLong { declared, max }) => {
+                assert_eq!(declared, u32::MAX);
+                assert_eq!(max, MAX_FRAME_LEN);
+            }
+            other => panic!("expected TooLong, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_prefix_and_payload_are_typed() {
+        // Two bytes of a four-byte prefix.
+        let mut r: &[u8] = &[0x01, 0x00];
+        match read_frame(&mut r, MAX_FRAME_LEN) {
+            Err(FrameReadError::Truncated { got: 2, want: 4 }) => {}
+            other => panic!("expected truncated prefix, got {other:?}"),
+        }
+
+        // Prefix promises 10 bytes, stream carries 3.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&10u32.to_le_bytes());
+        wire.extend_from_slice(&[1, 2, 3]);
+        let mut r = wire.as_slice();
+        match read_frame(&mut r, MAX_FRAME_LEN) {
+            Err(FrameReadError::Truncated { got: 3, want: 10 }) => {}
+            other => panic!("expected truncated payload, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! Multi-threaded TCP policy server over a loaded equilibrium.
+//!
+//! The server owns an [`Equilibrium`] (usually rehydrated from an
+//! artifact) and answers frame-protocol queries by time-step selection
+//! plus bilinear interpolation — the exact
+//! [`Equilibrium::policy_at`] / [`Equilibrium::price_at`] /
+//! [`Equilibrium::q_bar_at`] code path an in-process caller would use, so
+//! served answers are bit-identical to direct lookups.
+//!
+//! # Architecture
+//!
+//! One acceptor thread hands accepted connections to a fixed pool of
+//! worker threads over an mpsc channel; each worker owns a connection for
+//! its whole lifetime (connections are cheap, queries are cheaper).
+//! Every connection gets a read timeout so an idle or wedged client
+//! cannot pin a worker forever, and every frame is bounded by
+//! [`ServeConfig::max_frame_len`] *before* its payload is read.
+//!
+//! Malformed traffic never kills the server: an oversized length prefix
+//! earns a typed `Error` reply and a close (the stream is
+//! desynchronized), a bad payload earns a typed `Error` reply on a
+//! still-open connection, and a truncated frame or socket error closes
+//! just that connection.
+//!
+//! # Shutdown
+//!
+//! Shutdown is cooperative: a `Shutdown` frame (or
+//! [`ServerHandle::shutdown`]) flips the running flag and pokes the
+//! listener with a loopback connection so the blocking `accept` wakes and
+//! exits; the channel closes, workers drain and finish, and
+//! [`ServerHandle::join`] reaps every thread.
+//!
+//! # Telemetry
+//!
+//! Under the workspace's telemetry-never-perturbs rules the server emits
+//! exactly one `serve.server` span for its whole lifetime (opened at
+//! bind, closed at join with request totals); workers emit per-request
+//! `serve.request` counters (fields: `op`, `batch`, `ok`), a
+//! `serve.request_nanos` latency gauge, and `serve.frame_error` counters
+//! — kinds that carry no span linkage, so strict span nesting holds for
+//! any thread interleaving.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use mfgcp_core::Equilibrium;
+use mfgcp_obs::{RecorderHandle, Span, Value};
+
+use crate::error::FrameReadError;
+use crate::protocol::{read_frame, write_frame, ErrorCode, Reply, Request, MAX_FRAME_LEN};
+
+/// Tuning knobs for [`PolicyServer::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker thread count; `0` picks a default from available
+    /// parallelism (oversubscribed — see `resolved_threads`). Each
+    /// worker owns one connection at a time, so this also bounds the
+    /// number of concurrently served clients.
+    pub threads: usize,
+    /// Per-connection read timeout; an idle client is disconnected after
+    /// this long without a complete frame.
+    pub read_timeout: Duration,
+    /// Upper bound on accepted frame payload lengths.
+    pub max_frame_len: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 0,
+            read_timeout: Duration::from_secs(30),
+            max_frame_len: MAX_FRAME_LEN,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Workers own a connection for its lifetime and block on reads, so
+    /// the pool must oversubscribe the cores: an idle connection costs a
+    /// parked thread, not a core. The default gives 2× parallelism with
+    /// a floor of 4 (so even a 1-core box serves several concurrent
+    /// clients) and a cap of 32.
+    fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        let cores = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+        (cores * 2).clamp(4, 32)
+    }
+}
+
+/// The policy server entry point; see the module docs for architecture.
+#[derive(Debug)]
+pub struct PolicyServer;
+
+impl PolicyServer {
+    /// Binds `addr`, spawns the acceptor and worker pool, and returns a
+    /// handle. Bind to port 0 to let the OS choose (the bound address is
+    /// available via [`ServerHandle::local_addr`]).
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        equilibrium: Arc<Equilibrium>,
+        config: ServeConfig,
+        recorder: RecorderHandle,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let threads = config.resolved_threads();
+        let build_info = crate::build_info();
+        let span = recorder.span_with(
+            "serve.server",
+            &[
+                ("threads", Value::from(threads)),
+                ("fingerprint", Value::from(equilibrium.params.fingerprint())),
+                ("time_steps", Value::from(equilibrium.params.time_steps)),
+                ("build_info", Value::from(build_info.clone())),
+            ],
+        );
+
+        let shared = Arc::new(Shared {
+            equilibrium,
+            recorder,
+            running: AtomicBool::new(true),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            local_addr,
+            read_timeout: config.read_timeout,
+            max_frame_len: config.max_frame_len,
+            build_info,
+            connections: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+        });
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))?,
+            );
+        }
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("serve-accept".to_string())
+                .spawn(move || accept_loop(&shared, &listener, &tx))?
+        };
+
+        Ok(ServerHandle {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+            span: Some(span),
+        })
+    }
+}
+
+/// Handle to a running server: address, shutdown trigger, thread reaper.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    span: Option<Span>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Whether the server is still accepting connections.
+    pub fn is_running(&self) -> bool {
+        self.shared.running.load(Ordering::SeqCst)
+    }
+
+    /// Initiates a graceful shutdown without blocking: stop accepting,
+    /// let workers drain. Idempotent; also triggered by a `Shutdown`
+    /// frame from any client.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// Blocks until the server has fully stopped (all connections closed
+    /// and threads exited), then closes the telemetry span with request
+    /// totals. Call [`ServerHandle::shutdown`] first — or let a client's
+    /// `Shutdown` frame trigger the stop — otherwise this waits
+    /// indefinitely, which is exactly what `mfgcp serve` wants.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let requests = self.shared.requests.load(Ordering::SeqCst);
+        let errors = self.shared.errors.load(Ordering::SeqCst);
+        if let Some(span) = self.span.take() {
+            span.close(&[
+                ("requests_total", Value::from(requests)),
+                ("errors_total", Value::from(errors)),
+            ]);
+        }
+        self.shared.recorder.flush();
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    equilibrium: Arc<Equilibrium>,
+    recorder: RecorderHandle,
+    running: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    local_addr: SocketAddr,
+    read_timeout: Duration,
+    max_frame_len: u32,
+    build_info: String,
+    /// Live connections by token, so shutdown can interrupt workers
+    /// blocked in a read instead of waiting out their timeouts.
+    connections: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+fn initiate_shutdown(shared: &Shared) {
+    if shared.running.swap(false, Ordering::SeqCst) {
+        // Poke the blocking accept() so the acceptor notices the flag.
+        let _ = TcpStream::connect_timeout(&shared.local_addr, Duration::from_secs(1));
+        // Unblock workers parked in a read on an idle connection. Any
+        // reply already written (including the shutdown ack) is flushed,
+        // so this only cuts *waiting*, not in-flight answers.
+        if let Ok(conns) = shared.connections.lock() {
+            for stream in conns.values() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &mpsc::Sender<TcpStream>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if !shared.running.load(Ordering::SeqCst) {
+                    break;
+                }
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(_) => {
+                if !shared.running.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+    // Dropping `tx` (by returning) closes the channel; workers drain the
+    // backlog and exit.
+}
+
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>) {
+    loop {
+        let stream = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => break, // a worker panicked while holding the lock
+        };
+        match stream {
+            Ok(stream) => handle_connection(shared, stream),
+            Err(_) => break, // channel closed: server is shutting down
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let token = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    if let Ok(clone) = stream.try_clone() {
+        if let Ok(mut conns) = shared.connections.lock() {
+            conns.insert(token, clone);
+        }
+    }
+    serve_frames(shared, &mut stream);
+    if let Ok(mut conns) = shared.connections.lock() {
+        conns.remove(&token);
+    }
+}
+
+fn serve_frames(shared: &Shared, mut stream: &mut TcpStream) {
+    loop {
+        match read_frame(&mut stream, shared.max_frame_len) {
+            Ok(None) => break, // clean disconnect
+            Ok(Some(payload)) => {
+                let started = Instant::now();
+                let (reply, op, batch) = respond(shared, &payload);
+                let is_error = matches!(reply, Reply::Error { .. });
+                let is_shutdown = matches!(reply, Reply::ShutdownAck);
+                let sent = write_frame(&mut stream, &reply.encode()).is_ok();
+                record_request(shared, op, batch, !is_error, started.elapsed());
+                if is_shutdown {
+                    initiate_shutdown(shared);
+                    break;
+                }
+                if !sent {
+                    break;
+                }
+                // A malformed *payload* keeps the connection open: frame
+                // boundaries are still intact, so the client may recover.
+            }
+            Err(FrameReadError::TooLong { declared, max }) => {
+                // The unread payload would desynchronize the stream, so
+                // reply with the typed error and close.
+                let reply = Reply::Error {
+                    code: ErrorCode::FrameTooLong,
+                    message: format!("frame length {declared} exceeds maximum {max}"),
+                };
+                let _ = write_frame(&mut stream, &reply.encode());
+                record_frame_error(shared, "too_long");
+                break;
+            }
+            Err(FrameReadError::Truncated { .. }) => {
+                record_frame_error(shared, "truncated");
+                break;
+            }
+            Err(FrameReadError::Io(_)) => {
+                // Read timeout or connection reset; drop the connection.
+                record_frame_error(shared, "io");
+                break;
+            }
+        }
+    }
+}
+
+/// Computes the reply for one frame payload; returns the reply plus the
+/// telemetry label and batch size.
+fn respond(shared: &Shared, payload: &[u8]) -> (Reply, &'static str, usize) {
+    let eq = &shared.equilibrium;
+    match Request::decode(payload) {
+        Err(wire) => (
+            Reply::Error {
+                code: wire.code,
+                message: wire.message,
+            },
+            "malformed",
+            0,
+        ),
+        Ok(Request::Query { t, h, q }) => (
+            Reply::Policy {
+                x: eq.policy_at(t, h, q),
+                price: eq.price_at(t),
+                q_bar: eq.q_bar_at(t),
+            },
+            "query",
+            1,
+        ),
+        Ok(Request::QueryBatch(points)) => {
+            let batch = points.len();
+            let answers = points
+                .iter()
+                .map(|&[t, h, q]| [eq.policy_at(t, h, q), eq.price_at(t), eq.q_bar_at(t)])
+                .collect();
+            (Reply::PolicyBatch(answers), "batch", batch)
+        }
+        Ok(Request::Ping) => (Reply::Pong, "ping", 0),
+        Ok(Request::Info) => (
+            Reply::Info {
+                fingerprint: eq.params.fingerprint(),
+                time_steps: eq.params.time_steps as u64,
+                grid_h: eq.params.grid_h as u64,
+                grid_q: eq.params.grid_q as u64,
+                build_info: shared.build_info.clone(),
+            },
+            "info",
+            0,
+        ),
+        Ok(Request::Shutdown) => (Reply::ShutdownAck, "shutdown", 0),
+    }
+}
+
+fn record_request(shared: &Shared, op: &'static str, batch: usize, ok: bool, took: Duration) {
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    if !ok {
+        shared.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    if !shared.recorder.enabled() {
+        return;
+    }
+    let fields = [
+        ("op", Value::from(op)),
+        ("batch", Value::from(batch)),
+        ("ok", Value::from(ok)),
+    ];
+    shared.recorder.counter("serve.request", 1, &fields);
+    shared.recorder.gauge(
+        "serve.request_nanos",
+        took.as_nanos() as f64,
+        &[("op", Value::from(op))],
+    );
+}
+
+fn record_frame_error(shared: &Shared, kind: &'static str) {
+    shared.errors.fetch_add(1, Ordering::Relaxed);
+    if shared.recorder.enabled() {
+        shared
+            .recorder
+            .counter("serve.frame_error", 1, &[("kind", Value::from(kind))]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Artifact store integrity tests: bit-exact round-trips (including
+//! non-finite payloads, property-tested), crash-safe file writes, and
+//! typed rejection of every corruption class — truncation at *every*
+//! byte, single-bit flips, bumped format versions, tampered params and
+//! forged headers.
+
+mod common;
+
+use std::path::PathBuf;
+
+use common::{assert_bit_identical, synthetic_equilibrium, tiny_params};
+use mfgcp_serve::artifact::{from_bytes, load, save_with_build_info, to_bytes};
+use mfgcp_serve::{ArtifactError, FORMAT_VERSION, MAGIC};
+use proptest::prelude::*;
+
+/// Recomputes and patches the CRC trailer after deliberate tampering, so
+/// a test reaches the check *behind* the checksum.
+fn refix_crc(bytes: &mut [u8]) {
+    let body = bytes.len() - 4;
+    let crc = mfgcp_serve::crc32::crc32(&bytes[..body]);
+    bytes[body..].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Byte offset of a header field, walking the variable-length prefix.
+fn header_offsets(bytes: &[u8]) -> HeaderOffsets {
+    let mut off = 8 + 2 + 2; // magic + version + flags
+    let build_len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+    off += 4 + build_len;
+    let params_at = off + 4;
+    let params_len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+    off += 4 + params_len;
+    let fingerprint_at = off;
+    let non_finite_at = off + 8;
+    HeaderOffsets {
+        params_at,
+        fingerprint_at,
+        non_finite_at,
+    }
+}
+
+struct HeaderOffsets {
+    params_at: usize,
+    fingerprint_at: usize,
+    non_finite_at: usize,
+}
+
+proptest! {
+    /// Round-trip property: any structurally valid equilibrium — with
+    /// NaN, +∞ and −∞ sprinkled through every payload section — decodes
+    /// back bit-identically, and the header's non-finite census matches.
+    #[test]
+    fn roundtrip_is_bit_exact_including_non_finite_payloads(
+        tape in collection::vec(
+            (0_u8..12, -1.0e3_f64..1.0e3).prop_map(|(tag, v)| match tag {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => -0.0,
+                _ => v,
+            }),
+            1..48,
+        ),
+    ) {
+        let eq = synthetic_equilibrium(tiny_params(), &tape);
+        let bytes = to_bytes(&eq, "proptest build");
+        let loaded = from_bytes(&bytes).expect("roundtrip decode");
+        assert_bit_identical(&eq, &loaded.equilibrium);
+        prop_assert_eq!(loaded.header.format_version, FORMAT_VERSION);
+        prop_assert_eq!(loaded.header.build_info.as_str(), "proptest build");
+        prop_assert_eq!(loaded.header.fingerprint, eq.params.fingerprint());
+        prop_assert_eq!(loaded.header.time_steps, eq.params.time_steps);
+
+        // Independent census of the payload sections.
+        let mut expected = 0_u64;
+        let mut count = |v: f64| {
+            if !v.is_finite() {
+                expected += 1;
+            }
+        };
+        for c in &eq.contexts {
+            count(c.requests);
+            count(c.popularity);
+            count(c.urgency_factor);
+        }
+        for s in &eq.snapshots {
+            for v in [s.price, s.q_bar, s.delta_q, s.share_benefit, s.sharer_fraction, s.case3_fraction] {
+                count(v);
+            }
+        }
+        for f in eq.policy.iter().chain(&eq.density).chain(&eq.values) {
+            for &v in f.values() {
+                count(v);
+            }
+        }
+        for &v in eq.report.residuals.iter().chain(&eq.report.update_norms) {
+            count(v);
+        }
+        prop_assert_eq!(loaded.header.non_finite_count, expected);
+    }
+}
+
+#[test]
+fn save_writes_atomically_and_load_verifies() {
+    let eq = synthetic_equilibrium(tiny_params(), &[0.25, 1.5, f64::NAN, -3.0, 0.0]);
+    let dir = std::env::temp_dir();
+    let path: PathBuf = dir.join(format!("mfgcp-artifact-test-{}.eq", std::process::id()));
+    save_with_build_info(&eq, &path, "file test").expect("save");
+
+    // No temporary sibling survives a successful save.
+    let tmp_leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read temp dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("mfgcp-artifact-test-") && n.ends_with(".tmp"))
+        .collect();
+    assert!(
+        tmp_leftovers.is_empty(),
+        "stray tmp files: {tmp_leftovers:?}"
+    );
+
+    let loaded = load(&path).expect("load");
+    assert_bit_identical(&eq, &loaded.equilibrium);
+    assert_eq!(loaded.header.build_info, "file test");
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+#[test]
+fn every_truncation_point_is_rejected_with_a_typed_error() {
+    let eq = synthetic_equilibrium(tiny_params(), &[0.5, -1.0, 2.5]);
+    let bytes = to_bytes(&eq, "trunc");
+    for cut in 0..bytes.len() {
+        let err = from_bytes(&bytes[..cut]).expect_err("truncated file must not load");
+        match (cut, &err) {
+            (c, ArtifactError::BadMagic { .. }) if c < MAGIC.len() => {}
+            (_, ArtifactError::Truncated { .. }) | (_, ArtifactError::CrcMismatch { .. }) => {}
+            (c, other) => panic!("cut at {c}: unexpected error {other}"),
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    let eq = synthetic_equilibrium(tiny_params(), &[0.5, -1.0, 2.5]);
+    let bytes = to_bytes(&eq, "flip");
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[byte] ^= 1 << bit;
+            let err = from_bytes(&corrupt).expect_err("corrupt file must not load");
+            match (byte, &err) {
+                (b, ArtifactError::BadMagic { .. }) if b < 8 => {}
+                (b, ArtifactError::UnsupportedVersion { .. }) if (8..10).contains(&b) => {}
+                (b, ArtifactError::CrcMismatch { .. }) if b >= 10 => {}
+                (b, other) => panic!("flip at byte {b} bit {bit}: unexpected error {other}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn bumped_format_version_is_unsupported_not_a_checksum_error() {
+    let eq = synthetic_equilibrium(tiny_params(), &[1.0, 2.0]);
+    let mut bytes = to_bytes(&eq, "ver");
+
+    // A future-version file whose checksum is perfectly valid must still
+    // be refused as unsupported…
+    bytes[8] = 2;
+    refix_crc(&mut bytes);
+    match from_bytes(&bytes) {
+        Err(ArtifactError::UnsupportedVersion {
+            found: 2,
+            supported,
+        }) => {
+            assert_eq!(supported, FORMAT_VERSION)
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+
+    // …and the version verdict must not depend on the trailer: the same
+    // bump without a CRC refix reports the version, not the checksum.
+    let mut bytes = to_bytes(&eq, "ver");
+    bytes[8] = 7;
+    match from_bytes(&bytes) {
+        Err(ArtifactError::UnsupportedVersion { found: 7, .. }) => {}
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_magic_is_rejected_up_front() {
+    let eq = synthetic_equilibrium(tiny_params(), &[1.0]);
+    let mut bytes = to_bytes(&eq, "magic");
+    bytes[0] = b'X';
+    refix_crc(&mut bytes);
+    assert!(matches!(
+        from_bytes(&bytes),
+        Err(ArtifactError::BadMagic { .. })
+    ));
+    assert!(matches!(
+        from_bytes(b"MFG"),
+        Err(ArtifactError::BadMagic { .. })
+    ));
+    assert!(matches!(
+        from_bytes(b""),
+        Err(ArtifactError::BadMagic { .. })
+    ));
+}
+
+#[test]
+fn tampered_params_or_header_fields_fail_their_cross_checks() {
+    let eq = synthetic_equilibrium(tiny_params(), &[0.75, f64::INFINITY, -2.0]);
+    let bytes = to_bytes(&eq, "tamper");
+    let offs = header_offsets(&bytes);
+
+    // Tampering the params block desynchronizes the stored fingerprint.
+    let mut tampered = bytes.clone();
+    tampered[offs.params_at] ^= 0x01; // num_edps: 300 -> 301, still valid
+    refix_crc(&mut tampered);
+    assert!(matches!(
+        from_bytes(&tampered),
+        Err(ArtifactError::FingerprintMismatch { .. })
+    ));
+
+    // So does tampering the stored fingerprint itself.
+    let mut tampered = bytes.clone();
+    tampered[offs.fingerprint_at] ^= 0xFF;
+    refix_crc(&mut tampered);
+    assert!(matches!(
+        from_bytes(&tampered),
+        Err(ArtifactError::FingerprintMismatch { .. })
+    ));
+
+    // A forged non-finite census is caught by the recount.
+    let mut tampered = bytes.clone();
+    tampered[offs.non_finite_at] ^= 0x04;
+    refix_crc(&mut tampered);
+    assert!(matches!(
+        from_bytes(&tampered),
+        Err(ArtifactError::NonFiniteCountMismatch { .. })
+    ));
+
+    // Bytes smuggled in after the body are refused even with a valid CRC.
+    let mut padded = bytes.clone();
+    let trailer_at = padded.len() - 4;
+    padded.insert(trailer_at, 0);
+    refix_crc(&mut padded);
+    assert!(matches!(
+        from_bytes(&padded),
+        Err(ArtifactError::TrailingBytes { extra: 1 })
+    ));
+}

@@ -1,0 +1,133 @@
+//! Shared helpers for the serve integration tests: tiny parameter sets
+//! and synthetic equilibria whose payload values come from a caller-
+//! supplied tape (so property tests can inject NaN/±∞).
+//!
+//! Each integration-test binary compiles this module independently and
+//! uses a different subset of it, hence the dead-code allowance.
+
+#![allow(dead_code)]
+
+use mfgcp_core::{ContentContext, ConvergenceReport, Equilibrium, MeanFieldSnapshot, Params};
+use mfgcp_pde::Field2d;
+
+/// Smallest parameter set `Params::validate` accepts.
+pub fn tiny_params() -> Params {
+    Params {
+        time_steps: 3,
+        grid_h: 4,
+        grid_q: 5,
+        ..Params::default()
+    }
+}
+
+/// Cyclic reader over a value tape.
+struct Tape<'a> {
+    vals: &'a [f64],
+    k: usize,
+}
+
+impl Tape<'_> {
+    fn next(&mut self) -> f64 {
+        let v = self.vals[self.k % self.vals.len()];
+        self.k += 1;
+        v
+    }
+
+    fn take(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next()).collect()
+    }
+}
+
+/// Builds a structurally valid equilibrium whose every payload `f64`
+/// (contexts, snapshots, trajectories, report series) is drawn cyclically
+/// from `tape`. `from_parts` takes values as-is, so the tape may carry
+/// non-finite entries.
+pub fn synthetic_equilibrium(params: Params, tape: &[f64]) -> Equilibrium {
+    assert!(!tape.is_empty(), "tape must be non-empty");
+    let grid = params.grid();
+    let n = params.time_steps;
+    let mut t = Tape { vals: tape, k: 0 };
+
+    let contexts: Vec<ContentContext> = (0..n)
+        .map(|_| ContentContext {
+            requests: t.next(),
+            popularity: t.next(),
+            urgency_factor: t.next(),
+        })
+        .collect();
+    let snapshots: Vec<MeanFieldSnapshot> = (0..n)
+        .map(|_| MeanFieldSnapshot {
+            price: t.next(),
+            q_bar: t.next(),
+            delta_q: t.next(),
+            share_benefit: t.next(),
+            sharer_fraction: t.next(),
+            case3_fraction: t.next(),
+        })
+        .collect();
+    let mut fields = |count: usize| -> Vec<Field2d> {
+        (0..count)
+            .map(|_| Field2d::from_values(grid.clone(), t.take(grid.len())).expect("grid-sized"))
+            .collect()
+    };
+    let policy = fields(n);
+    let density = fields(n + 1);
+    let values = fields(n + 1);
+    let report = ConvergenceReport {
+        converged: true,
+        iterations: 2,
+        residuals: t.take(2),
+        update_norms: t.take(2),
+    };
+
+    Equilibrium::from_parts(params, contexts, policy, density, values, snapshots, report)
+        .expect("synthetic parts are consistent")
+}
+
+/// Asserts two equilibria are bit-identical in every persisted section.
+pub fn assert_bit_identical(a: &Equilibrium, b: &Equilibrium) {
+    assert_eq!(
+        a.params.canonical_bytes(),
+        b.params.canonical_bytes(),
+        "params differ"
+    );
+    assert_eq!(a.contexts.len(), b.contexts.len());
+    for (x, y) in a.contexts.iter().zip(&b.contexts) {
+        assert_eq!(x.requests.to_bits(), y.requests.to_bits());
+        assert_eq!(x.popularity.to_bits(), y.popularity.to_bits());
+        assert_eq!(x.urgency_factor.to_bits(), y.urgency_factor.to_bits());
+    }
+    assert_eq!(a.snapshots.len(), b.snapshots.len());
+    for (x, y) in a.snapshots.iter().zip(&b.snapshots) {
+        for (u, v) in [
+            (x.price, y.price),
+            (x.q_bar, y.q_bar),
+            (x.delta_q, y.delta_q),
+            (x.share_benefit, y.share_benefit),
+            (x.sharer_fraction, y.sharer_fraction),
+            (x.case3_fraction, y.case3_fraction),
+        ] {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+    for (what, xs, ys) in [
+        ("policy", &a.policy, &b.policy),
+        ("density", &a.density, &b.density),
+        ("values", &a.values, &b.values),
+    ] {
+        assert_eq!(xs.len(), ys.len(), "{what} trajectory lengths differ");
+        for (i, (x, y)) in xs.iter().zip(ys.iter()).enumerate() {
+            let same = x
+                .values()
+                .iter()
+                .zip(y.values())
+                .all(|(u, v)| u.to_bits() == v.to_bits());
+            assert!(same, "{what}[{i}] differs");
+        }
+    }
+    assert_eq!(a.report.converged, b.report.converged);
+    assert_eq!(a.report.iterations, b.report.iterations);
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&a.report.residuals), bits(&b.report.residuals));
+    assert_eq!(bits(&a.report.update_norms), bits(&b.report.update_norms));
+}

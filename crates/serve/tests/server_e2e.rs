@@ -1,0 +1,314 @@
+//! End-to-end policy server tests over real loopback sockets: served
+//! answers must equal in-process interpolation to 0 ULP, malformed and
+//! hostile frames must earn typed errors without killing the server, and
+//! shutdown must be graceful and observable in telemetry.
+
+mod common;
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use common::tiny_params;
+use mfgcp_core::{Equilibrium, MfgSolver, Params};
+use mfgcp_obs::{Kind, MemorySink, RecorderHandle};
+use mfgcp_serve::protocol::read_frame;
+use mfgcp_serve::{Client, ErrorCode, PolicyServer, Reply, ServeConfig, MAX_FRAME_LEN};
+
+/// A small but *real* solved equilibrium, shared across tests (the solve
+/// is the expensive part; the server is cheap).
+fn solved_equilibrium() -> Arc<Equilibrium> {
+    static EQ: OnceLock<Arc<Equilibrium>> = OnceLock::new();
+    Arc::clone(EQ.get_or_init(|| {
+        let params = Params {
+            time_steps: 8,
+            grid_h: 6,
+            grid_q: 12,
+            max_iterations: 40,
+            ..Params::default()
+        };
+        let solver = MfgSolver::new(params).expect("valid params");
+        Arc::new(solver.solve().expect("tiny solve converges"))
+    }))
+}
+
+fn start_server(eq: Arc<Equilibrium>, config: ServeConfig) -> mfgcp_serve::ServerHandle {
+    PolicyServer::start("127.0.0.1:0", eq, config, RecorderHandle::noop()).expect("bind loopback")
+}
+
+#[test]
+fn served_queries_equal_in_process_interpolation_to_0_ulp() {
+    let eq = solved_equilibrium();
+    let handle = start_server(Arc::clone(&eq), ServeConfig::default());
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // On-grid, off-grid, boundary, clamped-outside and non-finite probes.
+    let t_hi = eq.params.t_horizon;
+    let probes = [
+        (0.0, eq.params.h_min, 0.0),
+        (t_hi * 0.37, 1.1, 0.42),
+        (t_hi, eq.params.h_max, eq.params.q_size),
+        (t_hi * 2.0, eq.params.h_max + 1.0, -0.5),
+        (t_hi * 0.5, f64::NAN, 0.3),
+    ];
+    for (t, h, q) in probes {
+        let served = client.query(t, h, q).expect("query");
+        assert_eq!(
+            served.x.to_bits(),
+            eq.policy_at(t, h, q).to_bits(),
+            "x at {t} {h} {q}"
+        );
+        assert_eq!(
+            served.price.to_bits(),
+            eq.price_at(t).to_bits(),
+            "price at {t}"
+        );
+        assert_eq!(
+            served.q_bar.to_bits(),
+            eq.q_bar_at(t).to_bits(),
+            "q_bar at {t}"
+        );
+    }
+
+    // Batched path answers in order and hits the same code path.
+    let batch: Vec<[f64; 3]> = (0..64)
+        .map(|i| {
+            let s = i as f64 / 63.0;
+            [t_hi * s, eq.params.h_min + 3.0 * s, s]
+        })
+        .collect();
+    let answers = client.query_batch(&batch).expect("batch");
+    assert_eq!(answers.len(), batch.len());
+    for (point, served) in batch.iter().zip(&answers) {
+        let [t, h, q] = *point;
+        assert_eq!(served.x.to_bits(), eq.policy_at(t, h, q).to_bits());
+        assert_eq!(served.price.to_bits(), eq.price_at(t).to_bits());
+        assert_eq!(served.q_bar.to_bits(), eq.q_bar_at(t).to_bits());
+    }
+
+    let info = client.info().expect("info");
+    assert_eq!(info.fingerprint, eq.params.fingerprint());
+    assert_eq!(info.time_steps, eq.params.time_steps as u64);
+    assert!(info.build_info.starts_with("mfgcp "));
+
+    client.shutdown_server().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn malformed_frames_earn_typed_errors_and_the_server_survives() {
+    let eq = Arc::new(common::synthetic_equilibrium(
+        tiny_params(),
+        &[0.5, 1.5, -0.5],
+    ));
+    let handle = start_server(Arc::clone(&eq), ServeConfig::default());
+    let addr = handle.local_addr();
+    // Unknown opcode: typed error, connection stays usable.
+    let mut client = Client::connect(addr).expect("connect");
+    client.send_raw(&[0x55]).expect("send");
+    match client
+        .read_raw()
+        .expect("reply")
+        .as_deref()
+        .map(Reply::decode)
+    {
+        Some(Ok(Reply::Error {
+            code: ErrorCode::UnknownOpcode,
+            ..
+        })) => {}
+        other => panic!("expected UnknownOpcode error, got {other:?}"),
+    }
+    client
+        .ping()
+        .expect("connection survives an unknown opcode");
+
+    // Truncated query body: typed error, still usable.
+    client.send_raw(&[0x01, 0, 0, 0]).expect("send");
+    match client
+        .read_raw()
+        .expect("reply")
+        .as_deref()
+        .map(Reply::decode)
+    {
+        Some(Ok(Reply::Error {
+            code: ErrorCode::Malformed,
+            ..
+        })) => {}
+        other => panic!("expected Malformed error, got {other:?}"),
+    }
+    client.ping().expect("connection survives a short body");
+
+    // Empty payload frame: typed error.
+    client.send_raw(&[]).expect("send");
+    match client
+        .read_raw()
+        .expect("reply")
+        .as_deref()
+        .map(Reply::decode)
+    {
+        Some(Ok(Reply::Error {
+            code: ErrorCode::Malformed,
+            ..
+        })) => {}
+        other => panic!("expected Malformed error, got {other:?}"),
+    }
+
+    // Over-long batch declaration: typed error.
+    let mut payload = vec![0x02];
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    client.send_raw(&payload).expect("send");
+    match client
+        .read_raw()
+        .expect("reply")
+        .as_deref()
+        .map(Reply::decode)
+    {
+        Some(Ok(Reply::Error {
+            code: ErrorCode::BatchTooLarge,
+            ..
+        })) => {}
+        other => panic!("expected BatchTooLarge error, got {other:?}"),
+    }
+    // Oversized length prefix: typed error reply, then the server closes
+    // the (desynchronized) connection.
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    raw.write_all(&u32::MAX.to_le_bytes())
+        .expect("hostile prefix");
+    raw.flush().expect("flush");
+    let payload = read_frame(&mut raw, MAX_FRAME_LEN)
+        .expect("error reply")
+        .expect("frame");
+    match Reply::decode(&payload) {
+        Ok(Reply::Error {
+            code: ErrorCode::FrameTooLong,
+            ..
+        }) => {}
+        other => panic!("expected FrameTooLong error, got {other:?}"),
+    }
+    assert!(
+        read_frame(&mut raw, MAX_FRAME_LEN).expect("eof").is_none(),
+        "server should close after an oversized prefix"
+    );
+    // A client that dies mid-frame only costs its own connection.
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    raw.write_all(&100_u32.to_le_bytes()).expect("prefix");
+    raw.write_all(&[0x01; 10]).expect("partial payload");
+    drop(raw);
+
+    // After all that abuse, fresh connections still get real answers.
+    let mut fresh = Client::connect(addr).expect("connect fresh");
+    let served = fresh.query(0.1, 1.0, 0.5).expect("query after abuse");
+    assert_eq!(served.x.to_bits(), eq.policy_at(0.1, 1.0, 0.5).to_bits());
+
+    fresh.shutdown_server().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn idle_connections_are_reaped_by_the_read_timeout() {
+    let eq = Arc::new(common::synthetic_equilibrium(tiny_params(), &[1.0, 2.0]));
+    let config = ServeConfig {
+        read_timeout: Duration::from_millis(50),
+        ..ServeConfig::default()
+    };
+    let handle = start_server(Arc::clone(&eq), config);
+
+    // Connect, say nothing: the server must hang up on its own.
+    let mut idle = TcpStream::connect(handle.local_addr()).expect("connect");
+    idle.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    assert!(
+        read_frame(&mut idle, MAX_FRAME_LEN)
+            .expect("clean close")
+            .is_none(),
+        "idle connection should be closed by the server"
+    );
+
+    // And the freed worker is back in rotation.
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    client.ping().expect("ping after reap");
+    client.shutdown_server().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_closes_the_listener() {
+    let eq = Arc::new(common::synthetic_equilibrium(tiny_params(), &[0.25]));
+    let handle = start_server(Arc::clone(&eq), ServeConfig::default());
+    let addr = handle.local_addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("ping");
+    client.shutdown_server().expect("shutdown ack");
+    handle.join();
+
+    // Once join returns, the listener is gone: a new connection must be
+    // refused (or immediately closed, depending on backlog timing).
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut c) => {
+            assert!(c.ping().is_err(), "server answered after shutdown");
+        }
+    }
+}
+
+#[test]
+fn telemetry_emits_one_server_span_and_per_request_counters() {
+    let eq = Arc::new(common::synthetic_equilibrium(tiny_params(), &[0.5, -1.5]));
+    let sink = Arc::new(MemorySink::new());
+    let recorder = RecorderHandle::new(Arc::clone(&sink));
+    let handle = PolicyServer::start(
+        "127.0.0.1:0",
+        Arc::clone(&eq),
+        ServeConfig::default(),
+        recorder,
+    )
+    .expect("bind");
+
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    client.query(0.1, 1.0, 0.2).expect("query");
+    client
+        .query_batch(&[[0.0, 1.0, 0.1], [0.2, 1.2, 0.3]])
+        .expect("batch");
+    client.send_raw(&[0x55]).expect("malformed");
+    let _ = client.read_raw().expect("error reply");
+    client.shutdown_server().expect("shutdown");
+    handle.join();
+
+    let events = sink.events();
+    let opens: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == Kind::SpanOpen && e.name == "serve.server")
+        .collect();
+    let closes: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == Kind::SpanClose && e.name == "serve.server")
+        .collect();
+    assert_eq!(opens.len(), 1, "exactly one server span open");
+    assert_eq!(closes.len(), 1, "exactly one server span close");
+    assert!(
+        opens[0].fields.iter().any(|(k, _)| *k == "build_info"),
+        "span open carries build info"
+    );
+    assert!(
+        closes[0].fields.iter().any(|(k, _)| *k == "requests_total"),
+        "span close carries totals"
+    );
+
+    let requests: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == Kind::Counter && e.name == "serve.request")
+        .collect();
+    // query + batch + malformed + shutdown = 4 request counters.
+    assert_eq!(requests.len(), 4, "one counter per request");
+    for r in &requests {
+        assert!(r.span.is_none(), "counters must not carry span linkage");
+        assert!(r.fields.iter().any(|(k, _)| *k == "op"));
+    }
+    let gauges = events
+        .iter()
+        .filter(|e| e.kind == Kind::Gauge && e.name == "serve.request_nanos")
+        .count();
+    assert_eq!(gauges, 4, "one latency gauge per request");
+}
