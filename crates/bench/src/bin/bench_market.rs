@@ -57,9 +57,21 @@ fn config(m: usize) -> SimConfig {
 fn measure(m: usize, recorder: &RecorderHandle) -> Sample {
     // Warm-up epoch to page in the allocator and caches, then take the
     // best of three measured epochs (minimum filters scheduler noise).
-    let _ = Simulation::new(config(m), Box::new(MostPopularCaching::default()))
+    // The warm-up doubles as a conservation check: the auditor runs on
+    // this untimed epoch only, so the measured epochs stay unperturbed.
+    let warmup = SimConfig {
+        audit: true,
+        ..config(m)
+    };
+    let report = Simulation::new(warmup, Box::new(MostPopularCaching::default()))
         .expect("valid config")
         .run();
+    let audit = report.audit.expect("audit was requested");
+    assert!(
+        audit.is_clean(),
+        "M = {m}: conservation audit failed: {:?}",
+        audit.violations
+    );
     let mut best: Option<Sample> = None;
     for _ in 0..3 {
         let cfg = config(m);

@@ -1,0 +1,557 @@
+//! The streaming conservation auditor (invariants I1–I4).
+
+use mfgcp_core::Equilibrium;
+use mfgcp_obs::{OnceFlag, RecorderHandle, Value};
+
+use crate::error::AuditError;
+
+/// Tolerances for the conservation invariants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditConfig {
+    /// Relative tolerance for the I1 paid-vs-earned comparison. The two
+    /// sums accumulate the *same* fee values in the same order, so they
+    /// should in fact agree bit-exactly; the tolerance only absorbs a
+    /// future reordering of the accumulation.
+    pub money_tol: f64,
+    /// Relative tolerance for the I3 Σ_slots-vs-Σ_per-EDP reconciliation
+    /// (the two sides sum identical terms in different orders, so they
+    /// differ by floating-point reassociation only).
+    pub reconcile_tol: f64,
+    /// I4 gate on the FPK total-mass drift `|∫λ(t_n) − 1|`.
+    pub mass_tol: f64,
+    /// I4 slack on the equilibrium policy range `[0, 1]`.
+    pub policy_tol: f64,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self {
+            money_tol: 1e-9,
+            reconcile_tol: 1e-9,
+            mass_tol: 1e-5,
+            policy_tol: 1e-9,
+        }
+    }
+}
+
+/// One slot's population-level economic flows, as observed by the
+/// simulator's market clearing (all flows are population sums, not means).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SlotFlows {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Slot index within the epoch.
+    pub slot: usize,
+    /// Σ trading income earned this slot (Eq. (6), realized).
+    pub trading_income: f64,
+    /// Σ sharing fees earned by peers this slot (Eq. (7)).
+    pub sharing_earned: f64,
+    /// Σ sharing fees paid by buyers this slot.
+    pub sharing_paid: f64,
+    /// Σ placement cost accrued this slot (Eq. (8)).
+    pub placement_cost: f64,
+    /// Σ staleness cost accrued this slot (Eq. (9), both terms).
+    pub staleness_cost: f64,
+    /// Σ Eq. (10) utility accrued this slot.
+    pub utility: f64,
+    /// Requests served this slot.
+    pub volume: u64,
+    /// Trade tallies `(case1, case2, case3)` this slot.
+    pub cases: (u64, u64, u64),
+}
+
+/// End-of-run totals accumulated on the per-EDP side (Σ over the
+/// population of each `EdpMetrics` field, computed by the caller so this
+/// crate needs no simulator types).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PopulationTotals {
+    /// Σ_i trading income.
+    pub trading_income: f64,
+    /// Σ_i sharing benefit.
+    pub sharing_benefit: f64,
+    /// Σ_i placement cost.
+    pub placement_cost: f64,
+    /// Σ_i staleness cost.
+    pub staleness_cost: f64,
+    /// Σ_i sharing cost.
+    pub sharing_cost: f64,
+    /// Σ_i requests served.
+    pub requests_served: u64,
+    /// Σ_i case tallies.
+    pub case_counts: (u64, u64, u64),
+}
+
+impl PopulationTotals {
+    /// Population-summed Eq. (10) utility.
+    pub fn utility(&self) -> f64 {
+        self.trading_income + self.sharing_benefit
+            - self.placement_cost
+            - self.staleness_cost
+            - self.sharing_cost
+    }
+}
+
+/// The outcome of an audited run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    /// Every violation, in detection order.
+    pub violations: Vec<AuditError>,
+    /// Slots the auditor observed.
+    pub slots_checked: usize,
+    /// Prepared equilibria the auditor gated (MFG-CP/MFG only).
+    pub equilibria_checked: usize,
+}
+
+impl AuditReport {
+    /// Whether every invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl core::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.is_clean() {
+            write!(
+                f,
+                "audit: clean ({} slots, {} equilibria checked)",
+                self.slots_checked, self.equilibria_checked
+            )
+        } else {
+            write!(
+                f,
+                "audit: {} violation(s) over {} slots, {} equilibria",
+                self.violations.len(),
+                self.slots_checked,
+                self.equilibria_checked
+            )
+        }
+    }
+}
+
+/// Streaming auditor for one simulation run: feed [`Auditor::observe_slot`]
+/// once per slot and [`Auditor::check_equilibrium`] once per prepared
+/// equilibrium, then close with [`Auditor::finish`].
+///
+/// The first recorded violation emits one `audit.violation` event through
+/// the attached recorder (fire-once, like the PDE NaN sentinels); all
+/// violations are kept in the final [`AuditReport`].
+#[derive(Debug)]
+pub struct Auditor {
+    cfg: AuditConfig,
+    sharing_allowed: bool,
+    recorder: RecorderHandle,
+    fired: OnceFlag,
+    violations: Vec<AuditError>,
+    slots: usize,
+    equilibria: usize,
+    /// Slot-series side of the I1–I3 end-of-run comparisons.
+    acc: PopulationTotals,
+    acc_utility: f64,
+    acc_paid: f64,
+}
+
+impl Auditor {
+    /// A fresh auditor. `sharing_allowed` mirrors the scheme's
+    /// `CachingPolicy::allows_sharing` (gates the I2 case-2 check).
+    pub fn new(cfg: AuditConfig, sharing_allowed: bool, recorder: RecorderHandle) -> Self {
+        Self {
+            cfg,
+            sharing_allowed,
+            recorder,
+            fired: OnceFlag::new(),
+            violations: Vec::new(),
+            slots: 0,
+            equilibria: 0,
+            acc: PopulationTotals::default(),
+            acc_utility: 0.0,
+            acc_paid: 0.0,
+        }
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> &[AuditError] {
+        &self.violations
+    }
+
+    /// Record a violation (also usable by callers running the I5 oracles
+    /// under the same reporting channel).
+    pub fn record(&mut self, err: AuditError) {
+        if self.recorder.enabled() && self.fired.fire() {
+            let mut fields: Vec<(&'static str, Value)> = vec![
+                ("invariant", err.invariant().into()),
+                ("detail", err.to_string().into()),
+            ];
+            if let Some((epoch, index)) = err.coordinates() {
+                fields.push(("epoch", epoch.into()));
+                fields.push(("index", index.into()));
+            }
+            self.recorder.event("audit.violation", &fields);
+        }
+        self.violations.push(err);
+    }
+
+    /// Per-slot invariants: I1 money conservation, I2 case-tally sanity,
+    /// and finiteness of every flow. Also accumulates the series side of
+    /// the end-of-run comparisons.
+    // The negated `!(gap <= tol)` comparisons are load-bearing: a NaN gap
+    // must *fail* the gate, and `gap > tol` would let it through.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn observe_slot(&mut self, s: &SlotFlows) {
+        self.slots += 1;
+        for (what, v) in [
+            ("trading_income", s.trading_income),
+            ("sharing_earned", s.sharing_earned),
+            ("sharing_paid", s.sharing_paid),
+            ("placement_cost", s.placement_cost),
+            ("staleness_cost", s.staleness_cost),
+            ("utility", s.utility),
+        ] {
+            if !v.is_finite() {
+                self.record(AuditError::NonFinite {
+                    epoch: s.epoch,
+                    slot: s.slot,
+                    what,
+                    value: v,
+                });
+            }
+        }
+        // I1, per slot: the fees paid by buyers are exactly the fees
+        // credited to peers.
+        let money_gap = (s.sharing_paid - s.sharing_earned).abs();
+        if !(money_gap <= self.cfg.money_tol * s.sharing_paid.abs().max(1.0)) {
+            self.record(AuditError::SlotMoneyLeak {
+                epoch: s.epoch,
+                slot: s.slot,
+                paid: s.sharing_paid,
+                earned: s.sharing_earned,
+            });
+        }
+        // I2, per slot: each resolved trade serves at least one request,
+        // and non-sharing schemes never resolve case 2.
+        let trades = s.cases.0 + s.cases.1 + s.cases.2;
+        if trades > s.volume {
+            self.record(AuditError::CaseTally {
+                epoch: s.epoch,
+                slot: s.slot,
+                trades,
+                volume: s.volume,
+            });
+        }
+        if !self.sharing_allowed && s.cases.1 > 0 {
+            self.record(AuditError::ForbiddenSharing {
+                epoch: s.epoch,
+                slot: s.slot,
+                case2: s.cases.1,
+            });
+        }
+        self.acc.trading_income += s.trading_income;
+        self.acc.sharing_benefit += s.sharing_earned;
+        self.acc.placement_cost += s.placement_cost;
+        self.acc.staleness_cost += s.staleness_cost;
+        self.acc.sharing_cost += s.sharing_paid;
+        self.acc.requests_served += s.volume;
+        self.acc.case_counts.0 += s.cases.0;
+        self.acc.case_counts.1 += s.cases.1;
+        self.acc.case_counts.2 += s.cases.2;
+        self.acc_utility += s.utility;
+        self.acc_paid += s.sharing_paid;
+    }
+
+    /// I4: gate a freshly prepared equilibrium — FPK total mass stays
+    /// within `mass_tol` of 1 at every step, and the policy surface stays
+    /// inside `[0, 1]`. Records at most one violation per family per
+    /// equilibrium (the first offending step pinpoints the bug; repeating
+    /// it for every later step would only bloat the report).
+    // Negated comparisons so a NaN mass/extremum fails the gate.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn check_equilibrium(&mut self, epoch: usize, content: usize, eq: &Equilibrium) {
+        self.equilibria += 1;
+        for (step, lam) in eq.density.iter().enumerate() {
+            let mass = lam.integral();
+            if !((mass - 1.0).abs() <= self.cfg.mass_tol) {
+                self.record(AuditError::MassDrift {
+                    epoch,
+                    content,
+                    step,
+                    mass,
+                    tol: self.cfg.mass_tol,
+                });
+                break;
+            }
+        }
+        for (step, x) in eq.policy.iter().enumerate() {
+            let (min, max) = (x.min(), x.max());
+            if !(min >= -self.cfg.policy_tol && max <= 1.0 + self.cfg.policy_tol) {
+                self.record(AuditError::PolicyRange {
+                    epoch,
+                    content,
+                    step,
+                    min,
+                    max,
+                });
+                break;
+            }
+        }
+    }
+
+    /// End-of-run invariants against the per-EDP totals: I1 cumulative
+    /// money conservation, I2 exact integer tallies, and the I3 Eq. (10)
+    /// reconciliation of every flow term. Consumes the auditor.
+    // Negated comparisons so a NaN gap fails the gate.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn finish(mut self, per_edp: &PopulationTotals) -> AuditReport {
+        // I1, cumulative.
+        let gap = (self.acc_paid - per_edp.sharing_benefit).abs();
+        if !(gap <= self.cfg.money_tol * self.acc_paid.abs().max(1.0)) {
+            self.record(AuditError::TotalMoneyLeak {
+                paid: self.acc_paid,
+                earned: per_edp.sharing_benefit,
+            });
+        }
+        // I2, exact integer tallies.
+        let counts = [
+            ("volume", self.acc.requests_served, per_edp.requests_served),
+            ("case1", self.acc.case_counts.0, per_edp.case_counts.0),
+            ("case2", self.acc.case_counts.1, per_edp.case_counts.1),
+            ("case3", self.acc.case_counts.2, per_edp.case_counts.2),
+        ];
+        for (what, series, edp) in counts {
+            if series != edp {
+                self.record(AuditError::CountMismatch {
+                    what,
+                    series,
+                    per_edp: edp,
+                });
+            }
+        }
+        // I3: every Eq. (10) term, slot series vs per-EDP accumulation.
+        // The utility comparison is scaled by the gross flow (sum of
+        // absolute components) because the net utility itself can cancel
+        // towards zero and would make a relative test ill-conditioned.
+        let gross = per_edp.trading_income.abs()
+            + per_edp.sharing_benefit.abs()
+            + per_edp.placement_cost.abs()
+            + per_edp.staleness_cost.abs()
+            + per_edp.sharing_cost.abs();
+        let terms = [
+            (
+                "trading_income",
+                self.acc.trading_income,
+                per_edp.trading_income,
+                per_edp.trading_income.abs(),
+            ),
+            (
+                "sharing_benefit",
+                self.acc.sharing_benefit,
+                per_edp.sharing_benefit,
+                per_edp.sharing_benefit.abs(),
+            ),
+            (
+                "placement_cost",
+                self.acc.placement_cost,
+                per_edp.placement_cost,
+                per_edp.placement_cost.abs(),
+            ),
+            (
+                "staleness_cost",
+                self.acc.staleness_cost,
+                per_edp.staleness_cost,
+                per_edp.staleness_cost.abs(),
+            ),
+            (
+                "sharing_cost",
+                self.acc.sharing_cost,
+                per_edp.sharing_cost,
+                per_edp.sharing_cost.abs(),
+            ),
+            ("utility", self.acc_utility, per_edp.utility(), gross),
+        ];
+        for (what, series, edp, scale) in terms {
+            let tol = self.cfg.reconcile_tol * scale.max(1.0);
+            if !((series - edp).abs() <= tol) {
+                self.record(AuditError::SeriesMismatch {
+                    what,
+                    series,
+                    per_edp: edp,
+                    tol,
+                });
+            }
+        }
+        AuditReport {
+            violations: self.violations,
+            slots_checked: self.slots,
+            equilibria_checked: self.equilibria,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfgcp_obs::{schema, MemorySink};
+    use std::sync::Arc;
+
+    fn flows(paid: f64, earned: f64) -> SlotFlows {
+        SlotFlows {
+            epoch: 0,
+            slot: 0,
+            trading_income: 2.0,
+            sharing_earned: earned,
+            sharing_paid: paid,
+            placement_cost: 0.5,
+            staleness_cost: 0.25,
+            utility: 2.0 + earned - paid - 0.5 - 0.25,
+            volume: 3,
+            cases: (2, 1, 0),
+        }
+    }
+
+    fn totals_matching(f: &SlotFlows) -> PopulationTotals {
+        PopulationTotals {
+            trading_income: f.trading_income,
+            sharing_benefit: f.sharing_earned,
+            placement_cost: f.placement_cost,
+            staleness_cost: f.staleness_cost,
+            sharing_cost: f.sharing_paid,
+            requests_served: f.volume,
+            case_counts: f.cases,
+        }
+    }
+
+    #[test]
+    fn consistent_run_is_clean() {
+        let mut a = Auditor::new(AuditConfig::default(), true, RecorderHandle::noop());
+        let f = flows(0.7, 0.7);
+        a.observe_slot(&f);
+        let report = a.finish(&totals_matching(&f));
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.slots_checked, 1);
+        assert!(report.to_string().contains("clean"));
+    }
+
+    #[test]
+    fn money_leak_is_caught_per_slot_and_cumulatively() {
+        let mut a = Auditor::new(AuditConfig::default(), true, RecorderHandle::noop());
+        let f = flows(1.0, 0.4);
+        a.observe_slot(&f);
+        let report = a.finish(&totals_matching(&f));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, AuditError::SlotMoneyLeak { .. })));
+        assert!(!report.is_clean());
+        assert!(report.to_string().contains("violation"));
+    }
+
+    #[test]
+    fn forbidden_sharing_and_tally_overflow_are_caught() {
+        let mut a = Auditor::new(AuditConfig::default(), false, RecorderHandle::noop());
+        let mut f = flows(0.0, 0.0);
+        f.cases = (1, 1, 3); // case2 under a non-sharing scheme, 5 trades > 3 requests
+        a.observe_slot(&f);
+        let vs = a.violations();
+        assert!(vs.iter().any(|v| matches!(v, AuditError::CaseTally { .. })));
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, AuditError::ForbiddenSharing { .. })));
+    }
+
+    #[test]
+    fn reconciliation_mismatch_names_the_term() {
+        let mut a = Auditor::new(AuditConfig::default(), true, RecorderHandle::noop());
+        let f = flows(0.7, 0.7);
+        a.observe_slot(&f);
+        let mut totals = totals_matching(&f);
+        totals.staleness_cost += 0.1; // the per-EDP side accrued more than the series saw
+        let report = a.finish(&totals);
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            AuditError::SeriesMismatch {
+                what: "staleness_cost",
+                ..
+            }
+        )));
+        // The derived utility necessarily disagrees too.
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            AuditError::SeriesMismatch {
+                what: "utility",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn integer_tallies_must_match_exactly() {
+        let mut a = Auditor::new(AuditConfig::default(), true, RecorderHandle::noop());
+        let f = flows(0.0, 0.0);
+        a.observe_slot(&f);
+        let mut totals = totals_matching(&f);
+        totals.requests_served += 1;
+        let report = a.finish(&totals);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, AuditError::CountMismatch { what: "volume", .. })));
+    }
+
+    #[test]
+    fn non_finite_flows_are_flagged() {
+        let mut a = Auditor::new(AuditConfig::default(), true, RecorderHandle::noop());
+        let mut f = flows(0.0, 0.0);
+        f.utility = f64::NAN;
+        a.observe_slot(&f);
+        assert!(a.violations().iter().any(|v| matches!(
+            v,
+            AuditError::NonFinite {
+                what: "utility",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn first_violation_fires_one_schema_valid_event() {
+        let sink = Arc::new(MemorySink::new());
+        let mut a = Auditor::new(
+            AuditConfig::default(),
+            true,
+            RecorderHandle::new(sink.clone()),
+        );
+        // Two leaking slots — still exactly one audit.violation event.
+        a.observe_slot(&flows(1.0, 0.0));
+        a.observe_slot(&flows(1.0, 0.0));
+        let report = a.finish(&totals_matching(&flows(1.0, 0.0)));
+        assert!(report.violations.len() >= 2);
+        let events = sink.events();
+        let fired: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "audit.violation")
+            .collect();
+        assert_eq!(fired.len(), 1, "fire-once latch failed");
+        match fired[0].field("invariant") {
+            Some(Value::Str(s)) => assert_eq!(s, "I1"),
+            other => panic!("bad invariant field: {other:?}"),
+        }
+        assert!(fired[0].field("detail").is_some());
+        assert!(fired[0].field("epoch").is_some());
+        // The emitted line passes the normative JSONL schema.
+        let text: String = events.iter().map(|e| e.to_json_line() + "\n").collect();
+        assert_eq!(schema::validate_str(&text).unwrap(), events.len());
+    }
+
+    #[test]
+    fn population_totals_utility_is_eq10() {
+        let t = PopulationTotals {
+            trading_income: 10.0,
+            sharing_benefit: 2.0,
+            placement_cost: 3.0,
+            staleness_cost: 1.5,
+            sharing_cost: 0.5,
+            requests_served: 0,
+            case_counts: (0, 0, 0),
+        };
+        assert!((t.utility() - 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! Simulator-level differential oracles (invariant I5) and the
+//! audit-clean gate over every scheme. These live here, not in the
+//! library, because they need `mfgcp-sim` — a dev-only dependency cycle
+//! (the simulator itself depends on `mfgcp-check` for the auditor).
+
+use mfgcp_check::oracle::{
+    check_pricer, check_two_smallest, check_workspace_reuse, pricer_max_ulps,
+};
+use mfgcp_core::{
+    finite_population_price, ContentContext, MfgSolver, Params, SharedSupplyPricer, SolveMethod,
+};
+use mfgcp_sim::{baselines, CachingPolicy, SimConfig, Simulation};
+use proptest::{collection, prop_assert, proptest};
+
+fn small_params() -> Params {
+    Params {
+        time_steps: 16,
+        grid_h: 8,
+        grid_q: 32,
+        num_edps: 12,
+        ..Params::default()
+    }
+}
+
+fn schemes(params: &Params) -> Vec<Box<dyn CachingPolicy>> {
+    vec![
+        Box::new(baselines::MfgCpPolicy::new(params.clone()).unwrap()),
+        Box::new(baselines::MfgCpPolicy::without_sharing(params.clone()).unwrap()),
+        Box::new(baselines::Udcs::default()),
+        Box::new(baselines::MostPopularCaching::default()),
+        Box::new(baselines::RandomReplacement),
+    ]
+}
+
+#[test]
+fn every_scheme_passes_the_audit_on_the_small_config() {
+    let cfg = SimConfig {
+        audit: true,
+        ..SimConfig::small()
+    };
+    for policy in schemes(&cfg.params) {
+        let name = policy.name();
+        let mut sim = Simulation::new(cfg.clone(), policy).unwrap();
+        let report = sim.run();
+        let audit = report.audit.expect("audit was requested");
+        assert!(audit.is_clean(), "{name}: {:?}", audit.violations);
+        assert_eq!(audit.slots_checked, report.series.len(), "{name}");
+    }
+}
+
+#[test]
+fn threaded_and_single_threaded_runs_are_bit_identical() {
+    // The per-EDP phase (including the new per-slot cost buffer) must not
+    // leak any thread-count dependence into the series or the metrics.
+    let run = |threads: usize| {
+        let cfg = SimConfig {
+            worker_threads: threads,
+            audit: true,
+            ..SimConfig::small()
+        };
+        let policy = baselines::MostPopularCaching::default();
+        Simulation::new(cfg, Box::new(policy)).unwrap().run()
+    };
+    let single = run(1);
+    for threads in [2, 5, 8] {
+        let multi = run(threads);
+        assert_eq!(single.per_edp, multi.per_edp, "{threads} threads");
+        assert_eq!(single.series, multi.series, "{threads} threads");
+        assert!(multi.audit.expect("audited").is_clean());
+    }
+}
+
+#[test]
+fn workspace_reuse_is_bit_identical_to_fresh_solves() {
+    let params = small_params();
+    let solver = MfgSolver::new(params.clone()).unwrap();
+    let ctx = ContentContext::from_params(&params);
+    let contexts = vec![ctx; params.time_steps];
+    for method in [SolveMethod::PicardRelaxation, SolveMethod::FictitiousPlay] {
+        check_workspace_reuse(&solver, &contexts, method).unwrap();
+    }
+}
+
+#[test]
+fn workspace_reuse_survives_changing_contexts() {
+    // A workspace dirtied by one workload must reset cleanly for another.
+    let params = small_params();
+    let solver = MfgSolver::new(params.clone()).unwrap();
+    let busy = ContentContext {
+        requests: 8.0,
+        ..ContentContext::from_params(&params)
+    };
+    let contexts = vec![busy; params.time_steps];
+    check_workspace_reuse(&solver, &contexts, SolveMethod::PicardRelaxation).unwrap();
+}
+
+proptest! {
+    #[test]
+    fn pricer_is_exact_on_dyadic_profiles(
+        strategies in collection::vec(0u8..=64, 1..=24),
+        (p_hat_n, eta1_n, q_n) in (1u8..=40, 1u8..=16, 1u8..=16),
+    ) {
+        // Dyadic inputs (multiples of 2⁻⁶ and 2⁻², well inside the
+        // mantissa): every product and partial sum in both evaluation
+        // orders is exactly representable, so the O(1) total-minus-own
+        // pricer must agree with the O(M) Eq. (5) reference to the bit —
+        // the ≤ 1 ULP gate leaves room only for the final rounding.
+        let xs: Vec<f64> = strategies.iter().map(|&n| f64::from(n) / 64.0).collect();
+        let p_hat = f64::from(p_hat_n) / 4.0;
+        let eta1 = f64::from(eta1_n) / 4.0;
+        let q_size = f64::from(q_n) / 16.0;
+        let gap = pricer_max_ulps(p_hat, eta1, q_size, &xs);
+        prop_assert!(gap <= 1, "{gap} ULPs on a dyadic profile");
+        check_pricer(p_hat, eta1, q_size, &xs, 1).unwrap();
+    }
+
+    #[test]
+    fn pricer_stays_relatively_close_on_general_profiles(
+        strategies in collection::vec(0.0f64..=1.0, 1..=32),
+        (p_hat, eta1, q_size) in (4.0f64..=10.0, 0.1f64..=1.0, 0.1f64..=1.0),
+    ) {
+        // General reals: the two accumulation orders may differ by a few
+        // ULPs of the supply term. With p̂ dominating the supply term
+        // (η₁·Q_k·x̄ ≤ 1 here), the relative gap stays at rounding level.
+        let pricer = SharedSupplyPricer::new(p_hat, eta1, q_size, &strategies);
+        for (i, &own) in strategies.iter().enumerate() {
+            let fast = pricer.price(own);
+            let slow = finite_population_price(p_hat, eta1, q_size, &strategies, i);
+            prop_assert!(
+                (fast - slow).abs() <= 1e-12 * slow.abs().max(1.0),
+                "EDP {i}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_smallest_tracker_matches_a_full_scan(
+        keys in collection::vec(0.0f64..=1.0, 0..=24),
+        dup_every in 1usize..=4,
+    ) {
+        // Distinct ids, keys deliberately collided (quantized to a coarse
+        // grid every `dup_every`-th offer) to stress the tie-breaking.
+        let offers: Vec<(usize, f64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let key = if i % dup_every == 0 { (k * 4.0).floor() / 4.0 } else { k };
+                (i, key)
+            })
+            .collect();
+        check_two_smallest(&offers).unwrap();
+    }
+}

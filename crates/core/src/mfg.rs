@@ -188,6 +188,14 @@ impl Equilibrium {
         self.density[n].marginal_y()
     }
 
+    /// Total FPK mass `∫λ(t_n) dS` at every stored step, `n = 0..=N`.
+    /// The transport scheme is conservative, so each entry should sit
+    /// within discretization error of 1 — the `mfgcp-check` auditor gates
+    /// on exactly this series (invariant I4).
+    pub fn mass_series(&self) -> Vec<f64> {
+        self.density.iter().map(Field2d::integral).collect()
+    }
+
     /// Population-average utility breakdown at each macro step:
     /// `Ū(t_n) = ∬ U(x*(S), S) λ(t_n, S) dS`, split by component.
     ///
@@ -366,6 +374,28 @@ pub struct SolveWorkspace {
     fpk_scratch: FpkScratch,
     residuals: Vec<f64>,
     update_norms: Vec<f64>,
+}
+
+impl SolveWorkspace {
+    /// The policy trajectory left by the last
+    /// [`MfgSolver::solve_with_workspace`] call (`time_steps` fields).
+    /// Exposed read-only so differential harnesses (`mfgcp-check`) can
+    /// compare reused-workspace solves against fresh solves bit-for-bit.
+    pub fn policy(&self) -> &[Field2d] {
+        &self.policy
+    }
+
+    /// The density trajectory left by the last solve (`time_steps + 1`
+    /// fields).
+    pub fn density(&self) -> &[Field2d] {
+        &self.density
+    }
+
+    /// The value-function trajectory left by the last solve
+    /// (`time_steps + 1` fields).
+    pub fn values(&self) -> &[Field2d] {
+        &self.values
+    }
 }
 
 /// MFG-CP solver implementing Alg. 2.

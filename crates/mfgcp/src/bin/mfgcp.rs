@@ -283,4 +283,16 @@ fn run_simulate(config: SimConfig, scheme: Scheme, mobility: bool, telemetry: Op
         report.mean_sharing_benefit()
     );
     println!("{:<22} {:>12}", "cases (1/2/3)", format!("{c1}/{c2}/{c3}"));
+    if let Some(audit) = report.audit {
+        println!("\n{audit}");
+        if !audit.is_clean() {
+            for violation in audit.violations.iter().take(10) {
+                eprintln!("audit violation [{}]: {violation}", violation.invariant());
+            }
+            if audit.violations.len() > 10 {
+                eprintln!("... and {} more", audit.violations.len() - 10);
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -188,7 +188,7 @@ USAGE:
                    [--save-equilibrium FILE.eq]
     mfgcp simulate [--scheme mfg-cp|mfg|udcs|mpc|rr] [--edps N]
                    [--requesters N] [--contents K] [--epochs E]
-                   [--slots N] [--seed S] [--mobility]
+                   [--slots N] [--seed S] [--mobility] [--audit]
                    [--telemetry FILE.jsonl]
                    (plus all `solve` flags for the game parameters)
     mfgcp serve    --artifact FILE.eq [--addr HOST:PORT] [--threads N]
@@ -210,6 +210,11 @@ query stops it. `query` issues one request against a running server.
 health, market clearing, mobility, serving) to FILE as one JSON object
 per line; see DESIGN.md for the event schema. Recording never changes
 results.
+
+`--audit` runs the mfgcp-check conservation auditor alongside the
+simulation (money conservation, case tallies, Eq. (10) reconciliation,
+FPK mass gating); the process exits nonzero if any invariant is
+violated.
 ";
 
 fn parse_f64(flag: &str, value: &str) -> Result<f64, CliError> {
@@ -309,6 +314,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             while let Some(flag) = it.next() {
                 if flag == "--mobility" {
                     mobility = true;
+                    continue;
+                }
+                if flag == "--audit" {
+                    config.audit = true;
                     continue;
                 }
                 let value = it
@@ -502,6 +511,23 @@ mod tests {
                 assert_eq!(config.params.eta1, 3.0);
                 assert!(mobility);
             }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn audit_flag_enables_the_auditor() {
+        let cmd = parse(&argv("simulate --scheme mpc --audit --slots 5")).unwrap();
+        match cmd {
+            Command::Simulate { config, .. } => {
+                assert!(config.audit);
+                assert_eq!(config.slots_per_epoch, 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(&argv("simulate --scheme mpc")).unwrap();
+        match cmd {
+            Command::Simulate { config, .. } => assert!(!config.audit),
             other => panic!("unexpected {other:?}"),
         }
     }

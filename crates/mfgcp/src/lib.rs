@@ -20,7 +20,11 @@
 //!   timeliness (Def. 2), request processes and the trace layer;
 //! * [`serve`] — the serving layer: checksummed equilibrium artifacts
 //!   (`solve --save-equilibrium`) and the TCP policy server / client
-//!   behind `mfgcp serve` and `mfgcp query`.
+//!   behind `mfgcp serve` and `mfgcp query`;
+//! * [`check`] — the economic-conservation auditor and differential
+//!   oracles behind `mfgcp simulate --audit`: money conservation,
+//!   case-tally consistency, Eq. (10) reconciliation, FPK mass gating,
+//!   and bit-level pricer/matching/workspace cross-checks.
 //!
 //! ```
 //! use mfgcp::prelude::*;
@@ -35,6 +39,7 @@
 
 pub mod cli;
 
+pub use mfgcp_check as check;
 pub use mfgcp_core as core;
 pub use mfgcp_net as net;
 pub use mfgcp_obs as obs;
@@ -46,6 +51,7 @@ pub use mfgcp_workload as workload;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
+    pub use mfgcp_check::{AuditError, AuditReport, Auditor};
     pub use mfgcp_core::{
         solve_01, solve_fractional, CachePlan, ContentContext, Equilibrium, Framework,
         FrameworkConfig, KnapsackItem, MeanFieldEstimator, MeanFieldSnapshot, MfgSolver, Params,

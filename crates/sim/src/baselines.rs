@@ -131,6 +131,14 @@ impl CachingPolicy for MfgCpPolicy {
             .collect();
     }
 
+    fn prepared_equilibria(&self) -> Vec<(usize, &Equilibrium)> {
+        self.equilibria
+            .iter()
+            .enumerate()
+            .filter_map(|(k, eq)| eq.as_ref().map(|e| (k, e)))
+            .collect()
+    }
+
     fn decide(&self, ctx: &DecisionContext, _rng: &mut SimRng) -> f64 {
         match self.equilibria.get(ctx.content).and_then(Option::as_ref) {
             Some(eq) => eq.policy_at(ctx.t_in_epoch, ctx.h, ctx.q),

@@ -39,6 +39,14 @@ pub struct SimConfig {
     pub mobility: Option<RandomWaypoint>,
     /// Timeliness generation parameters.
     pub timeliness: TimelinessConfig,
+    /// Run the `mfgcp-check` conservation auditor alongside the
+    /// simulation: per-slot money conservation and case-tally checks,
+    /// FPK mass/policy gating of every prepared equilibrium, and the
+    /// end-of-run Eq. (10) reconciliation of the slot series against the
+    /// per-EDP accumulators. The auditor reads flows the engine computes
+    /// anyway, so enabling it never perturbs the run; the report lands in
+    /// `SimReport::audit`.
+    pub audit: bool,
     /// Master RNG seed (per-EDP streams derive from it).
     pub seed: u64,
     /// Worker threads for the parallel per-EDP phase; `0` = one per
@@ -62,6 +70,7 @@ impl Default for SimConfig {
             network: NetworkConfig::default(),
             mobility: None,
             timeliness: TimelinessConfig::default(),
+            audit: false,
             seed: 42,
             worker_threads: 0,
         }

@@ -19,9 +19,10 @@
 //! stream, so results are bit-identical regardless of thread count (the
 //! count itself is `SimConfig::worker_threads`, 0 = one per core).
 
+use mfgcp_check::{AuditConfig, AuditReport, Auditor, PopulationTotals, SlotFlows, TwoSmallest};
 use mfgcp_core::{ContentContext, RateModel, SharedSupplyPricer};
 use mfgcp_net::{ChannelState, MobileRequesters, Topology};
-use mfgcp_obs::RecorderHandle;
+use mfgcp_obs::{RecorderHandle, Value};
 use mfgcp_sde::{seeded_rng, SimRng};
 use mfgcp_workload::{trace::SyntheticYoutubeTrace, trace::Trace, RequestBatch, RequestProcess};
 
@@ -43,6 +44,10 @@ pub struct SimReport {
     pub series: Vec<SlotMetrics>,
     /// Number of epochs simulated.
     pub epochs: usize,
+    /// Conservation-audit report when `SimConfig::audit` was set
+    /// (`None` otherwise). A clean report certifies invariants I1–I4 for
+    /// this run; see the `mfgcp-check` crate docs.
+    pub audit: Option<AuditReport>,
 }
 
 impl SimReport {
@@ -116,10 +121,10 @@ pub struct Simulation {
 struct MarketScratch {
     /// `Σ_i x_{i,k}` per content (Eq. (5) shared supply).
     sum_x: Vec<f64>,
-    /// Best-stocked qualified sharer per content `(id, q)`.
-    best: Vec<Option<(usize, f64)>>,
-    /// Runner-up sharer per content (used when the best is the buyer).
-    second: Vec<Option<(usize, f64)>>,
+    /// Two best-stocked qualified sharers per content (best + runner-up,
+    /// for when the best is the buyer) — the `mfgcp-check` tracker whose
+    /// equivalence to a full `min_by` scan is property-tested there.
+    sharers: Vec<TwoSmallest>,
     /// Contiguous k = 0 strategy column for the mean-price statistic.
     x0: Vec<f64>,
     /// Sharing thresholds `α·Q_k`, hoisted out of the population loop.
@@ -288,18 +293,47 @@ impl Simulation {
     /// Run the configured number of epochs, consuming per-slot dynamics.
     pub fn run(&mut self) -> SimReport {
         let mut series = Vec::with_capacity(self.cfg.epochs * self.cfg.slots_per_epoch);
+        let mut auditor = self.cfg.audit.then(|| {
+            Auditor::new(
+                AuditConfig::default(),
+                self.policy.allows_sharing(),
+                self.recorder.clone(),
+            )
+        });
         for epoch in 0..self.cfg.epochs {
-            self.run_epoch(epoch, &mut series);
+            self.run_epoch(epoch, &mut series, &mut auditor);
         }
+        let per_edp: Vec<EdpMetrics> = self.edps.iter().map(|e| e.metrics).collect();
+        let audit = auditor.map(|a| {
+            let mut totals = PopulationTotals::default();
+            for m in &per_edp {
+                totals.trading_income += m.trading_income;
+                totals.sharing_benefit += m.sharing_benefit;
+                totals.placement_cost += m.placement_cost;
+                totals.staleness_cost += m.staleness_cost;
+                totals.sharing_cost += m.sharing_cost;
+                totals.requests_served += m.requests_served;
+                totals.case_counts.0 += m.case_counts.0;
+                totals.case_counts.1 += m.case_counts.1;
+                totals.case_counts.2 += m.case_counts.2;
+            }
+            a.finish(&totals)
+        });
         SimReport {
             scheme: self.policy.name().to_string(),
-            per_edp: self.edps.iter().map(|e| e.metrics).collect(),
+            per_edp,
             series,
             epochs: self.cfg.epochs,
+            audit,
         }
     }
 
-    fn run_epoch(&mut self, epoch: usize, series: &mut Vec<SlotMetrics>) {
+    fn run_epoch(
+        &mut self,
+        epoch: usize,
+        series: &mut Vec<SlotMetrics>,
+        auditor: &mut Option<Auditor>,
+    ) {
         // Mobility: re-associate requesters to their nearest EDP at the
         // epoch boundary ("default serving EDP that is nearest
         // geographically", §II).
@@ -315,6 +349,13 @@ impl Simulation {
         );
         self.policy.prepare_epoch(&contexts);
         prep.close(&[]);
+        if let Some(aud) = auditor.as_mut() {
+            // I4: gate every freshly solved equilibrium before it steers
+            // a single decision.
+            for (k, eq) in self.policy.prepared_equilibria() {
+                aud.check_equilibrium(epoch, k, eq);
+            }
+        }
         let process = RequestProcess::new(self.cfg.request_prob, weights, self.cfg.timeliness)
             .expect("validated request parameters");
 
@@ -350,27 +391,40 @@ impl Simulation {
                 .collect();
 
             // ---- Parallel phase: requests, decisions, state integration.
-            let batches =
+            let (batches, phase_costs) =
                 self.parallel_edp_phase(&process, &mean_fadings, &cached_fraction, t_in_epoch, dt);
 
             // ---- Sequential phase: market clearing per content.
-            let slot_stats = self.clear_market(&batches, &mean_fadings, dt);
+            let mut slot_stats = self.clear_market(&batches, &mean_fadings, dt);
+            // Fold the parallel phase's rate-type costs (Eq. (8) placement,
+            // Eq. (9) center-download term) into the slot aggregates so the
+            // series carries every Eq. (10) term the per-EDP accumulators
+            // do. Summed sequentially in `i` order — the per-EDP buffer is
+            // written by whichever thread owns the chunk, but each entry is
+            // that EDP's alone, so this sum is bit-identical for any
+            // thread count.
+            for c in &phase_costs {
+                slot_stats.placement += c.placement;
+                slot_stats.staleness += c.rate_staleness;
+                slot_stats.utility -= c.placement + c.rate_staleness;
+            }
             if self.recorder.enabled() {
-                self.recorder.event(
-                    "market.slot",
-                    &[
-                        ("epoch", epoch.into()),
-                        ("slot", slot.into()),
-                        ("nanos", slot_stats.nanos.into()),
-                        ("volume", slot_stats.volume.into()),
-                        ("case1", slot_stats.case1.into()),
-                        ("case2", slot_stats.case2.into()),
-                        ("case3", slot_stats.case3.into()),
-                        ("mean_price", slot_stats.mean_price.into()),
-                        ("min_price", slot_stats.min_price.into()),
-                        ("max_price", slot_stats.max_price.into()),
-                    ],
-                );
+                self.recorder
+                    .event("market.slot", &slot_event_fields(epoch, slot, &slot_stats));
+            }
+            if let Some(aud) = auditor.as_mut() {
+                aud.observe_slot(&SlotFlows {
+                    epoch,
+                    slot,
+                    trading_income: slot_stats.income,
+                    sharing_earned: slot_stats.share_benefit,
+                    sharing_paid: slot_stats.sharing_cost,
+                    placement_cost: slot_stats.placement,
+                    staleness_cost: slot_stats.staleness,
+                    utility: slot_stats.utility,
+                    volume: slot_stats.volume,
+                    cases: (slot_stats.case1, slot_stats.case2, slot_stats.case3),
+                });
             }
 
             for (e, batch) in self.edps.iter().zip(&batches) {
@@ -389,6 +443,8 @@ impl Simulation {
                 slot_trading_income: slot_stats.income / m,
                 slot_sharing_benefit: slot_stats.share_benefit / m,
                 slot_staleness_cost: slot_stats.staleness / m,
+                slot_placement_cost: slot_stats.placement / m,
+                slot_sharing_cost: slot_stats.sharing_cost / m,
             });
         }
 
@@ -399,7 +455,10 @@ impl Simulation {
     }
 
     /// Requests + decisions + Eq. (4) integration, parallel over disjoint
-    /// EDP chunks.
+    /// EDP chunks. Returns each EDP's request batch and the rate-type
+    /// costs it accrued this slot (one entry per EDP, written only by the
+    /// thread owning that EDP's chunk, so downstream sequential sums are
+    /// thread-count-independent).
     fn parallel_edp_phase(
         &mut self,
         process: &RequestProcess,
@@ -407,7 +466,7 @@ impl Simulation {
         cached_fraction: &[f64],
         t_in_epoch: f64,
         dt: f64,
-    ) -> Vec<RequestBatch> {
+    ) -> (Vec<RequestBatch>, Vec<PhaseCost>) {
         let cfg = &self.cfg;
         let policy = &*self.policy;
         let topology = &self.topology;
@@ -422,13 +481,21 @@ impl Simulation {
         let chunk_size = self.edps.len().div_ceil(n_threads).max(1);
         let mut batches: Vec<RequestBatch> =
             vec![RequestBatch::empty(cfg.num_contents); self.edps.len()];
+        let mut costs: Vec<PhaseCost> = vec![PhaseCost::default(); self.edps.len()];
 
         std::thread::scope(|scope| {
             let mut edp_chunks: Vec<&mut [Edp]> = self.edps.chunks_mut(chunk_size).collect();
             let batch_chunks: Vec<&mut [RequestBatch]> = batches.chunks_mut(chunk_size).collect();
-            for (edp_chunk, batch_chunk) in edp_chunks.drain(..).zip(batch_chunks) {
+            let cost_chunks: Vec<&mut [PhaseCost]> = costs.chunks_mut(chunk_size).collect();
+            for ((edp_chunk, batch_chunk), cost_chunk) in
+                edp_chunks.drain(..).zip(batch_chunks).zip(cost_chunks)
+            {
                 scope.spawn(move || {
-                    for (e, batch) in edp_chunk.iter_mut().zip(batch_chunk.iter_mut()) {
+                    for ((e, batch), cost) in edp_chunk
+                        .iter_mut()
+                        .zip(batch_chunk.iter_mut())
+                        .zip(cost_chunk.iter_mut())
+                    {
                         let served = topology.served_by(e.id).len();
                         *batch = process.generate(served, &mut e.rng);
                         // Timeliness observations (Def. 2).
@@ -472,17 +539,22 @@ impl Simulation {
                             e.q[k] = (e.q[k] + drift * dt + noise).clamp(0.0, q_size);
                             // Rate-type costs: placement (Eq. (8)) and the
                             // center download of the caching rate (Eq. (9),
-                            // first term), both × dt.
-                            e.metrics.placement_cost +=
-                                (cfg.params.w4 * x + cfg.params.w5 * x * x) * dt;
-                            e.metrics.staleness_cost +=
+                            // first term), both × dt. Accrued on the EDP's
+                            // accumulator *and* reported per slot so the
+                            // slot series stays Eq. (10)-complete.
+                            let placement = (cfg.params.w4 * x + cfg.params.w5 * x * x) * dt;
+                            let rate_staleness =
                                 cfg.params.eta2 * q_size * x / cfg.params.center_rate * dt;
+                            e.metrics.placement_cost += placement;
+                            e.metrics.staleness_cost += rate_staleness;
+                            cost.placement += placement;
+                            cost.rate_staleness += rate_staleness;
                         }
                     }
                 });
             }
         });
-        batches
+        (batches, costs)
     }
 
     /// Sequential market clearing; returns slot-level aggregates.
@@ -519,10 +591,8 @@ impl Simulation {
         let s = &mut self.market_scratch;
         s.sum_x.clear();
         s.sum_x.resize(kk, 0.0);
-        s.best.clear();
-        s.best.resize(kk, None);
-        s.second.clear();
-        s.second.resize(kk, None);
+        s.sharers.clear();
+        s.sharers.resize(kk, TwoSmallest::new());
         s.x0.clear();
         s.x0.resize(m, 0.0);
         s.alpha_qks.clear();
@@ -537,23 +607,13 @@ impl Simulation {
             for k in 0..kk {
                 s.sum_x[k] += e.x[k];
                 // Center's peer assignment: the best-stocked qualified
-                // sharer has the smallest remaining space. Tracking the two
-                // smallest (first-minimal on ties, matching a `min_by` scan
-                // in id order) answers every "minimum excluding EDP i"
+                // sharer has the smallest remaining space. The two-smallest
+                // tracker (first-minimal on ties, matching a `min_by` scan
+                // in id order — property-tested against that scan in
+                // `mfgcp-check`) answers every "minimum excluding EDP i"
                 // query in O(1).
                 if e.can_share(k, s.alpha_qks[k]) {
-                    let cand = (e.id, e.q[k]);
-                    match s.best[k] {
-                        Some(b) if cand.1 >= b.1 => {
-                            if s.second[k].map_or(true, |sec| cand.1 < sec.1) {
-                                s.second[k] = Some(cand);
-                            }
-                        }
-                        _ => {
-                            s.second[k] = s.best[k];
-                            s.best[k] = Some(cand);
-                        }
-                    }
+                    s.sharers[k].offer(e.id, e.q[k]);
                 }
                 let requests = batches[i].counts[k] as u64;
                 if requests > 0 {
@@ -579,7 +639,7 @@ impl Simulation {
             if k == 0 {
                 agg.mean_price = s.x0.iter().map(|&x| pricer.price(x)).sum::<f64>() / m as f64;
             }
-            let (best, second) = (s.best[k], s.second[k]);
+            let sharers = s.sharers[k];
 
             for &(i, requests) in &s.requesters[k] {
                 let price = pricer.price(self.edps[i].x[k]);
@@ -590,10 +650,7 @@ impl Simulation {
                 // which both completes the most data and minimizes the
                 // buyer's fee.
                 let peer = if sharing_allowed && self.edps[i].q[k] > alpha_qk {
-                    match best {
-                        Some((s, _)) if s == i => second,
-                        found => found,
-                    }
+                    sharers.min_excluding(i)
                 } else {
                     None
                 };
@@ -632,6 +689,7 @@ impl Simulation {
                 agg.volume += requests;
                 agg.income += out.income;
                 agg.staleness += out.staleness_cost;
+                agg.sharing_cost += out.sharing_cost;
                 agg.utility += out.income - out.staleness_cost - out.sharing_cost;
                 if let Some(peer_idx) = out.peer {
                     // Eq. (7): the fee is the peer's sharing benefit.
@@ -655,11 +713,51 @@ impl Simulation {
     }
 }
 
+/// Rate-type costs one EDP accrues during the parallel phase of one slot
+/// (Eq. (8) placement and the Eq. (9) center-download term). Collected
+/// per EDP so the sequential slot aggregation is independent of how the
+/// population was chunked across threads.
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseCost {
+    placement: f64,
+    rate_staleness: f64,
+}
+
+/// The `market.slot` telemetry payload for one cleared slot. The price
+/// extremes are omitted on zero-volume slots: nobody was charged, so the
+/// `±inf` tracker sentinels are not observations and would only pollute
+/// downstream aggregations (JSON renders them as strings).
+fn slot_event_fields(
+    epoch: usize,
+    slot: usize,
+    agg: &SlotAggregates,
+) -> Vec<(&'static str, Value)> {
+    let mut fields: Vec<(&'static str, Value)> = vec![
+        ("epoch", epoch.into()),
+        ("slot", slot.into()),
+        ("nanos", agg.nanos.into()),
+        ("volume", agg.volume.into()),
+        ("case1", agg.case1.into()),
+        ("case2", agg.case2.into()),
+        ("case3", agg.case3.into()),
+        ("mean_price", agg.mean_price.into()),
+    ];
+    if agg.volume > 0 {
+        fields.push(("min_price", agg.min_price.into()));
+        fields.push(("max_price", agg.max_price.into()));
+    }
+    fields
+}
+
 #[derive(Debug, Clone, Copy)]
 struct SlotAggregates {
     income: f64,
     staleness: f64,
     share_benefit: f64,
+    /// Sharing fees paid by buyers this slot (mirror of `share_benefit`).
+    sharing_cost: f64,
+    /// Eq. (8) placement cost accrued in the parallel phase this slot.
+    placement: f64,
     utility: f64,
     mean_price: f64,
     /// Wall-clock nanoseconds this slot's clearing took.
@@ -682,6 +780,8 @@ impl Default for SlotAggregates {
             income: 0.0,
             staleness: 0.0,
             share_benefit: 0.0,
+            sharing_cost: 0.0,
+            placement: 0.0,
             utility: 0.0,
             mean_price: 0.0,
             nanos: 0,
@@ -919,6 +1019,123 @@ mod tests {
             assert!(e.q.iter().all(|q| q.is_finite()));
             assert!(e.x.iter().all(|x| (0.0..=1.0).contains(x)));
         }
+    }
+
+    #[test]
+    fn slot_series_reconciles_with_per_edp_eq10() {
+        // Invariant I3: summing the slot series over the whole run must
+        // reproduce the per-EDP accumulated totals for every Eq. (10)
+        // term — the series previously dropped the Eq. (8) placement cost
+        // and the Eq. (9) center-download term (both accrued only on the
+        // per-EDP side), so its utility overstated the market's.
+        let policy = crate::baselines::MfgCpPolicy::new(SimConfig::small().params).unwrap();
+        let mut sim = small_sim(Box::new(policy));
+        let report = sim.run();
+        let m = report.per_edp.len() as f64;
+        let series_sum =
+            |f: fn(&SlotMetrics) -> f64| -> f64 { report.series.iter().map(f).sum::<f64>() * m };
+        let edp_sum = |f: fn(&EdpMetrics) -> f64| -> f64 { report.per_edp.iter().map(f).sum() };
+        let pairs = [
+            (
+                "utility",
+                series_sum(|s| s.slot_utility),
+                edp_sum(EdpMetrics::utility),
+            ),
+            (
+                "trading_income",
+                series_sum(|s| s.slot_trading_income),
+                edp_sum(|e| e.trading_income),
+            ),
+            (
+                "sharing_benefit",
+                series_sum(|s| s.slot_sharing_benefit),
+                edp_sum(|e| e.sharing_benefit),
+            ),
+            (
+                "staleness_cost",
+                series_sum(|s| s.slot_staleness_cost),
+                edp_sum(|e| e.staleness_cost),
+            ),
+            (
+                "placement_cost",
+                series_sum(|s| s.slot_placement_cost),
+                edp_sum(|e| e.placement_cost),
+            ),
+            (
+                "sharing_cost",
+                series_sum(|s| s.slot_sharing_cost),
+                edp_sum(|e| e.sharing_cost),
+            ),
+        ];
+        for (what, series, per_edp) in pairs {
+            assert!(
+                (series - per_edp).abs() <= 1e-9 * per_edp.abs().max(1.0),
+                "{what}: slot series {series} vs per-EDP {per_edp}"
+            );
+        }
+        // The fix must not have turned the flows trivial.
+        assert!(edp_sum(|e| e.placement_cost) > 0.0);
+    }
+
+    #[test]
+    fn audited_run_is_clean_and_reported() {
+        let cfg = SimConfig {
+            audit: true,
+            ..SimConfig::small()
+        };
+        let policy = crate::baselines::MfgCpPolicy::new(cfg.params.clone()).unwrap();
+        let mut sim = Simulation::new(cfg, Box::new(policy)).unwrap();
+        let report = sim.run();
+        let audit = report.audit.expect("audit was requested");
+        assert!(audit.is_clean(), "{:?}", audit.violations);
+        assert_eq!(audit.slots_checked, report.series.len());
+        assert!(audit.equilibria_checked > 0, "no equilibria were gated");
+        // Audit off ⇒ no report, and the run itself is unperturbed.
+        let policy = crate::baselines::MfgCpPolicy::new(SimConfig::small().params).unwrap();
+        let plain = small_sim(Box::new(policy)).run();
+        assert!(plain.audit.is_none());
+        assert_eq!(plain.per_edp, report.per_edp);
+    }
+
+    #[test]
+    fn idle_slot_event_omits_price_extremes() {
+        // A zero-volume slot used to emit `min_price = inf` /
+        // `max_price = -inf` sentinels (serialized as JSON strings); the
+        // two fields are now simply absent.
+        let idle = SlotAggregates::default();
+        let fields = slot_event_fields(3, 7, &idle);
+        assert!(fields
+            .iter()
+            .all(|(k, _)| *k != "min_price" && *k != "max_price"));
+        assert!(fields.iter().any(|(k, _)| *k == "mean_price"));
+        // A slot with volume carries both extremes as finite gauges.
+        let busy = SlotAggregates {
+            volume: 5,
+            min_price: 1.25,
+            max_price: 4.5,
+            ..SlotAggregates::default()
+        };
+        let fields = slot_event_fields(0, 0, &busy);
+        let get = |name: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(get("min_price"), Some(mfgcp_obs::Value::F64(1.25)));
+        assert_eq!(get("max_price"), Some(mfgcp_obs::Value::F64(4.5)));
+        // End-to-end: clearing a slot where nobody requests anything
+        // produces the idle shape straight from the engine's aggregates.
+        let mut sim = small_sim(Box::new(MostPopularCaching::default()));
+        let m = sim.edps.len();
+        let batches = vec![RequestBatch::empty(sim.cfg.num_contents); m];
+        let mean_fadings = vec![sim.cfg.params.upsilon_h; m];
+        let agg = sim.clear_market(&batches, &mean_fadings, 0.1);
+        assert_eq!(agg.volume, 0);
+        let fields = slot_event_fields(0, 0, &agg);
+        assert!(fields
+            .iter()
+            .all(|(k, _)| *k != "min_price" && *k != "max_price"));
     }
 
     #[test]

@@ -25,6 +25,13 @@
 //! per-EDP RNG streams, so results are reproducible regardless of the
 //! thread count.
 //!
+//! Setting [`SimConfig::audit`] (or `mfgcp simulate --audit`) runs the
+//! `mfgcp-check` conservation auditor alongside the simulation: money
+//! conservation in the sharing market, case-tally consistency, FPK mass
+//! gating of every prepared equilibrium, and the end-of-run Eq. (10)
+//! reconciliation of the slot series against the per-EDP accumulators.
+//! The report lands in [`SimReport::audit`].
+//!
 //! # Example
 //!
 //! ```
@@ -51,7 +58,7 @@ pub mod timing;
 pub use config::SimConfig;
 pub use edp::Edp;
 pub use engine::{SimReport, Simulation};
-pub use market::{MarketOutcome, TradeCase};
+pub use market::{resolve_trade, MarketOutcome, TradeCase};
 pub use metrics::{EdpMetrics, SlotMetrics};
 pub use policy::{CachingPolicy, DecisionContext};
 

@@ -50,7 +50,14 @@ impl EdpMetrics {
 /// state/price columns track **content `k = 0` only** — the paper's
 /// evolution figures (Figs. 4–7, 11) follow a single tagged content, and
 /// `k = 0` is the most popular one under the Zipf initial ranking. The
-/// `slot_*` flow columns aggregate over the whole catalog.
+/// `slot_*` flow columns aggregate over the whole catalog and are
+/// **Eq. (10)-complete**: every flow the per-EDP accumulators see lands in
+/// exactly one slot, so `Σ_slots slot_utility · M = Σ_i utility_i` (and
+/// likewise per term) up to floating-point reassociation — the
+/// `mfgcp-check` auditor enforces this as invariant I3. In particular
+/// `slot_utility` includes the rate-type costs accrued in the parallel
+/// EDP phase (Eq. (8) placement and the Eq. (9) center-download term),
+/// not just the market-clearing outcomes.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SlotMetrics {
     /// Slot start time within the run.
@@ -62,14 +69,24 @@ pub struct SlotMetrics {
     /// Mean Eq. (5) trading price of content 0 across *all* EDPs (idle
     /// requesters included).
     pub mean_price: f64,
-    /// Population-mean utility accumulated in this slot.
+    /// Population-mean utility accumulated in this slot (all Eq. (10)
+    /// terms: trading income + sharing benefit − placement − staleness −
+    /// sharing cost).
     pub slot_utility: f64,
     /// Population-mean trading income accumulated in this slot.
     pub slot_trading_income: f64,
     /// Population-mean sharing benefit accumulated in this slot.
     pub slot_sharing_benefit: f64,
-    /// Population-mean staleness cost accumulated in this slot.
+    /// Population-mean staleness cost accumulated in this slot (both
+    /// Eq. (9) terms: the center-download rate cost from the parallel
+    /// phase and the per-request delay cost from trade resolution).
     pub slot_staleness_cost: f64,
+    /// Population-mean Eq. (8) placement cost accrued in this slot.
+    pub slot_placement_cost: f64,
+    /// Population-mean sharing cost (fees paid to peers) in this slot.
+    /// Mirrors `slot_sharing_benefit` exactly — the market neither mints
+    /// nor burns money (invariant I1).
+    pub slot_sharing_cost: f64,
 }
 
 /// Mean of per-EDP utilities.

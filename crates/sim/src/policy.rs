@@ -1,6 +1,6 @@
 //! The placement-policy abstraction shared by MFG-CP and the baselines.
 
-use mfgcp_core::ContentContext;
+use mfgcp_core::{ContentContext, Equilibrium};
 use mfgcp_obs::RecorderHandle;
 use mfgcp_sde::SimRng;
 
@@ -67,6 +67,16 @@ pub trait CachingPolicy: Send + Sync {
     /// so. Default: no preparation.
     fn prepare_epoch(&mut self, contexts: &[ContentContext]) {
         let _ = contexts;
+    }
+
+    /// The mean-field equilibria the last [`CachingPolicy::prepare_epoch`]
+    /// produced, as `(content, equilibrium)` pairs — what the
+    /// `mfgcp-check` auditor gates for FPK mass drift and policy range
+    /// (invariant I4). Baselines that solve nothing return nothing
+    /// (default); MFG-CP returns one entry per successfully solved
+    /// content.
+    fn prepared_equilibria(&self) -> Vec<(usize, &Equilibrium)> {
+        Vec::new()
     }
 
     /// The caching rate for one (EDP, content) pair at one slot.

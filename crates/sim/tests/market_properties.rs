@@ -1,0 +1,110 @@
+//! Property tests for the per-slot trade resolution (`resolve_trade`) —
+//! the Alg. 1 lines 11–14 economics that every scheme's metrics flow
+//! through. The conservation auditor (`mfgcp-check`) enforces the same
+//! facts at run time; these tests pin them at the unit level.
+
+use mfgcp_sim::{resolve_trade, TradeCase};
+use proptest::{prop_assert, proptest};
+
+/// Common strategy space: a content in `(0, 1]` units, a sharing
+/// threshold strictly inside it, and economically sane coefficients.
+fn scale(q_size: f64, frac: f64) -> f64 {
+    q_size * frac
+}
+
+proptest! {
+    #[test]
+    fn income_is_nonnegative_finite_and_linear_in_requests(
+        (q_size, alpha, q_frac, peer_frac) in (0.2f64..=1.0, 0.05f64..=0.5, 0.0f64..=1.0, 0.0f64..=1.0),
+        (price, rate_edge, center_rate) in (0.0f64..=5.0, 0.5f64..=10.0, 0.5f64..=10.0),
+        (eta2, p_bar, requests, with_peer) in (0.1f64..=2.0, 0.1f64..=2.0, 1u64..=20, 0u8..=1),
+    ) {
+        let alpha_qk = scale(q_size, alpha);
+        let q_own = scale(q_size, q_frac);
+        // A qualified peer holds q_peer ≤ α·Q_k.
+        let peer = (with_peer == 1).then(|| (7usize, scale(alpha_qk, peer_frac)));
+        let resolve = |r: u64| {
+            resolve_trade(
+                q_size, alpha_qk, q_own, peer, price, r, rate_edge, center_rate, eta2, p_bar,
+            )
+        };
+        let one = resolve(1);
+        let many = resolve(requests);
+        prop_assert!(one.income >= 0.0 && one.income.is_finite());
+        prop_assert!(many.income >= 0.0 && many.income.is_finite());
+        prop_assert!(many.staleness_cost >= 0.0 && many.staleness_cost.is_finite());
+        // Income and per-request delay scale linearly in the batch size
+        // (each request sells and ships the same completed portion).
+        let r = requests as f64;
+        prop_assert!(
+            (many.income - r * one.income).abs() <= 1e-12 * (r * one.income).abs().max(1.0),
+            "income not linear: {} vs {} × {}", many.income, r, one.income
+        );
+        prop_assert!(
+            (many.staleness_cost - r * one.staleness_cost).abs()
+                <= 1e-12 * (r * one.staleness_cost).abs().max(1.0),
+            "staleness not linear: {} vs {} × {}", many.staleness_cost, r, one.staleness_cost
+        );
+        // The sharing fee is per batch, not per request, and never negative.
+        prop_assert!(many.sharing_cost >= 0.0 && many.sharing_cost.is_finite());
+        prop_assert!(many.sharing_cost.to_bits() == one.sharing_cost.to_bits());
+    }
+
+    #[test]
+    fn peer_share_requires_a_short_buyer_and_an_offered_peer(
+        (q_size, alpha, q_frac, peer_frac) in (0.2f64..=1.0, 0.05f64..=0.5, 0.0f64..=1.0, 0.0f64..=1.0),
+        (requests, with_peer) in (0u64..=10, 0u8..=1),
+    ) {
+        let alpha_qk = scale(q_size, alpha);
+        let q_own = scale(q_size, q_frac);
+        let peer = (with_peer == 1).then(|| (3usize, scale(alpha_qk, peer_frac)));
+        let out = resolve_trade(
+            q_size, alpha_qk, q_own, peer, 4.0, requests, 5.0, 2.5, 1.0, 1.0,
+        );
+        // Case 2 fires exactly when: some requests, the buyer is above the
+        // sharing threshold, and a peer was offered.
+        let expect_share = requests > 0 && q_own > alpha_qk && peer.is_some();
+        prop_assert!(
+            (out.case == TradeCase::PeerShare) == expect_share,
+            "case {:?} with q_own {q_own}, threshold {alpha_qk}, peer {peer:?}, r {requests}",
+            out.case
+        );
+        // The peer and the fee travel together: both present in case 2,
+        // both absent otherwise.
+        prop_assert!(out.peer.is_some() == expect_share);
+        if !expect_share {
+            prop_assert!(out.sharing_cost == 0.0);
+        }
+        prop_assert!(out.sharing_cost >= 0.0);
+    }
+
+    #[test]
+    fn center_download_is_never_fresher_than_own_cache(
+        (q_size, alpha, low_frac, high_frac) in (0.2f64..=1.0, 0.05f64..=0.5, 0.0f64..=1.0, 0.0f64..=1.0),
+        (requests, rate_edge, center_rate, eta2) in (1u64..=10, 0.5f64..=10.0, 0.5f64..=10.0, 0.1f64..=2.0),
+    ) {
+        // The staleness ordering that drives the whole game (§III-A): for
+        // any well-stocked state q_low ≤ α·Q_k (case 1) and any
+        // under-stocked state q_high > α·Q_k (case 3), the center route
+        // ships the whole content plus a center fetch, so it is at least
+        // as stale as serving from cache.
+        let alpha_qk = scale(q_size, alpha);
+        let q_low = scale(alpha_qk, low_frac);
+        let q_high = alpha_qk + (q_size - alpha_qk) * high_frac.max(1e-6);
+        let resolve = |q_own: f64| {
+            resolve_trade(
+                q_size, alpha_qk, q_own, None, 4.0, requests, rate_edge, center_rate, eta2, 1.0,
+            )
+        };
+        let cached = resolve(q_low);
+        let center = resolve(q_high);
+        prop_assert!(cached.case == TradeCase::OwnCache);
+        prop_assert!(center.case == TradeCase::CenterDownload);
+        prop_assert!(
+            center.staleness_cost >= cached.staleness_cost,
+            "center {} fresher than cache {}",
+            center.staleness_cost,
+            cached.staleness_cost
+        );
+    }
+}
