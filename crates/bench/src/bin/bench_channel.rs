@@ -1,0 +1,223 @@
+//! Channel-layer scaling benchmark: measures the sharded occupancy-local
+//! [`ChannelState`] against the exact dense `M × J` layout for
+//! M ∈ {100, 1000, 10000, 100000} EDPs and writes `BENCH_channel.json`
+//! at the workspace root.
+//!
+//! The sharded layout tracks `J · (k_int + 1)` links regardless of M, so
+//! its per-link fading-advance cost, its nearest-EDP association cost per
+//! requester (spatial hash grid), and its resident bytes should all stay
+//! flat across the sweep, while the dense columns grow linearly in M.
+//! The dense layout is only measured up to M = 10000 — beyond that the
+//! `M × J` matrices are exactly the memory wall this benchmark documents.
+//! Run: `cargo run --release -p mfgcp-bench --bin bench_channel`
+//!
+//! Flags:
+//!
+//! * `--sizes M1,M2,...` — override the default sweep (CI's bench-smoke
+//!   job runs `--sizes 100,1000`);
+//! * `--telemetry FILE.jsonl` — stream one `bench.sample` event per
+//!   population through the shared `mfgcp-obs` recorder.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use mfgcp_net::{uniform_in_disc, ChannelState, NetworkConfig, Point, Topology};
+use mfgcp_obs::json::Json;
+use mfgcp_obs::{JsonlSink, RecorderHandle};
+use mfgcp_sde::seeded_rng;
+
+/// Dense measurements stop here; past it the `M × J` matrices dominate
+/// memory and the sharded layout is the only practical representation.
+const DENSE_CEILING: usize = 10_000;
+
+const REQUESTERS: usize = 300;
+const ADVANCE_STEPS: usize = 50;
+const ASSOC_ROUNDS: usize = 5;
+
+struct Sample {
+    m: usize,
+    requesters: usize,
+    assoc_micros_per_requester: f64,
+    sharded_advance_ns_per_link: f64,
+    sharded_bytes: usize,
+    dense: Option<(f64, usize)>, // (advance ns/link, bytes)
+}
+
+/// Best-of-three timed advance sweeps, normalized per tracked link-step.
+fn advance_ns_per_link(channels: &mut ChannelState) -> f64 {
+    let links = channels.tracked_links().max(1);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..ADVANCE_STEPS {
+            channels.advance(0.01);
+        }
+        let nanos = start.elapsed().as_secs_f64() * 1e9;
+        best = best.min(nanos / (ADVANCE_STEPS * links) as f64);
+    }
+    best
+}
+
+fn measure(m: usize, recorder: &RecorderHandle) -> Sample {
+    let cfg = NetworkConfig::default();
+    let mut rng = seeded_rng(m as u64 ^ 0xC0FFEE);
+    let mut topo = Topology::random(m, REQUESTERS, &cfg, &mut rng);
+
+    // Association: re-associate every requester against the spatial grid
+    // (same code path the engine runs at each epoch boundary), best of a
+    // few rounds over fresh uniform positions.
+    let mut assoc_best = f64::INFINITY;
+    for _ in 0..ASSOC_ROUNDS {
+        let positions: Vec<Point> = (0..REQUESTERS)
+            .map(|_| uniform_in_disc(cfg.area_radius, &mut rng))
+            .collect();
+        let start = Instant::now();
+        topo.update_requesters(positions);
+        let micros = start.elapsed().as_secs_f64() * 1e6;
+        assoc_best = assoc_best.min(micros / REQUESTERS as f64);
+    }
+
+    let mut sharded = ChannelState::init_with_seed(&topo, &cfg, 9);
+    let sharded_ns = advance_ns_per_link(&mut sharded);
+    let sharded_bytes = sharded.memory_bytes();
+
+    let dense = (m <= DENSE_CEILING).then(|| {
+        let dense_cfg = NetworkConfig {
+            dense_channel: true,
+            ..cfg.clone()
+        };
+        let mut dense = ChannelState::init_with_seed(&topo, &dense_cfg, 9);
+        (advance_ns_per_link(&mut dense), dense.memory_bytes())
+    });
+
+    let sample = Sample {
+        m,
+        requesters: REQUESTERS,
+        assoc_micros_per_requester: assoc_best,
+        sharded_advance_ns_per_link: sharded_ns,
+        sharded_bytes,
+        dense,
+    };
+    let mut fields: Vec<(&'static str, mfgcp_obs::Value)> = vec![
+        ("m", sample.m.into()),
+        ("requesters", sample.requesters.into()),
+        (
+            "assoc_micros_per_requester",
+            sample.assoc_micros_per_requester.into(),
+        ),
+        (
+            "sharded_advance_ns_per_link",
+            sample.sharded_advance_ns_per_link.into(),
+        ),
+        ("sharded_bytes", sample.sharded_bytes.into()),
+    ];
+    if let Some((ns, bytes)) = sample.dense {
+        fields.push(("dense_advance_ns_per_link", ns.into()));
+        fields.push(("dense_bytes", bytes.into()));
+    }
+    recorder.event("bench.sample", &fields);
+    sample
+}
+
+/// Hand-rolled flag parsing: `--sizes M1,M2,...` and `--telemetry FILE`.
+fn parse_args() -> (Vec<usize>, RecorderHandle) {
+    let mut sizes = vec![100, 1000, 10_000, 100_000];
+    let mut recorder = RecorderHandle::noop();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--sizes" => {
+                let value = it.next().expect("--sizes needs a comma-separated list");
+                sizes = value
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--sizes entries must be integers"))
+                    .collect();
+                assert!(!sizes.is_empty(), "--sizes must name at least one M");
+            }
+            "--telemetry" => {
+                let path = it.next().expect("--telemetry needs a file path");
+                let sink = JsonlSink::create(&path)
+                    .unwrap_or_else(|e| panic!("cannot create telemetry file `{path}`: {e}"));
+                recorder = RecorderHandle::new(std::sync::Arc::new(sink));
+            }
+            other => {
+                eprintln!(
+                    "unknown flag `{other}` (supported: --sizes M1,M2,... --telemetry FILE.jsonl)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    (sizes, recorder)
+}
+
+fn main() {
+    let (sizes, recorder) = parse_args();
+    let samples: Vec<Sample> = sizes.iter().map(|&m| measure(m, &recorder)).collect();
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("channel_state".into())),
+        (
+            "unit_note".into(),
+            Json::Str(
+                "sharded columns flat in M <=> occupancy-local scaling; \
+                 dense columns measured up to M = 10000 only"
+                    .into(),
+            ),
+        ),
+        (
+            "samples".into(),
+            Json::Arr(
+                samples
+                    .iter()
+                    .map(|s| {
+                        let mut obj = vec![
+                            ("m".into(), Json::Num(s.m as f64)),
+                            ("requesters".into(), Json::Num(s.requesters as f64)),
+                            (
+                                "assoc_micros_per_requester".into(),
+                                Json::Num(s.assoc_micros_per_requester),
+                            ),
+                            (
+                                "sharded_advance_ns_per_link".into(),
+                                Json::Num(s.sharded_advance_ns_per_link),
+                            ),
+                            ("sharded_bytes".into(), Json::Num(s.sharded_bytes as f64)),
+                        ];
+                        if let Some((ns, bytes)) = s.dense {
+                            obj.push(("dense_advance_ns_per_link".into(), Json::Num(ns)));
+                            obj.push(("dense_bytes".into(), Json::Num(bytes as f64)));
+                        }
+                        Json::Obj(obj)
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut json = report.to_json_string();
+    json.push('\n');
+
+    let mut f = std::fs::File::create("BENCH_channel.json").expect("create BENCH_channel.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_channel.json");
+
+    println!("{json}");
+    println!("m, assoc_us/req, sharded_ns/link, sharded_bytes, dense_ns/link, dense_bytes");
+    for s in &samples {
+        let (dns, db) = s
+            .dense
+            .map(|(a, b)| (format!("{a:.2}"), b.to_string()))
+            .unwrap_or_else(|| ("-".into(), "-".into()));
+        println!(
+            "{}, {:.3}, {:.2}, {}, {}, {}",
+            s.m,
+            s.assoc_micros_per_requester,
+            s.sharded_advance_ns_per_link,
+            s.sharded_bytes,
+            dns,
+            db
+        );
+    }
+    recorder.flush();
+    eprintln!("wrote BENCH_channel.json");
+}

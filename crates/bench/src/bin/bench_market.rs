@@ -1,5 +1,5 @@
 //! Market-clearing scaling benchmark: measures the per-slot market time of
-//! the finite-population simulator for M ∈ {100, 1000, 10000} EDPs and
+//! the finite-population simulator for M ∈ {100, 1000, 10⁴, 10⁵} EDPs and
 //! writes `BENCH_market.json` at the workspace root.
 //!
 //! With the shared-sum Eq. (5) pricer the market phase is O(M·K) per slot
@@ -10,8 +10,8 @@
 //!
 //! Flags:
 //!
-//! * `--sizes M1,M2,...` — override the default `100,1000,10000` sweep
-//!   (CI's bench-smoke job runs `--sizes 100,1000`);
+//! * `--sizes M1,M2,...` — override the default `100,1000,10000,100000`
+//!   sweep (CI's bench-smoke job runs `--sizes 100,1000`);
 //! * `--telemetry FILE.jsonl` — stream per-slot `market.slot` events and
 //!   one `bench.sample` summary per population through the shared
 //!   `mfgcp-obs` recorder.
@@ -115,7 +115,7 @@ fn measure(m: usize, recorder: &RecorderHandle) -> Sample {
 
 /// Hand-rolled flag parsing: `--sizes M1,M2,...` and `--telemetry FILE`.
 fn parse_args() -> (Vec<usize>, RecorderHandle) {
-    let mut sizes = vec![100, 1000, 10000];
+    let mut sizes = vec![100, 1000, 10_000, 100_000];
     let mut recorder = RecorderHandle::noop();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {

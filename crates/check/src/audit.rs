@@ -21,6 +21,12 @@ pub struct AuditConfig {
     pub mass_tol: f64,
     /// I4 slack on the equilibrium policy range `[0, 1]`.
     pub policy_tol: f64,
+    /// Run the per-slot checks (finiteness, I1 money, I2 tallies) on
+    /// every `sample_every`-th observed slot only. The cumulative I1–I3
+    /// accumulators still see **every** slot, so the end-of-run
+    /// reconciliation stays exact regardless of the sampling stride.
+    /// `0` is normalized to `1` (check every slot).
+    pub sample_every: usize,
 }
 
 impl Default for AuditConfig {
@@ -30,6 +36,7 @@ impl Default for AuditConfig {
             reconcile_tol: 1e-9,
             mass_tol: 1e-5,
             policy_tol: 1e-9,
+            sample_every: 1,
         }
     }
 }
@@ -193,12 +200,34 @@ impl Auditor {
 
     /// Per-slot invariants: I1 money conservation, I2 case-tally sanity,
     /// and finiteness of every flow. Also accumulates the series side of
-    /// the end-of-run comparisons.
+    /// the end-of-run comparisons — accumulation runs on **every** call,
+    /// while the per-slot checks fire only on every
+    /// [`AuditConfig::sample_every`]-th observed slot.
     // The negated `!(gap <= tol)` comparisons are load-bearing: a NaN gap
     // must *fail* the gate, and `gap > tol` would let it through.
     #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn observe_slot(&mut self, s: &SlotFlows) {
         self.slots += 1;
+        let sampled = (self.slots - 1) % self.cfg.sample_every.max(1) == 0;
+        if sampled {
+            self.check_slot(s);
+        }
+        self.acc.trading_income += s.trading_income;
+        self.acc.sharing_benefit += s.sharing_earned;
+        self.acc.placement_cost += s.placement_cost;
+        self.acc.staleness_cost += s.staleness_cost;
+        self.acc.sharing_cost += s.sharing_paid;
+        self.acc.requests_served += s.volume;
+        self.acc.case_counts.0 += s.cases.0;
+        self.acc.case_counts.1 += s.cases.1;
+        self.acc.case_counts.2 += s.cases.2;
+        self.acc_utility += s.utility;
+        self.acc_paid += s.sharing_paid;
+    }
+
+    // The sampled per-slot gates (finiteness, I1, I2).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn check_slot(&mut self, s: &SlotFlows) {
         for (what, v) in [
             ("trading_income", s.trading_income),
             ("sharing_earned", s.sharing_earned),
@@ -245,17 +274,6 @@ impl Auditor {
                 case2: s.cases.1,
             });
         }
-        self.acc.trading_income += s.trading_income;
-        self.acc.sharing_benefit += s.sharing_earned;
-        self.acc.placement_cost += s.placement_cost;
-        self.acc.staleness_cost += s.staleness_cost;
-        self.acc.sharing_cost += s.sharing_paid;
-        self.acc.requests_served += s.volume;
-        self.acc.case_counts.0 += s.cases.0;
-        self.acc.case_counts.1 += s.cases.1;
-        self.acc.case_counts.2 += s.cases.2;
-        self.acc_utility += s.utility;
-        self.acc_paid += s.sharing_paid;
     }
 
     /// I4: gate a freshly prepared equilibrium — FPK total mass stays
@@ -539,6 +557,78 @@ mod tests {
         // The emitted line passes the normative JSONL schema.
         let text: String = events.iter().map(|e| e.to_json_line() + "\n").collect();
         assert_eq!(schema::validate_str(&text).unwrap(), events.len());
+    }
+
+    #[test]
+    fn sampling_gates_per_slot_checks_but_totals_still_catch_leaks() {
+        let cfg = AuditConfig {
+            sample_every: 4,
+            ..AuditConfig::default()
+        };
+        let mut a = Auditor::new(cfg, true, RecorderHandle::noop());
+        // Slot 1 (sampled) is clean; slots 2–4 (skipped) leak money.
+        a.observe_slot(&flows(0.7, 0.7));
+        for _ in 0..3 {
+            a.observe_slot(&flows(1.0, 0.4));
+        }
+        assert!(
+            a.violations().is_empty(),
+            "per-slot checks must skip unsampled slots: {:?}",
+            a.violations()
+        );
+        // The cumulative side saw every slot, so finish() still catches
+        // the leak (acc_paid = 3.7 vs earned 2.5) ...
+        let mut totals = totals_matching(&flows(0.7, 0.7));
+        totals.trading_income *= 4.0;
+        totals.placement_cost *= 4.0;
+        totals.staleness_cost *= 4.0;
+        totals.sharing_benefit = 0.7 + 3.0 * 0.4;
+        totals.sharing_cost = 0.7 + 3.0 * 1.0;
+        totals.requests_served *= 4;
+        totals.case_counts = (8, 4, 0);
+        let report = a.finish(&totals);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, AuditError::TotalMoneyLeak { .. })));
+        // ... and slots_checked still counts every observed slot.
+        assert_eq!(report.slots_checked, 4);
+    }
+
+    #[test]
+    fn sampled_slots_are_still_checked() {
+        let cfg = AuditConfig {
+            sample_every: 3,
+            ..AuditConfig::default()
+        };
+        let mut a = Auditor::new(cfg, true, RecorderHandle::noop());
+        a.observe_slot(&flows(0.7, 0.7)); // slot 1: sampled, clean
+        a.observe_slot(&flows(1.0, 0.4)); // slot 2: skipped leak
+        a.observe_slot(&flows(0.7, 0.7)); // slot 3: skipped, clean
+        a.observe_slot(&flows(1.0, 0.4)); // slot 4: sampled leak
+        let leaks = a
+            .violations()
+            .iter()
+            .filter(|v| matches!(v, AuditError::SlotMoneyLeak { .. }))
+            .count();
+        assert_eq!(leaks, 1, "exactly the sampled leak fires");
+    }
+
+    #[test]
+    fn sample_every_zero_is_normalized_to_every_slot() {
+        let cfg = AuditConfig {
+            sample_every: 0,
+            ..AuditConfig::default()
+        };
+        let mut a = Auditor::new(cfg, true, RecorderHandle::noop());
+        a.observe_slot(&flows(1.0, 0.4));
+        a.observe_slot(&flows(1.0, 0.4));
+        let leaks = a
+            .violations()
+            .iter()
+            .filter(|v| matches!(v, AuditError::SlotMoneyLeak { .. }))
+            .count();
+        assert_eq!(leaks, 2, "stride 0 must behave like stride 1");
     }
 
     #[test]

@@ -189,6 +189,7 @@ USAGE:
     mfgcp simulate [--scheme mfg-cp|mfg|udcs|mpc|rr] [--edps N]
                    [--requesters N] [--contents K] [--epochs E]
                    [--slots N] [--seed S] [--mobility] [--audit]
+                   [--audit-sample N] [--dense-channel] [--k-int N]
                    [--telemetry FILE.jsonl]
                    (plus all `solve` flags for the game parameters)
     mfgcp serve    --artifact FILE.eq [--addr HOST:PORT] [--threads N]
@@ -214,7 +215,15 @@ results.
 `--audit` runs the mfgcp-check conservation auditor alongside the
 simulation (money conservation, case tallies, Eq. (10) reconciliation,
 FPK mass gating); the process exits nonzero if any invariant is
-violated.
+violated. `--audit-sample N` implies `--audit` but runs the per-slot
+checks on every Nth slot only — the cumulative I1-I3 totals still see
+every slot, which keeps the gate affordable at production scale.
+
+The channel layer defaults to the sharded occupancy-local layout
+(serving link + the `--k-int` nearest interferers per requester, plus a
+frozen mean-field tail; memory and per-step cost are flat in the EDP
+count). `--dense-channel` switches to the exact dense M x J layout, the
+differential oracle for small runs.
 ";
 
 fn parse_f64(flag: &str, value: &str) -> Result<f64, CliError> {
@@ -320,6 +329,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     config.audit = true;
                     continue;
                 }
+                if flag == "--dense-channel" {
+                    config.network.dense_channel = true;
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| CliError::MissingValue(flag.clone()))?;
@@ -335,6 +348,29 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--epochs" => config.epochs = parse_usize(flag, value)?,
                     "--slots" => config.slots_per_epoch = parse_usize(flag, value)?,
                     "--seed" => config.seed = parse_u64(flag, value)?,
+                    "--audit-sample" => {
+                        let n = parse_usize(flag, value)?;
+                        if n == 0 {
+                            return Err(CliError::BadValue {
+                                flag: flag.clone(),
+                                value: value.clone(),
+                                expected: "a stride of at least 1 (1 = audit every slot)",
+                            });
+                        }
+                        config.audit = true;
+                        config.audit_sample = n;
+                    }
+                    "--k-int" => {
+                        let k = parse_usize(flag, value)?;
+                        if k == 0 {
+                            return Err(CliError::BadValue {
+                                flag: flag.clone(),
+                                value: value.clone(),
+                                expected: "at least 1 tracked interferer",
+                            });
+                        }
+                        config.network.k_int = k;
+                    }
                     "--threads" => {
                         config.worker_threads = parse_usize(flag, value)?;
                         config.params.worker_threads = config.worker_threads;
@@ -530,6 +566,49 @@ mod tests {
             Command::Simulate { config, .. } => assert!(!config.audit),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn audit_sample_implies_audit_and_rejects_zero() {
+        let cmd = parse(&argv("simulate --scheme mpc --audit-sample 16")).unwrap();
+        match cmd {
+            Command::Simulate { config, .. } => {
+                assert!(config.audit, "--audit-sample must imply --audit");
+                assert_eq!(config.audit_sample, 16);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("simulate --audit-sample 0")),
+            Err(CliError::BadValue { flag, .. }) if flag == "--audit-sample"
+        ));
+        // Default stride checks every slot.
+        match parse(&argv("simulate --audit")).unwrap() {
+            Command::Simulate { config, .. } => assert_eq!(config.audit_sample, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn channel_layout_flags_reach_the_network_config() {
+        let cmd = parse(&argv("simulate --dense-channel --k-int 8")).unwrap();
+        match cmd {
+            Command::Simulate { config, .. } => {
+                assert!(config.network.dense_channel);
+                assert_eq!(config.network.k_int, 8);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("simulate")).unwrap() {
+            Command::Simulate { config, .. } => {
+                assert!(!config.network.dense_channel, "sharded is the default");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("simulate --k-int 0")),
+            Err(CliError::BadValue { flag, .. }) if flag == "--k-int"
+        ));
     }
 
     #[test]

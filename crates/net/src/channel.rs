@@ -1,57 +1,119 @@
 //! Per-link channel fading state and interference-limited rates.
 //!
-//! Maintains one OU fading coefficient `h_{i,j}(t)` per (EDP, requester)
-//! pair, advanced with the *exact* OU transition (no discretization error),
-//! and computes the Eq. (2) rate including the interference sum
-//! `Σ_{i'≠i} |g_{i',j}|² G_{i'}`.
+//! Maintains OU fading coefficients `h_{i,j}(t)` (Eq. (1)), advanced with
+//! the *exact* OU transition (no discretization error), and computes the
+//! Eq. (2) rate including the interference sum `Σ_{i'≠i} |g_{i',j}|² G_{i'}`.
+//!
+//! Two representations share one API:
+//!
+//! - **Sharded** (default): occupancy-local storage tracking, per
+//!   requester, only the serving-EDP link plus the `k_int` nearest
+//!   interferers ([`NetworkConfig::k_int`]). Memory and per-slot fading
+//!   work are O(J·k_int) — flat in `M` at fixed occupancy. The Eq. (2)
+//!   interference sum is the live tracked neighborhood plus a **frozen
+//!   mean-field tail**: the untracked far field evaluated at the OU
+//!   stationary-mean fading, recomputed only at (re)association. The
+//!   tail aggregates many weak links whose fading fluctuations average
+//!   out, so the relative interference error stays within
+//!   [`NetworkConfig::truncation_tol`] (measured by the
+//!   `net.shard.truncated_power` gauge, bounded by the differential
+//!   tests).
+//! - **Dense** ([`NetworkConfig::dense_channel`]): every (EDP, requester)
+//!   link, the exact Eq. (2) sum — O(M·J) memory, the historical layout,
+//!   kept for small instances and as the differential-test oracle.
+//!
+//! Every fading draw comes from a per-link counter-based stream keyed on
+//! `(channel seed, EDP, requester, draw id)` (see [`crate::shard`]), so
+//! the two representations are **bit-identical on every link they both
+//! track** — in particular on all serving links — and results do not
+//! depend on iteration order or thread count.
 
+use mfgcp_obs::RecorderHandle;
+use mfgcp_sde::OrnsteinUhlenbeck;
 use rand::Rng;
 
-use mfgcp_sde::OrnsteinUhlenbeck;
-
 use crate::config::NetworkConfig;
+use crate::shard::{advance_fading, init_fading, ShardedLinks};
 use crate::topology::Topology;
 use crate::{channel_gain, shannon_rate};
 
-/// Dynamic channel state for every (EDP, requester) link.
+/// The storage layout behind [`ChannelState`].
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Exact dense fallback: row-major `[m × j]` fading and distances.
+    Dense {
+        fading: Vec<f64>,
+        distances: Vec<f64>,
+    },
+    /// Occupancy-local shards (serving link + `k_int` interferers).
+    Sharded(ShardedLinks),
+}
+
+/// Dynamic channel state for the tracked (EDP, requester) links.
 #[derive(Debug, Clone)]
 pub struct ChannelState {
-    /// Row-major `[m × j]` fading coefficients.
-    fading: Vec<f64>,
+    repr: Repr,
     num_edps: usize,
     num_requesters: usize,
     process: OrnsteinUhlenbeck,
     cfg: NetworkConfig,
-    /// Cached distances, row-major `[m × j]`.
-    distances: Vec<f64>,
+    /// Channel substream seed; every fading draw is keyed off it.
+    seed: u64,
+    /// Slot counter: [`ChannelState::advance`] increments it and draws
+    /// transition noise with draw id `2·step`; links freshly tracked at
+    /// a handover initialize with draw id `2·step + 1`.
+    step: u64,
+    recorder: RecorderHandle,
 }
 
 impl ChannelState {
-    /// Initialize all links from the OU stationary distribution, clamped to
-    /// the configured fading band.
+    /// Initialize all tracked links from the OU stationary distribution,
+    /// clamped to the configured fading band. Consumes exactly one `u64`
+    /// from `rng` as the channel substream seed; all per-link draws are
+    /// derived from it, never from `rng` again.
     pub fn init<R: Rng + ?Sized>(topo: &Topology, cfg: &NetworkConfig, rng: &mut R) -> Self {
+        Self::init_with_seed(topo, cfg, rng.next_u64())
+    }
+
+    /// [`ChannelState::init`] with an explicit channel seed — the entry
+    /// point for differential tests that must build a dense and a sharded
+    /// state over identical per-link streams.
+    pub fn init_with_seed(topo: &Topology, cfg: &NetworkConfig, seed: u64) -> Self {
+        assert!(cfg.k_int > 0, "k_int must be at least 1");
         let process = cfg.fading_process();
         let m = topo.num_edps();
         let j = topo.num_requesters();
-        let sd = process.stationary_variance().sqrt();
-        let stationary = mfgcp_sde::Normal::new(process.stationary_mean(), sd)
-            .expect("valid stationary parameters");
-        let mut fading = Vec::with_capacity(m * j);
-        let mut distances = Vec::with_capacity(m * j);
-        for i in 0..m {
-            for jj in 0..j {
-                fading.push(cfg.clamp_fading(stationary.sample(rng)));
-                distances.push(topo.distance(i, jj));
+        let repr = if cfg.dense_channel {
+            let mut fading = Vec::with_capacity(m * j);
+            let mut distances = Vec::with_capacity(m * j);
+            for i in 0..m {
+                for jj in 0..j {
+                    fading.push(init_fading(seed, i, jj, 0, &process, cfg));
+                    distances.push(topo.distance(i, jj));
+                }
             }
-        }
+            Repr::Dense { fading, distances }
+        } else {
+            Repr::Sharded(ShardedLinks::build(topo, cfg, &process, seed, 0, cfg.k_int))
+        };
         Self {
-            fading,
+            repr,
             num_edps: m,
             num_requesters: j,
             process,
             cfg: cfg.clone(),
-            distances,
+            seed,
+            step: 0,
+            recorder: RecorderHandle::noop(),
         }
+    }
+
+    /// Attach a telemetry recorder: each re-association then emits
+    /// `net.shard.*` gauges (occupancy, tracked interferers, truncated
+    /// interference power). Telemetry reads state only — it never
+    /// perturbs the channel dynamics.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 
     /// Number of EDPs.
@@ -64,19 +126,83 @@ impl ChannelState {
         self.num_requesters
     }
 
+    /// Whether this state uses the exact dense fallback layout.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense { .. })
+    }
+
+    /// Number of links currently holding fading state.
+    pub fn tracked_links(&self) -> usize {
+        match &self.repr {
+            Repr::Dense { .. } => self.num_edps * self.num_requesters,
+            Repr::Sharded(links) => links.records.iter().map(|r| 1 + r.interferers.len()).sum(),
+        }
+    }
+
+    /// Resident bytes of the channel storage (fading + distances or the
+    /// sharded link records).
+    pub fn memory_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Dense { fading, distances } => {
+                (fading.capacity() + distances.capacity()) * std::mem::size_of::<f64>()
+            }
+            Repr::Sharded(links) => links.memory_bytes(),
+        }
+    }
+
     #[inline]
     fn idx(&self, i: usize, j: usize) -> usize {
         debug_assert!(i < self.num_edps && j < self.num_requesters);
         i * self.num_requesters + j
     }
 
-    /// Current fading coefficient `h_{i,j}`.
+    /// Current fading coefficient `h_{i,j}`; `0` for a link the sharded
+    /// layout does not track (use [`ChannelState::link_fading`] to
+    /// distinguish untracked from faded-to-zero — the clamp band keeps
+    /// tracked fading strictly positive).
     pub fn fading(&self, i: usize, j: usize) -> f64 {
-        self.fading[self.idx(i, j)]
+        self.link_fading(i, j).unwrap_or(0.0)
     }
 
-    /// Recompute the cached link distances after requester mobility
-    /// changed the topology (fading states are per-link and persist).
+    /// Fading of link `(i, j)` if it is tracked, `None` otherwise. Dense
+    /// states track every link.
+    pub fn link_fading(&self, i: usize, j: usize) -> Option<f64> {
+        match &self.repr {
+            Repr::Dense { fading, .. } => Some(fading[self.idx(i, j)]),
+            Repr::Sharded(links) => links.records[j].link_to(i as u32).map(|l| l.fading),
+        }
+    }
+
+    /// Tracked interferer links of requester `j` (`num_edps − 1` for the
+    /// dense layout, which tracks everything).
+    pub fn interferer_count(&self, j: usize) -> usize {
+        match &self.repr {
+            Repr::Dense { .. } => self.num_edps.saturating_sub(1),
+            Repr::Sharded(links) => links.records[j].interferers.len(),
+        }
+    }
+
+    /// EDP indices of the tracked interferers of requester `j`, in the
+    /// order they are summed by [`ChannelState::interference`]. Empty for
+    /// the dense layout, where the tracked-subset notion does not apply
+    /// (every link is stored).
+    pub fn tracked_interferers(&self, j: usize) -> Vec<usize> {
+        match &self.repr {
+            Repr::Dense { .. } => Vec::new(),
+            Repr::Sharded(links) => links.records[j]
+                .interferers
+                .iter()
+                .map(|l| l.edp as usize)
+                .collect(),
+        }
+    }
+
+    /// Re-sync with a topology whose association changed (epoch-boundary
+    /// mobility): refresh link distances and, for the sharded layout,
+    /// migrate link state between shards — links tracked on both sides of
+    /// a handover keep their fading, newly tracked links draw from their
+    /// per-link stationary stream at the current step, dropped links are
+    /// forgotten. Deterministic for any thread count by construction.
     ///
     /// # Panics
     ///
@@ -88,22 +214,25 @@ impl ChannelState {
             self.num_requesters,
             "requester count changed"
         );
-        for i in 0..self.num_edps {
-            for j in 0..self.num_requesters {
-                let k = self.idx(i, j);
-                self.distances[k] = topo.distance(i, j);
+        match &mut self.repr {
+            Repr::Dense { distances, .. } => {
+                for i in 0..self.num_edps {
+                    for j in 0..self.num_requesters {
+                        distances[i * self.num_requesters + j] = topo.distance(i, j);
+                    }
+                }
+            }
+            Repr::Sharded(links) => {
+                links.reassociate(topo, &self.cfg, &self.process, self.seed, self.step);
             }
         }
+        self.emit_shard_gauges();
     }
 
-    /// Recompute the cached link distances from explicit requester
-    /// positions, without touching the topology's nearest-EDP association.
-    ///
-    /// Equivalent to cloning the topology, calling `update_requesters`,
-    /// and then [`ChannelState::refresh_distances`] — but O(M·J) with no
-    /// allocation and no wasted re-association, for the per-slot case
-    /// where walkers move continuously but association only changes at
-    /// epoch boundaries.
+    /// Recompute the tracked link distances from explicit requester
+    /// positions, without touching the nearest-EDP association — the
+    /// per-slot case where walkers move continuously but association
+    /// only changes at epoch boundaries. O(tracked links), allocation-free.
     ///
     /// # Panics
     ///
@@ -119,49 +248,129 @@ impl ChannelState {
             self.num_requesters,
             "requester count changed"
         );
-        for i in 0..self.num_edps {
-            let e = topo.edp(i);
-            let row = i * self.num_requesters;
-            for (j, p) in positions.iter().enumerate() {
-                self.distances[row + j] = e.distance(p);
+        match &mut self.repr {
+            Repr::Dense { distances, .. } => {
+                for i in 0..self.num_edps {
+                    let e = topo.edp(i);
+                    let row = i * self.num_requesters;
+                    for (j, p) in positions.iter().enumerate() {
+                        distances[row + j] = e.distance(p);
+                    }
+                }
+            }
+            Repr::Sharded(links) => links.refresh_distances(topo, positions),
+        }
+    }
+
+    /// Advance every tracked link by `dt` using the exact OU transition,
+    /// clamping into the configured fading band. Each link draws from its
+    /// own counter-based stream, so the result is independent of storage
+    /// layout, iteration order, and thread count.
+    pub fn advance(&mut self, dt: f64) {
+        self.step += 1;
+        match &mut self.repr {
+            Repr::Dense { fading, .. } => {
+                let sd = self.process.transition_variance(dt).sqrt();
+                for i in 0..self.num_edps {
+                    let row = i * self.num_requesters;
+                    for j in 0..self.num_requesters {
+                        let h = &mut fading[row + j];
+                        *h = advance_fading(
+                            self.seed,
+                            i,
+                            j,
+                            self.step,
+                            *h,
+                            dt,
+                            sd,
+                            &self.process,
+                            &self.cfg,
+                        );
+                    }
+                }
+            }
+            Repr::Sharded(links) => {
+                links.advance(&self.cfg, &self.process, self.seed, self.step, dt);
             }
         }
     }
 
-    /// Advance every link by `dt` using the exact OU transition, clamping
-    /// into the configured fading band.
-    pub fn advance<R: Rng + ?Sized>(&mut self, dt: f64, rng: &mut R) {
-        for h in &mut self.fading {
-            *h = self
-                .cfg
-                .clamp_fading(self.process.sample_transition(*h, dt, rng));
-        }
-    }
-
-    /// Channel gain `|g_{i,j}|²`.
+    /// Channel gain `|g_{i,j}|²`; `0` for an untracked link.
     pub fn gain(&self, i: usize, j: usize) -> f64 {
-        let k = self.idx(i, j);
-        channel_gain(
-            self.fading[k],
-            self.distances[k],
-            self.cfg.path_loss_exp,
-            self.cfg.min_distance,
-        )
+        match &self.repr {
+            Repr::Dense { fading, distances } => {
+                let k = self.idx(i, j);
+                channel_gain(
+                    fading[k],
+                    distances[k],
+                    self.cfg.path_loss_exp,
+                    self.cfg.min_distance,
+                )
+            }
+            Repr::Sharded(links) => match links.records[j].link_to(i as u32) {
+                Some(l) => channel_gain(
+                    l.fading,
+                    l.distance,
+                    self.cfg.path_loss_exp,
+                    self.cfg.min_distance,
+                ),
+                None => 0.0,
+            },
+        }
     }
 
     /// Interference power at requester `j` from all EDPs except `i`
-    /// (`Σ_{i'≠i} |g_{i',j}|² G`, Eq. (2) denominator).
+    /// (`Σ_{i'≠i} |g_{i',j}|² G`, Eq. (2) denominator). The sharded
+    /// layout sums over the tracked neighborhood only — a truncation of
+    /// the exact sum whose omitted tail is controlled by `k_int` and the
+    /// path-loss exponent (see [`NetworkConfig::truncation_tol`]).
     pub fn interference(&self, i: usize, j: usize) -> f64 {
-        let mut acc = 0.0;
-        for other in 0..self.num_edps {
-            if other != i {
-                acc += self.gain(other, j) * self.cfg.tx_power;
+        match &self.repr {
+            Repr::Dense { fading, distances } => {
+                let mut acc = 0.0;
+                for other in 0..self.num_edps {
+                    if other != i {
+                        let k = other * self.num_requesters + j;
+                        acc += channel_gain(
+                            fading[k],
+                            distances[k],
+                            self.cfg.path_loss_exp,
+                            self.cfg.min_distance,
+                        ) * self.cfg.tx_power;
+                    }
+                }
+                acc
+            }
+            Repr::Sharded(links) => {
+                let record = &links.records[j];
+                let mut acc = 0.0;
+                if record.serving.edp as usize != i {
+                    acc += channel_gain(
+                        record.serving.fading,
+                        record.serving.distance,
+                        self.cfg.path_loss_exp,
+                        self.cfg.min_distance,
+                    ) * self.cfg.tx_power;
+                }
+                for l in &record.interferers {
+                    if l.edp as usize != i {
+                        acc += channel_gain(
+                            l.fading,
+                            l.distance,
+                            self.cfg.path_loss_exp,
+                            self.cfg.min_distance,
+                        ) * self.cfg.tx_power;
+                    }
+                }
+                // The frozen mean-field tail of the untracked far field
+                // (see `RequesterLinks::tail_gain`).
+                acc + record.tail_gain * self.cfg.tx_power
             }
         }
-        acc
     }
 
-    /// Achievable rate `H_{i,j}` of Eq. (2), bits/s.
+    /// Achievable rate `H_{i,j}` of Eq. (2), bits/s. `0` for an untracked
+    /// link (its gain is `0`).
     pub fn rate(&self, i: usize, j: usize) -> f64 {
         shannon_rate(
             self.cfg.bandwidth,
@@ -181,6 +390,73 @@ impl ChannelState {
         }
         let total: f64 = served.iter().map(|&j| self.rate(i, j)).sum();
         Some(total / served.len() as f64)
+    }
+
+    /// Emit the `net.shard.*` gauges after a re-association. Pure reads —
+    /// no RNG, no mutation — so telemetry cannot perturb the run. The
+    /// truncated-power estimate evaluates every fading coefficient at
+    /// the stationary mean (the split is geometric, so fading cancels in
+    /// expectation); cost is O(J·k_int), never O(M·J).
+    fn emit_shard_gauges(&self) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        let Repr::Sharded(links) = &self.repr else {
+            return;
+        };
+        let occupied = links.shards.iter().filter(|s| !s.is_empty()).count();
+        let max_occ = links.shards.iter().map(Vec::len).max().unwrap_or(0);
+        let mean_occ = if occupied > 0 {
+            self.num_requesters as f64 / occupied as f64
+        } else {
+            0.0
+        };
+        self.recorder.gauge(
+            "net.shard.occupancy",
+            mean_occ,
+            &[
+                ("max", (max_occ as u64).into()),
+                ("occupied", (occupied as u64).into()),
+                ("edps", (self.num_edps as u64).into()),
+                ("requesters", (self.num_requesters as u64).into()),
+            ],
+        );
+        let tracked: usize = links.records.iter().map(|r| r.interferers.len()).sum();
+        let mean_int = if self.num_requesters > 0 {
+            tracked as f64 / self.num_requesters as f64
+        } else {
+            0.0
+        };
+        self.recorder.gauge(
+            "net.shard.interferers",
+            mean_int,
+            &[("k_int", (links.k_int as u64).into())],
+        );
+        // Share of the interference power (at the stationary-mean fading)
+        // carried by the frozen mean-field tail rather than by live
+        // tracked links — the part of Eq. (2) the sharding approximates.
+        let h = self.process.stationary_mean();
+        let mut total_fraction = 0.0;
+        let mut sampled = 0u64;
+        for record in &links.records {
+            let tracked_power: f64 = record
+                .interferers
+                .iter()
+                .map(|l| channel_gain(h, l.distance, self.cfg.path_loss_exp, self.cfg.min_distance))
+                .sum();
+            let total = tracked_power + record.tail_gain;
+            if total > 0.0 {
+                total_fraction += record.tail_gain / total;
+                sampled += 1;
+            }
+        }
+        if sampled > 0 {
+            self.recorder.gauge(
+                "net.shard.truncated_power",
+                total_fraction / sampled as f64,
+                &[("sampled", sampled.into())],
+            );
+        }
     }
 }
 
@@ -205,7 +481,7 @@ mod tests {
         let mut rng = seeded_rng(8);
         let mut ch = ChannelState::init(&topo, &cfg, &mut rng);
         for _ in 0..200 {
-            ch.advance(0.05, &mut rng);
+            ch.advance(0.05);
             for i in 0..2 {
                 for j in 0..2 {
                     let h = ch.fading(i, j);
@@ -288,12 +564,91 @@ mod tests {
         let mut rng2 = seeded_rng(12);
         let mut a = ChannelState::init(&topo, &cfg, &mut rng1);
         let mut b = ChannelState::init(&topo, &cfg, &mut rng2);
-        a.advance(0.1, &mut rng1);
-        b.advance(0.1, &mut rng2);
+        a.advance(0.1);
+        b.advance(0.1);
         for i in 0..2 {
             for j in 0..2 {
                 assert_eq!(a.fading(i, j), b.fading(i, j));
+                assert_ne!(a.fading(i, j), 0.0);
             }
         }
+    }
+
+    #[test]
+    fn sharded_layout_truncates_to_k_int() {
+        // A line of EDPs; with k_int = 1 each requester tracks its serving
+        // EDP and exactly one interferer, and distant links report zero.
+        let edps: Vec<Point> = (0..6).map(|i| Point::new(100.0 * i as f64, 0.0)).collect();
+        let requesters = vec![Point::new(5.0, 0.0)];
+        let topo = Topology::with_positions(edps, requesters);
+        let cfg = NetworkConfig {
+            k_int: 1,
+            ..NetworkConfig::default()
+        };
+        let ch = ChannelState::init_with_seed(&topo, &cfg, 77);
+        assert!(!ch.is_dense());
+        assert_eq!(ch.tracked_links(), 2);
+        assert_eq!(ch.interferer_count(0), 1);
+        assert!(ch.link_fading(0, 0).is_some(), "serving link tracked");
+        assert!(ch.link_fading(1, 0).is_some(), "nearest interferer tracked");
+        assert_eq!(ch.link_fading(5, 0), None, "distant link untracked");
+        assert_eq!(ch.gain(5, 0), 0.0);
+        assert_eq!(ch.rate(5, 0), 0.0);
+    }
+
+    #[test]
+    fn dense_fallback_tracks_every_link() {
+        let (topo, cfg) = small();
+        let cfg = NetworkConfig {
+            dense_channel: true,
+            ..cfg
+        };
+        let ch = ChannelState::init_with_seed(&topo, &cfg, 5);
+        assert!(ch.is_dense());
+        assert_eq!(ch.tracked_links(), 4);
+        assert_eq!(ch.interferer_count(0), 1);
+    }
+
+    #[test]
+    fn sharded_memory_is_flat_in_edp_count() {
+        let cfg = NetworkConfig::default();
+        let mut rng = seeded_rng(15);
+        let small = Topology::random(50, 40, &cfg, &mut rng);
+        let big = Topology::random(5_000, 40, &cfg, &mut rng);
+        let ch_small = ChannelState::init_with_seed(&small, &cfg, 1);
+        let ch_big = ChannelState::init_with_seed(&big, &cfg, 1);
+        // Tracked links are J·(1 + k_int) in both; only the shard index
+        // (one Vec header per EDP) grows with M.
+        assert_eq!(ch_small.tracked_links(), ch_big.tracked_links());
+        // One Vec header per EDP plus allocation-granularity slack for the
+        // occupied shards' small buffers.
+        let index_growth = (5_000 - 50) * std::mem::size_of::<Vec<u32>>() + 1024;
+        assert!(
+            ch_big.memory_bytes() <= ch_small.memory_bytes() + index_growth,
+            "sharded channel memory must not scale with M beyond the index: \
+             {} vs {}",
+            ch_big.memory_bytes(),
+            ch_small.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn shard_gauges_are_emitted_on_reassociation() {
+        use mfgcp_obs::MemorySink;
+        let cfg = NetworkConfig::default();
+        let mut rng = seeded_rng(16);
+        let mut topo = Topology::random(30, 60, &cfg, &mut rng);
+        let mut ch = ChannelState::init(&topo, &cfg, &mut rng);
+        let sink = std::sync::Arc::new(MemorySink::new());
+        ch.set_recorder(RecorderHandle::new(sink.clone()));
+        let moved: Vec<Point> = (0..60)
+            .map(|_| crate::uniform_in_disc(500.0, &mut rng))
+            .collect();
+        topo.update_requesters(moved);
+        ch.refresh_distances(&topo);
+        let names: Vec<String> = sink.events().iter().map(|e| e.name.to_string()).collect();
+        assert!(names.contains(&"net.shard.occupancy".to_string()));
+        assert!(names.contains(&"net.shard.interferers".to_string()));
+        assert!(names.contains(&"net.shard.truncated_power".to_string()));
     }
 }

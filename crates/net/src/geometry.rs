@@ -19,9 +19,15 @@ impl Point {
 
     /// Euclidean distance to another point.
     pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance — cheaper than [`Point::distance`] when
+    /// only comparisons are needed (spatial-grid pruning).
+    pub fn distance_sq(&self, other: &Point) -> f64 {
         let dx = self.x - other.x;
         let dy = self.y - other.y;
-        (dx * dx + dy * dy).sqrt()
+        dx * dx + dy * dy
     }
 }
 

@@ -9,6 +9,13 @@
 //!
 //! `H_{i,j} = B log₂(1 + |g_{i,j}|² G_i / (ϱ² + Σ_{i'≠i} |g_{i',j}|² G_{i'}))`.
 //!
+//! Channel state is **occupancy-local** by default: a spatial hash grid
+//! over the EDP placement answers nearest-EDP association and
+//! k-nearest-interferer queries in O(1) expected, and only each
+//! requester's serving link plus its `k_int` strongest interferers carry
+//! OU fading state. The exact dense `M × J` layout stays available behind
+//! [`NetworkConfig::dense_channel`] as the differential-test oracle.
+//!
 //! # Example
 //!
 //! ```
@@ -17,7 +24,7 @@
 //! let mut rng = mfgcp_sde::seeded_rng(1);
 //! let topo = Topology::random(8, 40, &cfg, &mut rng);
 //! let mut channels = ChannelState::init(&topo, &cfg, &mut rng);
-//! channels.advance(0.01, &mut rng);
+//! channels.advance(0.01);
 //! let rate = channels.rate(0, topo.served_by(0)[0]);
 //! assert!(rate > 0.0);
 //! ```
@@ -28,7 +35,9 @@
 mod channel;
 mod config;
 mod geometry;
+mod grid;
 mod mobility;
+mod shard;
 mod topology;
 
 pub use channel::ChannelState;

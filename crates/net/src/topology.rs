@@ -4,12 +4,20 @@
 //! certain range", and "each requester is associated with a default serving
 //! EDP that is nearest geographically"; `J_i(t)` is the set of requesters
 //! served by EDP `i`.
+//!
+//! Association queries go through a [`SpatialGrid`] over the (static) EDP
+//! placement, so building a topology and re-associating after mobility are
+//! O(J) expected instead of O(M·J). The grid is exact: it reproduces the
+//! dense scan's `(distance, index)` first-minimum semantics bit for bit.
+
+use std::sync::{Arc, OnceLock};
 
 use mfgcp_obs::RecorderHandle;
 use rand::Rng;
 
 use crate::config::NetworkConfig;
 use crate::geometry::{uniform_in_disc, Point};
+use crate::grid::SpatialGrid;
 
 /// Static node placement: `M` EDPs and `J` requesters in a disc, plus the
 /// nearest-EDP association map.
@@ -21,6 +29,12 @@ pub struct Topology {
     serving_edp: Vec<usize>,
     /// `served[i]` = indices of requesters associated with EDP `i`.
     served: Vec<Vec<usize>>,
+    /// Spatial hash over the EDP positions; shared because EDPs never move.
+    grid: Arc<SpatialGrid>,
+    /// Lazily-built distance-sorted neighbor lists, one per EDP. EDPs are
+    /// static, so a list built once stays valid for the topology's lifetime
+    /// (mobility only moves requesters).
+    neighbor_cache: Arc<Vec<OnceLock<Vec<usize>>>>,
     recorder: RecorderHandle,
 }
 
@@ -50,23 +64,22 @@ impl Topology {
     /// Panics if `edps` is empty.
     pub fn with_positions(edps: Vec<Point>, requesters: Vec<Point>) -> Self {
         assert!(!edps.is_empty(), "need at least one EDP");
+        let grid = Arc::new(SpatialGrid::build(&edps));
         let mut serving_edp = Vec::with_capacity(requesters.len());
         let mut served = vec![Vec::new(); edps.len()];
         for (j, r) in requesters.iter().enumerate() {
-            let (best, _) = edps
-                .iter()
-                .enumerate()
-                .map(|(i, e)| (i, e.distance(r)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
-                .expect("non-empty EDP set");
+            let best = grid.nearest(r);
             serving_edp.push(best);
             served[best].push(j);
         }
+        let neighbor_cache = Arc::new((0..edps.len()).map(|_| OnceLock::new()).collect());
         Self {
             edps,
             requesters,
             serving_edp,
             served,
+            grid,
+            neighbor_cache,
             recorder: RecorderHandle::noop(),
         }
     }
@@ -114,8 +127,15 @@ impl Topology {
         self.edps[i].distance(&self.requesters[j])
     }
 
+    /// The spatial hash over the EDP placement (shared with the sharded
+    /// channel state for interferer selection).
+    pub(crate) fn grid(&self) -> &SpatialGrid {
+        &self.grid
+    }
+
     /// Replace the requester positions (mobility) and recompute the
-    /// nearest-EDP association.
+    /// nearest-EDP association in place — O(J) expected via the spatial
+    /// grid; the EDP placement, grid, and neighbor cache are untouched.
     ///
     /// # Panics
     ///
@@ -126,39 +146,49 @@ impl Topology {
             self.requesters.len(),
             "requester count must not change"
         );
-        let mut rebuilt = Topology::with_positions(std::mem::take(&mut self.edps), positions);
-        rebuilt.recorder = std::mem::replace(&mut self.recorder, RecorderHandle::noop());
-        if rebuilt.recorder.enabled() {
-            let moved = rebuilt
-                .serving_edp
-                .iter()
-                .zip(&self.serving_edp)
-                .filter(|(new, old)| new != old)
-                .count();
-            rebuilt.recorder.event(
+        self.requesters = positions;
+        for list in &mut self.served {
+            list.clear();
+        }
+        let mut moved = 0usize;
+        for (j, r) in self.requesters.iter().enumerate() {
+            let best = self.grid.nearest(r);
+            if self.serving_edp[j] != best {
+                moved += 1;
+            }
+            self.serving_edp[j] = best;
+            self.served[best].push(j);
+        }
+        if self.recorder.enabled() {
+            self.recorder.event(
                 "net.reassociation",
                 &[
                     ("moved", moved.into()),
-                    ("requesters", rebuilt.serving_edp.len().into()),
+                    ("requesters", self.serving_edp.len().into()),
                 ],
             );
         }
-        *self = rebuilt;
     }
 
     /// Indices of the EDPs nearest to EDP `i`, sorted by distance
     /// (excluding `i` itself) — the "adjacent EDPs" of the sharing model.
-    pub fn neighbors(&self, i: usize) -> Vec<usize> {
-        let me = self.edps[i];
-        let mut others: Vec<(usize, f64)> = self
-            .edps
-            .iter()
-            .enumerate()
-            .filter(|(k, _)| *k != i)
-            .map(|(k, p)| (k, me.distance(p)))
-            .collect();
-        others.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
-        others.into_iter().map(|(k, _)| k).collect()
+    ///
+    /// The list is built on first use and cached for the lifetime of the
+    /// topology (EDPs never move), so repeated calls from the sharing
+    /// model cost a slice borrow instead of an O(M log M) re-sort.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        self.neighbor_cache[i].get_or_init(|| {
+            let me = self.edps[i];
+            let mut others: Vec<(usize, f64)> = self
+                .edps
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| *k != i)
+                .map(|(k, p)| (k, me.distance(p)))
+                .collect();
+            others.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
+            others.into_iter().map(|(k, _)| k).collect()
+        })
     }
 }
 
@@ -198,12 +228,43 @@ mod tests {
     }
 
     #[test]
+    fn association_matches_the_dense_scan() {
+        // The grid path must reproduce the historical O(M·J) min_by scan
+        // bit for bit, including its first-minimum tie-break.
+        let cfg = NetworkConfig::default();
+        let mut rng = seeded_rng(21);
+        let t = Topology::random(137, 400, &cfg, &mut rng);
+        for j in 0..t.num_requesters() {
+            let r = t.requester(j);
+            let dense = (0..t.num_edps())
+                .map(|i| (i, t.edp(i).distance(&r)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .expect("non-empty")
+                .0;
+            assert_eq!(t.serving(j), dense, "requester {j}");
+        }
+    }
+
+    #[test]
     fn neighbors_sorted_by_distance() {
         let t = square_topology();
         let n = t.neighbors(0);
         assert_eq!(n.len(), 3);
         // Corners at distance 1, 1, √2: the diagonal corner (index 3) last.
         assert_eq!(n[2], 3);
+    }
+
+    #[test]
+    fn neighbors_are_cached_and_survive_reassociation() {
+        let mut t = square_topology();
+        let first: Vec<usize> = t.neighbors(1).to_vec();
+        let ptr_before = t.neighbors(1).as_ptr();
+        // Mobility re-associates requesters but EDPs never move, so the
+        // cached list must be reused (same allocation), not rebuilt.
+        let positions: Vec<Point> = (0..t.num_requesters()).map(|j| t.requester(j)).collect();
+        t.update_requesters(positions);
+        assert_eq!(t.neighbors(1), first.as_slice());
+        assert_eq!(t.neighbors(1).as_ptr(), ptr_before);
     }
 
     #[test]
@@ -235,6 +296,19 @@ mod tests {
     }
 
     #[test]
+    fn update_requesters_keeps_served_lists_in_requester_order() {
+        let cfg = NetworkConfig::default();
+        let mut rng = seeded_rng(22);
+        let mut t = Topology::random(9, 80, &cfg, &mut rng);
+        let moved: Vec<Point> = (0..80).map(|_| uniform_in_disc(500.0, &mut rng)).collect();
+        t.update_requesters(moved.clone());
+        let reference = Topology::with_positions((0..9).map(|i| t.edp(i)).collect(), moved);
+        for i in 0..9 {
+            assert_eq!(t.served_by(i), reference.served_by(i), "EDP {i}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one EDP")]
     fn empty_edps_rejected() {
         Topology::with_positions(vec![], vec![Point::default()]);
@@ -251,7 +325,7 @@ mod tests {
         positions[0] = Point::new(0.95, 0.95);
         t.update_requesters(positions.clone());
         // A second update with the same positions moves nobody — and the
-        // recorder must survive the internal rebuild.
+        // recorder must survive the update.
         t.update_requesters(positions);
         let events = sink.events();
         assert_eq!(events.len(), 2);

@@ -47,6 +47,12 @@ pub struct SimConfig {
     /// anyway, so enabling it never perturbs the run; the report lands in
     /// `SimReport::audit`.
     pub audit: bool,
+    /// Audit sampling stride: the auditor's per-slot checks run on every
+    /// `audit_sample`-th slot, while the cumulative I1–I3 accumulators
+    /// still see every slot (the end-of-run reconciliation stays exact).
+    /// `1` checks every slot; larger strides keep the `mfgcp-check` gate
+    /// affordable at production scale. Must be at least 1.
+    pub audit_sample: usize,
     /// Master RNG seed (per-EDP streams derive from it).
     pub seed: u64,
     /// Worker threads for the parallel per-EDP phase; `0` = one per
@@ -71,6 +77,7 @@ impl Default for SimConfig {
             mobility: None,
             timeliness: TimelinessConfig::default(),
             audit: false,
+            audit_sample: 1,
             seed: 42,
             worker_threads: 0,
         }
@@ -121,6 +128,12 @@ impl SimConfig {
         }
         if self.slots_per_epoch == 0 {
             return Err(bad("slots_per_epoch", "need at least 1 slot"));
+        }
+        if self.audit_sample == 0 {
+            return Err(bad(
+                "audit_sample",
+                "must be at least 1 (audit every slot); use a larger stride to sample",
+            ));
         }
         if self.request_prob.is_nan() || self.request_prob <= 0.0 || self.request_prob > 1.0 {
             return Err(bad("request_prob", "must be in (0, 1]"));
@@ -228,6 +241,16 @@ mod tests {
         let mut c = base;
         c.slots_per_epoch = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_audit_sample_is_rejected_with_a_typed_error() {
+        let mut c = SimConfig::small();
+        c.audit_sample = 0;
+        match c.validate() {
+            Err(SimError::BadConfig { name, .. }) => assert_eq!(name, "audit_sample"),
+            other => panic!("expected BadConfig, got {other:?}"),
+        }
     }
 
     #[test]

@@ -227,11 +227,13 @@ impl Simulation {
     /// Attach a telemetry recorder to the whole simulation: per-slot
     /// `market.slot` events, a `sim.prepare_epoch` span around the policy's
     /// epoch preparation (where MFG-CP's `solver.*` events nest), and the
-    /// `net.*` events of topology re-association and requester mobility.
+    /// `net.*` events of topology re-association and requester mobility
+    /// (including the `net.shard.*` channel-occupancy gauges).
     /// Telemetry reads state only — runs are bit-identical with recording
     /// on or off.
     pub fn set_recorder(&mut self, recorder: RecorderHandle) {
         self.topology.set_recorder(recorder.clone());
+        self.channels.set_recorder(recorder.clone());
         if let Some(mob) = &mut self.mobility {
             mob.set_recorder(recorder.clone());
         }
@@ -295,7 +297,10 @@ impl Simulation {
         let mut series = Vec::with_capacity(self.cfg.epochs * self.cfg.slots_per_epoch);
         let mut auditor = self.cfg.audit.then(|| {
             Auditor::new(
-                AuditConfig::default(),
+                AuditConfig {
+                    sample_every: self.cfg.audit_sample,
+                    ..AuditConfig::default()
+                },
                 self.policy.allows_sharing(),
                 self.recorder.clone(),
             )
@@ -367,7 +372,7 @@ impl Simulation {
         for slot in 0..self.cfg.slots_per_epoch {
             let t_in_epoch = slot as f64 * dt;
             let t_global = (epoch * self.cfg.slots_per_epoch + slot) as f64 * dt;
-            self.channels.advance(dt, &mut self.master_rng);
+            self.channels.advance(dt);
             if let Some(mob) = &mut self.mobility {
                 mob.step(dt, &mut self.master_rng);
                 // Distances track the walkers continuously; association
@@ -936,6 +941,28 @@ mod tests {
             events.iter().any(|e| e.name == "net.mobility.step"),
             "no mobility arrivals in a 20-slot walk"
         );
+        assert!(
+            events.iter().any(|e| e.name == "net.shard.occupancy"),
+            "no shard gauges from the epoch-boundary reassociation"
+        );
+    }
+
+    #[test]
+    fn dense_channel_fallback_is_bit_identical_on_static_runs() {
+        // The engine consumes only serving-link fading, and both channel
+        // layouts drive serving links from the same per-link counter
+        // streams, so a static-topology run must not depend on the layout.
+        let sharded = small_sim(Box::new(MostPopularCaching::default())).run();
+        let mut cfg = SimConfig::small();
+        cfg.network.dense_channel = true;
+        let dense = Simulation::new(cfg, Box::new(MostPopularCaching::default()))
+            .unwrap()
+            .run();
+        assert_eq!(sharded.per_edp, dense.per_edp);
+        assert_eq!(sharded.series.len(), dense.series.len());
+        for (a, b) in sharded.series.iter().zip(&dense.series) {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]
@@ -1098,6 +1125,23 @@ mod tests {
     }
 
     #[test]
+    fn sampled_audit_stays_clean_and_observes_every_slot() {
+        let cfg = SimConfig {
+            audit: true,
+            audit_sample: 4,
+            ..SimConfig::small()
+        };
+        let policy = crate::baselines::MfgCpPolicy::new(cfg.params.clone()).unwrap();
+        let mut sim = Simulation::new(cfg, Box::new(policy)).unwrap();
+        let report = sim.run();
+        let audit = report.audit.expect("audit was requested");
+        assert!(audit.is_clean(), "{:?}", audit.violations);
+        // The cumulative I1–I3 accumulators still see every slot even
+        // though only every 4th runs the per-slot checks.
+        assert_eq!(audit.slots_checked, report.series.len());
+    }
+
+    #[test]
     fn idle_slot_event_omits_price_extremes() {
         // A zero-volume slot used to emit `min_price = inf` /
         // `max_price = -inf` sentinels (serialized as JSON strings); the
@@ -1160,14 +1204,24 @@ mod tests {
 
     #[test]
     fn mobile_requesters_change_the_market_but_not_its_validity() {
+        // Two epochs so the walkers cross at least one epoch boundary:
+        // with per-link counter-based fading streams, mobility reaches the
+        // market through real handovers (re-association changes which
+        // serving links feed `mean_fading`), not through RNG interleaving
+        // as in the dense-matrix days.
         let mut cfg = SimConfig::small();
+        cfg.epochs = 2;
         cfg.mobility = Some(mfgcp_net::RandomWaypoint::default());
         let mut sim = Simulation::new(cfg, Box::new(RandomReplacement)).unwrap();
         let mobile = sim.run();
-        let static_report = small_sim(Box::new(RandomReplacement)).run();
+        let mut static_cfg = SimConfig::small();
+        static_cfg.epochs = 2;
+        let static_report = Simulation::new(static_cfg, Box::new(RandomReplacement))
+            .unwrap()
+            .run();
         assert!(mobile.mean_trading_income() > 0.0);
-        // Mobility perturbs the channel/rate realizations, so the two
-        // runs diverge (same seed otherwise).
+        // The handovers reroute serving links, so the two runs diverge
+        // (same seed otherwise).
         assert!(
             (mobile.mean_utility() - static_report.mean_utility()).abs() > 1e-9,
             "mobility had no effect"

@@ -71,7 +71,7 @@ fn main() {
                 channels.fading(0, j),
                 channels.rate(0, j) / 1e6
             );
-            channels.advance(0.2, &mut rng);
+            channels.advance(0.2);
         }
     }
 }

@@ -30,21 +30,59 @@ fn run(policy: Box<dyn CachingPolicy>) -> SimReport {
 
 #[test]
 fn mfgcp_beats_every_baseline_on_utility() {
-    let params = config().params;
-    let mfgcp = run(Box::new(MfgCpPolicy::new(params.clone()).unwrap()));
-    let baselines = vec![
-        run(Box::new(MfgCpPolicy::without_sharing(params).unwrap())),
-        run(Box::new(Udcs::default())),
-        run(Box::new(MostPopularCaching::default())),
-        run(Box::new(RandomReplacement)),
+    // The Fig. 14 ordering is structural at the paper's catalog richness
+    // (K = 20) once the market is big enough; at toy scale the two
+    // strongest schemes sit within one realization's market noise of
+    // each other. Run near the paper's setting — affordable now that the
+    // channel layer is occupancy-local — and average out the residual
+    // noise over a few seeds.
+    let headline = |seed: u64| SimConfig {
+        num_edps: 120,
+        num_requesters: 480,
+        num_contents: 20,
+        epochs: 2,
+        slots_per_epoch: 30,
+        params: Params {
+            num_edps: 120,
+            time_steps: 16,
+            grid_h: 8,
+            grid_q: 32,
+            ..Params::default()
+        },
+        seed,
+        ..Default::default()
+    };
+    let seeds = [23_u64, 61, 104];
+    let mean_over_seeds = |make: &dyn Fn() -> Box<dyn CachingPolicy>| -> f64 {
+        seeds
+            .iter()
+            .map(|&seed| {
+                Simulation::new(headline(seed), make())
+                    .unwrap()
+                    .run()
+                    .mean_utility()
+            })
+            .sum::<f64>()
+            / seeds.len() as f64
+    };
+    let params = headline(0).params;
+    let mfgcp = mean_over_seeds(&|| Box::new(MfgCpPolicy::new(params.clone()).unwrap()));
+    let baselines: Vec<(&str, f64)> = vec![
+        (
+            "MFG",
+            mean_over_seeds(&|| Box::new(MfgCpPolicy::without_sharing(params.clone()).unwrap())),
+        ),
+        ("UDCS", mean_over_seeds(&|| Box::<Udcs>::default())),
+        (
+            "MPC",
+            mean_over_seeds(&|| Box::<MostPopularCaching>::default()),
+        ),
+        ("RR", mean_over_seeds(&|| Box::new(RandomReplacement))),
     ];
-    for b in &baselines {
+    for (name, utility) in &baselines {
         assert!(
-            mfgcp.mean_utility() > b.mean_utility(),
-            "MFG-CP ({:.2}) should beat {} ({:.2})",
-            mfgcp.mean_utility(),
-            b.scheme,
-            b.mean_utility()
+            mfgcp > *utility,
+            "MFG-CP ({mfgcp:.2}) should beat {name} ({utility:.2})"
         );
     }
 }
