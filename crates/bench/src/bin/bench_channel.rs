@@ -11,20 +11,31 @@
 //! `M × J` matrices are exactly the memory wall this benchmark documents.
 //! Run: `cargo run --release -p mfgcp-bench --bin bench_channel`
 //!
+//! A second sweep scales the *requester* population J ∈ {300, 10⁴, 10⁵,
+//! 10⁶} through a short mobile simulation (MPC scheme — no PDE solves, so
+//! the slot loop dominates) and reports the per-requester trade-loop
+//! (market-clearing) nanoseconds, the figure of merit for the sharded
+//! per-slot trade loop.
+//!
 //! Flags:
 //!
-//! * `--sizes M1,M2,...` — override the default sweep (CI's bench-smoke
-//!   job runs `--sizes 100,1000`);
-//! * `--telemetry FILE.jsonl` — stream one `bench.sample` event per
-//!   population through the shared `mfgcp-obs` recorder.
+//! * `--sizes M1,M2,...` — override the default EDP sweep (CI's
+//!   bench-smoke job runs `--sizes 100,1000`);
+//! * `--requesters J1,J2,...` — override the default requester sweep
+//!   (bench-smoke runs `--requesters 300,10000`);
+//! * `--telemetry FILE.jsonl` — stream one `bench.sample` /
+//!   `bench.trade_sample` event per population through the shared
+//!   `mfgcp-obs` recorder.
 
 use std::io::Write as _;
 use std::time::Instant;
 
-use mfgcp_net::{uniform_in_disc, ChannelState, NetworkConfig, Point, Topology};
+use mfgcp_core::Params;
+use mfgcp_net::{uniform_in_disc, ChannelState, NetworkConfig, Point, RandomWaypoint, Topology};
 use mfgcp_obs::json::Json;
 use mfgcp_obs::{JsonlSink, RecorderHandle};
 use mfgcp_sde::seeded_rng;
+use mfgcp_sim::{baselines, SimConfig, Simulation};
 
 /// Dense measurements stop here; past it the `M × J` matrices dominate
 /// memory and the sharded layout is the only practical representation.
@@ -33,6 +44,11 @@ const DENSE_CEILING: usize = 10_000;
 const REQUESTERS: usize = 300;
 const ADVANCE_STEPS: usize = 50;
 const ASSOC_ROUNDS: usize = 5;
+
+/// EDP population held fixed across the requester (J) sweep: large enough
+/// that market clearing has real per-EDP fan-out, small enough that the
+/// trade loop — not topology construction — dominates the timing.
+const J_SWEEP_EDPS: usize = 64;
 
 struct Sample {
     m: usize,
@@ -72,7 +88,7 @@ fn measure(m: usize, recorder: &RecorderHandle) -> Sample {
             .map(|_| uniform_in_disc(cfg.area_radius, &mut rng))
             .collect();
         let start = Instant::now();
-        topo.update_requesters(positions);
+        topo.update_requesters(&positions);
         let micros = start.elapsed().as_secs_f64() * 1e6;
         assoc_best = assoc_best.min(micros / REQUESTERS as f64);
     }
@@ -119,20 +135,95 @@ fn measure(m: usize, recorder: &RecorderHandle) -> Sample {
     sample
 }
 
-/// Hand-rolled flag parsing: `--sizes M1,M2,...` and `--telemetry FILE`.
-fn parse_args() -> (Vec<usize>, RecorderHandle) {
+struct JSample {
+    j: usize,
+    slots: usize,
+    trade_ns_per_requester: f64,
+    slot_micros_per_requester: f64,
+}
+
+/// One J-sweep point: a short mobile MPC run (no PDE solves) whose slot
+/// loop is dominated by arrival generation, fading advance, and market
+/// clearing. Reports the engine's own market-clearing clock normalized
+/// per requester-slot — the sharded trade loop's figure of merit — plus
+/// total slot wall-clock on the same basis for context.
+fn measure_j(j: usize, recorder: &RecorderHandle) -> JSample {
+    let cfg = SimConfig {
+        num_edps: J_SWEEP_EDPS,
+        num_requesters: j,
+        num_contents: 8,
+        epochs: 2,
+        slots_per_epoch: 4,
+        mobility: Some(RandomWaypoint::default()),
+        params: Params {
+            num_edps: J_SWEEP_EDPS,
+            ..Params::default()
+        },
+        seed: j as u64 ^ 0xBEEF,
+        ..SimConfig::default()
+    };
+    let policy = baselines::MostPopularCaching::default();
+    let mut sim = Simulation::new(cfg, Box::new(policy)).expect("J-sweep config must validate");
+    let start = Instant::now();
+    let report = sim.run();
+    let wall_ns = start.elapsed().as_secs_f64() * 1e9;
+    let slots = report.series.len().max(1);
+    let denom = (slots * j) as f64;
+    let sample = JSample {
+        j,
+        slots,
+        trade_ns_per_requester: sim.market_clearing_nanos() as f64 / denom,
+        slot_micros_per_requester: wall_ns / 1e3 / denom,
+    };
+    recorder.event(
+        "bench.trade_sample",
+        &[
+            ("j", sample.j.into()),
+            ("m", J_SWEEP_EDPS.into()),
+            ("slots", sample.slots.into()),
+            (
+                "trade_ns_per_requester",
+                sample.trade_ns_per_requester.into(),
+            ),
+            (
+                "slot_micros_per_requester",
+                sample.slot_micros_per_requester.into(),
+            ),
+        ],
+    );
+    sample
+}
+
+/// Hand-rolled flag parsing: `--sizes M1,M2,...`,
+/// `--requesters J1,J2,...`, and `--telemetry FILE`.
+fn parse_args() -> (Vec<usize>, Vec<usize>, RecorderHandle) {
+    let parse_list = |flag: &str, value: String| -> Vec<usize> {
+        let list: Vec<usize> = value
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{flag} entries must be integers"))
+            })
+            .collect();
+        assert!(!list.is_empty(), "{flag} must name at least one size");
+        list
+    };
     let mut sizes = vec![100, 1000, 10_000, 100_000];
+    let mut j_sizes = vec![300, 10_000, 100_000, 1_000_000];
     let mut recorder = RecorderHandle::noop();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--sizes" => {
                 let value = it.next().expect("--sizes needs a comma-separated list");
-                sizes = value
-                    .split(',')
-                    .map(|s| s.trim().parse().expect("--sizes entries must be integers"))
-                    .collect();
-                assert!(!sizes.is_empty(), "--sizes must name at least one M");
+                sizes = parse_list("--sizes", value);
+            }
+            "--requesters" => {
+                let value = it
+                    .next()
+                    .expect("--requesters needs a comma-separated list");
+                j_sizes = parse_list("--requesters", value);
             }
             "--telemetry" => {
                 let path = it.next().expect("--telemetry needs a file path");
@@ -142,18 +233,20 @@ fn parse_args() -> (Vec<usize>, RecorderHandle) {
             }
             other => {
                 eprintln!(
-                    "unknown flag `{other}` (supported: --sizes M1,M2,... --telemetry FILE.jsonl)"
+                    "unknown flag `{other}` (supported: --sizes M1,M2,... \
+                     --requesters J1,J2,... --telemetry FILE.jsonl)"
                 );
                 std::process::exit(2);
             }
         }
     }
-    (sizes, recorder)
+    (sizes, j_sizes, recorder)
 }
 
 fn main() {
-    let (sizes, recorder) = parse_args();
+    let (sizes, j_sizes, recorder) = parse_args();
     let samples: Vec<Sample> = sizes.iter().map(|&m| measure(m, &recorder)).collect();
+    let j_samples: Vec<JSample> = j_sizes.iter().map(|&j| measure_j(j, &recorder)).collect();
 
     let report = Json::Obj(vec![
         ("bench".into(), Json::Str("channel_state".into())),
@@ -193,6 +286,29 @@ fn main() {
                     .collect(),
             ),
         ),
+        (
+            "trade_samples".into(),
+            Json::Arr(
+                j_samples
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("j".into(), Json::Num(s.j as f64)),
+                            ("m".into(), Json::Num(J_SWEEP_EDPS as f64)),
+                            ("slots".into(), Json::Num(s.slots as f64)),
+                            (
+                                "trade_ns_per_requester".into(),
+                                Json::Num(s.trade_ns_per_requester),
+                            ),
+                            (
+                                "slot_micros_per_requester".into(),
+                                Json::Num(s.slot_micros_per_requester),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ]);
     let mut json = report.to_json_string();
     json.push('\n');
@@ -216,6 +332,13 @@ fn main() {
             s.sharded_bytes,
             dns,
             db
+        );
+    }
+    println!("j, trade_ns/req, slot_us/req");
+    for s in &j_samples {
+        println!(
+            "{}, {:.2}, {:.3}",
+            s.j, s.trade_ns_per_requester, s.slot_micros_per_requester
         );
     }
     recorder.flush();

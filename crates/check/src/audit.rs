@@ -1,4 +1,4 @@
-//! The streaming conservation auditor (invariants I1–I4).
+//! The streaming conservation auditor (invariants I1–I4 and I6).
 
 use mfgcp_core::Equilibrium;
 use mfgcp_obs::{OnceFlag, RecorderHandle, Value};
@@ -98,6 +98,24 @@ impl PopulationTotals {
     }
 }
 
+/// The served-by partition as observed immediately after an epoch-boundary
+/// re-association (computed by the caller from its topology so this crate
+/// needs no simulator types).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HandoverStats {
+    /// Requesters in the population.
+    pub requesters: u64,
+    /// Requesters appearing in exactly one served list, with that list's
+    /// EDP matching the requester's own serving pointer.
+    pub assigned: u64,
+    /// Requesters appearing in more than one served list — the
+    /// double-counted handovers I6 exists to catch.
+    pub duplicates: u64,
+    /// Requesters whose serving EDP changed across the boundary
+    /// (informational; reported through telemetry, not gated).
+    pub moved: u64,
+}
+
 /// The outcome of an audited run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct AuditReport {
@@ -107,6 +125,8 @@ pub struct AuditReport {
     pub slots_checked: usize,
     /// Prepared equilibria the auditor gated (MFG-CP/MFG only).
     pub equilibria_checked: usize,
+    /// Epoch-boundary handovers the auditor gated (mobility runs only).
+    pub handovers_checked: usize,
 }
 
 impl AuditReport {
@@ -121,16 +141,17 @@ impl core::fmt::Display for AuditReport {
         if self.is_clean() {
             write!(
                 f,
-                "audit: clean ({} slots, {} equilibria checked)",
-                self.slots_checked, self.equilibria_checked
+                "audit: clean ({} slots, {} equilibria, {} handovers checked)",
+                self.slots_checked, self.equilibria_checked, self.handovers_checked
             )
         } else {
             write!(
                 f,
-                "audit: {} violation(s) over {} slots, {} equilibria",
+                "audit: {} violation(s) over {} slots, {} equilibria, {} handovers",
                 self.violations.len(),
                 self.slots_checked,
-                self.equilibria_checked
+                self.equilibria_checked,
+                self.handovers_checked
             )
         }
     }
@@ -152,6 +173,7 @@ pub struct Auditor {
     violations: Vec<AuditError>,
     slots: usize,
     equilibria: usize,
+    handovers: usize,
     /// Slot-series side of the I1–I3 end-of-run comparisons.
     acc: PopulationTotals,
     acc_utility: f64,
@@ -170,6 +192,7 @@ impl Auditor {
             violations: Vec::new(),
             slots: 0,
             equilibria: 0,
+            handovers: 0,
             acc: PopulationTotals::default(),
             acc_utility: 0.0,
             acc_paid: 0.0,
@@ -313,6 +336,92 @@ impl Auditor {
         }
     }
 
+    /// I6: gate an epoch-boundary handover. The re-association must
+    /// re-partition the requester population exactly — every requester in
+    /// exactly one served list, none double-counted across its old and new
+    /// host EDP — and the per-EDP (= per-shard) money/case accumulators
+    /// must reconcile exactly across the migration: association moves
+    /// requesters between shards, never economics, so `before` and `after`
+    /// must be identical bit for bit. Runs on every boundary regardless of
+    /// the [`AuditConfig::sample_every`] stride (there is one handover per
+    /// epoch, so gating it is always affordable).
+    pub fn check_handover(
+        &mut self,
+        epoch: usize,
+        stats: &HandoverStats,
+        before: &PopulationTotals,
+        after: &PopulationTotals,
+    ) {
+        self.handovers += 1;
+        if stats.duplicates != 0 || stats.assigned != stats.requesters {
+            self.record(AuditError::HandoverPartition {
+                epoch,
+                requesters: stats.requesters,
+                assigned: stats.assigned,
+                duplicates: stats.duplicates,
+            });
+        }
+        // Exact comparisons on purpose: the boundary performs no
+        // arithmetic on these accumulators, so any difference — including
+        // a NaN entering either side — is a drift. (`!=` is NaN-unsafe in
+        // the direction we want: NaN != NaN holds, so NaN is flagged.)
+        #[allow(clippy::float_cmp)]
+        let drifts = [
+            (
+                "trading_income",
+                before.trading_income,
+                after.trading_income,
+            ),
+            (
+                "sharing_benefit",
+                before.sharing_benefit,
+                after.sharing_benefit,
+            ),
+            (
+                "placement_cost",
+                before.placement_cost,
+                after.placement_cost,
+            ),
+            (
+                "staleness_cost",
+                before.staleness_cost,
+                after.staleness_cost,
+            ),
+            ("sharing_cost", before.sharing_cost, after.sharing_cost),
+            (
+                "volume",
+                before.requests_served as f64,
+                after.requests_served as f64,
+            ),
+            (
+                "case1",
+                before.case_counts.0 as f64,
+                after.case_counts.0 as f64,
+            ),
+            (
+                "case2",
+                before.case_counts.1 as f64,
+                after.case_counts.1 as f64,
+            ),
+            (
+                "case3",
+                before.case_counts.2 as f64,
+                after.case_counts.2 as f64,
+            ),
+        ];
+        for (what, b, a) in drifts {
+            #[allow(clippy::float_cmp)]
+            if b != a || b.is_nan() || a.is_nan() {
+                self.record(AuditError::HandoverDrift {
+                    epoch,
+                    what,
+                    before: b,
+                    after: a,
+                });
+            }
+        }
+    }
+
     /// End-of-run invariants against the per-EDP totals: I1 cumulative
     /// money conservation, I2 exact integer tallies, and the I3 Eq. (10)
     /// reconciliation of every flow term. Consumes the auditor.
@@ -400,6 +509,7 @@ impl Auditor {
             violations: self.violations,
             slots_checked: self.slots,
             equilibria_checked: self.equilibria,
+            handovers_checked: self.handovers,
         }
     }
 }
@@ -629,6 +739,99 @@ mod tests {
             .filter(|v| matches!(v, AuditError::SlotMoneyLeak { .. }))
             .count();
         assert_eq!(leaks, 2, "stride 0 must behave like stride 1");
+    }
+
+    #[test]
+    fn clean_handover_is_counted_but_not_flagged() {
+        let mut a = Auditor::new(AuditConfig::default(), true, RecorderHandle::noop());
+        let totals = totals_matching(&flows(0.7, 0.7));
+        let stats = HandoverStats {
+            requesters: 48,
+            assigned: 48,
+            duplicates: 0,
+            moved: 7,
+        };
+        a.check_handover(1, &stats, &totals, &totals.clone());
+        assert!(a.violations().is_empty(), "{:?}", a.violations());
+        let f = flows(0.7, 0.7);
+        a.observe_slot(&f);
+        let report = a.finish(&totals_matching(&f));
+        assert!(report.is_clean());
+        assert_eq!(report.handovers_checked, 1);
+        assert!(report.to_string().contains("1 handovers"));
+    }
+
+    #[test]
+    fn broken_handover_partition_is_caught() {
+        let mut a = Auditor::new(AuditConfig::default(), true, RecorderHandle::noop());
+        let totals = PopulationTotals::default();
+        // One requester double-counted across its old and new host EDP,
+        // another dropped entirely.
+        let stats = HandoverStats {
+            requesters: 48,
+            assigned: 47,
+            duplicates: 1,
+            moved: 2,
+        };
+        a.check_handover(2, &stats, &totals, &totals.clone());
+        assert!(a.violations().iter().any(|v| matches!(
+            v,
+            AuditError::HandoverPartition {
+                epoch: 2,
+                duplicates: 1,
+                ..
+            }
+        )));
+        assert_eq!(a.violations()[0].invariant(), "I6");
+    }
+
+    #[test]
+    fn handover_accumulator_drift_names_the_accumulator() {
+        let mut a = Auditor::new(AuditConfig::default(), true, RecorderHandle::noop());
+        let before = totals_matching(&flows(0.7, 0.7));
+        let mut after = before;
+        after.trading_income += 1e-12; // any change at all is a drift
+        after.case_counts.1 += 1;
+        let stats = HandoverStats {
+            requesters: 3,
+            assigned: 3,
+            duplicates: 0,
+            moved: 0,
+        };
+        a.check_handover(1, &stats, &before, &after);
+        let named: Vec<&str> = a
+            .violations()
+            .iter()
+            .filter_map(|v| match v {
+                AuditError::HandoverDrift { what, .. } => Some(*what),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(named, vec!["trading_income", "case2"]);
+    }
+
+    #[test]
+    fn nan_accumulators_fail_the_handover_gate() {
+        let mut a = Auditor::new(AuditConfig::default(), true, RecorderHandle::noop());
+        let before = PopulationTotals {
+            staleness_cost: f64::NAN,
+            ..PopulationTotals::default()
+        };
+        let after = before; // NaN on both sides still must not pass
+        let stats = HandoverStats {
+            requesters: 1,
+            assigned: 1,
+            duplicates: 0,
+            moved: 0,
+        };
+        a.check_handover(1, &stats, &before, &after);
+        assert!(a.violations().iter().any(|v| matches!(
+            v,
+            AuditError::HandoverDrift {
+                what: "staleness_cost",
+                ..
+            }
+        )));
     }
 
     #[test]

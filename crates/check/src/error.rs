@@ -2,9 +2,9 @@
 
 /// One violated invariant, with enough coordinates to reproduce it.
 ///
-/// The invariant numbering (I1–I5) matches the crate docs: money
+/// The invariant numbering (I1–I6) matches the crate docs: money
 /// conservation, case-tally consistency, Eq. (10) reconciliation,
-/// solver-side gating, and differential oracles.
+/// solver-side gating, differential oracles, and handover conservation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AuditError {
     /// I1 — sharing fees paid and earned diverge within one slot.
@@ -112,10 +112,36 @@ pub enum AuditError {
         /// Human-readable description of the divergence.
         detail: String,
     },
+    /// I6 — an epoch-boundary re-association broke the served-by
+    /// partition: a requester was double-counted across its old and new
+    /// host EDP, or dropped from every served list.
+    HandoverPartition {
+        /// Epoch whose boundary performed the handover.
+        epoch: usize,
+        /// Requesters in the population.
+        requesters: u64,
+        /// Requesters assigned to exactly one consistent served list.
+        assigned: u64,
+        /// Requesters appearing in more than one served list.
+        duplicates: u64,
+    },
+    /// I6 — a per-EDP money/case accumulator changed across an
+    /// epoch-boundary handover (association moves requesters between
+    /// shards, never economics, so the totals must reconcile exactly).
+    HandoverDrift {
+        /// Epoch whose boundary performed the handover.
+        epoch: usize,
+        /// Which accumulator drifted ("trading_income", "case1", …).
+        what: &'static str,
+        /// Population total immediately before the handover.
+        before: f64,
+        /// Population total immediately after the handover.
+        after: f64,
+    },
 }
 
 impl AuditError {
-    /// The invariant family this violation belongs to ("I1" … "I5").
+    /// The invariant family this violation belongs to ("I1" … "I6").
     pub fn invariant(&self) -> &'static str {
         match self {
             Self::SlotMoneyLeak { .. } | Self::TotalMoneyLeak { .. } => "I1",
@@ -125,11 +151,13 @@ impl AuditError {
             Self::NonFinite { .. } | Self::SeriesMismatch { .. } => "I3",
             Self::MassDrift { .. } | Self::PolicyRange { .. } => "I4",
             Self::OracleDivergence { .. } => "I5",
+            Self::HandoverPartition { .. } | Self::HandoverDrift { .. } => "I6",
         }
     }
 
     /// `(epoch, slot-or-content)` coordinates when the violation is
-    /// localized; `None` for end-of-run aggregate violations.
+    /// localized; `None` for end-of-run aggregate violations. Handover
+    /// violations use index 0 — the boundary precedes slot 0 of its epoch.
     pub fn coordinates(&self) -> Option<(usize, usize)> {
         match *self {
             Self::SlotMoneyLeak { epoch, slot, .. }
@@ -138,6 +166,9 @@ impl AuditError {
             | Self::NonFinite { epoch, slot, .. } => Some((epoch, slot)),
             Self::MassDrift { epoch, content, .. } | Self::PolicyRange { epoch, content, .. } => {
                 Some((epoch, content))
+            }
+            Self::HandoverPartition { epoch, .. } | Self::HandoverDrift { epoch, .. } => {
+                Some((epoch, 0))
             }
             Self::TotalMoneyLeak { .. }
             | Self::CountMismatch { .. }
@@ -225,6 +256,24 @@ impl core::fmt::Display for AuditError {
             Self::OracleDivergence { what, detail } => {
                 write!(f, "I5 {what} oracle divergence: {detail}")
             }
+            Self::HandoverPartition {
+                epoch,
+                requesters,
+                assigned,
+                duplicates,
+            } => write!(
+                f,
+                "I6 handover partition broken at epoch {epoch} boundary: {assigned} of {requesters} requesters assigned, {duplicates} double-counted"
+            ),
+            Self::HandoverDrift {
+                epoch,
+                what,
+                before,
+                after,
+            } => write!(
+                f,
+                "I6 {what} accumulator drifted across the epoch {epoch} handover: {before} before vs {after} after"
+            ),
         }
     }
 }
@@ -310,11 +359,45 @@ mod tests {
                 what: "pricer",
                 detail: "gap".into(),
             },
+            AuditError::HandoverPartition {
+                epoch: 1,
+                requesters: 10,
+                assigned: 9,
+                duplicates: 1,
+            },
+            AuditError::HandoverDrift {
+                epoch: 1,
+                what: "trading_income",
+                before: 1.0,
+                after: 2.0,
+            },
         ];
         for e in &all {
             let inv = e.invariant();
-            assert!(["I1", "I2", "I3", "I4", "I5"].contains(&inv));
+            assert!(["I1", "I2", "I3", "I4", "I5", "I6"].contains(&inv));
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn handover_violations_carry_the_epoch_boundary_coordinates() {
+        let e = AuditError::HandoverPartition {
+            epoch: 3,
+            requesters: 5,
+            assigned: 4,
+            duplicates: 0,
+        };
+        assert_eq!(e.invariant(), "I6");
+        assert_eq!(e.coordinates(), Some((3, 0)));
+        assert!(e.to_string().contains("epoch 3"));
+        let e = AuditError::HandoverDrift {
+            epoch: 2,
+            what: "case2",
+            before: 4.0,
+            after: 5.0,
+        };
+        assert_eq!(e.invariant(), "I6");
+        assert_eq!(e.coordinates(), Some((2, 0)));
+        assert!(e.to_string().contains("case2"));
     }
 }

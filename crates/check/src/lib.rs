@@ -20,7 +20,13 @@
 //!   - **I3 Eq. (10) reconciliation** — `Σ_slots slot_flow · M` equals the
 //!     per-EDP accumulated totals for every term of Eq. (10);
 //!   - **I4 solver-side gating** — FPK mass drift `|∫λ(t_n) − 1|` and the
-//!     equilibrium policy range `x* ∈ [0, 1]`.
+//!     equilibrium policy range `x* ∈ [0, 1]`;
+//!   - **I6 handover conservation** — every epoch-boundary re-association
+//!     re-partitions the requester population exactly (no request is ever
+//!     double-counted across a requester's old and new host EDP) and the
+//!     per-EDP (= per-shard) money/case accumulators reconcile exactly
+//!     across the migration ([`Auditor::check_handover`], fed with
+//!     [`HandoverStats`] the simulator computes at each boundary).
 //!
 //!   Violations are typed [`AuditError`]s with slot/content coordinates;
 //!   the first one also emits a fire-once `audit.violation` telemetry
@@ -47,6 +53,6 @@ mod audit;
 mod error;
 pub mod oracle;
 
-pub use audit::{AuditConfig, AuditReport, Auditor, PopulationTotals, SlotFlows};
+pub use audit::{AuditConfig, AuditReport, Auditor, HandoverStats, PopulationTotals, SlotFlows};
 pub use error::AuditError;
 pub use oracle::TwoSmallest;

@@ -49,6 +49,32 @@ fn every_scheme_passes_the_audit_on_the_small_config() {
 }
 
 #[test]
+fn every_scheme_passes_the_handover_audit_under_mobility() {
+    // The I6 gate: mobile runs with real epoch-boundary handovers must
+    // keep the request partition exact and the per-EDP accumulators
+    // untouched across every migration, under every scheme — and the
+    // auditor must actually have checked one boundary per later epoch.
+    let cfg = SimConfig {
+        audit: true,
+        epochs: 3,
+        mobility: Some(mfgcp_net::RandomWaypoint::default()),
+        ..SimConfig::small()
+    };
+    for policy in schemes(&cfg.params) {
+        let name = policy.name();
+        let mut sim = Simulation::new(cfg.clone(), policy).unwrap();
+        let report = sim.run();
+        let audit = report.audit.expect("audit was requested");
+        assert!(audit.is_clean(), "{name}: {:?}", audit.violations);
+        assert_eq!(
+            audit.handovers_checked,
+            cfg.epochs - 1,
+            "{name}: one handover gate per later epoch"
+        );
+    }
+}
+
+#[test]
 fn threaded_and_single_threaded_runs_are_bit_identical() {
     // The per-EDP phase (including the new per-slot cost buffer) must not
     // leak any thread-count dependence into the series or the metrics.

@@ -190,6 +190,7 @@ USAGE:
                    [--requesters N] [--contents K] [--epochs E]
                    [--slots N] [--seed S] [--mobility] [--audit]
                    [--audit-sample N] [--dense-channel] [--k-int N]
+                   [--adaptive-k-int] [--unsharded-market]
                    [--telemetry FILE.jsonl]
                    (plus all `solve` flags for the game parameters)
     mfgcp serve    --artifact FILE.eq [--addr HOST:PORT] [--threads N]
@@ -223,7 +224,14 @@ The channel layer defaults to the sharded occupancy-local layout
 (serving link + the `--k-int` nearest interferers per requester, plus a
 frozen mean-field tail; memory and per-step cost are flat in the EDP
 count). `--dense-channel` switches to the exact dense M x J layout, the
-differential oracle for small runs.
+differential oracle for small runs. `--adaptive-k-int` lets the channel
+resize the tracked-interferer budget at each re-association from the
+measured truncated-power share (doubling toward the tolerance, halving
+with hysteresis when slack); `--k-int` then only seeds the budget.
+
+The per-slot trade loop resolves flattened (EDP, content) entries on
+scoped threads — bit-identical to the sequential fold for any thread
+count. `--unsharded-market` forces the sequential oracle loop instead.
 ";
 
 fn parse_f64(flag: &str, value: &str) -> Result<f64, CliError> {
@@ -331,6 +339,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 }
                 if flag == "--dense-channel" {
                     config.network.dense_channel = true;
+                    continue;
+                }
+                if flag == "--adaptive-k-int" {
+                    config.network.adaptive_k_int = true;
+                    continue;
+                }
+                if flag == "--unsharded-market" {
+                    config.unsharded_market = true;
                     continue;
                 }
                 let value = it
@@ -609,6 +625,24 @@ mod tests {
             parse(&argv("simulate --k-int 0")),
             Err(CliError::BadValue { flag, .. }) if flag == "--k-int"
         ));
+    }
+
+    #[test]
+    fn adaptive_k_int_and_unsharded_market_flags_parse() {
+        match parse(&argv("simulate --adaptive-k-int --unsharded-market")).unwrap() {
+            Command::Simulate { config, .. } => {
+                assert!(config.network.adaptive_k_int);
+                assert!(config.unsharded_market);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("simulate")).unwrap() {
+            Command::Simulate { config, .. } => {
+                assert!(!config.network.adaptive_k_int, "fixed k_int is the default");
+                assert!(!config.unsharded_market, "sharded clearing is the default");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -49,6 +49,10 @@ enum Repr {
     Sharded(ShardedLinks),
 }
 
+/// Floor of the adaptive tracked-interferer budget: below this the
+/// per-record bookkeeping is noise and further shrinking saves nothing.
+const MIN_ADAPTIVE_K_INT: usize = 4;
+
 /// Dynamic channel state for the tracked (EDP, requester) links.
 #[derive(Debug, Clone)]
 pub struct ChannelState {
@@ -226,7 +230,76 @@ impl ChannelState {
                 links.reassociate(topo, &self.cfg, &self.process, self.seed, self.step);
             }
         }
+        if self.cfg.adaptive_k_int {
+            self.adapt_k_int(topo);
+        }
         self.emit_shard_gauges();
+    }
+
+    /// The adaptive-k controller: after a re-association, resize the
+    /// tracked-interferer budget from the measured truncated-power share
+    /// (the same quantity the `net.shard.truncated_power` gauge reports).
+    /// Doubles `k_int` while the tail carries more than
+    /// `truncation_tol / 2` of the stationary-mean interference power
+    /// (capped at `M − 1`, where the tail is empty); halves it once per
+    /// boundary when the tail share drops below `truncation_tol / 8`
+    /// (floored at [`MIN_ADAPTIVE_K_INT`]). The 4× gap between the two
+    /// thresholds is the hysteresis that keeps the controller from
+    /// oscillating between boundaries. Deterministic: the decision is a
+    /// pure function of tracked distances, so runs stay bit-reproducible
+    /// for any thread count.
+    fn adapt_k_int(&mut self, topo: &Topology) {
+        let max_k = self.num_edps.saturating_sub(1).max(1);
+        let mut grown = false;
+        loop {
+            let Repr::Sharded(links) = &self.repr else {
+                return;
+            };
+            let Some((fraction, _)) = links.tail_fraction(&self.process, &self.cfg) else {
+                return;
+            };
+            let k = links.k_int;
+            if fraction > 0.5 * self.cfg.truncation_tol && k < max_k {
+                let target = (k * 2).min(max_k);
+                let Repr::Sharded(links) = &mut self.repr else {
+                    return;
+                };
+                links.retrack(topo, &self.cfg, &self.process, self.seed, self.step, target);
+                grown = true;
+                continue;
+            }
+            // Never shrink in a pass that grew: a budget at the cap has a
+            // tail share of exactly 0 (everything is tracked), which says
+            // the tolerance *demanded* the cap, not that the budget is
+            // slack — backing off would re-violate it next boundary.
+            if grown {
+                return;
+            }
+            if fraction < 0.125 * self.cfg.truncation_tol && k > MIN_ADAPTIVE_K_INT {
+                // Shrink as a measured probe, at most one halving per
+                // boundary: keep it only if the halved budget still meets
+                // the grow threshold, otherwise revert. (A zero tail
+                // carries no information about what halving would leave,
+                // so the probe must re-measure rather than assume.)
+                let target = (k / 2).max(MIN_ADAPTIVE_K_INT);
+                let Repr::Sharded(links) = &mut self.repr else {
+                    return;
+                };
+                links.retrack(topo, &self.cfg, &self.process, self.seed, self.step, target);
+                let Repr::Sharded(links) = &self.repr else {
+                    return;
+                };
+                if let Some((shrunk, _)) = links.tail_fraction(&self.process, &self.cfg) {
+                    if shrunk > 0.5 * self.cfg.truncation_tol {
+                        let Repr::Sharded(links) = &mut self.repr else {
+                            return;
+                        };
+                        links.retrack(topo, &self.cfg, &self.process, self.seed, self.step, k);
+                    }
+                }
+            }
+            return;
+        }
     }
 
     /// Recompute the tracked link distances from explicit requester
@@ -434,26 +507,12 @@ impl ChannelState {
         );
         // Share of the interference power (at the stationary-mean fading)
         // carried by the frozen mean-field tail rather than by live
-        // tracked links — the part of Eq. (2) the sharding approximates.
-        let h = self.process.stationary_mean();
-        let mut total_fraction = 0.0;
-        let mut sampled = 0u64;
-        for record in &links.records {
-            let tracked_power: f64 = record
-                .interferers
-                .iter()
-                .map(|l| channel_gain(h, l.distance, self.cfg.path_loss_exp, self.cfg.min_distance))
-                .sum();
-            let total = tracked_power + record.tail_gain;
-            if total > 0.0 {
-                total_fraction += record.tail_gain / total;
-                sampled += 1;
-            }
-        }
-        if sampled > 0 {
+        // tracked links — the part of Eq. (2) the sharding approximates,
+        // and the signal the adaptive-k controller steers on.
+        if let Some((fraction, sampled)) = links.tail_fraction(&self.process, &self.cfg) {
             self.recorder.gauge(
                 "net.shard.truncated_power",
-                total_fraction / sampled as f64,
+                fraction,
                 &[("sampled", sampled.into())],
             );
         }
@@ -534,7 +593,7 @@ mod tests {
         let mut ch = ChannelState::init(&topo, &cfg, &mut rng);
         let before = ch.gain(0, 0);
         // Move requester 0 far away from EDP 0.
-        topo.update_requesters(vec![Point::new(400.0, 0.0), Point::new(190.0, 0.0)]);
+        topo.update_requesters(&[Point::new(400.0, 0.0), Point::new(190.0, 0.0)]);
         ch.refresh_distances(&topo);
         assert!(ch.gain(0, 0) < before, "gain should drop with distance");
     }
@@ -548,7 +607,7 @@ mod tests {
         let moved = vec![Point::new(321.0, -45.0), Point::new(-17.0, 60.0)];
         via_positions.refresh_distances_from_positions(&topo, &moved);
         let mut probe = topo.clone();
-        probe.update_requesters(moved);
+        probe.update_requesters(&moved);
         via_rebuild.refresh_distances(&probe);
         for i in 0..2 {
             for j in 0..2 {
@@ -633,6 +692,82 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_k_int_grows_until_the_tail_meets_the_tolerance() {
+        let mut rng = seeded_rng(19);
+        let cfg = NetworkConfig {
+            k_int: 1,
+            adaptive_k_int: true,
+            ..NetworkConfig::default()
+        };
+        let mut topo = Topology::random(60, 30, &cfg, &mut rng);
+        let mut ch = ChannelState::init(&topo, &cfg, &mut rng);
+        let moved: Vec<Point> = (0..30)
+            .map(|_| crate::uniform_in_disc(500.0, &mut rng))
+            .collect();
+        topo.update_requesters(&moved);
+        ch.refresh_distances(&topo);
+        let Repr::Sharded(links) = &ch.repr else {
+            panic!("expected the sharded layout");
+        };
+        assert!(links.k_int > 1, "one tracked interferer leaves a fat tail");
+        let (fraction, _) = links.tail_fraction(&ch.process, &ch.cfg).unwrap();
+        assert!(
+            fraction <= 0.5 * ch.cfg.truncation_tol || links.k_int == 59,
+            "controller must stop inside tolerance (or at M − 1): \
+             fraction {fraction}, k {}",
+            links.k_int
+        );
+    }
+
+    #[test]
+    fn adaptive_k_int_shrinks_a_slack_budget_one_probe_at_a_time() {
+        // EDPs on a geometrically-spaced line: with τ = 3 the far field
+        // is negligible, so a budget of 6 interferers is pure slack and
+        // the halved budget of 4 still sits far inside the tolerance.
+        let edps: Vec<Point> = std::iter::once(Point::new(0.0, 0.0))
+            .chain((0..7).map(|i| Point::new(100.0 * (1 << i) as f64, 0.0)))
+            .collect();
+        let requesters = vec![Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        let mut topo = Topology::with_positions(edps, requesters);
+        let cfg = NetworkConfig {
+            k_int: 6,
+            adaptive_k_int: true,
+            ..NetworkConfig::default()
+        };
+        let mut ch = ChannelState::init_with_seed(&topo, &cfg, 20);
+        topo.update_requesters(&[Point::new(1.5, 0.0), Point::new(2.5, 0.0)]);
+        ch.refresh_distances(&topo);
+        let Repr::Sharded(links) = &ch.repr else {
+            panic!("expected the sharded layout");
+        };
+        assert_eq!(links.k_int, 4, "one probe halving, floored at 4");
+    }
+
+    #[test]
+    fn adaptive_k_int_reverts_a_shrink_probe_that_breaks_the_tolerance() {
+        // At the cap (k = M − 1) the tail share is exactly 0 — below the
+        // shrink threshold — but this dense uniform geometry needs the
+        // whole budget, so the probe must measure, fail, and revert.
+        let mut rng = seeded_rng(20);
+        let cfg = NetworkConfig {
+            k_int: 59,
+            adaptive_k_int: true,
+            ..NetworkConfig::default()
+        };
+        let mut topo = Topology::random(60, 30, &cfg, &mut rng);
+        let mut ch = ChannelState::init(&topo, &cfg, &mut rng);
+        let moved: Vec<Point> = (0..30)
+            .map(|_| crate::uniform_in_disc(500.0, &mut rng))
+            .collect();
+        topo.update_requesters(&moved);
+        ch.refresh_distances(&topo);
+        let Repr::Sharded(links) = &ch.repr else {
+            panic!("expected the sharded layout");
+        };
+        assert_eq!(links.k_int, 59, "the failed probe must be reverted");
+    }
+
+    #[test]
     fn shard_gauges_are_emitted_on_reassociation() {
         use mfgcp_obs::MemorySink;
         let cfg = NetworkConfig::default();
@@ -644,7 +779,7 @@ mod tests {
         let moved: Vec<Point> = (0..60)
             .map(|_| crate::uniform_in_disc(500.0, &mut rng))
             .collect();
-        topo.update_requesters(moved);
+        topo.update_requesters(&moved);
         ch.refresh_distances(&topo);
         let names: Vec<String> = sink.events().iter().map(|e| e.name.to_string()).collect();
         assert!(names.contains(&"net.shard.occupancy".to_string()));

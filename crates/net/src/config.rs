@@ -45,6 +45,15 @@ pub struct NetworkConfig {
     /// [`NetworkConfig::truncation_tol`]; the share carried by the tail
     /// is reported by the `net.shard.truncated_power` gauge).
     pub k_int: usize,
+    /// Let the channel state resize `k_int` itself at every
+    /// re-association, steering on the measured truncated-power share:
+    /// doubled while the frozen tail carries more than
+    /// `truncation_tol / 2` of the stationary-mean interference power,
+    /// halved (with 4× hysteresis, floored at 4) when it carries less
+    /// than `truncation_tol / 8`. [`NetworkConfig::k_int`] then only
+    /// seeds the initial budget. The decision is a pure function of the
+    /// tracked geometry, so adaptive runs stay bit-reproducible.
+    pub adaptive_k_int: bool,
     /// Documented worst-case bound on the relative Eq. (2) interference
     /// error of the sharded layout at the default geometry. The tracked
     /// neighborhood plus the frozen mean-field tail cover the full
@@ -81,6 +90,7 @@ impl Default for NetworkConfig {
             // uniform placements at any density (measured by the
             // `net.shard.truncated_power` gauge; see DESIGN.md §2f).
             k_int: 32,
+            adaptive_k_int: false,
             truncation_tol: 2e-2,
         }
     }

@@ -111,39 +111,69 @@ impl MobileRequesters {
     }
 
     /// Advance every requester by `dt`.
+    ///
+    /// Phase transitions carry the residual time within the slot: a pause
+    /// that ends mid-slot starts walking for the remainder of the slot,
+    /// and a walker arriving mid-slot begins its pause with the already
+    /// consumed walking time deducted. Total walking time over any horizon
+    /// therefore equals elapsed time minus pause time exactly, independent
+    /// of how the horizon is sliced into slots.
+    ///
+    /// Note on determinism: waypoint and speed draws happen in the slot
+    /// where the pause actually expires (draw order per transition:
+    /// waypoint, then speed), and several transitions can chain within one
+    /// slot. This shifts the master-RNG consumption pattern relative to
+    /// the historical one-transition-per-slot step, so runs are not
+    /// draw-compatible with pre-fix baselines.
     pub fn step<R: Rng + ?Sized>(&mut self, dt: f64, rng: &mut R) {
         let mut arrivals: u64 = 0;
+        // A zero-length leg with a zero pause would consume no time while
+        // drawing new waypoints forever; cap the transitions per slot so
+        // that measure-zero geometry cannot hang the step.
+        const MAX_TRANSITIONS: usize = 10_000;
         for i in 0..self.positions.len() {
-            match self.phases[i] {
-                Phase::Paused { remaining } => {
-                    let left = remaining - dt;
-                    if left <= 0.0 {
-                        self.waypoints[i] = uniform_in_disc(self.radius, rng);
-                        self.phases[i] = Phase::Walking {
-                            speed: rng.random_range(self.model.speed_min..=self.model.speed_max),
-                        };
-                    } else {
-                        self.phases[i] = Phase::Paused { remaining: left };
+            let mut left = dt;
+            let mut transitions = 0usize;
+            while left > 0.0 && transitions < MAX_TRANSITIONS {
+                match self.phases[i] {
+                    Phase::Paused { remaining } => {
+                        if remaining > left {
+                            self.phases[i] = Phase::Paused {
+                                remaining: remaining - left,
+                            };
+                            left = 0.0;
+                        } else {
+                            left -= remaining;
+                            self.waypoints[i] = uniform_in_disc(self.radius, rng);
+                            self.phases[i] = Phase::Walking {
+                                speed: rng
+                                    .random_range(self.model.speed_min..=self.model.speed_max),
+                            };
+                            transitions += 1;
+                        }
                     }
-                }
-                Phase::Walking { speed } => {
-                    let pos = self.positions[i];
-                    let target = self.waypoints[i];
-                    let dist = pos.distance(&target);
-                    let travel = speed * dt;
-                    if travel >= dist {
-                        // Arrive and pause.
-                        self.positions[i] = target;
-                        self.phases[i] = Phase::Paused {
-                            remaining: self.model.pause,
-                        };
-                        arrivals += 1;
-                    } else {
-                        let frac = travel / dist;
-                        self.positions[i] = Point::new(
-                            pos.x + (target.x - pos.x) * frac,
-                            pos.y + (target.y - pos.y) * frac,
-                        );
+                    Phase::Walking { speed } => {
+                        let pos = self.positions[i];
+                        let target = self.waypoints[i];
+                        let dist = pos.distance(&target);
+                        let travel = speed * left;
+                        if travel >= dist {
+                            // Arrive and pause for the rest of the slot.
+                            self.positions[i] = target;
+                            left -= dist / speed;
+                            self.phases[i] = Phase::Paused {
+                                remaining: self.model.pause,
+                            };
+                            arrivals += 1;
+                            transitions += 1;
+                        } else {
+                            let frac = travel / dist;
+                            self.positions[i] = Point::new(
+                                pos.x + (target.x - pos.x) * frac,
+                                pos.y + (target.y - pos.y) * frac,
+                            );
+                            left = 0.0;
+                        }
                     }
                 }
             }
@@ -262,6 +292,53 @@ mod tests {
             pause: 0.0,
         }
         .validated();
+    }
+
+    #[test]
+    fn displacement_matches_speed_times_elapsed_time() {
+        use mfgcp_obs::MemorySink;
+        // With pause = 0 and a fixed speed the walk never stops, so the
+        // path length over any horizon is exactly speed × elapsed time.
+        // The pre-fix step dropped the residual dt at every phase
+        // transition: the arrival slot under-walked and the following
+        // Paused{0} slot did not move at all, so slots without an arrival
+        // could show zero displacement. Here every arrival-free slot must
+        // advance every walker by exactly speed · dt, and the summed path
+        // must reconstruct speed × elapsed up to the turn geometry.
+        let mut rng = seeded_rng(36);
+        let speed = 40.0;
+        let model = RandomWaypoint {
+            speed_min: speed,
+            speed_max: speed,
+            pause: 0.0,
+        };
+        let mut mob = MobileRequesters::new(start(), 100.0, model, &mut rng);
+        let sink = std::sync::Arc::new(MemorySink::new());
+        mob.set_recorder(RecorderHandle::new(sink.clone()));
+        let dt = 0.05;
+        let steps = 400;
+        let mut path = 0.0;
+        let mut seen_events = 0usize;
+        for _ in 0..steps {
+            let before = mob.positions().to_vec();
+            mob.step(dt, &mut rng);
+            let arrived = sink.events().len() > seen_events;
+            seen_events = sink.events().len();
+            for (a, b) in mob.positions().iter().zip(&before) {
+                let d = a.distance(b);
+                path += d;
+                if !arrived {
+                    // Mid-leg slot: displacement is exactly the walk.
+                    assert!((d - speed * dt).abs() < 1e-9, "leaked time: {d}");
+                }
+            }
+        }
+        // Summed displacement only under-counts at turns (triangle
+        // inequality within the arrival slots), so it stays within a few
+        // percent of the exact path length speed × elapsed × walkers.
+        let exact = speed * dt * steps as f64 * 3.0;
+        assert!(path <= exact + 1e-6, "path {path} exceeds exact {exact}");
+        assert!(path > 0.97 * exact, "path {path} vs exact {exact}");
     }
 
     #[test]

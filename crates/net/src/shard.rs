@@ -48,6 +48,30 @@ pub(crate) fn link_rng(seed: u64, edp: usize, requester: usize, draw: u64) -> Si
     seeded_rng(mix(b ^ draw.wrapping_mul(0x2545_F491_4F6C_DD1D)))
 }
 
+/// Run `f` over disjoint chunks of `items` on scoped threads, passing each
+/// chunk's base index. Falls back to one inline call when the population
+/// is too small to amortize thread spawns. Every caller's per-item work is
+/// keyed by counter-based per-link streams (or draws nothing at all), so
+/// any chunking — including the sequential fallback — is bit-identical.
+fn par_chunks<T: Send, F: Fn(usize, &mut [T]) + Sync>(items: &mut [T], f: F) {
+    const MIN_PER_THREAD: usize = 1024;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len() / MIN_PER_THREAD);
+    if threads <= 1 {
+        f(0, items);
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (c, chunk_items) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(c * chunk, chunk_items));
+        }
+    });
+}
+
 /// Stationary-law fading for a link first tracked at step `step`
 /// (`step = 0` at construction), clamped into the configured band.
 #[inline]
@@ -157,12 +181,29 @@ impl ShardedLinks {
     ) -> Self {
         let m = topo.num_edps();
         let j = topo.num_requesters();
-        let mut records = Vec::with_capacity(j);
+        // Each record is a pure function of its requester index (distances
+        // from `topo`, fading from the per-link streams), so construction
+        // fans out over record chunks like `reassociate`; only the shard
+        // index rebuild stays sequential in ascending requester order.
+        let mut slots: Vec<Option<RequesterLinks>> = vec![None; j];
+        par_chunks(&mut slots, |base, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                *slot = Some(Self::track(
+                    topo,
+                    cfg,
+                    process,
+                    seed,
+                    step,
+                    k_int,
+                    base + off,
+                    None,
+                ));
+            }
+        });
+        let records: Vec<RequesterLinks> = slots.into_iter().flatten().collect();
         let mut shards = vec![Vec::new(); m];
-        for jj in 0..j {
-            let record = Self::track(topo, cfg, process, seed, step, k_int, jj, None);
-            shards[record.serving.edp as usize].push(jj as u32);
-            records.push(record);
+        for (jj, rec) in records.iter().enumerate() {
+            shards[rec.serving.edp as usize].push(jj as u32);
         }
         Self {
             records,
@@ -184,26 +225,71 @@ impl ShardedLinks {
         seed: u64,
         step: u64,
     ) {
+        // Each record's new state depends only on its own carried links
+        // and per-link streams, so the re-tracking runs on record chunks
+        // across threads; only the shard index rebuild stays sequential
+        // (ascending requester order, exactly as before).
+        let k_int = self.k_int;
+        par_chunks(&mut self.records, |base, chunk| {
+            for (off, rec) in chunk.iter_mut().enumerate() {
+                let jj = base + off;
+                *rec = Self::track(topo, cfg, process, seed, step, k_int, jj, Some(&*rec));
+            }
+        });
         for shard in &mut self.shards {
             shard.clear();
         }
-        for jj in 0..self.records.len() {
-            let old = std::mem::replace(
-                &mut self.records[jj],
-                RequesterLinks {
-                    serving: Link {
-                        edp: 0,
-                        fading: 0.0,
-                        distance: 0.0,
-                    },
-                    interferers: Vec::new(),
-                    tail_gain: 0.0,
-                },
-            );
-            let record = Self::track(topo, cfg, process, seed, step, self.k_int, jj, Some(&old));
-            self.shards[record.serving.edp as usize].push(jj as u32);
-            self.records[jj] = record;
+        for (jj, rec) in self.records.iter().enumerate() {
+            self.shards[rec.serving.edp as usize].push(jj as u32);
         }
+    }
+
+    /// Resize the tracked-interferer budget to `k_int` and re-track every
+    /// record under the new budget (the adaptive-k controller's lever).
+    /// Links tracked under both budgets keep their fading; newly tracked
+    /// links draw fresh stationary state, exactly as in
+    /// [`ShardedLinks::reassociate`].
+    pub fn retrack(
+        &mut self,
+        topo: &Topology,
+        cfg: &NetworkConfig,
+        process: &OrnsteinUhlenbeck,
+        seed: u64,
+        step: u64,
+        k_int: usize,
+    ) {
+        self.k_int = k_int.max(1);
+        self.reassociate(topo, cfg, process, seed, step);
+    }
+
+    /// Mean share of the interference power (every fading evaluated at
+    /// the OU stationary mean, where the geometric split makes fading
+    /// cancel in expectation) carried by the frozen tail rather than by
+    /// live tracked links, plus how many requesters had any interference
+    /// power at all. `None` when nobody did. Pure reads — the
+    /// `net.shard.truncated_power` gauge and the adaptive-k controller
+    /// both measure through here, so they can never disagree.
+    pub fn tail_fraction(
+        &self,
+        process: &OrnsteinUhlenbeck,
+        cfg: &NetworkConfig,
+    ) -> Option<(f64, u64)> {
+        let h = process.stationary_mean();
+        let mut total = 0.0;
+        let mut sampled = 0u64;
+        for record in &self.records {
+            let tracked: f64 = record
+                .interferers
+                .iter()
+                .map(|l| crate::channel_gain(h, l.distance, cfg.path_loss_exp, cfg.min_distance))
+                .sum();
+            let t = tracked + record.tail_gain;
+            if t > 0.0 {
+                total += record.tail_gain / t;
+                sampled += 1;
+            }
+        }
+        (sampled > 0).then(|| (total / sampled as f64, sampled))
     }
 
     /// Build the link record for requester `jj`: serving EDP (= nearest,
@@ -288,8 +374,9 @@ impl ShardedLinks {
     }
 
     /// Advance every tracked link by `dt` with its per-link transition
-    /// stream into step `step`. Shard-major iteration order; the streams
-    /// make the result order-independent.
+    /// stream into step `step`. Requester-major over record chunks on
+    /// scoped threads; the counter-based streams make the result identical
+    /// for any iteration order and thread count.
     pub fn advance(
         &mut self,
         cfg: &NetworkConfig,
@@ -299,14 +386,14 @@ impl ShardedLinks {
         dt: f64,
     ) {
         let sd = process.transition_variance(dt).sqrt();
-        for shard in &self.shards {
-            for &jj in shard {
-                let record = &mut self.records[jj as usize];
+        par_chunks(&mut self.records, |base, chunk| {
+            for (off, record) in chunk.iter_mut().enumerate() {
+                let jj = base + off;
                 let s = &mut record.serving;
                 s.fading = advance_fading(
                     seed,
                     s.edp as usize,
-                    jj as usize,
+                    jj,
                     step,
                     s.fading,
                     dt,
@@ -318,7 +405,7 @@ impl ShardedLinks {
                     l.fading = advance_fading(
                         seed,
                         l.edp as usize,
-                        jj as usize,
+                        jj,
                         step,
                         l.fading,
                         dt,
@@ -328,19 +415,21 @@ impl ShardedLinks {
                     );
                 }
             }
-        }
+        });
     }
 
     /// Refresh tracked link distances from moved requester positions
     /// without re-associating (the per-slot mobility path).
     pub fn refresh_distances(&mut self, topo: &Topology, positions: &[crate::Point]) {
-        for (jj, record) in self.records.iter_mut().enumerate() {
-            let p = &positions[jj];
-            record.serving.distance = topo.edp(record.serving.edp as usize).distance(p);
-            for l in &mut record.interferers {
-                l.distance = topo.edp(l.edp as usize).distance(p);
+        par_chunks(&mut self.records, |base, chunk| {
+            for (off, record) in chunk.iter_mut().enumerate() {
+                let p = &positions[base + off];
+                record.serving.distance = topo.edp(record.serving.edp as usize).distance(p);
+                for l in &mut record.interferers {
+                    l.distance = topo.edp(l.edp as usize).distance(p);
+                }
             }
-        }
+        });
     }
 
     /// Resident bytes of the link store (records + shard index).

@@ -35,8 +35,24 @@ pub struct Topology {
     /// static, so a list built once stays valid for the topology's lifetime
     /// (mobility only moves requesters).
     neighbor_cache: Arc<Vec<OnceLock<Vec<usize>>>>,
+    /// `anchor[j]` = the position at which requester `j`'s serving EDP was
+    /// last established by a full nearest query.
+    anchor: Vec<Point>,
+    /// `margin[j]` = safe displacement radius around `anchor[j]`: while
+    /// the requester stays strictly within it, the anchored nearest EDP is
+    /// still strictly nearest (triangle inequality) and the grid query can
+    /// be skipped. `∞` when a second-nearest EDP does not exist.
+    margin: Vec<f64>,
     recorder: RecorderHandle,
 }
+
+/// Fraction of the exact triangle-inequality bound `(d₂ − d₁) / 2` kept
+/// as the skip margin. After moving `δ < (d₂ − d₁)/2` from the anchor the
+/// old nearest EDP is still *strictly* nearest (`d(r, s) ≤ d₁ + δ <
+/// d₂ − δ ≤ d(r, e)` for every other EDP `e`), so the skip reproduces the
+/// dense scan exactly and no tie-break can arise. Staying below `1/2`
+/// leaves headroom for the rounding of the two distance evaluations.
+const REASSOC_MARGIN_GUARD: f64 = 0.45;
 
 impl Topology {
     /// Place `m` EDPs and `j` requesters uniformly in the configured disc
@@ -67,10 +83,14 @@ impl Topology {
         let grid = Arc::new(SpatialGrid::build(&edps));
         let mut serving_edp = Vec::with_capacity(requesters.len());
         let mut served = vec![Vec::new(); edps.len()];
+        let mut anchor = Vec::with_capacity(requesters.len());
+        let mut margin = Vec::with_capacity(requesters.len());
         for (j, r) in requesters.iter().enumerate() {
-            let best = grid.nearest(r);
+            let (best, m) = anchored_nearest(&grid, r);
             serving_edp.push(best);
             served[best].push(j);
+            anchor.push(*r);
+            margin.push(m);
         }
         let neighbor_cache = Arc::new((0..edps.len()).map(|_| OnceLock::new()).collect());
         Self {
@@ -80,6 +100,8 @@ impl Topology {
             served,
             grid,
             neighbor_cache,
+            anchor,
+            margin,
             recorder: RecorderHandle::noop(),
         }
     }
@@ -137,22 +159,36 @@ impl Topology {
     /// nearest-EDP association in place — O(J) expected via the spatial
     /// grid; the EDP placement, grid, and neighbor cache are untouched.
     ///
+    /// Incremental: a requester whose displacement since its last full
+    /// nearest query is strictly below its stored margin (a guarded
+    /// `(d₂ − d₁)/2`, see `REASSOC_MARGIN_GUARD`) keeps its serving EDP
+    /// without touching the grid — exact by the triangle inequality, so
+    /// the resulting partition is identical to querying every requester.
+    ///
     /// # Panics
     ///
     /// Panics if the number of positions changes.
-    pub fn update_requesters(&mut self, positions: Vec<Point>) {
+    pub fn update_requesters(&mut self, positions: &[Point]) {
         assert_eq!(
             positions.len(),
             self.requesters.len(),
             "requester count must not change"
         );
-        self.requesters = positions;
+        self.requesters.clear();
+        self.requesters.extend_from_slice(positions);
         for list in &mut self.served {
             list.clear();
         }
         let mut moved = 0usize;
         for (j, r) in self.requesters.iter().enumerate() {
-            let best = self.grid.nearest(r);
+            let best = if r.distance(&self.anchor[j]) < self.margin[j] {
+                self.serving_edp[j]
+            } else {
+                let (best, m) = anchored_nearest(&self.grid, r);
+                self.anchor[j] = *r;
+                self.margin[j] = m;
+                best
+            };
             if self.serving_edp[j] != best {
                 moved += 1;
             }
@@ -190,6 +226,26 @@ impl Topology {
             others.into_iter().map(|(k, _)| k).collect()
         })
     }
+}
+
+/// Full nearest query for `r` plus the skip margin for its new anchor:
+/// the two nearest EDPs in `(distance, index)` order — the first matches
+/// [`SpatialGrid::nearest`]'s first-minimum semantics exactly — and the
+/// guarded half-gap between them (`∞` when the grid holds a single EDP,
+/// where no handover is ever possible).
+fn anchored_nearest(grid: &SpatialGrid, r: &Point) -> (usize, f64) {
+    let nn = grid.k_nearest(r, 2);
+    debug_assert_eq!(
+        nn[0].0,
+        grid.nearest(r),
+        "k_nearest's head must match the single-nearest query"
+    );
+    let margin = if nn.len() > 1 {
+        REASSOC_MARGIN_GUARD * (nn[1].1 - nn[0].1)
+    } else {
+        f64::INFINITY
+    };
+    (nn[0].0, margin)
 }
 
 #[cfg(test)]
@@ -262,7 +318,7 @@ mod tests {
         // Mobility re-associates requesters but EDPs never move, so the
         // cached list must be reused (same allocation), not rebuilt.
         let positions: Vec<Point> = (0..t.num_requesters()).map(|j| t.requester(j)).collect();
-        t.update_requesters(positions);
+        t.update_requesters(&positions);
         assert_eq!(t.neighbors(1), first.as_slice());
         assert_eq!(t.neighbors(1).as_ptr(), ptr_before);
     }
@@ -289,7 +345,7 @@ mod tests {
         // Move requester 0 next to EDP 3.
         let mut positions: Vec<Point> = (0..t.num_requesters()).map(|j| t.requester(j)).collect();
         positions[0] = Point::new(0.95, 0.95);
-        t.update_requesters(positions);
+        t.update_requesters(&positions);
         assert_eq!(t.serving(0), 3);
         assert!(t.served_by(3).contains(&0));
         assert!(!t.served_by(0).contains(&0));
@@ -301,7 +357,7 @@ mod tests {
         let mut rng = seeded_rng(22);
         let mut t = Topology::random(9, 80, &cfg, &mut rng);
         let moved: Vec<Point> = (0..80).map(|_| uniform_in_disc(500.0, &mut rng)).collect();
-        t.update_requesters(moved.clone());
+        t.update_requesters(&moved);
         let reference = Topology::with_positions((0..9).map(|i| t.edp(i)).collect(), moved);
         for i in 0..9 {
             assert_eq!(t.served_by(i), reference.served_by(i), "EDP {i}");
@@ -323,10 +379,10 @@ mod tests {
         // Move requester 0 next to EDP 3; everyone else stays put.
         let mut positions: Vec<Point> = (0..t.num_requesters()).map(|j| t.requester(j)).collect();
         positions[0] = Point::new(0.95, 0.95);
-        t.update_requesters(positions.clone());
+        t.update_requesters(&positions);
         // A second update with the same positions moves nobody — and the
         // recorder must survive the update.
-        t.update_requesters(positions);
+        t.update_requesters(&positions);
         let events = sink.events();
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].name, "net.reassociation");

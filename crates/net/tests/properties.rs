@@ -64,6 +64,47 @@ proptest! {
         }
     }
 
+    /// Repeated in-place re-association reproduces the from-scratch
+    /// association exactly, step after step. Positions live on a
+    /// quarter-unit lattice shared with the EDP placement, so exact
+    /// distance ties and spatial-grid cell-boundary hits occur with real
+    /// probability; deltas mix sub-margin wiggles (exercising the
+    /// triangle-inequality skip that keeps a stale anchor) with long
+    /// jumps that force full nearest queries and handovers.
+    #[test]
+    fn update_requesters_preserves_the_exact_partition(
+        edps in proptest::collection::vec((0_i32..21, 0_i32..21), 2..12),
+        starts in proptest::collection::vec((0_i32..81, 0_i32..81), 5),
+        deltas in proptest::collection::vec(
+            proptest::collection::vec((-40_i32..41, -40_i32..41), 5), 1..6),
+    ) {
+        let edp_pts: Vec<Point> = edps
+            .iter()
+            .map(|&(x, y)| Point::new(x as f64 * 10.0, y as f64 * 10.0))
+            .collect();
+        let mut pos: Vec<Point> = starts
+            .iter()
+            .map(|&(x, y)| Point::new(x as f64 * 2.5, y as f64 * 2.5))
+            .collect();
+        let mut topo = Topology::with_positions(edp_pts.clone(), pos.clone());
+        for step in &deltas {
+            for (p, &(dx, dy)) in pos.iter_mut().zip(step) {
+                *p = Point::new(
+                    (p.x + dx as f64 * 0.25).clamp(0.0, 200.0),
+                    (p.y + dy as f64 * 0.25).clamp(0.0, 200.0),
+                );
+            }
+            topo.update_requesters(&pos);
+            let reference = Topology::with_positions(edp_pts.clone(), pos.clone());
+            for j in 0..pos.len() {
+                prop_assert_eq!(topo.serving(j), reference.serving(j), "requester {}", j);
+            }
+            for i in 0..edp_pts.len() {
+                prop_assert_eq!(topo.served_by(i), reference.served_by(i), "EDP {}", i);
+            }
+        }
+    }
+
     /// Mobile requesters never leave the deployment disc, for any walk
     /// parameters and step pattern.
     #[test]

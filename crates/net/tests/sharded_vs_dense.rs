@@ -163,7 +163,7 @@ fn mobility_keeps_continuously_tracked_links_bit_identical() {
     let positions: Vec<Point> = (0..topo.num_requesters())
         .map(|_| mfgcp_net::uniform_in_disc(cfg.area_radius, &mut rng))
         .collect();
-    topo.update_requesters(positions.clone());
+    topo.update_requesters(&positions);
     sharded.refresh_distances(&topo);
     dense.refresh_distances(&topo);
     let mut checked = 0usize;
@@ -226,7 +226,7 @@ proptest! {
             let positions: Vec<Point> = (0..j)
                 .map(|_| mfgcp_net::uniform_in_disc(cfg.area_radius, &mut rng))
                 .collect();
-            topo.update_requesters(positions);
+            topo.update_requesters(&positions);
             ch.refresh_distances(&topo);
             for jj in 0..j {
                 // The serving link always exists (never dropped).
@@ -272,7 +272,7 @@ proptest! {
             .map(|_| mfgcp_net::uniform_in_disc(cfg.area_radius, &mut rng))
             .collect();
         let mut t2 = topo.clone();
-        t2.update_requesters(positions);
+        t2.update_requesters(&positions);
         a.advance(0.05);
         b.advance(0.05);
         a.refresh_distances(&t2);

@@ -59,6 +59,14 @@ pub struct SimConfig {
     /// available core. Results are bit-identical for any value — every
     /// random draw comes from the owning EDP's private stream.
     pub worker_threads: usize,
+    /// Force the sequential (unsharded) trade-resolution loop inside
+    /// market clearing instead of the sharded parallel precompute. The
+    /// unsharded loop is the bit-parity oracle the sharded path is
+    /// differential-tested against; both resolve the exact same pure
+    /// per-entry trades in the same fold order, so results are identical
+    /// either way — this flag only exists so the oracle stays reachable
+    /// from the CLI and the differential tests.
+    pub unsharded_market: bool,
 }
 
 impl Default for SimConfig {
@@ -80,6 +88,7 @@ impl Default for SimConfig {
             audit_sample: 1,
             seed: 42,
             worker_threads: 0,
+            unsharded_market: false,
         }
     }
 }

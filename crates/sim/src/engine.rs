@@ -19,8 +19,10 @@
 //! stream, so results are bit-identical regardless of thread count (the
 //! count itself is `SimConfig::worker_threads`, 0 = one per core).
 
-use mfgcp_check::{AuditConfig, AuditReport, Auditor, PopulationTotals, SlotFlows, TwoSmallest};
-use mfgcp_core::{ContentContext, RateModel, SharedSupplyPricer};
+use mfgcp_check::{
+    AuditConfig, AuditReport, Auditor, HandoverStats, PopulationTotals, SlotFlows, TwoSmallest,
+};
+use mfgcp_core::{ContentContext, Params, RateModel, SharedSupplyPricer};
 use mfgcp_net::{ChannelState, MobileRequesters, Topology};
 use mfgcp_obs::{RecorderHandle, Value};
 use mfgcp_sde::{seeded_rng, SimRng};
@@ -28,7 +30,7 @@ use mfgcp_workload::{trace::SyntheticYoutubeTrace, trace::Trace, RequestBatch, R
 
 use crate::config::SimConfig;
 use crate::edp::Edp;
-use crate::market::{resolve_trade, TradeCase};
+use crate::market::{resolve_trade, MarketOutcome, TradeCase};
 use crate::metrics::{self, EdpMetrics, SlotMetrics};
 use crate::policy::{CachingPolicy, DecisionContext};
 use crate::SimError;
@@ -131,6 +133,13 @@ struct MarketScratch {
     alpha_qks: Vec<f64>,
     /// Per-content `(edp, requests)` lists, `i` ascending.
     requesters: Vec<Vec<(usize, u64)>>,
+    /// Per-content Eq. (5) pricers built once per slot from `sum_x`.
+    pricers: Vec<SharedSupplyPricer>,
+    /// Flattened `(content, edp, requests)` trade entries in fold order
+    /// (`k` outer, `i` ascending) — the sharded trade loop's work list.
+    entries: Vec<(u32, u32, u64)>,
+    /// Sharded precompute results, `(outcome, unit price)` per entry.
+    outcomes: Vec<(MarketOutcome, f64)>,
 }
 
 impl Simulation {
@@ -309,21 +318,7 @@ impl Simulation {
             self.run_epoch(epoch, &mut series, &mut auditor);
         }
         let per_edp: Vec<EdpMetrics> = self.edps.iter().map(|e| e.metrics).collect();
-        let audit = auditor.map(|a| {
-            let mut totals = PopulationTotals::default();
-            for m in &per_edp {
-                totals.trading_income += m.trading_income;
-                totals.sharing_benefit += m.sharing_benefit;
-                totals.placement_cost += m.placement_cost;
-                totals.staleness_cost += m.staleness_cost;
-                totals.sharing_cost += m.sharing_cost;
-                totals.requests_served += m.requests_served;
-                totals.case_counts.0 += m.case_counts.0;
-                totals.case_counts.1 += m.case_counts.1;
-                totals.case_counts.2 += m.case_counts.2;
-            }
-            a.finish(&totals)
-        });
+        let audit = auditor.map(|a| a.finish(&population_totals(&self.edps)));
         SimReport {
             scheme: self.policy.name().to_string(),
             per_edp,
@@ -341,10 +336,29 @@ impl Simulation {
     ) {
         // Mobility: re-associate requesters to their nearest EDP at the
         // epoch boundary ("default serving EDP that is nearest
-        // geographically", §II).
-        if let Some(mob) = &self.mobility {
-            self.topology.update_requesters(mob.positions().to_vec());
-            self.channels.refresh_distances(&self.topology);
+        // geographically", §II). Epoch 0 starts from the association the
+        // topology was just built with — nobody has moved yet, so the
+        // pass would be a no-op.
+        if epoch > 0 {
+            if let Some(mob) = &self.mobility {
+                let before = auditor.as_ref().map(|_| self.handover_snapshot());
+                self.topology.update_requesters(mob.positions());
+                self.channels.refresh_distances(&self.topology);
+                if let (Some(aud), Some(before)) = (auditor.as_mut(), before) {
+                    // I6: the migration must re-partition the population
+                    // without duplicating or dropping a requester, and the
+                    // per-EDP money/case accumulators must reconcile
+                    // exactly across the boundary (association moves
+                    // requesters, never economics).
+                    let after = handover_stats(&self.topology, &before.serving);
+                    aud.check_handover(
+                        epoch,
+                        &after,
+                        &before.totals,
+                        &population_totals(&self.edps),
+                    );
+                }
+            }
         }
         let weights = self.trace.normalized_weights(epoch);
         let contexts = self.epoch_contexts(&weights);
@@ -396,8 +410,15 @@ impl Simulation {
                 .collect();
 
             // ---- Parallel phase: requests, decisions, state integration.
-            let (batches, phase_costs) =
-                self.parallel_edp_phase(&process, &mean_fadings, &cached_fraction, t_in_epoch, dt);
+            let global_slot = (epoch * self.cfg.slots_per_epoch + slot) as u64;
+            let (batches, phase_costs) = self.parallel_edp_phase(
+                &process,
+                &mean_fadings,
+                &cached_fraction,
+                t_in_epoch,
+                global_slot,
+                dt,
+            );
 
             // ---- Sequential phase: market clearing per content.
             let mut slot_stats = self.clear_market(&batches, &mean_fadings, dt);
@@ -470,19 +491,21 @@ impl Simulation {
         mean_fadings: &[f64],
         cached_fraction: &[f64],
         t_in_epoch: f64,
+        global_slot: u64,
         dt: f64,
     ) -> (Vec<RequestBatch>, Vec<PhaseCost>) {
         let cfg = &self.cfg;
+        // Requests draw from per-requester counter streams keyed by the
+        // requester's identity and the global slot, so a batch depends
+        // only on *who* an EDP serves — not on the EDP's own stream, not
+        // on the thread schedule, and not on past handovers. The constant
+        // detunes the request-stream key space from the per-link channel
+        // streams that also derive from `cfg.seed`.
+        let request_seed = cfg.seed ^ 0xA076_1D64_78BD_642F;
         let policy = &*self.policy;
         let topology = &self.topology;
         let q_sizes = &self.q_sizes;
-        let n_threads = if cfg.worker_threads > 0 {
-            cfg.worker_threads
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        };
+        let n_threads = thread_count(cfg.worker_threads);
         let chunk_size = self.edps.len().div_ceil(n_threads).max(1);
         let mut batches: Vec<RequestBatch> =
             vec![RequestBatch::empty(cfg.num_contents); self.edps.len()];
@@ -501,8 +524,8 @@ impl Simulation {
                         .zip(batch_chunk.iter_mut())
                         .zip(cost_chunk.iter_mut())
                     {
-                        let served = topology.served_by(e.id).len();
-                        *batch = process.generate(served, &mut e.rng);
+                        let served = topology.served_by(e.id);
+                        *batch = process.generate_batched(served, request_seed, global_slot);
                         // Timeliness observations (Def. 2).
                         for k in 0..cfg.num_contents {
                             e.timeliness.observe(k, &batch.urgencies[k]);
@@ -627,16 +650,88 @@ impl Simulation {
             }
         }
 
+        // Per-content Eq. (5) pricers, built once from the supply sums and
+        // shared by the sharded precompute, the sequential oracle, and the
+        // k = 0 mean-price statistic.
+        s.pricers.clear();
+        for k in 0..kk {
+            s.pricers.push(SharedSupplyPricer::from_sum(
+                cfg.params.p_hat,
+                cfg.params.eta1,
+                self.q_sizes[k],
+                m,
+                s.sum_x[k],
+            ));
+        }
+
+        // Sharded trade precompute. Every (EDP, content) trade entry is a
+        // pure function of frozen slot state — the strategy profile `x`,
+        // the caching states `q`, the mean fadings, the pricer, and the
+        // sharer tracker; the fold below only mutates metrics
+        // accumulators. So the entries can be flattened in fold order
+        // (`k` outer, `i` ascending) and resolved on scoped threads, and
+        // the sequential fold that consumes them is bit-identical to the
+        // unsharded loop for any thread count: each entry's outcome comes
+        // from the same pure call with the same inputs, folded in the same
+        // order. `unsharded_market` keeps the inline oracle reachable.
+        if !cfg.unsharded_market {
+            s.entries.clear();
+            for k in 0..kk {
+                for &(i, requests) in &s.requesters[k] {
+                    s.entries.push((k as u32, i as u32, requests));
+                }
+            }
+            let idle = (
+                resolve_trade(1.0, 1.0, 0.0, None, 0.0, 0, 1.0, 1.0, 0.0, 0.0),
+                0.0,
+            );
+            s.outcomes.clear();
+            s.outcomes.resize(s.entries.len(), idle);
+            let edps = &self.edps;
+            let rate_model = &self.rate_model;
+            let q_sizes = &self.q_sizes;
+            let params = &cfg.params;
+            let (entries, pricers, sharer_list, alpha_qks) =
+                (&s.entries, &s.pricers, &s.sharers, &s.alpha_qks);
+            let fill = |outs: &mut [(MarketOutcome, f64)], ents: &[(u32, u32, u64)]| {
+                for (out, &(k, i, requests)) in outs.iter_mut().zip(ents) {
+                    let (k, i) = (k as usize, i as usize);
+                    let rate_edge = rate_model.rate(mean_fadings[i]).max(1e-9);
+                    *out = trade_entry(
+                        &edps[i],
+                        k,
+                        requests,
+                        q_sizes[k],
+                        alpha_qks[k],
+                        &pricers[k],
+                        &sharer_list[k],
+                        sharing_allowed,
+                        rate_edge,
+                        params,
+                    );
+                }
+            };
+            let n_threads = thread_count(cfg.worker_threads)
+                .min(entries.len() / MIN_TRADE_ENTRIES_PER_THREAD)
+                .max(1);
+            if n_threads <= 1 {
+                fill(&mut s.outcomes, entries);
+            } else {
+                let chunk = entries.len().div_ceil(n_threads);
+                let fill = &fill;
+                std::thread::scope(|scope| {
+                    for (outs, ents) in s.outcomes.chunks_mut(chunk).zip(entries.chunks(chunk)) {
+                        scope.spawn(move || fill(outs, ents));
+                    }
+                });
+            }
+        }
+
+        let mut cursor = 0usize;
         for k in 0..kk {
             let q_size = self.q_sizes[k];
             let alpha_qk = s.alpha_qks[k];
-            let pricer = SharedSupplyPricer::from_sum(
-                cfg.params.p_hat,
-                cfg.params.eta1,
-                q_size,
-                m,
-                s.sum_x[k],
-            );
+            let pricer = s.pricers[k];
             // The k = 0 mean-price series averages over *every* EDP
             // (idle ones included), exactly like the per-EDP pricing
             // loop it replaces — now a dedicated O(M) pass over the
@@ -647,31 +742,29 @@ impl Simulation {
             let sharers = s.sharers[k];
 
             for &(i, requests) in &s.requesters[k] {
-                let price = pricer.price(self.edps[i].x[k]);
+                let (out, price) = if cfg.unsharded_market {
+                    // Oracle: resolve the entry inline, exactly where the
+                    // pre-sharding loop did.
+                    let rate_edge = self.rate_model.rate(mean_fadings[i]).max(1e-9);
+                    trade_entry(
+                        &self.edps[i],
+                        k,
+                        requests,
+                        q_size,
+                        alpha_qk,
+                        &pricer,
+                        &sharers,
+                        sharing_allowed,
+                        rate_edge,
+                        &cfg.params,
+                    )
+                } else {
+                    let r = s.outcomes[cursor];
+                    cursor += 1;
+                    r
+                };
                 agg.min_price = agg.min_price.min(price);
                 agg.max_price = agg.max_price.max(price);
-                // The center assigns "a suitable EDP" (§IV-B): the
-                // best-stocked qualified peer — smallest remaining space —
-                // which both completes the most data and minimizes the
-                // buyer's fee.
-                let peer = if sharing_allowed && self.edps[i].q[k] > alpha_qk {
-                    sharers.min_excluding(i)
-                } else {
-                    None
-                };
-                let rate_edge = self.rate_model.rate(mean_fadings[i]).max(1e-9);
-                let out = resolve_trade(
-                    q_size,
-                    alpha_qk,
-                    self.edps[i].q[k],
-                    peer,
-                    price,
-                    requests,
-                    rate_edge,
-                    cfg.params.center_rate,
-                    cfg.params.eta2,
-                    cfg.params.p_bar,
-                );
                 let m = &mut self.edps[i].metrics;
                 m.trading_income += out.income;
                 m.staleness_cost += out.staleness_cost;
@@ -716,6 +809,135 @@ impl Simulation {
     pub fn market_clearing_nanos(&self) -> u128 {
         self.market_nanos
     }
+
+    /// Pre-handover state for the I6 gate: the serving map and the per-EDP
+    /// accumulator totals as they stand immediately before an
+    /// epoch-boundary re-association.
+    fn handover_snapshot(&self) -> HandoverSnapshot {
+        HandoverSnapshot {
+            serving: (0..self.topology.num_requesters())
+                .map(|j| self.topology.serving(j))
+                .collect(),
+            totals: population_totals(&self.edps),
+        }
+    }
+}
+
+/// Pre-handover state captured for the I6 audit gate.
+struct HandoverSnapshot {
+    /// `serving[j]` before the re-association.
+    serving: Vec<usize>,
+    /// Population accumulator totals before the re-association.
+    totals: PopulationTotals,
+}
+
+/// Σ over the population of each [`EdpMetrics`] field, shaped for the
+/// auditor's end-of-run (I1–I3) and handover (I6) comparisons.
+fn population_totals(edps: &[Edp]) -> PopulationTotals {
+    let mut totals = PopulationTotals::default();
+    for e in edps {
+        let m = &e.metrics;
+        totals.trading_income += m.trading_income;
+        totals.sharing_benefit += m.sharing_benefit;
+        totals.placement_cost += m.placement_cost;
+        totals.staleness_cost += m.staleness_cost;
+        totals.sharing_cost += m.sharing_cost;
+        totals.requests_served += m.requests_served;
+        totals.case_counts.0 += m.case_counts.0;
+        totals.case_counts.1 += m.case_counts.1;
+        totals.case_counts.2 += m.case_counts.2;
+    }
+    totals
+}
+
+/// Audit the served-by partition immediately after a handover: walk every
+/// served list once, counting requesters that land in exactly one list
+/// whose EDP matches their own serving pointer, and requesters that were
+/// double-counted. O(M + J) with one reusable byte per requester.
+fn handover_stats(topology: &Topology, before_serving: &[usize]) -> HandoverStats {
+    let j = topology.num_requesters();
+    let mut seen = vec![false; j];
+    let mut assigned = 0u64;
+    let mut duplicates = 0u64;
+    for i in 0..topology.num_edps() {
+        for &r in topology.served_by(i) {
+            if seen[r] {
+                duplicates += 1;
+            } else {
+                seen[r] = true;
+                if topology.serving(r) == i {
+                    assigned += 1;
+                }
+            }
+        }
+    }
+    let moved = (0..j)
+        .filter(|&r| topology.serving(r) != before_serving[r])
+        .count() as u64;
+    HandoverStats {
+        requesters: j as u64,
+        assigned,
+        duplicates,
+        moved,
+    }
+}
+
+/// Resolve the configured worker-thread count (`0` = one per core).
+fn thread_count(worker_threads: usize) -> usize {
+    if worker_threads > 0 {
+        worker_threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Minimum flattened trade entries per worker before the sharded market
+/// precompute spawns threads; below this the inline fill beats the
+/// thread-spawn overhead (the result is identical either way — every
+/// entry is an independent pure call).
+const MIN_TRADE_ENTRIES_PER_THREAD: usize = 256;
+
+/// Resolve one trade entry against frozen slot state: the Eq. (5) price
+/// for the buyer's strategy, the center's best-stocked qualified peer
+/// ("a suitable EDP", §IV-B — smallest remaining space, which both
+/// completes the most data and minimizes the buyer's fee), and the
+/// case-1/2/3 outcome. Pure in its inputs; shared verbatim by the sharded
+/// precompute and the `unsharded_market` oracle, which is what makes the
+/// two paths bit-identical by construction.
+#[allow(clippy::too_many_arguments)]
+fn trade_entry(
+    e: &Edp,
+    k: usize,
+    requests: u64,
+    q_size: f64,
+    alpha_qk: f64,
+    pricer: &SharedSupplyPricer,
+    sharers: &TwoSmallest,
+    sharing_allowed: bool,
+    rate_edge: f64,
+    params: &Params,
+) -> (MarketOutcome, f64) {
+    let price = pricer.price(e.x[k]);
+    let peer = if sharing_allowed && e.q[k] > alpha_qk {
+        sharers.min_excluding(e.id)
+    } else {
+        None
+    };
+    let out = resolve_trade(
+        q_size,
+        alpha_qk,
+        e.q[k],
+        peer,
+        price,
+        requests,
+        rate_edge,
+        params.center_rate,
+        params.eta2,
+        params.p_bar,
+    );
+    (out, price)
 }
 
 /// Rate-type costs one EDP accrues during the parallel phase of one slot
@@ -883,6 +1105,42 @@ mod tests {
     }
 
     #[test]
+    fn sharded_market_matches_the_unsharded_oracle_bit_for_bit() {
+        // The tentpole differential: the sharded trade loop (flattened
+        // entries precomputed on scoped threads) against the sequential
+        // oracle it replaced, across thread counts, with mobility so
+        // epoch-boundary handovers reshuffle the shards mid-run. The
+        // population is sized so per-slot trade entries exceed
+        // 2 × MIN_TRADE_ENTRIES_PER_THREAD and the multi-thread fill path
+        // genuinely spawns.
+        let report = |threads: usize, unsharded: bool| {
+            let mut cfg = SimConfig::small();
+            cfg.epochs = 2;
+            cfg.slots_per_epoch = 6;
+            cfg.num_edps = 96;
+            cfg.params.num_edps = 96;
+            cfg.num_contents = 8;
+            cfg.num_requesters = 2000;
+            cfg.request_prob = 0.9;
+            cfg.mobility = Some(mfgcp_net::RandomWaypoint::default());
+            cfg.worker_threads = threads;
+            cfg.unsharded_market = unsharded;
+            Simulation::new(cfg, Box::new(RandomReplacement))
+                .unwrap()
+                .run()
+        };
+        let oracle = report(1, true);
+        for threads in [1, 2, 8] {
+            let sharded = report(threads, false);
+            assert_eq!(oracle.per_edp, sharded.per_edp, "with {threads} threads");
+            assert_eq!(oracle.series.len(), sharded.series.len());
+            for (a, b) in oracle.series.iter().zip(&sharded.series) {
+                assert_eq!(a, b, "with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
     fn telemetry_neither_perturbs_the_run_nor_breaks_the_schema() {
         use mfgcp_obs::{schema, Kind, MemorySink, RecorderHandle};
         let reference = small_sim(Box::new(MostPopularCaching::default())).run();
@@ -925,6 +1183,7 @@ mod tests {
     fn mobility_emits_net_events_through_the_sim_recorder() {
         use mfgcp_obs::{schema, MemorySink, RecorderHandle};
         let mut cfg = SimConfig::small();
+        cfg.epochs = 2; // epoch 0 skips the no-op re-association
         cfg.mobility = Some(mfgcp_net::RandomWaypoint::default());
         let mut sim = Simulation::new(cfg, Box::new(RandomReplacement)).unwrap();
         let sink = std::sync::Arc::new(MemorySink::new());
@@ -933,10 +1192,15 @@ mod tests {
         let events = sink.events();
         let text: String = events.iter().map(|e| e.to_json_line() + "\n").collect();
         assert_eq!(schema::validate_str(&text).unwrap(), events.len());
-        assert!(
-            events.iter().any(|e| e.name == "net.reassociation"),
-            "no reassociation events"
-        );
+        // Exactly epochs − 1 re-associations: the epoch-0 boundary starts
+        // from the association the topology was just built with, so the
+        // engine must not burn an update (and its shard-gauge emission) on
+        // a pass that cannot move anybody.
+        let reassociations = events
+            .iter()
+            .filter(|e| e.name == "net.reassociation")
+            .count();
+        assert_eq!(reassociations, 1, "one re-association per later epoch");
         assert!(
             events.iter().any(|e| e.name == "net.mobility.step"),
             "no mobility arrivals in a 20-slot walk"
@@ -945,6 +1209,31 @@ mod tests {
             events.iter().any(|e| e.name == "net.shard.occupancy"),
             "no shard gauges from the epoch-boundary reassociation"
         );
+    }
+
+    #[test]
+    fn epoch_zero_association_is_untouched() {
+        // The skip is provably a no-op — same positions, same grid, same
+        // association — so a single-epoch mobile run must serve exactly
+        // the partition the topology was built with, and a static run must
+        // be bit-identical whether or not mobility is configured with a
+        // zero-speed... (zero speed is rejected, so compare the serving
+        // map directly instead).
+        let mut cfg = SimConfig::small();
+        cfg.mobility = Some(mfgcp_net::RandomWaypoint::default());
+        let sim = Simulation::new(cfg.clone(), Box::new(RandomReplacement)).unwrap();
+        let initial: Vec<usize> = (0..cfg.num_requesters)
+            .map(|j| sim.topology.serving(j))
+            .collect();
+        let mut sim = sim;
+        let _ = sim.run();
+        // One epoch: no boundary was crossed, so the serving map at the
+        // end is still the initial association (mobility moved positions
+        // every slot, but association only changes at epoch boundaries).
+        let after: Vec<usize> = (0..cfg.num_requesters)
+            .map(|j| sim.topology.serving(j))
+            .collect();
+        assert_eq!(initial, after, "epoch-0 association was disturbed");
     }
 
     #[test]

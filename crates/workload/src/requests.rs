@@ -2,10 +2,32 @@
 //! according to a (possibly trace-driven) popularity profile, producing the
 //! request sets `I_k(t)` with per-request timeliness requirements (Def. 2).
 
+use mfgcp_sde::{seeded_rng, SimRng};
 use rand::{Rng, RngExt as _};
 
 use crate::timeliness::TimelinessConfig;
 use crate::WorkloadError;
+
+/// SplitMix64 finalizer: the bijective avalanche mix used to derive
+/// per-requester request-stream keys (same idiom as the per-link channel
+/// streams in `mfgcp-net`).
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fresh single-use RNG for requester `requester`'s draws in global slot
+/// `slot` under `seed`. One stream per (requester, slot) pair: the gate,
+/// content-choice, and urgency draws all come from it, so a requester's
+/// demand is a pure function of its identity and the slot — independent
+/// of which host EDP (or thread) generates it.
+#[inline]
+fn requester_rng(seed: u64, requester: usize, slot: u64) -> SimRng {
+    let a = mix(seed ^ (requester as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    seeded_rng(mix(a ^ slot.wrapping_mul(0x2545_F491_4F6C_DD1D)))
+}
 
 /// The outcome of one slot of requests at one EDP: per-content counts
 /// `|I_k(t)|` and the per-request urgencies `L_{k,j}`.
@@ -147,6 +169,33 @@ impl RequestProcess {
     pub fn expected_count(&self, k: usize, n: usize) -> f64 {
         self.request_prob * self.weights[k] * n as f64
     }
+
+    /// Generate one slot of requests from an explicit requester set, each
+    /// requester drawing from its own counter-based stream keyed
+    /// `(seed, requester, slot)`.
+    ///
+    /// Unlike [`RequestProcess::generate`], which consumes a shared
+    /// sequential RNG, the batch here is a pure function of *which*
+    /// requesters are in `served` (and their order, for the urgency
+    /// lists): a requester's demand does not change when its neighbours
+    /// migrate to another host EDP, and disjoint shards can generate their
+    /// batches on different threads with bit-identical results.
+    pub fn generate_batched(&self, served: &[usize], seed: u64, slot: u64) -> RequestBatch {
+        let mut batch = RequestBatch::empty(self.len());
+        for &j in served {
+            let mut rng = requester_rng(seed, j, slot);
+            if rng.random_range(0.0_f64..1.0) < self.request_prob {
+                let u: f64 = rng.random_range(0.0..1.0);
+                let k = self
+                    .cumulative
+                    .partition_point(|&c| c < u)
+                    .min(self.len() - 1);
+                batch.counts[k] += 1;
+                batch.urgencies[k].push(rng.random_range(0.0..self.timeliness.l_max));
+            }
+        }
+        batch
+    }
 }
 
 #[cfg(test)]
@@ -219,5 +268,58 @@ mod tests {
     fn expected_count_formula() {
         let p = process(vec![3.0, 1.0]);
         assert!((p.expected_count(0, 100) - 0.5 * 0.75 * 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_generation_is_deterministic_and_slot_dependent() {
+        let p = process(vec![3.0, 1.0]);
+        let served: Vec<usize> = (0..200).collect();
+        let a = p.generate_batched(&served, 9, 4);
+        let b = p.generate_batched(&served, 9, 4);
+        assert_eq!(a, b, "same (seed, served, slot) must reproduce");
+        let c = p.generate_batched(&served, 9, 5);
+        assert_ne!(a, c, "a new slot draws fresh demand");
+        let d = p.generate_batched(&served, 10, 4);
+        assert_ne!(a, d, "a new seed draws fresh demand");
+    }
+
+    #[test]
+    fn batched_generation_is_partition_invariant() {
+        // A requester's demand is keyed by its identity, not its host:
+        // generating for any partition of the population and summing the
+        // shard batches reproduces the whole-population batch exactly.
+        let p = process(vec![3.0, 1.0, 2.0]);
+        let all: Vec<usize> = (0..300).collect();
+        let whole = p.generate_batched(&all, 21, 7);
+        for split in [1usize, 37, 150, 299] {
+            let (left, right) = all.split_at(split);
+            let a = p.generate_batched(left, 21, 7);
+            let b = p.generate_batched(right, 21, 7);
+            let counts: Vec<usize> = a.counts.iter().zip(&b.counts).map(|(x, y)| x + y).collect();
+            assert_eq!(counts, whole.counts, "split at {split}");
+            for k in 0..3 {
+                let merged: Vec<f64> = a.urgencies[k]
+                    .iter()
+                    .chain(&b.urgencies[k])
+                    .copied()
+                    .collect();
+                // Ascending split point: concatenation preserves the
+                // served-order urgency lists bit for bit.
+                assert_eq!(merged, whole.urgencies[k], "split at {split}, k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_volume_matches_probability() {
+        let p = process(vec![1.0, 1.0]);
+        let served: Vec<usize> = (0..100).collect();
+        let mut total = 0usize;
+        let trials = 200;
+        for slot in 0..trials {
+            total += p.generate_batched(&served, 23, slot).total();
+        }
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 50.0).abs() < 2.0, "mean requests {mean}");
     }
 }
