@@ -42,8 +42,9 @@ impl FpkSolver {
         let grid = params.grid();
         let stepper = FokkerPlanck2d::new(params.diffusion_h(), params.diffusion_q())
             .expect("validated diffusions");
-        let implicit = ImplicitFokkerPlanck2d::new(params.diffusion_h(), params.diffusion_q())
+        let mut implicit = ImplicitFokkerPlanck2d::new(params.diffusion_h(), params.diffusion_q())
             .expect("validated diffusions");
+        implicit.set_batched(params.batched_kernels);
         let channel_drift = Field2d::from_fn(grid.clone(), |h, _q| params.drift_h(h));
         Ok(Self {
             params,

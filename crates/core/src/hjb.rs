@@ -66,8 +66,9 @@ impl HjbSolver {
         let grid = params.grid();
         let stepper = BackwardParabolic2d::new(params.diffusion_h(), params.diffusion_q())
             .expect("validated diffusions");
-        let implicit = ImplicitBackward2d::new(params.diffusion_h(), params.diffusion_q())
+        let mut implicit = ImplicitBackward2d::new(params.diffusion_h(), params.diffusion_q())
             .expect("validated diffusions");
+        implicit.set_batched(params.batched_kernels);
         let utility = Utility::new(params.clone());
         let channel_drift = Field2d::from_fn(grid.clone(), |h, _q| params.drift_h(h));
         Ok(Self {

@@ -830,6 +830,44 @@ mod tests {
         }
     }
 
+    /// The batched SoA kernels and the worker-thread fan-out are
+    /// independent axes, and neither may perturb results: every
+    /// (threads, batched) combination must land on the same bits.
+    #[test]
+    fn solve_is_bit_identical_across_threads_and_kernel_paths() {
+        let reference = MfgSolver::new(Params {
+            worker_threads: 1,
+            batched_kernels: false,
+            ..fast_params()
+        })
+        .unwrap()
+        .solve()
+        .unwrap();
+        for threads in [1, 8] {
+            for batched in [false, true] {
+                let eq = MfgSolver::new(Params {
+                    worker_threads: threads,
+                    batched_kernels: batched,
+                    ..fast_params()
+                })
+                .unwrap()
+                .solve()
+                .unwrap();
+                let tag = format!("{threads} threads, batched = {batched}");
+                assert_eq!(eq.report.iterations, reference.report.iterations, "{tag}");
+                for (n, (a, b)) in eq.density.iter().zip(&reference.density).enumerate() {
+                    assert_eq!(a.values(), b.values(), "density step {n}, {tag}");
+                }
+                for (n, (a, b)) in eq.values.iter().zip(&reference.values).enumerate() {
+                    assert_eq!(a.values(), b.values(), "values step {n}, {tag}");
+                }
+                for (n, (a, b)) in eq.policy.iter().zip(&reference.policy).enumerate() {
+                    assert_eq!(a.values(), b.values(), "policy step {n}, {tag}");
+                }
+            }
+        }
+    }
+
     #[test]
     fn utility_series_cache_matches_recomputation_and_survives_clone() {
         let solver = MfgSolver::new(fast_params()).unwrap();

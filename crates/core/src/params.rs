@@ -151,6 +151,14 @@ pub struct Params {
     /// is small relative to the drift scale (see `ablation_stepper`).
     pub implicit_steppers: bool,
 
+    /// Run the implicit HJB/FPK sweeps through the batched
+    /// structure-of-arrays column-block kernels (lane-lockstep Thomas
+    /// solves) instead of one scalar solve per column. Both paths are
+    /// bit-identical — the scalar path is kept as the differential oracle
+    /// and `--scalar-kernels` escape hatch — so this only changes speed,
+    /// never results. Default on.
+    pub batched_kernels: bool,
+
     /// Terminal (salvage) value weight `γ ≥ 0`: the HJB terminal condition
     /// becomes `V(T, h, q) = γ·(Q_k − q)` — cached inventory retains value
     /// past the horizon instead of expiring worthless. The paper's finite
@@ -210,6 +218,7 @@ impl Default for Params {
             lambda0_mean: 0.7,
             lambda0_std: 0.1,
             implicit_steppers: false,
+            batched_kernels: true,
             terminal_value_weight: 0.0,
             max_iterations: 40,
             tolerance: 2e-3,
@@ -425,8 +434,10 @@ impl Params {
 }
 
 /// Byte length of [`Params::canonical_bytes`]: 29 `f64`s, 6 `usize`s
-/// (as `u64`), 1 `bool`.
-const CANONICAL_LEN: usize = 29 * 8 + 6 * 8 + 1;
+/// (as `u64`), 2 `bool`s. Adding `batched_kernels` (PR 7) grew this by
+/// one byte, intentionally changing every fingerprint — runs must not
+/// alias across a schema change even when the numerics are identical.
+const CANONICAL_LEN: usize = 29 * 8 + 6 * 8 + 2;
 
 /// One pass over every `Params` field in declaration order. The encoder,
 /// decoder and fingerprint all flow through this single function, so the
@@ -463,6 +474,7 @@ fn visit_canonical(p: &mut Params, v: &mut impl CanonicalVisit) {
     v.visit_f64(&mut p.lambda0_mean);
     v.visit_f64(&mut p.lambda0_std);
     v.visit_bool(&mut p.implicit_steppers);
+    v.visit_bool(&mut p.batched_kernels);
     v.visit_f64(&mut p.terminal_value_weight);
     v.visit_usize(&mut p.max_iterations);
     v.visit_f64(&mut p.tolerance);
@@ -665,6 +677,7 @@ mod tests {
             eta1: 2.5,
             time_steps: 17,
             implicit_steppers: true,
+            batched_kernels: false,
             worker_threads: 3,
             tolerance: 1.0e-4,
             ..Params::default()
@@ -693,6 +706,10 @@ mod tests {
             },
             Params {
                 implicit_steppers: !base.implicit_steppers,
+                ..base.clone()
+            },
+            Params {
+                batched_kernels: !base.batched_kernels,
                 ..base.clone()
             },
         ] {

@@ -184,14 +184,14 @@ USAGE:
     mfgcp solve    [--eta1 X] [--w5 X] [--q-size X] [--requests X]
                    [--time-steps N] [--grid-h N] [--grid-q N]
                    [--salvage G] [--lambda0-mean X] [--threads N]
-                   [--telemetry FILE.jsonl]
+                   [--scalar-kernels] [--telemetry FILE.jsonl]
                    [--save-equilibrium FILE.eq]
     mfgcp simulate [--scheme mfg-cp|mfg|udcs|mpc|rr] [--edps N]
                    [--requesters N] [--contents K] [--epochs E]
                    [--slots N] [--seed S] [--mobility] [--audit]
                    [--audit-sample N] [--dense-channel] [--k-int N]
                    [--adaptive-k-int] [--unsharded-market]
-                   [--telemetry FILE.jsonl]
+                   [--scalar-kernels] [--telemetry FILE.jsonl]
                    (plus all `solve` flags for the game parameters)
     mfgcp serve    --artifact FILE.eq [--addr HOST:PORT] [--threads N]
                    [--read-timeout SECS] [--telemetry FILE.jsonl]
@@ -232,6 +232,11 @@ with hysteresis when slack); `--k-int` then only seeds the budget.
 The per-slot trade loop resolves flattened (EDP, content) entries on
 scoped threads — bit-identical to the sequential fold for any thread
 count. `--unsharded-market` forces the sequential oracle loop instead.
+
+The implicit HJB/FPK sweeps run through batched structure-of-arrays
+column-block kernels (lane-lockstep Thomas solves). `--scalar-kernels`
+forces the one-column-at-a-time scalar oracle instead; both paths are
+bit-identical, so the flag only changes speed, never results.
 ";
 
 fn parse_f64(flag: &str, value: &str) -> Result<f64, CliError> {
@@ -291,6 +296,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut save_equilibrium = None;
             let mut it = args[1..].iter();
             while let Some(flag) = it.next() {
+                if flag == "--scalar-kernels" {
+                    params.batched_kernels = false;
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| CliError::MissingValue(flag.clone()))?;
@@ -347,6 +356,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 }
                 if flag == "--unsharded-market" {
                     config.unsharded_market = true;
+                    continue;
+                }
+                if flag == "--scalar-kernels" {
+                    config.params.batched_kernels = false;
                     continue;
                 }
                 let value = it
@@ -640,6 +653,30 @@ mod tests {
             Command::Simulate { config, .. } => {
                 assert!(!config.network.adaptive_k_int, "fixed k_int is the default");
                 assert!(!config.unsharded_market, "sharded clearing is the default");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scalar_kernels_flag_disables_batching_on_both_verbs() {
+        match parse(&argv("solve --scalar-kernels --grid-h 12")).unwrap() {
+            Command::Solve { params, .. } => {
+                assert!(!params.batched_kernels);
+                assert_eq!(params.grid_h, 12, "value flags still parse after it");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("simulate --scalar-kernels --slots 3")).unwrap() {
+            Command::Simulate { config, .. } => {
+                assert!(!config.params.batched_kernels);
+                assert_eq!(config.slots_per_epoch, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("solve")).unwrap() {
+            Command::Solve { params, .. } => {
+                assert!(params.batched_kernels, "batched kernels are the default");
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -15,8 +15,10 @@
 //! reward applied in the first sweep.
 
 use crate::axis::Grid2d;
+use crate::batch::{batched_lie_sweeps, BandBlock};
 use crate::field::{Field1d, Field2d};
-use crate::linalg::solve_tridiagonal;
+use crate::linalg::solve_tridiagonal_into;
+use crate::scratch::TriScratch;
 use crate::PdeError;
 
 fn check_diffusion(name: &'static str, d: f64) -> Result<f64, PdeError> {
@@ -28,14 +30,23 @@ fn check_diffusion(name: &'static str, d: f64) -> Result<f64, PdeError> {
 
 /// One implicit backward sweep along a line: `values` holds
 /// `V(t+Δt) + Δt·(source contribution)` on entry and `V(t)` on exit.
-fn implicit_back_sweep(values: &mut [f64], drift: &[f64], diffusion: f64, dt: f64, dx: f64) {
+/// This is the scalar oracle the batched block sweeps are checked against.
+fn implicit_back_sweep(
+    values: &mut [f64],
+    drift: &[f64],
+    diffusion: f64,
+    dt: f64,
+    dx: f64,
+    tri: &mut TriScratch,
+) {
     let n = values.len();
     debug_assert!(n >= 2);
     let r = dt / dx;
     let d2 = dt * diffusion / (dx * dx);
-    let mut lower = vec![0.0; n];
-    let mut diag = vec![1.0; n];
-    let mut upper = vec![0.0; n];
+    let (lower, diag, upper, c_star) = tri.bands(n);
+    lower.fill(0.0);
+    diag.fill(1.0);
+    upper.fill(0.0);
     for i in 0..n {
         let b = drift[i];
         let b_plus = b.max(0.0);
@@ -63,8 +74,82 @@ fn implicit_back_sweep(values: &mut [f64], drift: &[f64], diffusion: f64, dt: f6
             lower[i] -= d2;
         }
     }
-    let solution = solve_tridiagonal(&lower, &diag, &upper, values);
-    values.copy_from_slice(&solution);
+    solve_tridiagonal_into(lower, diag, upper, values, c_star);
+}
+
+/// Lane-major HJB band assembly for one column block: the row loop of
+/// [`implicit_back_sweep`] replicated across `width` lanes with the
+/// per-lane accumulation order preserved (the wall branches depend only
+/// on the row index, so they hoist out of the lane loop unchanged).
+#[allow(clippy::too_many_arguments)] // shape fixed by `batch::AssembleBands`
+fn assemble_back_block(
+    drift: &[f64],
+    stride: usize,
+    n: usize,
+    width: usize,
+    diffusion: f64,
+    dt: f64,
+    dx: f64,
+    bands: BandBlock<'_>,
+) {
+    let r = dt / dx;
+    let d2 = dt * diffusion / (dx * dx);
+    bands.lower.fill(0.0);
+    bands.diag.fill(1.0);
+    bands.upper.fill(0.0);
+    // The scalar sweep's wall branches depend only on the row index, so
+    // each row resolves to one of three branch-free lane loops (interior,
+    // low wall, high wall); within a lane the band updates run in exactly
+    // the scalar order.
+    for i in 0..n {
+        let row = i * width;
+        let has_next = i + 1 < n;
+        let has_prev = i > 0;
+        // Pre-slice this row of each band so the lane loops are
+        // bounds-check-free elementwise maps.
+        let lower = &mut bands.lower[row..row + width];
+        let diag = &mut bands.diag[row..row + width];
+        let upper = &mut bands.upper[row..row + width];
+        let drift = &drift[i * stride..i * stride + width];
+        if has_prev && has_next {
+            for l in 0..width {
+                let b = drift[l];
+                let b_plus = b.max(0.0);
+                let b_minus = b.min(0.0);
+                diag[l] += r * b_plus;
+                upper[l] -= r * b_plus;
+                diag[l] -= r * b_minus;
+                lower[l] += r * b_minus;
+                diag[l] += 2.0 * d2;
+                lower[l] -= d2;
+                upper[l] -= d2;
+            }
+        } else if has_next {
+            // i == 0 with a neighbour above.
+            for l in 0..width {
+                let b_plus = drift[l].max(0.0);
+                diag[l] += r * b_plus;
+                upper[l] -= r * b_plus;
+                diag[l] += d2;
+                upper[l] -= d2;
+            }
+        } else if has_prev {
+            // i == n-1.
+            for l in 0..width {
+                let b_minus = drift[l].min(0.0);
+                diag[l] -= r * b_minus;
+                lower[l] += r * b_minus;
+                diag[l] += d2;
+                lower[l] -= d2;
+            }
+        } else {
+            // Single-row system: diffusion's i == 0 wall case only.
+            for l in 0..width {
+                diag[l] += d2;
+                upper[l] -= d2;
+            }
+        }
+    }
 }
 
 /// Unconditionally stable implicit 1-D backward stepper.
@@ -98,7 +183,8 @@ impl ImplicitBackward1d {
         for (v, s) in value.values_mut().iter_mut().zip(source) {
             *v += dt * s;
         }
-        implicit_back_sweep(value.values_mut(), drift, self.diffusion, dt, dx);
+        let mut tri = TriScratch::default();
+        implicit_back_sweep(value.values_mut(), drift, self.diffusion, dt, dx, &mut tri);
     }
 }
 
@@ -107,12 +193,15 @@ impl ImplicitBackward1d {
 pub struct ImplicitBackward2d {
     diffusion_x: f64,
     diffusion_y: f64,
+    batched: bool,
     recorder: mfgcp_obs::RecorderHandle,
     nonfinite: mfgcp_obs::OnceFlag,
 }
 
 impl ImplicitBackward2d {
-    /// Create a stepper with per-axis diffusion coefficients.
+    /// Create a stepper with per-axis diffusion coefficients. Batched
+    /// column-block sweeps are on by default; see
+    /// [`ImplicitBackward2d::set_batched`].
     ///
     /// # Errors
     ///
@@ -121,9 +210,18 @@ impl ImplicitBackward2d {
         Ok(Self {
             diffusion_x: check_diffusion("diffusion_x", diffusion_x)?,
             diffusion_y: check_diffusion("diffusion_y", diffusion_y)?,
+            batched: true,
             recorder: mfgcp_obs::RecorderHandle::noop(),
             nonfinite: mfgcp_obs::OnceFlag::new(),
         })
+    }
+
+    /// Choose between the batched column-block sweeps (default) and the
+    /// scalar one-column-at-a-time oracle. Both produce bit-identical
+    /// results — the scalar path exists as the differential oracle and as
+    /// a `--scalar-kernels` escape hatch, not as a different scheme.
+    pub fn set_batched(&mut self, batched: bool) {
+        self.batched = batched;
     }
 
     /// Attach a telemetry recorder: the first non-finite value surface
@@ -172,33 +270,51 @@ impl ImplicitBackward2d {
         let grid: Grid2d = value.grid().clone();
         let (nx, ny) = (grid.x().len(), grid.y().len());
         let (dx, dy) = (grid.x().dx(), grid.y().dx());
-        let (col, col_drift, row_drift) = scratch.lie_buffers(nx, ny);
 
         for (v, s) in value.values_mut().iter_mut().zip(source.values()) {
             *v += dt * s;
         }
-        for j in 0..ny {
-            for i in 0..nx {
-                col[i] = value.at(i, j);
-                col_drift[i] = bx.at(i, j);
-            }
-            implicit_back_sweep(col, col_drift, self.diffusion_x, dt, dx);
-            for (i, &v) in col.iter().enumerate() {
-                value.set(i, j, v);
-            }
-        }
-        for i in 0..nx {
-            for (j, rd) in row_drift.iter_mut().enumerate() {
-                *rd = by.at(i, j);
-            }
-            let start = grid.index(i, 0);
-            implicit_back_sweep(
-                &mut value.values_mut()[start..start + ny],
-                row_drift,
+        if self.batched {
+            batched_lie_sweeps(
+                value.values_mut(),
+                nx,
+                ny,
+                bx.values(),
+                by.values(),
+                self.diffusion_x,
                 self.diffusion_y,
                 dt,
+                dx,
                 dy,
+                assemble_back_block,
+                scratch.batch(),
             );
+        } else {
+            let (col, col_drift, row_drift, tri) = scratch.lie_buffers(nx, ny);
+            for j in 0..ny {
+                for i in 0..nx {
+                    col[i] = value.at(i, j);
+                    col_drift[i] = bx.at(i, j);
+                }
+                implicit_back_sweep(col, col_drift, self.diffusion_x, dt, dx, tri);
+                for (i, &v) in col.iter().enumerate() {
+                    value.set(i, j, v);
+                }
+            }
+            for i in 0..nx {
+                for (j, rd) in row_drift.iter_mut().enumerate() {
+                    *rd = by.at(i, j);
+                }
+                let start = grid.index(i, 0);
+                implicit_back_sweep(
+                    &mut value.values_mut()[start..start + ny],
+                    row_drift,
+                    self.diffusion_y,
+                    dt,
+                    dy,
+                    tri,
+                );
+            }
         }
         crate::telemetry::report_nonfinite(
             &self.recorder,

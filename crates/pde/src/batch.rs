@@ -1,0 +1,204 @@
+//! Shared column-block driver for the batched Lie-split implicit sweeps.
+//!
+//! Both 2-D implicit steppers ([`crate::ImplicitFokkerPlanck2d`] and
+//! [`crate::ImplicitBackward2d`]) have the same sweep structure — an
+//! implicit x-solve per j-column, then an implicit y-solve per i-row —
+//! and differ only in how the tridiagonal bands are assembled. This module
+//! holds the block loop they share: it walks the grid in
+//! [`BLOCK_WIDTH`]-wide lane groups, calls a stepper-supplied band
+//! assembler for each group, and hands the group to
+//! [`solve_tridiagonal_batch`].
+//!
+//! Layout is the whole trick. A [`crate::Field2d`] is row-major with the
+//! x-index major (`values[i * ny + j]`), so a group of adjacent
+//! j-columns is *already* lane-major for an x-direction sweep: row `i` of
+//! the group is the contiguous segment `values[i * ny + j0 ..][..width]`,
+//! and the batched solver runs in place with row stride `ny` — no
+//! gather/scatter at all. Only the y-direction sweeps (lanes = adjacent
+//! i-rows) need a transpose: columns are gathered into a lane-major
+//! staging buffer, solved there, and scattered back.
+//!
+//! Every lane reproduces the scalar sweep's operation kinds and order
+//! exactly (assemblers preserve the face/row accumulation order, the
+//! solver the Thomas recurrence), so the batched path is bit-identical to
+//! the scalar oracle; within a direction the columns are independent, so
+//! block order cannot change results either.
+
+use crate::linalg::{solve_tridiagonal_batch, BLOCK_WIDTH};
+use crate::scratch::BatchScratch;
+
+/// Mutable views of one block's lane-major band planes, `n × width` each.
+/// Assemblers must overwrite them fully (contents are stale on entry).
+pub(crate) struct BandBlock<'a> {
+    pub(crate) lower: &'a mut [f64],
+    pub(crate) diag: &'a mut [f64],
+    pub(crate) upper: &'a mut [f64],
+}
+
+/// Band assembler for one lane block: drift for row `i`, lane `l` is at
+/// `drift[i * stride + l]`; bands are written lane-major at
+/// `[i * width + l]`. The trailing floats are `(diffusion, dt, dx)`.
+pub(crate) type AssembleBands = fn(&[f64], usize, usize, usize, f64, f64, f64, BandBlock<'_>);
+
+/// Run one full Lie-split step over `values` (row-major `nx × ny`):
+/// batched x-direction sweeps in place, then batched y-direction sweeps
+/// through the transpose staging buffers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn batched_lie_sweeps(
+    values: &mut [f64],
+    nx: usize,
+    ny: usize,
+    bx: &[f64],
+    by: &[f64],
+    diffusion_x: f64,
+    diffusion_y: f64,
+    dt: f64,
+    dx: f64,
+    dy: f64,
+    assemble: AssembleBands,
+    s: &mut BatchScratch,
+) {
+    debug_assert_eq!(values.len(), nx * ny);
+    debug_assert_eq!(bx.len(), nx * ny);
+    debug_assert_eq!(by.len(), nx * ny);
+
+    // X-direction: lanes are adjacent j-columns, already lane-major in the
+    // field's own storage — assemble from a strided drift view and solve
+    // in place with row stride ny.
+    let mut j0 = 0;
+    while j0 < ny {
+        let w = BLOCK_WIDTH.min(ny - j0);
+        s.resize(nx, w);
+        assemble(
+            &bx[j0..],
+            ny,
+            nx,
+            w,
+            diffusion_x,
+            dt,
+            dx,
+            BandBlock {
+                lower: &mut s.lower,
+                diag: &mut s.diag,
+                upper: &mut s.upper,
+            },
+        );
+        solve_tridiagonal_batch(
+            nx,
+            w,
+            &s.lower,
+            &s.diag,
+            &s.upper,
+            &mut values[j0..],
+            ny,
+            &mut s.c_star,
+            &mut s.beta,
+        );
+        j0 += w;
+    }
+
+    // Y-direction: lanes are adjacent i-rows, strided in memory — gather
+    // the block into the lane-major staging buffers, solve there with row
+    // stride = width, scatter back.
+    let mut i0 = 0;
+    while i0 < nx {
+        let w = BLOCK_WIDTH.min(nx - i0);
+        s.resize(ny, w);
+        for j in 0..ny {
+            let row = j * w;
+            for l in 0..w {
+                let src = (i0 + l) * ny + j;
+                s.soa[row + l] = values[src];
+                s.soa_drift[row + l] = by[src];
+            }
+        }
+        assemble(
+            &s.soa_drift,
+            w,
+            ny,
+            w,
+            diffusion_y,
+            dt,
+            dy,
+            BandBlock {
+                lower: &mut s.lower,
+                diag: &mut s.diag,
+                upper: &mut s.upper,
+            },
+        );
+        solve_tridiagonal_batch(
+            ny,
+            w,
+            &s.lower,
+            &s.diag,
+            &s.upper,
+            &mut s.soa,
+            w,
+            &mut s.c_star,
+            &mut s.beta,
+        );
+        for j in 0..ny {
+            let row = j * w;
+            for l in 0..w {
+                values[(i0 + l) * ny + j] = s.soa[row + l];
+            }
+        }
+        i0 += w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Axis, Field2d, Grid2d, ImplicitBackward2d, ImplicitFokkerPlanck2d};
+
+    // Grid sizes that straddle the block width: a full 32-lane block plus
+    // a remainder in each direction, and tiny grids down to one lane.
+    const SHAPES: [(usize, usize); 4] = [(37, 45), (32, 64), (5, 2), (2, 3)];
+
+    fn fields(nx: usize, ny: usize) -> (Field2d, Field2d, Field2d, Field2d) {
+        let g = Grid2d::new(
+            Axis::new(0.0, 1.0, nx).unwrap(),
+            Axis::new(0.0, 1.0, ny).unwrap(),
+        );
+        let mut lam = Field2d::from_fn(g.clone(), |x, y| {
+            (-25.0 * ((x - 0.45).powi(2) + (y - 0.55).powi(2))).exp() + 0.01
+        });
+        lam.normalize();
+        let bx = Field2d::from_fn(g.clone(), |x, y| 0.4 * (0.5 - x) + 0.1 * (7.0 * y).sin());
+        let by = Field2d::from_fn(g.clone(), |x, y| -0.3 * y + 0.2 * (5.0 * x).cos());
+        let src = Field2d::from_fn(g, |x, y| x * x + 0.5 * y);
+        (lam, bx, by, src)
+    }
+
+    #[test]
+    fn batched_fpk_is_bit_identical_to_scalar_oracle() {
+        for &(nx, ny) in &SHAPES {
+            let (lam, bx, by, _) = fields(nx, ny);
+            let batched = ImplicitFokkerPlanck2d::new(0.003, 0.005).unwrap();
+            let mut scalar = ImplicitFokkerPlanck2d::new(0.003, 0.005).unwrap();
+            scalar.set_batched(false);
+            let (mut a, mut b) = (lam.clone(), lam);
+            for _ in 0..4 {
+                batched.step(&mut a, &bx, &by, 0.07);
+                scalar.step(&mut b, &bx, &by, 0.07);
+            }
+            assert_eq!(a.values(), b.values(), "grid {nx}x{ny}");
+        }
+    }
+
+    #[test]
+    fn batched_hjb_is_bit_identical_to_scalar_oracle() {
+        for &(nx, ny) in &SHAPES {
+            let (lam, bx, by, src) = fields(nx, ny);
+            let batched = ImplicitBackward2d::new(0.004, 0.002).unwrap();
+            let mut scalar = ImplicitBackward2d::new(0.004, 0.002).unwrap();
+            scalar.set_batched(false);
+            let (mut a, mut b) = (lam.clone(), lam);
+            for _ in 0..4 {
+                batched.step_back(&mut a, &bx, &by, &src, 0.07);
+                scalar.step_back(&mut b, &bx, &by, &src, 0.07);
+            }
+            assert_eq!(a.values(), b.values(), "grid {nx}x{ny}");
+        }
+    }
+}

@@ -16,8 +16,10 @@
 //! the discretization.
 
 use crate::axis::Grid2d;
+use crate::batch::{batched_lie_sweeps, BandBlock};
 use crate::field::{Field1d, Field2d};
-use crate::linalg::solve_tridiagonal;
+use crate::linalg::solve_tridiagonal_into;
+use crate::scratch::TriScratch;
 use crate::PdeError;
 
 fn check_diffusion(name: &'static str, d: f64) -> Result<f64, PdeError> {
@@ -30,14 +32,23 @@ fn check_diffusion(name: &'static str, d: f64) -> Result<f64, PdeError> {
 /// Assemble and solve one implicit 1-D finite-volume step in place.
 ///
 /// `values` holds `λ^n` on entry and `λ^{n+1}` on exit; `drift` is nodal.
-fn implicit_sweep(values: &mut [f64], drift: &[f64], diffusion: f64, dt: f64, dx: f64) {
+/// This is the scalar oracle the batched block sweeps are checked against.
+fn implicit_sweep(
+    values: &mut [f64],
+    drift: &[f64],
+    diffusion: f64,
+    dt: f64,
+    dx: f64,
+    tri: &mut TriScratch,
+) {
     let n = values.len();
     debug_assert!(n >= 2);
     let r = dt / dx;
     let d_over = diffusion / dx;
-    let mut lower = vec![0.0; n];
-    let mut diag = vec![1.0; n];
-    let mut upper = vec![0.0; n];
+    let (lower, diag, upper, c_star) = tri.bands(n);
+    lower.fill(0.0);
+    diag.fill(1.0);
+    upper.fill(0.0);
     // Face i+1/2 couples cells i and i+1. Accumulate each face's
     // contribution into the two balance equations it appears in.
     for i in 0..n - 1 {
@@ -55,8 +66,53 @@ fn implicit_sweep(values: &mut [f64], drift: &[f64], diffusion: f64, dt: f64, dx
         lower[i + 1] -= r * c_left;
         diag[i + 1] -= r * c_right;
     }
-    let solution = solve_tridiagonal(&lower, &diag, &upper, values);
-    values.copy_from_slice(&solution);
+    solve_tridiagonal_into(lower, diag, upper, values, c_star);
+}
+
+/// Lane-major FPK band assembly for one column block: the face loop of
+/// [`implicit_sweep`] replicated across `width` lanes with the per-lane
+/// accumulation order preserved, so every lane's bands are bit-identical
+/// to a scalar assembly of that column.
+#[allow(clippy::too_many_arguments)] // shape fixed by `batch::AssembleBands`
+fn assemble_fpk_block(
+    drift: &[f64],
+    stride: usize,
+    n: usize,
+    width: usize,
+    diffusion: f64,
+    dt: f64,
+    dx: f64,
+    bands: BandBlock<'_>,
+) {
+    let r = dt / dx;
+    let d_over = diffusion / dx;
+    bands.lower.fill(0.0);
+    bands.diag.fill(1.0);
+    bands.upper.fill(0.0);
+    for i in 0..n - 1 {
+        let row = i * width;
+        let next = row + width;
+        // Pre-slice the two band rows each face touches so the lane loop
+        // is a bounds-check-free elementwise map.
+        let (diag_cur, diag_next) = bands.diag.split_at_mut(next);
+        let diag_cur = &mut diag_cur[row..];
+        let diag_next = &mut diag_next[..width];
+        let upper_cur = &mut bands.upper[row..next];
+        let lower_next = &mut bands.lower[next..next + width];
+        let drift_cur = &drift[i * stride..i * stride + width];
+        let drift_next = &drift[(i + 1) * stride..(i + 1) * stride + width];
+        for l in 0..width {
+            let b_face = 0.5 * (drift_cur[l] + drift_next[l]);
+            let b_plus = b_face.max(0.0);
+            let b_minus = b_face.min(0.0);
+            let c_left = b_plus + d_over;
+            let c_right = b_minus - d_over;
+            diag_cur[l] += r * c_left;
+            upper_cur[l] += r * c_right;
+            lower_next[l] -= r * c_left;
+            diag_next[l] -= r * c_right;
+        }
+    }
 }
 
 /// Unconditionally stable implicit 1-D Fokker–Planck stepper.
@@ -86,7 +142,15 @@ impl ImplicitFokkerPlanck1d {
         let n = density.values().len();
         assert_eq!(drift.len(), n, "drift length mismatch");
         let dx = density.axis().dx();
-        implicit_sweep(density.values_mut(), drift, self.diffusion, dt, dx);
+        let mut tri = TriScratch::default();
+        implicit_sweep(
+            density.values_mut(),
+            drift,
+            self.diffusion,
+            dt,
+            dx,
+            &mut tri,
+        );
     }
 }
 
@@ -96,12 +160,15 @@ impl ImplicitFokkerPlanck1d {
 pub struct ImplicitFokkerPlanck2d {
     diffusion_x: f64,
     diffusion_y: f64,
+    batched: bool,
     recorder: mfgcp_obs::RecorderHandle,
     nonfinite: mfgcp_obs::OnceFlag,
 }
 
 impl ImplicitFokkerPlanck2d {
-    /// Create a stepper with per-axis diffusion coefficients.
+    /// Create a stepper with per-axis diffusion coefficients. Batched
+    /// column-block sweeps are on by default; see
+    /// [`ImplicitFokkerPlanck2d::set_batched`].
     ///
     /// # Errors
     ///
@@ -110,9 +177,18 @@ impl ImplicitFokkerPlanck2d {
         Ok(Self {
             diffusion_x: check_diffusion("diffusion_x", diffusion_x)?,
             diffusion_y: check_diffusion("diffusion_y", diffusion_y)?,
+            batched: true,
             recorder: mfgcp_obs::RecorderHandle::noop(),
             nonfinite: mfgcp_obs::OnceFlag::new(),
         })
+    }
+
+    /// Choose between the batched column-block sweeps (default) and the
+    /// scalar one-column-at-a-time oracle. Both produce bit-identical
+    /// results — the scalar path exists as the differential oracle and as
+    /// a `--scalar-kernels` escape hatch, not as a different scheme.
+    pub fn set_batched(&mut self, batched: bool) {
+        self.batched = batched;
     }
 
     /// Attach a telemetry recorder: the first non-finite density value
@@ -152,32 +228,51 @@ impl ImplicitFokkerPlanck2d {
         let grid: Grid2d = density.grid().clone();
         let (nx, ny) = (grid.x().len(), grid.y().len());
         let (dx, dy) = (grid.x().dx(), grid.y().dx());
-        let (col, col_drift, row_drift) = scratch.lie_buffers(nx, ny);
 
-        // X-direction sweeps (one tridiagonal solve per j-column).
-        for j in 0..ny {
-            for i in 0..nx {
-                col[i] = density.at(i, j);
-                col_drift[i] = bx.at(i, j);
-            }
-            implicit_sweep(col, col_drift, self.diffusion_x, dt, dx);
-            for (i, &v) in col.iter().enumerate() {
-                density.set(i, j, v);
-            }
-        }
-        // Y-direction sweeps (rows are contiguous in memory).
-        for i in 0..nx {
-            for (j, rd) in row_drift.iter_mut().enumerate() {
-                *rd = by.at(i, j);
-            }
-            let start = grid.index(i, 0);
-            implicit_sweep(
-                &mut density.values_mut()[start..start + ny],
-                row_drift,
+        if self.batched {
+            batched_lie_sweeps(
+                density.values_mut(),
+                nx,
+                ny,
+                bx.values(),
+                by.values(),
+                self.diffusion_x,
                 self.diffusion_y,
                 dt,
+                dx,
                 dy,
+                assemble_fpk_block,
+                scratch.batch(),
             );
+        } else {
+            let (col, col_drift, row_drift, tri) = scratch.lie_buffers(nx, ny);
+
+            // X-direction sweeps (one tridiagonal solve per j-column).
+            for j in 0..ny {
+                for i in 0..nx {
+                    col[i] = density.at(i, j);
+                    col_drift[i] = bx.at(i, j);
+                }
+                implicit_sweep(col, col_drift, self.diffusion_x, dt, dx, tri);
+                for (i, &v) in col.iter().enumerate() {
+                    density.set(i, j, v);
+                }
+            }
+            // Y-direction sweeps (rows are contiguous in memory).
+            for i in 0..nx {
+                for (j, rd) in row_drift.iter_mut().enumerate() {
+                    *rd = by.at(i, j);
+                }
+                let start = grid.index(i, 0);
+                implicit_sweep(
+                    &mut density.values_mut()[start..start + ny],
+                    row_drift,
+                    self.diffusion_y,
+                    dt,
+                    dy,
+                    tri,
+                );
+            }
         }
         crate::telemetry::report_nonfinite(
             &self.recorder,

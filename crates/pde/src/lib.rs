@@ -50,6 +50,7 @@
 mod axis;
 mod backward;
 mod backward_implicit;
+mod batch;
 mod field;
 mod fokker_planck;
 mod implicit;

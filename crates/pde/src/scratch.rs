@@ -8,6 +8,67 @@
 //! [`StepperScratch`] lets such callers own the temporaries once and thread
 //! them through the `*_scratch` variants.
 
+/// Scratch for one allocation-free scalar Thomas sweep: the three bands,
+/// plus the solver's `c_star` elimination row. Owned by [`StepperScratch`]
+/// for the 2-D steppers; the 1-D steppers build a short-lived one per step
+/// (they allocated per step before, too).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TriScratch {
+    lower: Vec<f64>,
+    diag: Vec<f64>,
+    upper: Vec<f64>,
+    c_star: Vec<f64>,
+}
+
+impl TriScratch {
+    /// Bands and `c_star` sized for an `n`-row system, in
+    /// `(lower, diag, upper, c_star)` order. Contents are stale; the
+    /// assembly code fills them.
+    pub(crate) fn bands(&mut self, n: usize) -> (&mut [f64], &mut [f64], &mut [f64], &mut [f64]) {
+        self.lower.resize(n, 0.0);
+        self.diag.resize(n, 0.0);
+        self.upper.resize(n, 0.0);
+        self.c_star.resize(n, 0.0);
+        (
+            &mut self.lower,
+            &mut self.diag,
+            &mut self.upper,
+            &mut self.c_star,
+        )
+    }
+}
+
+/// Structure-of-arrays scratch for the batched column-block sweeps: the
+/// three lane-major band planes (`n × width`), the batched solver's
+/// `c_star` plane and `beta` pivot row, and the transpose staging buffers
+/// the y-direction sweeps gather strided columns into. Fields are crate-
+/// visible so the block driver can borrow them disjointly.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BatchScratch {
+    pub(crate) lower: Vec<f64>,
+    pub(crate) diag: Vec<f64>,
+    pub(crate) upper: Vec<f64>,
+    pub(crate) c_star: Vec<f64>,
+    pub(crate) beta: Vec<f64>,
+    pub(crate) soa: Vec<f64>,
+    pub(crate) soa_drift: Vec<f64>,
+}
+
+impl BatchScratch {
+    /// Size every plane for an `n`-row block of `width` lanes. Band and
+    /// staging contents are stale; assembly and the gather loops fill them.
+    pub(crate) fn resize(&mut self, n: usize, width: usize) {
+        let nw = n * width;
+        self.lower.resize(nw, 0.0);
+        self.diag.resize(nw, 0.0);
+        self.upper.resize(nw, 0.0);
+        self.c_star.resize(nw, 0.0);
+        self.beta.resize(width, 0.0);
+        self.soa.resize(nw, 0.0);
+        self.soa_drift.resize(nw, 0.0);
+    }
+}
+
 /// Caller-owned scratch buffers for the 2-D steppers' `*_scratch` entry
 /// points. One instance can be shared across *all* four 2-D steppers (the
 /// buffers are resized on demand and carry no state between calls).
@@ -21,6 +82,10 @@ pub struct StepperScratch {
     col_drift: Vec<f64>,
     /// Row drift copy for the implicit y-sweeps (length `ny`).
     row_drift: Vec<f64>,
+    /// Bands + `c_star` for the scalar-oracle implicit sweeps.
+    tri: TriScratch,
+    /// SoA planes for the batched column-block sweeps.
+    batch: BatchScratch,
 }
 
 impl StepperScratch {
@@ -38,11 +103,20 @@ impl StepperScratch {
         &mut self,
         nx: usize,
         ny: usize,
-    ) -> (&mut [f64], &mut [f64], &mut [f64]) {
+    ) -> (&mut [f64], &mut [f64], &mut [f64], &mut TriScratch) {
         self.col.resize(nx, 0.0);
         self.col_drift.resize(nx, 0.0);
         self.row_drift.resize(ny, 0.0);
-        (&mut self.col, &mut self.col_drift, &mut self.row_drift)
+        (
+            &mut self.col,
+            &mut self.col_drift,
+            &mut self.row_drift,
+            &mut self.tri,
+        )
+    }
+
+    pub(crate) fn batch(&mut self) -> &mut BatchScratch {
+        &mut self.batch
     }
 }
 

@@ -1,0 +1,189 @@
+//! Differential-oracle property tests for the batched SoA kernels.
+//!
+//! The column-block sweeps behind [`ImplicitFokkerPlanck2d`] and
+//! [`ImplicitBackward2d`] batch the Thomas solves across `BLOCK_WIDTH`
+//! lanes but keep every per-lane arithmetic operation, and its order,
+//! identical to the scalar one-column-at-a-time oracle. Parity is
+//! therefore *bit-exact*, not within-epsilon — these tests assert
+//! `assert_eq!` on the raw `f64` values over random drift/diffusion
+//! fields, random grid shapes (including lane counts that do not divide
+//! the block width, remainder blocks of width 1, and minimal 2-point
+//! axes), and CFL-marginal macro steps.
+
+use proptest::prelude::*;
+
+use mfgcp_pde::{
+    Axis, Field2d, Grid2d, ImplicitBackward2d, ImplicitFokkerPlanck2d, StabilityLimit,
+    StepperScratch,
+};
+
+fn grid(nx: usize, ny: usize) -> Grid2d {
+    Grid2d::new(
+        Axis::new(0.0, 1.0, nx).unwrap(),
+        Axis::new(0.0, 2.0, ny).unwrap(),
+    )
+}
+
+/// Smooth but asymmetric fields driven by four random coefficients:
+/// (density-like state, x-drift, y-drift, source).
+fn fields(nx: usize, ny: usize, k: &[f64]) -> (Field2d, Field2d, Field2d, Field2d) {
+    let g = grid(nx, ny);
+    let lam = Field2d::from_fn(g.clone(), |x, y| {
+        (-6.0 * ((x - 0.4).powi(2) + (y - 1.1).powi(2))).exp() + 0.05
+    });
+    let bx = Field2d::from_fn(g.clone(), |x, y| {
+        k[0] * (3.0 * x + 1.7 * y).sin() + k[1] * (2.0 * y).cos()
+    });
+    let by = Field2d::from_fn(g.clone(), |x, y| {
+        k[2] * (2.3 * x).cos() + k[3] * (1.3 * x + y).sin()
+    });
+    let src = Field2d::from_fn(g, |x, y| k[1] * (x * y).cos() - k[3] * (x - y).sin());
+    (lam, bx, by, src)
+}
+
+/// Grid extents that exercise the blocking: lane counts below, at, just
+/// above and well above `BLOCK_WIDTH` (32), plus the 2-point minimum.
+fn extent() -> impl Strategy<Value = usize> {
+    const EDGES: [usize; 12] = [2, 3, 5, 17, 24, 31, 32, 33, 34, 45, 48, 69];
+    (0_usize..EDGES.len()).prop_map(|i| EDGES[i])
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_fpk(
+    batched: bool,
+    steps: usize,
+    dt: f64,
+    dx_diff: f64,
+    dy_diff: f64,
+    lam: &Field2d,
+    bx: &Field2d,
+    by: &Field2d,
+) -> Field2d {
+    let mut stepper = ImplicitFokkerPlanck2d::new(dx_diff, dy_diff).unwrap();
+    stepper.set_batched(batched);
+    let mut state = lam.clone();
+    let mut scratch = StepperScratch::new();
+    for _ in 0..steps {
+        stepper.step_scratch(&mut state, bx, by, dt, &mut scratch);
+    }
+    state
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_hjb(
+    batched: bool,
+    steps: usize,
+    dt: f64,
+    dx_diff: f64,
+    dy_diff: f64,
+    val: &Field2d,
+    bx: &Field2d,
+    by: &Field2d,
+    src: &Field2d,
+) -> Field2d {
+    let mut stepper = ImplicitBackward2d::new(dx_diff, dy_diff).unwrap();
+    stepper.set_batched(batched);
+    let mut state = val.clone();
+    let mut scratch = StepperScratch::new();
+    for _ in 0..steps {
+        stepper.step_back_scratch(&mut state, bx, by, src, dt, &mut scratch);
+    }
+    state
+}
+
+proptest! {
+    /// FPK: batched column-block sweeps are bit-identical to the scalar
+    /// oracle on random drifts, diffusions and grid shapes.
+    #[test]
+    fn batched_fpk_is_bit_identical(
+        nx in extent(),
+        ny in extent(),
+        k in proptest::collection::vec(-1.5_f64..1.5, 4),
+        diffusion_x in 0.0_f64..0.1,
+        diffusion_y in 0.0_f64..0.1,
+        dt in 0.005_f64..0.2,
+        steps in 1_usize..5,
+    ) {
+        let (lam, bx, by, _) = fields(nx, ny, &k);
+        let scalar = run_fpk(false, steps, dt, diffusion_x, diffusion_y, &lam, &bx, &by);
+        let batched = run_fpk(true, steps, dt, diffusion_x, diffusion_y, &lam, &bx, &by);
+        prop_assert_eq!(scalar.values(), batched.values());
+    }
+
+    /// HJB: the backward sweep (boundary rows take different stencils, so
+    /// the batched kernel has four distinct row cases) is bit-identical to
+    /// the scalar oracle.
+    #[test]
+    fn batched_hjb_is_bit_identical(
+        nx in extent(),
+        ny in extent(),
+        k in proptest::collection::vec(-1.5_f64..1.5, 4),
+        diffusion_x in 0.0_f64..0.1,
+        diffusion_y in 0.0_f64..0.1,
+        dt in 0.005_f64..0.2,
+        steps in 1_usize..5,
+    ) {
+        let (val, bx, by, src) = fields(nx, ny, &k);
+        let scalar = run_hjb(false, steps, dt, diffusion_x, diffusion_y, &val, &bx, &by, &src);
+        let batched = run_hjb(true, steps, dt, diffusion_x, diffusion_y, &val, &bx, &by, &src);
+        prop_assert_eq!(scalar.values(), batched.values());
+    }
+
+    /// Parity at the CFL boundary: the implicit solves are unconditionally
+    /// stable, but a macro step right at the explicit-scheme limit (via
+    /// [`StabilityLimit::marginal_dt`]) maximizes the off-diagonal weight
+    /// of the tridiagonal systems — the regime where an indexing slip in
+    /// the batched assembly would be loudest.
+    #[test]
+    fn batched_kernels_match_at_cfl_marginal_dt(
+        nx in extent(),
+        ny in extent(),
+        k in proptest::collection::vec(-1.5_f64..1.5, 4),
+        diffusion in 0.001_f64..0.05,
+    ) {
+        let (lam, bx, by, src) = fields(nx, ny, &k);
+        let b_max = bx
+            .values()
+            .iter()
+            .chain(by.values())
+            .fold(0.0_f64, |m, v| m.max(v.abs()))
+            .max(1e-6);
+        let g = lam.grid();
+        let dt = StabilityLimit::with_safety(0.9).marginal_dt(&[
+            (b_max, diffusion, g.x().dx()),
+            (b_max, diffusion, g.y().dx()),
+        ]);
+        let fpk_scalar = run_fpk(false, 2, dt, diffusion, diffusion, &lam, &bx, &by);
+        let fpk_batched = run_fpk(true, 2, dt, diffusion, diffusion, &lam, &bx, &by);
+        prop_assert_eq!(fpk_scalar.values(), fpk_batched.values());
+        let hjb_scalar = run_hjb(false, 2, dt, diffusion, diffusion, &lam, &bx, &by, &src);
+        let hjb_batched = run_hjb(true, 2, dt, diffusion, diffusion, &lam, &bx, &by, &src);
+        prop_assert_eq!(hjb_scalar.values(), hjb_batched.values());
+    }
+}
+
+/// Fixed shapes that pin the blocking edge cases regardless of what the
+/// proptest shrinker happens to visit: remainder blocks of width 1
+/// (33 lanes), exact block multiples (32, 64), single-lane-ish minima,
+/// and the paper grid (24, 48).
+#[test]
+fn blocking_edge_shapes_are_bit_identical() {
+    let k = [0.8, -0.6, 1.1, -0.9_f64];
+    for &(nx, ny) in &[
+        (2, 2),
+        (2, 33),
+        (33, 2),
+        (32, 32),
+        (32, 64),
+        (33, 33),
+        (24, 48),
+    ] {
+        let (lam, bx, by, src) = fields(nx, ny, &k);
+        let fpk_scalar = run_fpk(false, 3, 0.05, 0.02, 0.03, &lam, &bx, &by);
+        let fpk_batched = run_fpk(true, 3, 0.05, 0.02, 0.03, &lam, &bx, &by);
+        assert_eq!(fpk_scalar.values(), fpk_batched.values(), "fpk {nx}x{ny}");
+        let hjb_scalar = run_hjb(false, 3, 0.05, 0.02, 0.03, &lam, &bx, &by, &src);
+        let hjb_batched = run_hjb(true, 3, 0.05, 0.02, 0.03, &lam, &bx, &by, &src);
+        assert_eq!(hjb_scalar.values(), hjb_batched.values(), "hjb {nx}x{ny}");
+    }
+}
