@@ -18,6 +18,11 @@
 //! server is sized for the sweep automatically, and the CI job passes
 //! `--threads` to `mfgcp serve` explicitly.
 //!
+//! A final streaming leg measures the live observer plane end to end: an
+//! observed in-process simulation with a wire subscriber drinking every
+//! telemetry frame through `mfgcp-ctl`, reported as `stream_frames_qps`
+//! (gated) plus the broadcast drop accounting (informational).
+//!
 //! Flags:
 //!
 //! * `--quick` — reduced sweep (fewer connections, fewer requests) for CI;
@@ -28,12 +33,14 @@
 
 use std::io::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mfgcp_core::{MfgSolver, Params};
+use mfgcp_ctl::{CtlClient, CtlRequest, CtlServer};
 use mfgcp_obs::json::Json;
-use mfgcp_obs::{JsonlSink, RecorderHandle};
+use mfgcp_obs::{BroadcastSink, JsonlSink, RecorderHandle};
 use mfgcp_serve::{Client, PolicyServer, ServeConfig, ServerHandle};
+use mfgcp_sim::{baselines::MostPopularCaching, SimConfig, Simulation};
 
 /// One sweep point: C connections hammering the server.
 struct Sample {
@@ -145,6 +152,98 @@ fn measure(addr: &str, connections: usize, load: &Load) -> Sample {
     }
 }
 
+/// The streaming leg's measurements: an observed simulation with one
+/// wire subscriber pulling every telemetry frame.
+struct StreamSample {
+    slots: usize,
+    frames: u64,
+    stream_frames_qps: f64,
+    enqueued: u64,
+    dropped: u64,
+}
+
+/// Run an observed in-process simulation and drink its full telemetry
+/// stream over TCP through `mfgcp-ctl`, measuring delivered frames per
+/// wall second and the broadcast sink's drop accounting.
+fn measure_stream(quick: bool) -> StreamSample {
+    let mut cfg = SimConfig::small();
+    cfg.epochs = if quick { 2 } else { 4 };
+    cfg.slots_per_epoch = if quick { 40 } else { 100 };
+    let slots = cfg.epochs * cfg.slots_per_epoch;
+
+    let sink = Arc::new(BroadcastSink::new());
+    // Hold before slot 0 so the subscriber attaches before any frame is
+    // published; every frame is then deliverable, drops measure only
+    // queue pressure.
+    let server = CtlServer::spawn("127.0.0.1:0", cfg.params.clone(), Arc::clone(&sink), true)
+        .expect("bind stream-leg control server");
+    let addr = server.local_addr().to_string();
+
+    let mut sim = Simulation::new(cfg, Box::new(MostPopularCaching::default()))
+        .expect("stream-leg simulation");
+    sim.set_recorder(RecorderHandle::new(Arc::clone(&sink)));
+    sim.set_control(Arc::clone(server.plane()) as Arc<dyn mfgcp_sim::EngineControl>);
+    let sim_thread = std::thread::spawn(move || sim.run());
+
+    let timeout = Duration::from_secs(30);
+    let mut client = CtlClient::connect(&addr).expect("connect stream subscriber");
+    client
+        .request_json(
+            &CtlRequest::Subscribe {
+                capacity: 65_536,
+                filters: Vec::new(), // everything the run emits
+            },
+            timeout,
+        )
+        .expect("subscribe");
+    let start = Instant::now();
+    client
+        .request_json(&CtlRequest::Resume, timeout)
+        .expect("resume");
+
+    let mut frames = 0u64;
+    loop {
+        if client.poll_event(Duration::from_millis(50)).is_some() {
+            frames += 1;
+            continue;
+        }
+        let status = client
+            .request_json(&CtlRequest::Status, timeout)
+            .expect("status");
+        if status.get("finished").and_then(Json::as_bool) == Some(true) && client.is_drained() {
+            // One final sweep for frames that raced the status reply.
+            while client.poll_event(Duration::from_millis(50)).is_some() {
+                frames += 1;
+            }
+            break;
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let status = client
+        .request_json(&CtlRequest::Status, timeout)
+        .expect("final status");
+    let enqueued = status
+        .get("frames_enqueued")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let dropped = status
+        .get("frames_dropped")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+
+    let _ = client.request(&CtlRequest::Detach, timeout);
+    sim_thread.join().expect("stream-leg simulation thread");
+    server.shutdown();
+
+    StreamSample {
+        slots,
+        frames,
+        stream_frames_qps: frames as f64 / wall,
+        enqueued,
+        dropped,
+    }
+}
+
 /// Solve a small equilibrium and serve it in-process, sized so every
 /// sweep point gets a dedicated worker per connection.
 fn start_local_server(max_connections: usize) -> ServerHandle {
@@ -237,6 +336,21 @@ fn main() {
         handle.join();
     }
 
+    // Streaming leg: always in-process (it owns its simulation).
+    eprintln!("bench_serve: streaming leg (observed simulation, one wire subscriber)");
+    let stream = measure_stream(quick);
+    recorder.event(
+        "bench.sample",
+        &[
+            ("mode", "stream".into()),
+            ("slots", stream.slots.into()),
+            ("frames", stream.frames.into()),
+            ("stream_frames_qps", stream.stream_frames_qps.into()),
+            ("frames_enqueued", stream.enqueued.into()),
+            ("frames_dropped", stream.dropped.into()),
+        ],
+    );
+
     // Same single JSON-emitting path as every other BENCH_* report.
     let report = Json::Obj(vec![
         ("bench".into(), Json::Str("serve".into())),
@@ -264,6 +378,19 @@ fn main() {
                             ("batch16_qps".into(), Json::Num(s.batch16_qps)),
                         ])
                     })
+                    // The `mode` string keys the stream sample's identity in
+                    // bench_compare, separate from the query sweep above.
+                    .chain(std::iter::once(Json::Obj(vec![
+                        ("mode".into(), Json::Str("stream".into())),
+                        ("slots".into(), Json::Num(stream.slots as f64)),
+                        ("frames".into(), Json::Num(stream.frames as f64)),
+                        (
+                            "stream_frames_qps".into(),
+                            Json::Num(stream.stream_frames_qps),
+                        ),
+                        ("frames_enqueued".into(), Json::Num(stream.enqueued as f64)),
+                        ("frames_dropped".into(), Json::Num(stream.dropped as f64)),
+                    ])))
                     .collect(),
             ),
         ),
@@ -283,6 +410,10 @@ fn main() {
             s.connections, s.throughput_qps, s.p50_micros, s.p99_micros, s.batch16_qps
         );
     }
+    println!(
+        "stream: {} frames over {} slots, {:.0} frames/s, {} enqueued / {} dropped at the sink",
+        stream.frames, stream.slots, stream.stream_frames_qps, stream.enqueued, stream.dropped
+    );
     recorder.flush();
     eprintln!("wrote BENCH_serve.json");
 }

@@ -157,6 +157,30 @@ impl core::fmt::Display for AuditReport {
     }
 }
 
+/// Point-in-time cumulative audit totals, cheap to copy out mid-run.
+///
+/// [`Auditor::status`] produces one per slot-boundary snapshot so the
+/// live control plane can report "audits still clean" on a *running*
+/// simulation without consuming the auditor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditStatus {
+    /// Violations recorded so far.
+    pub violations: usize,
+    /// Slots observed so far.
+    pub slots_checked: usize,
+    /// Prepared equilibria gated so far.
+    pub equilibria_checked: usize,
+    /// Handover checks performed so far.
+    pub handovers_checked: usize,
+}
+
+impl AuditStatus {
+    /// Whether no violation has been recorded yet.
+    pub fn is_clean(&self) -> bool {
+        self.violations == 0
+    }
+}
+
 /// Streaming auditor for one simulation run: feed [`Auditor::observe_slot`]
 /// once per slot and [`Auditor::check_equilibrium`] once per prepared
 /// equilibrium, then close with [`Auditor::finish`].
@@ -202,6 +226,17 @@ impl Auditor {
     /// Violations recorded so far.
     pub fn violations(&self) -> &[AuditError] {
         &self.violations
+    }
+
+    /// Cumulative totals so far, without consuming the auditor; the live
+    /// control plane serves this from slot-boundary snapshots.
+    pub fn status(&self) -> AuditStatus {
+        AuditStatus {
+            violations: self.violations.len(),
+            slots_checked: self.slots,
+            equilibria_checked: self.equilibria,
+            handovers_checked: self.handovers,
+        }
     }
 
     /// Record a violation (also usable by callers running the I5 oracles

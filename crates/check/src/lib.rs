@@ -53,6 +53,8 @@ mod audit;
 mod error;
 pub mod oracle;
 
-pub use audit::{AuditConfig, AuditReport, Auditor, HandoverStats, PopulationTotals, SlotFlows};
+pub use audit::{
+    AuditConfig, AuditReport, AuditStatus, Auditor, HandoverStats, PopulationTotals, SlotFlows,
+};
 pub use error::AuditError;
 pub use oracle::TwoSmallest;

@@ -1,0 +1,431 @@
+//! The control plane proper: the slot-boundary gate, the double-buffered
+//! snapshot cell, and the seed-fork table.
+//!
+//! [`ControlPlane`] is the object the simulation engine talks to (via
+//! [`EngineControl`]) and the TCP server reads from. Its determinism
+//! contract is structural: the gate can only *block* the engine between
+//! slots, every snapshot is an owned copy published by the engine itself,
+//! and forks run on detached threads against cloned state — no code path
+//! writes anything the engine reads.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use mfgcp_core::{ContentContext, MfgSolver, Params};
+use mfgcp_obs::json::Json;
+use mfgcp_obs::BroadcastSink;
+use mfgcp_pde::Field2d;
+use mfgcp_sim::{EngineControl, Histogram, SimSnapshot};
+
+/// Gate flags as seen by [`ControlPlane::gate_status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateStatus {
+    /// The engine parks at the next slot boundary (unless stepping).
+    pub paused: bool,
+    /// Slots the engine may still execute while paused.
+    pub step_budget: u64,
+    /// The gate waves everything through (control plane shut down).
+    pub detached: bool,
+    /// The run has published its final snapshot.
+    pub finished: bool,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    paused: bool,
+    step_budget: u64,
+    detached: bool,
+    finished: bool,
+}
+
+/// Outcome of a seed-fork solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForkOutcome {
+    /// The what-if solve is still iterating.
+    Running,
+    /// The solve finished (converged or not — see the flag).
+    Done {
+        /// Whether the Picard iteration met its tolerance.
+        converged: bool,
+        /// Iterations performed.
+        iterations: usize,
+        /// Equilibrium price at `t = 0` under the forked density.
+        price0: f64,
+        /// Max FPK mass drift `max_n |∫λ(t_n) − 1|` over the solve.
+        mass_drift: f64,
+    },
+    /// The solver could not be built from the run's parameters.
+    Failed(
+        /// Human-readable reason.
+        String,
+    ),
+}
+
+#[derive(Default)]
+struct ForkTable {
+    next: AtomicU32,
+    entries: Mutex<HashMap<u32, ForkOutcome>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The shared observer/control state: gate + snapshot cell + fork table
+/// + the broadcast sink whose drop counters the status query reports.
+pub struct ControlPlane {
+    state: Mutex<GateState>,
+    wake: Condvar,
+    cell: Mutex<Option<Arc<SimSnapshot>>>,
+    sink: Arc<BroadcastSink>,
+    forks: ForkTable,
+    params: Params,
+}
+
+impl ControlPlane {
+    /// Build a plane for a run solved under `params`, publishing stream
+    /// frames through `sink`. With `hold` the gate starts paused, so a
+    /// client can attach before slot 0 executes.
+    pub fn new(params: Params, sink: Arc<BroadcastSink>, hold: bool) -> Self {
+        Self {
+            state: Mutex::new(GateState {
+                paused: hold,
+                ..GateState::default()
+            }),
+            wake: Condvar::new(),
+            cell: Mutex::new(None),
+            sink,
+            forks: ForkTable::default(),
+            params,
+        }
+    }
+
+    /// The broadcast sink streamed events flow through.
+    pub fn sink(&self) -> &Arc<BroadcastSink> {
+        &self.sink
+    }
+
+    /// The latest published slot-boundary snapshot, if any.
+    pub fn latest(&self) -> Option<Arc<SimSnapshot>> {
+        self.cell.lock().unwrap().clone()
+    }
+
+    /// Request a pause at the next slot boundary.
+    pub fn pause(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.paused = true;
+        st.step_budget = 0;
+        self.wake.notify_all();
+    }
+
+    /// Grant `n` more slots, staying paused afterwards.
+    pub fn step(&self, n: u64) {
+        let mut st = self.state.lock().unwrap();
+        st.paused = true;
+        st.step_budget = st.step_budget.saturating_add(n);
+        self.wake.notify_all();
+    }
+
+    /// Resume free running.
+    pub fn resume(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.paused = false;
+        st.step_budget = 0;
+        self.wake.notify_all();
+    }
+
+    /// Permanently wave the engine through (control-plane shutdown).
+    pub fn detach(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.detached = true;
+        self.wake.notify_all();
+    }
+
+    /// Current gate flags.
+    pub fn gate_status(&self) -> GateStatus {
+        let st = self.state.lock().unwrap();
+        GateStatus {
+            paused: st.paused,
+            step_budget: st.step_budget,
+            detached: st.detached,
+            finished: st.finished,
+        }
+    }
+
+    /// Start a what-if equilibrium solve seeded from the live density:
+    /// Alg. 2 re-entered with the §V-A fading marginal crossed with the
+    /// *empirical* occupancy distribution of the latest snapshot. Returns
+    /// the fork id to poll with [`ControlPlane::fork_outcome`], or `None`
+    /// when no snapshot has been published yet.
+    pub fn fork(self: &Arc<Self>) -> Option<u32> {
+        let snap = self.latest()?;
+        let id = self.forks.next.fetch_add(1, Ordering::Relaxed);
+        self.forks
+            .entries
+            .lock()
+            .unwrap()
+            .insert(id, ForkOutcome::Running);
+        let plane = Arc::clone(self);
+        let params = self.params.clone();
+        let handle = std::thread::spawn(move || {
+            let outcome = run_fork(&params, &snap.occupancy);
+            plane.forks.entries.lock().unwrap().insert(id, outcome);
+        });
+        self.forks.threads.lock().unwrap().push(handle);
+        Some(id)
+    }
+
+    /// The current outcome of fork `id` (`None` for an unknown id).
+    pub fn fork_outcome(&self, id: u32) -> Option<ForkOutcome> {
+        self.forks.entries.lock().unwrap().get(&id).cloned()
+    }
+
+    /// Block until every fork thread has finished (shutdown path).
+    pub fn join_forks(&self) {
+        let threads: Vec<JoinHandle<()>> = {
+            let mut guard = self.forks.threads.lock().unwrap();
+            guard.drain(..).collect()
+        };
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Render the gate/stream status as the JSON document of the `0x29`
+    /// status query.
+    pub fn status_json(&self) -> Json {
+        let gs = self.gate_status();
+        let mut fields = vec![
+            ("paused".to_string(), Json::Bool(gs.paused)),
+            ("step_budget".to_string(), Json::Num(gs.step_budget as f64)),
+            ("detached".to_string(), Json::Bool(gs.detached)),
+            ("finished".to_string(), Json::Bool(gs.finished)),
+            (
+                "subscribers".to_string(),
+                Json::Num(self.sink.subscriber_count() as f64),
+            ),
+            (
+                "frames_enqueued".to_string(),
+                Json::Num(self.sink.frames_enqueued() as f64),
+            ),
+            (
+                "frames_dropped".to_string(),
+                Json::Num(self.sink.frames_dropped() as f64),
+            ),
+        ];
+        if let Some(snap) = self.latest() {
+            fields.push(("global_slot".into(), Json::Num(snap.global_slot as f64)));
+            fields.push(("total_slots".into(), Json::Num(snap.total_slots as f64)));
+        }
+        Json::Obj(fields)
+    }
+}
+
+impl EngineControl for ControlPlane {
+    fn at_slot_boundary(&self, snapshot: SimSnapshot) {
+        let finished = snapshot.finished;
+        *self.cell.lock().unwrap() = Some(Arc::new(snapshot));
+        let mut st = self.state.lock().unwrap();
+        if finished {
+            st.finished = true;
+            self.wake.notify_all();
+            return;
+        }
+        while st.paused && st.step_budget == 0 && !st.detached {
+            st = self.wake.wait(st).unwrap();
+        }
+        if st.paused && st.step_budget > 0 {
+            st.step_budget -= 1;
+        }
+    }
+}
+
+/// The detached what-if solve: §V-A fading marginal × empirical
+/// occupancy histogram as the initial density, then Alg. 2 as usual.
+fn run_fork(params: &Params, occupancy: &[f64]) -> ForkOutcome {
+    let solver = match MfgSolver::new(params.clone()) {
+        Ok(s) => s,
+        Err(e) => return ForkOutcome::Failed(e.to_string()),
+    };
+    let contexts = vec![ContentContext::from_params(params); params.time_steps];
+    let initial = fork_initial_density(&solver.initial_density(), occupancy);
+    let eq = solver.solve_with(&contexts, Some(initial));
+    let mass_drift = eq
+        .mass_series()
+        .iter()
+        .map(|m| (m - 1.0).abs())
+        .fold(0.0_f64, f64::max);
+    ForkOutcome::Done {
+        converged: eq.report.converged,
+        iterations: eq.report.iterations,
+        price0: eq.price_at(0.0),
+        mass_drift,
+    }
+}
+
+/// Product density on the solver grid: the base density's `h`-marginal
+/// (the run's fading statistics are stationary, so the §V-A marginal is
+/// the right prior) times the empirical distribution of the live per-EDP
+/// occupancy column, normalized to unit mass. Falls back to the base
+/// density when the occupancy column is empty.
+fn fork_initial_density(base: &Field2d, occupancy: &[f64]) -> Field2d {
+    if occupancy.is_empty() {
+        return base.clone();
+    }
+    let grid = base.grid().clone();
+    let (nx, ny) = (grid.x().len(), grid.y().len());
+    // h-marginal of the base density: f(h_i) = Σ_j λ(h_i, q_j) dq.
+    let mut fh = vec![0.0; nx];
+    for (i, f) in fh.iter_mut().enumerate() {
+        for j in 0..ny {
+            *f += base.at(i, j);
+        }
+    }
+    // Empirical occupancy mass per q-cell (nearest-node binning).
+    let mut gq = vec![0.0; ny];
+    for &q in occupancy {
+        if q.is_finite() {
+            gq[grid.y().nearest(q)] += 1.0;
+        }
+    }
+    let mut out = Field2d::zeros(grid);
+    for (i, &f) in fh.iter().enumerate() {
+        for (j, &g) in gq.iter().enumerate() {
+            out.set(i, j, f * g);
+        }
+    }
+    out.normalize();
+    out
+}
+
+/// Render a [`SimSnapshot`] as the JSON document of the `0x22` query.
+pub fn snapshot_json(s: &SimSnapshot) -> Json {
+    let hist = |h: &Histogram| {
+        Json::Obj(vec![
+            ("lo".to_string(), Json::Num(h.lo)),
+            ("hi".to_string(), Json::Num(h.hi)),
+            (
+                "counts".to_string(),
+                Json::Arr(h.counts.iter().map(|&c| Json::Num(c as f64)).collect()),
+            ),
+        ])
+    };
+    let mut fields = vec![
+        ("scheme".to_string(), Json::Str(s.scheme.clone())),
+        ("epoch".to_string(), Json::Num(s.epoch as f64)),
+        ("slot".to_string(), Json::Num(s.slot as f64)),
+        ("global_slot".to_string(), Json::Num(s.global_slot as f64)),
+        ("total_slots".to_string(), Json::Num(s.total_slots as f64)),
+        ("t".to_string(), Json::Num(s.t)),
+        ("finished".to_string(), Json::Bool(s.finished)),
+        ("progress".to_string(), Json::Num(s.progress())),
+        ("num_edps".to_string(), Json::Num(s.num_edps as f64)),
+        (
+            "num_requesters".to_string(),
+            Json::Num(s.num_requesters as f64),
+        ),
+        ("num_contents".to_string(), Json::Num(s.num_contents as f64)),
+    ];
+    if let Some(h) = &s.occupancy_hist {
+        fields.push(("occupancy_hist".into(), hist(h)));
+    }
+    if let Some(h) = &s.price_hist {
+        fields.push(("price_hist".into(), hist(h)));
+    }
+    if let Some(m) = &s.last_slot {
+        fields.push((
+            "last_slot".into(),
+            Json::Obj(vec![
+                ("t".to_string(), Json::Num(m.t)),
+                ("mean_price".to_string(), Json::Num(m.mean_price)),
+                (
+                    "mean_remaining_space".to_string(),
+                    Json::Num(m.mean_remaining_space),
+                ),
+                (
+                    "mean_caching_rate".to_string(),
+                    Json::Num(m.mean_caching_rate),
+                ),
+                ("slot_utility".to_string(), Json::Num(m.slot_utility)),
+                (
+                    "slot_trading_income".to_string(),
+                    Json::Num(m.slot_trading_income),
+                ),
+            ]),
+        ));
+    }
+    if let Some(a) = &s.audit {
+        fields.push((
+            "audit".into(),
+            Json::Obj(vec![
+                ("clean".to_string(), Json::Bool(a.is_clean())),
+                ("violations".to_string(), Json::Num(a.violations as f64)),
+                (
+                    "slots_checked".to_string(),
+                    Json::Num(a.slots_checked as f64),
+                ),
+                (
+                    "equilibria_checked".to_string(),
+                    Json::Num(a.equilibria_checked as f64),
+                ),
+                (
+                    "handovers_checked".to_string(),
+                    Json::Num(a.handovers_checked as f64),
+                ),
+            ]),
+        ));
+    }
+    if let Some(n) = &s.net {
+        let mut net = vec![
+            ("mean_occupancy".to_string(), Json::Num(n.mean_occupancy)),
+            (
+                "max_occupancy".to_string(),
+                Json::Num(n.max_occupancy as f64),
+            ),
+            (
+                "occupied_shards".to_string(),
+                Json::Num(n.occupied_shards as f64),
+            ),
+            ("edps".to_string(), Json::Num(n.edps as f64)),
+            ("requesters".to_string(), Json::Num(n.requesters as f64)),
+            (
+                "mean_interferers".to_string(),
+                Json::Num(n.mean_interferers),
+            ),
+            ("k_int".to_string(), Json::Num(n.k_int as f64)),
+        ];
+        if let Some((fraction, count)) = n.truncated_power {
+            net.push(("truncated_fraction".to_string(), Json::Num(fraction)));
+            net.push(("truncated_count".to_string(), Json::Num(count as f64)));
+        }
+        fields.push(("net".into(), Json::Obj(net)));
+    }
+    Json::Obj(fields)
+}
+
+/// Render a [`ForkOutcome`] as the JSON document of the `0x28` query.
+pub fn fork_json(id: u32, outcome: Option<&ForkOutcome>) -> Json {
+    let mut fields = vec![("id".to_string(), Json::Num(id as f64))];
+    match outcome {
+        None => fields.push(("state".into(), Json::Str("unknown".into()))),
+        Some(ForkOutcome::Running) => {
+            fields.push(("state".into(), Json::Str("running".into())));
+        }
+        Some(ForkOutcome::Failed(reason)) => {
+            fields.push(("state".into(), Json::Str("failed".into())));
+            fields.push(("reason".into(), Json::Str(reason.clone())));
+        }
+        Some(ForkOutcome::Done {
+            converged,
+            iterations,
+            price0,
+            mass_drift,
+        }) => {
+            fields.push(("state".into(), Json::Str("done".into())));
+            fields.push(("converged".into(), Json::Bool(*converged)));
+            fields.push(("iterations".into(), Json::Num(*iterations as f64)));
+            fields.push(("price0".into(), Json::Num(*price0)));
+            fields.push(("mass_drift".into(), Json::Num(*mass_drift)));
+        }
+    }
+    Json::Obj(fields)
+}

@@ -1,0 +1,276 @@
+//! The control plane's non-negotiable invariant, end to end: a run that
+//! is observed, paused, stepped, forked, and resumed over TCP produces a
+//! `SimReport` bit-identical to a free run — and the bounded broadcast
+//! sink accounts for every frame a slow subscriber forced it to drop.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mfgcp_ctl::{CtlClient, CtlReply, CtlRequest, CtlServer};
+use mfgcp_obs::{BroadcastSink, RecorderHandle, SubscriptionFilter};
+use mfgcp_sim::{baselines::MostPopularCaching, SimConfig, SimReport, Simulation};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn test_config() -> SimConfig {
+    let mut cfg = SimConfig::small();
+    cfg.audit = true;
+    cfg
+}
+
+fn free_run() -> SimReport {
+    Simulation::new(test_config(), Box::new(MostPopularCaching::default()))
+        .unwrap()
+        .run()
+}
+
+fn assert_bit_identical(a: &SimReport, b: &SimReport, what: &str) {
+    assert_eq!(a.per_edp, b.per_edp, "{what}: per-EDP metrics diverged");
+    assert_eq!(a.series.len(), b.series.len(), "{what}: series length");
+    for (x, y) in a.series.iter().zip(&b.series) {
+        assert_eq!(x, y, "{what}: slot series diverged");
+    }
+}
+
+/// Poll status until `pred` holds (the engine parks asynchronously).
+fn wait_status(
+    client: &mut CtlClient,
+    pred: impl Fn(&mfgcp_obs::json::Json) -> bool,
+) -> mfgcp_obs::json::Json {
+    let deadline = std::time::Instant::now() + TIMEOUT;
+    loop {
+        let status = client
+            .request_json(&CtlRequest::Status, TIMEOUT)
+            .expect("status");
+        if pred(&status) {
+            return status;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "status predicate never held; last: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn observed_run_with_pause_step_fork_is_bit_identical_to_free_run() {
+    let baseline = free_run();
+
+    let sink = Arc::new(BroadcastSink::new());
+    // A deliberately starved in-process subscriber: capacity 2 against a
+    // full run of market.slot events, never drained until the end.
+    let starved = sink.subscribe(2, SubscriptionFilter::new(vec!["market.slot".into()]));
+
+    let cfg = test_config();
+    let total_slots = (cfg.epochs * cfg.slots_per_epoch) as u64;
+    let server = CtlServer::spawn(
+        "127.0.0.1:0",
+        cfg.params.clone(),
+        Arc::clone(&sink),
+        true, // hold: park before slot 0 so the client attaches first
+    )
+    .expect("bind control server");
+    let addr = server.local_addr().to_string();
+
+    let mut sim = Simulation::new(cfg, Box::new(MostPopularCaching::default())).unwrap();
+    sim.set_recorder(RecorderHandle::new(Arc::clone(&sink)));
+    sim.set_control(Arc::clone(server.plane()) as Arc<dyn mfgcp_sim::EngineControl>);
+    let sim_thread = std::thread::spawn(move || sim.run());
+
+    let mut client = CtlClient::connect(&addr).expect("connect");
+
+    // Subscribe over the wire too (ample capacity; this one must see
+    // every market.slot event exactly once, drops = 0 for it).
+    let sub = client
+        .request_json(
+            &CtlRequest::Subscribe {
+                capacity: 4096,
+                filters: vec!["market.slot".into()],
+            },
+            TIMEOUT,
+        )
+        .expect("subscribe");
+    assert_eq!(sub.get("subscribed").and_then(|j| j.as_bool()), Some(true));
+
+    // Held before slot 0: nothing has run.
+    let status = wait_status(&mut client, |s| {
+        s.get("global_slot").and_then(|j| j.as_u64()) == Some(0)
+    });
+    assert_eq!(status.get("paused").and_then(|j| j.as_bool()), Some(true));
+
+    // Step exactly 3 slots, wait for the engine to park at boundary 3.
+    client
+        .request_json(&CtlRequest::Step { n: 3 }, TIMEOUT)
+        .expect("step");
+    wait_status(&mut client, |s| {
+        s.get("global_slot").and_then(|j| j.as_u64()) == Some(3)
+            && s.get("step_budget").and_then(|j| j.as_u64()) == Some(0)
+    });
+
+    // Snapshot at the parked boundary.
+    let snap = client
+        .request_json(&CtlRequest::Snapshot, TIMEOUT)
+        .expect("snapshot");
+    assert_eq!(snap.get("global_slot").and_then(|j| j.as_u64()), Some(3));
+    assert_eq!(
+        snap.get("total_slots").and_then(|j| j.as_u64()),
+        Some(total_slots)
+    );
+    assert_eq!(snap.get("finished").and_then(|j| j.as_bool()), Some(false));
+    // Three slots in, the previous slot's price distribution exists and
+    // the audit is clean.
+    assert!(snap.get("price_hist").is_some(), "price_hist after 3 slots");
+    let audit = snap.get("audit").expect("audit status in snapshot");
+    assert_eq!(audit.get("clean").and_then(|j| j.as_bool()), Some(true));
+    assert_eq!(audit.get("slots_checked").and_then(|j| j.as_u64()), Some(3));
+
+    // Occupancy slice: bit-exact f64s, bounds clamped.
+    let occ = client
+        .request(
+            &CtlRequest::Occupancy {
+                offset: 0,
+                len: 1024,
+            },
+            TIMEOUT,
+        )
+        .expect("occupancy");
+    let CtlReply::Occupancy {
+        total,
+        offset,
+        values,
+    } = occ
+    else {
+        panic!("expected occupancy reply, got {occ:?}");
+    };
+    assert_eq!(offset, 0);
+    assert_eq!(total as usize, values.len());
+    assert_eq!(total as usize, test_config().num_edps);
+    assert!(values.iter().all(|v| v.is_finite()));
+
+    // Seed-fork a what-if solve from the live density and poll it home.
+    let fork = client
+        .request_json(&CtlRequest::Fork, TIMEOUT)
+        .expect("fork");
+    let fork_id = fork.get("id").and_then(|j| j.as_u64()).expect("fork id") as u32;
+    let deadline = std::time::Instant::now() + TIMEOUT;
+    let done = loop {
+        let st = client
+            .request_json(&CtlRequest::ForkStatus { id: fork_id }, TIMEOUT)
+            .expect("fork status");
+        match st.get("state").and_then(|j| j.as_str()) {
+            Some("done") => break st,
+            Some("failed") => panic!("fork failed: {st:?}"),
+            _ => {
+                assert!(std::time::Instant::now() < deadline, "fork never finished");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    };
+    // The forked solve ran the PR 7 batched solver to completion on the
+    // live density: finite diagnostics, conserved FPK mass.
+    assert!(done.get("iterations").and_then(|j| j.as_u64()).unwrap() > 0);
+    let drift = done.get("mass_drift").and_then(|j| j.as_f64()).unwrap();
+    assert!(drift.is_finite() && drift < 0.05, "fork mass drift {drift}");
+    assert!(done
+        .get("price0")
+        .and_then(|j| j.as_f64())
+        .unwrap()
+        .is_finite());
+
+    // Resume and let the run finish.
+    client
+        .request_json(&CtlRequest::Resume, TIMEOUT)
+        .expect("resume");
+    let observed = sim_thread.join().expect("simulation thread");
+
+    let status = wait_status(&mut client, |s| {
+        s.get("finished").and_then(|j| j.as_bool()) == Some(true)
+    });
+
+    // Slow-subscriber accounting: the starved queue (capacity 2) saw
+    // every matched event exactly once as enqueued-or-dropped.
+    assert_eq!(starved.enqueued() + starved.dropped(), total_slots);
+    assert!(
+        starved.dropped() >= total_slots - 2,
+        "expected most frames dropped, got {}",
+        starved.dropped()
+    );
+    // The sink-level totals the status query reports include them.
+    let dropped_total = status
+        .get("frames_dropped")
+        .and_then(|j| j.as_u64())
+        .unwrap();
+    assert!(dropped_total >= starved.dropped());
+
+    // The well-provisioned wire subscriber missed nothing: one frame per
+    // slot, sequences strictly increasing.
+    let mut streamed = 0u64;
+    let mut last_seq = None;
+    while let Some(line) = client.poll_event(Duration::from_millis(200)) {
+        let ev = mfgcp_obs::json::parse(&line).expect("streamed event parses");
+        assert_eq!(
+            ev.get("name").and_then(|j| j.as_str()),
+            Some("market.slot"),
+            "filter leaked a foreign series: {line}"
+        );
+        let seq = ev.get("seq").and_then(|j| j.as_u64()).expect("seq");
+        if let Some(prev) = last_seq {
+            assert!(seq > prev, "sequence regressed: {prev} -> {seq}");
+        }
+        last_seq = Some(seq);
+        streamed += 1;
+    }
+    assert_eq!(streamed, total_slots, "one market.slot frame per slot");
+
+    // Clean detach, then full server teardown.
+    let detach = client
+        .request_json(&CtlRequest::Detach, TIMEOUT)
+        .expect("detach");
+    assert_eq!(detach.get("detached").and_then(|j| j.as_bool()), Some(true));
+    server.shutdown();
+
+    // The invariant: observation, pause, step, fork, resume — all of it
+    // — changed nothing about what the run computed.
+    assert_bit_identical(&baseline, &observed, "observed vs free");
+    let audit = observed.audit.as_ref().expect("audited run");
+    assert!(audit.is_clean(), "audit violations: {:?}", audit.violations);
+}
+
+#[test]
+fn idle_observer_and_client_shutdown_leave_the_run_untouched() {
+    let baseline = free_run();
+
+    // Observer attached but no client ever connects; gate never held.
+    let sink = Arc::new(BroadcastSink::new());
+    let cfg = test_config();
+    let server = CtlServer::spawn("127.0.0.1:0", cfg.params.clone(), Arc::clone(&sink), false)
+        .expect("bind control server");
+    let mut sim = Simulation::new(cfg, Box::new(MostPopularCaching::default())).unwrap();
+    sim.set_recorder(RecorderHandle::new(Arc::clone(&sink)));
+    sim.set_control(Arc::clone(server.plane()) as Arc<dyn mfgcp_sim::EngineControl>);
+    let observed = sim.run();
+    server.shutdown();
+    assert_bit_identical(&baseline, &observed, "idle observer vs free");
+
+    // Client-driven shutdown mid-run: the gate detaches, the run
+    // completes unobserved, still bit-identical.
+    let sink = Arc::new(BroadcastSink::new());
+    let cfg = test_config();
+    let server = CtlServer::spawn("127.0.0.1:0", cfg.params.clone(), Arc::clone(&sink), true)
+        .expect("bind control server");
+    let addr = server.local_addr().to_string();
+    let mut sim = Simulation::new(cfg, Box::new(MostPopularCaching::default())).unwrap();
+    sim.set_recorder(RecorderHandle::new(Arc::clone(&sink)));
+    sim.set_control(Arc::clone(server.plane()) as Arc<dyn mfgcp_sim::EngineControl>);
+    let sim_thread = std::thread::spawn(move || sim.run());
+
+    let mut client = CtlClient::connect(&addr).expect("connect");
+    let ack = client
+        .request_json(&CtlRequest::Shutdown, TIMEOUT)
+        .expect("shutdown");
+    assert_eq!(ack.get("shutdown").and_then(|j| j.as_bool()), Some(true));
+    let observed = sim_thread.join().expect("simulation thread");
+    server.shutdown();
+    assert_bit_identical(&baseline, &observed, "client shutdown vs free");
+}

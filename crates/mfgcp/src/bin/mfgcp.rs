@@ -1,18 +1,23 @@
 //! The `mfgcp` command-line tool: solve mean-field equilibria, run
-//! finite-population market simulations, and serve saved equilibria
-//! over TCP from the shell.
+//! finite-population market simulations (optionally observed live),
+//! and serve saved equilibria over TCP from the shell.
 //!
 //! ```sh
 //! mfgcp solve --eta1 2 --salvage 1 --save-equilibrium eq.bin
 //! mfgcp simulate --scheme mfg-cp --edps 50 --mobility
 //! mfgcp serve --artifact eq.bin --addr 127.0.0.1:7171
 //! mfgcp query --t 0.5 --h 1.2 --q 0.3
+//! mfgcp simulate --observe 127.0.0.1:7181 &
+//! mfgcp watch --filter market.slot
+//! mfgcp ctl --pause && mfgcp ctl --step 3 && mfgcp ctl --snapshot
 //! ```
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use mfgcp::cli::{parse, Command, QueryAction, Scheme, HELP};
+use mfgcp::cli::{parse, Command, CtlAction, QueryAction, Scheme, HELP};
+use mfgcp::ctl::{CtlClient, CtlRequest, CtlServer};
+use mfgcp::obs::{json::Json, BroadcastSink};
 use mfgcp::prelude::*;
 use mfgcp::serve::{Client, PolicyServer, ServeConfig};
 
@@ -39,7 +44,16 @@ fn main() {
             scheme,
             mobility,
             telemetry,
-        } => run_simulate(*config, scheme, mobility, telemetry.as_deref()),
+            observe,
+            observe_hold,
+        } => run_simulate(
+            *config,
+            scheme,
+            mobility,
+            telemetry.as_deref(),
+            observe.as_deref(),
+            observe_hold,
+        ),
         Command::Serve {
             artifact,
             addr,
@@ -54,6 +68,13 @@ fn main() {
             telemetry.as_deref(),
         ),
         Command::Query { addr, action } => run_query(&addr, action),
+        Command::Watch {
+            addr,
+            filters,
+            raw,
+            max_events,
+        } => run_watch(&addr, filters, raw, max_events),
+        Command::Ctl { addr, action } => run_ctl(&addr, action),
     }
 }
 
@@ -220,7 +241,14 @@ fn run_query(addr: &str, action: QueryAction) {
     }
 }
 
-fn run_simulate(config: SimConfig, scheme: Scheme, mobility: bool, telemetry: Option<&str>) {
+fn run_simulate(
+    config: SimConfig,
+    scheme: Scheme,
+    mobility: bool,
+    telemetry: Option<&str>,
+    observe: Option<&str>,
+    observe_hold: bool,
+) {
     let mut config = config;
     if mobility {
         config.mobility = Some(mfgcp::net::RandomWaypoint::default());
@@ -253,7 +281,46 @@ fn run_simulate(config: SimConfig, scheme: Scheme, mobility: bool, telemetry: Op
             std::process::exit(1);
         }
     };
-    let recorder = open_recorder(telemetry);
+    // `--observe` swaps the plain recorder for a broadcast sink (still
+    // teeing `--telemetry` to disk) and spawns the control server before
+    // the run so a held simulation is reachable from slot 0.
+    let (recorder, server) = match observe {
+        None => (open_recorder(telemetry), None),
+        Some(addr) => {
+            let sink = Arc::new(match telemetry {
+                None => BroadcastSink::new(),
+                Some(path) => match JsonlSink::create(path) {
+                    Ok(inner) => BroadcastSink::tee(Arc::new(inner)),
+                    Err(e) => {
+                        eprintln!("error: cannot create telemetry file `{path}`: {e}");
+                        std::process::exit(1);
+                    }
+                },
+            });
+            let server = match CtlServer::spawn(
+                addr,
+                config.params.clone(),
+                Arc::clone(&sink),
+                observe_hold,
+            ) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot bind control plane on `{addr}`: {e}");
+                    std::process::exit(1);
+                }
+            };
+            println!(
+                "Control plane on {} ({}; attach with `mfgcp watch` / `mfgcp ctl`)",
+                server.local_addr(),
+                if observe_hold {
+                    "held before slot 0"
+                } else {
+                    "free-running"
+                }
+            );
+            (RecorderHandle::new(Arc::clone(&sink)), Some(server))
+        }
+    };
     let mut sim = match Simulation::new(config, policy) {
         Ok(s) => s,
         Err(e) => {
@@ -262,8 +329,14 @@ fn run_simulate(config: SimConfig, scheme: Scheme, mobility: bool, telemetry: Op
         }
     };
     sim.set_recorder(recorder.clone());
+    if let Some(server) = &server {
+        sim.set_control(Arc::clone(server.plane()) as Arc<dyn mfgcp::sim::EngineControl>);
+    }
     let report = sim.run();
     recorder.flush();
+    if let Some(server) = server {
+        server.shutdown();
+    }
     let (c1, c2, c3) = report.case_totals();
     println!("\n{:<22} {:>12}", "metric", "value");
     println!("{:<22} {:>12.3}", "mean utility", report.mean_utility());
@@ -292,6 +365,143 @@ fn run_simulate(config: SimConfig, scheme: Scheme, mobility: bool, telemetry: Op
             if audit.violations.len() > 10 {
                 eprintln!("... and {} more", audit.violations.len() - 10);
             }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Request timeout for `watch` / `ctl` exchanges.
+const CTL_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Wire-subscriber queue depth for `watch` (frames beyond it are
+/// dropped and counted, never blocking the simulation).
+const WATCH_CAPACITY: u32 = 4096;
+
+fn connect_ctl(addr: &str) -> CtlClient {
+    match CtlClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to control plane at `{addr}`: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_watch(addr: &str, filters: Vec<String>, raw: bool, max_events: Option<u64>) {
+    let mut client = connect_ctl(addr);
+    let label = if filters.is_empty() {
+        "all series".to_string()
+    } else {
+        filters.join(", ")
+    };
+    if let Err(e) = client.request_json(
+        &CtlRequest::Subscribe {
+            capacity: WATCH_CAPACITY,
+            filters,
+        },
+        CTL_TIMEOUT,
+    ) {
+        eprintln!("error: subscribe failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("watching {addr} ({label}); ctrl-c to stop");
+    let mut shown = 0u64;
+    'stream: loop {
+        if max_events.is_some_and(|limit| shown >= limit) {
+            break;
+        }
+        match client.poll_event(Duration::from_millis(500)) {
+            Some(line) => {
+                print_event(&line, raw);
+                shown += 1;
+            }
+            None => {
+                // Idle half-second: distinguish "run still going" from
+                // "run finished" (drain stragglers, then stop). A lost
+                // connection here is the server tearing down after the
+                // run — the normal end of the stream, not an error.
+                let finished = match client.request_json(&CtlRequest::Status, CTL_TIMEOUT) {
+                    Ok(status) => status.get("finished").and_then(|j| j.as_bool()) == Some(true),
+                    Err(_) => {
+                        eprintln!("stream closed by server");
+                        true
+                    }
+                };
+                if finished {
+                    while let Some(line) = client.poll_event(Duration::from_millis(100)) {
+                        if max_events.is_some_and(|limit| shown >= limit) {
+                            break 'stream;
+                        }
+                        print_event(&line, raw);
+                        shown += 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    let _ = client.request(&CtlRequest::Detach, CTL_TIMEOUT);
+    eprintln!("{shown} event(s)");
+}
+
+/// Print one streamed event line: raw JSONL, or the minimal ANSI live
+/// view (dim sequence number, cyan series name, inline payload).
+fn print_event(line: &str, raw: bool) {
+    if raw {
+        println!("{line}");
+        return;
+    }
+    let Ok(ev) = mfgcp::obs::json::parse(line) else {
+        println!("{line}");
+        return;
+    };
+    let seq = ev.get("seq").and_then(|j| j.as_u64()).unwrap_or(0);
+    let name = ev.get("name").and_then(|j| j.as_str()).unwrap_or("?");
+    let kind = ev.get("kind").and_then(|j| j.as_str()).unwrap_or("?");
+    let mut payload = String::new();
+    if let Some(value) = ev.get("value").and_then(|j| j.as_f64()) {
+        payload.push_str(&format!(" value={value:.6}"));
+    }
+    if let Some(Json::Obj(fields)) = ev.get("fields") {
+        for (key, val) in fields {
+            match val {
+                Json::Num(x) => payload.push_str(&format!(" {key}={x:.6}")),
+                Json::Str(s) => payload.push_str(&format!(" {key}={s}")),
+                Json::Bool(b) => payload.push_str(&format!(" {key}={b}")),
+                _ => {}
+            }
+        }
+    }
+    println!("\x1b[2m{seq:>8}\x1b[0m \x1b[36m{name}\x1b[0m \x1b[2m{kind}\x1b[0m{payload}");
+}
+
+fn run_ctl(addr: &str, action: CtlAction) {
+    let mut client = connect_ctl(addr);
+    let request = match action {
+        CtlAction::Pause => CtlRequest::Pause,
+        CtlAction::Resume => CtlRequest::Resume,
+        CtlAction::Step(n) => CtlRequest::Step { n },
+        CtlAction::Snapshot => CtlRequest::Snapshot,
+        CtlAction::Fork => CtlRequest::Fork,
+        CtlAction::ForkStatus(id) => CtlRequest::ForkStatus { id },
+        CtlAction::Status => CtlRequest::Status,
+        CtlAction::Ping => CtlRequest::Ping,
+        CtlAction::Shutdown => CtlRequest::Shutdown,
+    };
+    if action == CtlAction::Ping {
+        match client.request(&request, CTL_TIMEOUT) {
+            Ok(_) => println!("pong from {addr}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    match client.request_json(&request, CTL_TIMEOUT) {
+        Ok(doc) => println!("{}", doc.to_json_string()),
+        Err(e) => {
+            eprintln!("error: {e}");
             std::process::exit(1);
         }
     }

@@ -1,15 +1,19 @@
 //! Command-line interface for the `mfgcp` binary.
 //!
 //! Hand-rolled flag parsing (the approved dependency list has no argument
-//! parser): `mfgcp <command> [--flag value]...` with four commands:
+//! parser): `mfgcp <command> [--flag value]...` with six commands:
 //!
 //! * `solve` — compute one mean-field equilibrium, print its summary and
 //!   optionally persist it (`--save-equilibrium FILE`);
-//! * `simulate` — run the finite-population market under a scheme;
+//! * `simulate` — run the finite-population market under a scheme,
+//!   optionally exposing the live control plane (`--observe ADDR`);
 //! * `serve` — load a saved equilibrium artifact and answer policy /
 //!   pricing queries over TCP;
 //! * `query` — ask a running server for `(x*, p*, q̄₋)`, ping it, fetch
-//!   its info, or shut it down.
+//!   its info, or shut it down;
+//! * `watch` — stream subscribed telemetry series from an observed run;
+//! * `ctl` — steer an observed run: pause, step, resume, snapshot,
+//!   seed-fork, status, shutdown.
 //!
 //! The parsing layer is pure (string slices in, [`Command`] out) so it is
 //! unit-testable without spawning processes.
@@ -19,6 +23,11 @@ use mfgcp_sim::SimConfig;
 
 /// Default address for `serve` and `query` when `--addr` is omitted.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+
+/// Default address for `simulate --observe`, `watch` and `ctl` when the
+/// address is omitted (distinct port so a policy server and an observed
+/// simulation can share a host).
+pub const DEFAULT_CTL_ADDR: &str = "127.0.0.1:7181";
 
 /// Which placement scheme to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +94,11 @@ pub enum Command {
         mobility: bool,
         /// Telemetry JSONL output path (`--telemetry`), if requested.
         telemetry: Option<String>,
+        /// Control-plane listen address (`--observe`), if requested.
+        observe: Option<String>,
+        /// Park the run before slot 0 until a client resumes or steps it
+        /// (`--observe-hold`; implies `--observe`).
+        observe_hold: bool,
     },
     /// `mfgcp serve [...]`: serve a saved equilibrium over TCP.
     Serve {
@@ -105,6 +119,25 @@ pub enum Command {
         addr: String,
         /// What to ask.
         action: QueryAction,
+    },
+    /// `mfgcp watch [...]`: stream live telemetry from an observed run.
+    Watch {
+        /// Control-plane address (`--addr`).
+        addr: String,
+        /// Series-name prefixes to subscribe to (`--filter`, repeatable;
+        /// empty = everything).
+        filters: Vec<String>,
+        /// Print raw JSONL instead of the rendered live view (`--raw`).
+        raw: bool,
+        /// Stop after this many events (`--max-events`), if requested.
+        max_events: Option<u64>,
+    },
+    /// `mfgcp ctl [...]`: one control verb against an observed run.
+    Ctl {
+        /// Control-plane address (`--addr`).
+        addr: String,
+        /// The verb to issue.
+        action: CtlAction,
     },
     /// `mfgcp help` or `--help`.
     Help,
@@ -129,6 +162,31 @@ pub enum QueryAction {
     /// Server/artifact metadata (`--info`).
     Info,
     /// Graceful shutdown request (`--shutdown`).
+    Shutdown,
+}
+
+/// What a `mfgcp ctl` invocation asks the control plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtlAction {
+    /// Park the run at the next slot boundary (`--pause`).
+    Pause,
+    /// Release a paused run (`--resume`).
+    Resume,
+    /// Run exactly `n` more slots, then park (`--step N`).
+    Step(u32),
+    /// Fetch the latest slot-boundary snapshot (`--snapshot`).
+    Snapshot,
+    /// Seed-fork a detached what-if solve from the live density
+    /// (`--fork`).
+    Fork,
+    /// Poll a previously started fork (`--fork-status ID`).
+    ForkStatus(u32),
+    /// Gate and sink status (`--status`).
+    Status,
+    /// Liveness probe (`--ping`).
+    Ping,
+    /// Detach the gate and stop the control server (`--shutdown`); the
+    /// simulation runs to completion unobserved.
     Shutdown,
 }
 
@@ -192,11 +250,17 @@ USAGE:
                    [--audit-sample N] [--dense-channel] [--k-int N]
                    [--adaptive-k-int] [--unsharded-market]
                    [--scalar-kernels] [--telemetry FILE.jsonl]
+                   [--observe HOST:PORT] [--observe-hold]
                    (plus all `solve` flags for the game parameters)
     mfgcp serve    --artifact FILE.eq [--addr HOST:PORT] [--threads N]
                    [--read-timeout SECS] [--telemetry FILE.jsonl]
     mfgcp query    [--addr HOST:PORT]
                    (--t X --h X --q X | --ping | --info | --shutdown)
+    mfgcp watch    [--addr HOST:PORT] [--filter PREFIX]... [--raw]
+                   [--max-events N]
+    mfgcp ctl      [--addr HOST:PORT]
+                   (--pause | --resume | --step N | --snapshot | --fork
+                    | --fork-status ID | --status | --ping | --shutdown)
     mfgcp help
     mfgcp --version
 
@@ -237,6 +301,16 @@ The implicit HJB/FPK sweeps run through batched structure-of-arrays
 column-block kernels (lane-lockstep Thomas solves). `--scalar-kernels`
 forces the one-column-at-a-time scalar oracle instead; both paths are
 bit-identical, so the flag only changes speed, never results.
+
+`--observe HOST:PORT` attaches the live control plane (default address
+127.0.0.1:7181): `mfgcp watch` streams subscribed telemetry series and
+`mfgcp ctl` pauses, steps, resumes, snapshots, and seed-forks the run.
+`--observe-hold` parks the run before slot 0 until a client steps or
+resumes it (and implies `--observe` on the default address). Control
+gates only *when* slots execute, never *what* they compute: an
+observed, paused, stepped, or forked run is bit-identical to a free
+run. `watch --filter PREFIX` subscribes to series-name prefixes (e.g.
+`market.slot`, `net.shard`); `--raw` prints unrendered JSONL.
 ";
 
 fn parse_f64(flag: &str, value: &str) -> Result<f64, CliError> {
@@ -336,10 +410,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut scheme = Scheme::MfgCp;
             let mut mobility = false;
             let mut telemetry = None;
+            let mut observe = None;
+            let mut observe_hold = false;
             let mut it = args[1..].iter();
             while let Some(flag) = it.next() {
                 if flag == "--mobility" {
                     mobility = true;
+                    continue;
+                }
+                if flag == "--observe-hold" {
+                    observe_hold = true;
                     continue;
                 }
                 if flag == "--audit" {
@@ -368,6 +448,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 match flag.as_str() {
                     "--scheme" => scheme = Scheme::parse(value)?,
                     "--telemetry" => telemetry = Some(value.clone()),
+                    "--observe" => observe = Some(value.clone()),
                     "--edps" => {
                         config.num_edps = parse_usize(flag, value)?;
                         config.params.num_edps = config.num_edps;
@@ -411,11 +492,18 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     }
                 }
             }
+            // `--observe-hold` without an address observes on the default
+            // port: a held run with no way to attach would hang forever.
+            if observe_hold && observe.is_none() {
+                observe = Some(DEFAULT_CTL_ADDR.to_string());
+            }
             Ok(Command::Simulate {
                 config: Box::new(config),
                 scheme,
                 mobility,
                 telemetry,
+                observe,
+                observe_hold,
             })
         }
         "serve" => {
@@ -488,6 +576,97 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 },
             };
             Ok(Command::Query { addr, action })
+        }
+        "watch" => {
+            let mut addr = DEFAULT_CTL_ADDR.to_string();
+            let mut filters = Vec::new();
+            let mut raw = false;
+            let mut max_events = None;
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                if flag == "--raw" {
+                    raw = true;
+                    continue;
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue(flag.clone()))?;
+                match flag.as_str() {
+                    "--addr" => addr = value.clone(),
+                    "--filter" => filters.push(value.clone()),
+                    "--max-events" => max_events = Some(parse_u64(flag, value)?),
+                    _ => return Err(CliError::UnknownFlag(flag.clone())),
+                }
+            }
+            Ok(Command::Watch {
+                addr,
+                filters,
+                raw,
+                max_events,
+            })
+        }
+        "ctl" => {
+            let mut addr = DEFAULT_CTL_ADDR.to_string();
+            let mut action = None;
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--pause" => {
+                        action = Some(CtlAction::Pause);
+                        continue;
+                    }
+                    "--resume" => {
+                        action = Some(CtlAction::Resume);
+                        continue;
+                    }
+                    "--snapshot" => {
+                        action = Some(CtlAction::Snapshot);
+                        continue;
+                    }
+                    "--fork" => {
+                        action = Some(CtlAction::Fork);
+                        continue;
+                    }
+                    "--status" => {
+                        action = Some(CtlAction::Status);
+                        continue;
+                    }
+                    "--ping" => {
+                        action = Some(CtlAction::Ping);
+                        continue;
+                    }
+                    "--shutdown" => {
+                        action = Some(CtlAction::Shutdown);
+                        continue;
+                    }
+                    _ => {}
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue(flag.clone()))?;
+                match flag.as_str() {
+                    "--addr" => addr = value.clone(),
+                    "--step" => {
+                        let n = parse_u64(flag, value)?;
+                        if n == 0 || n > u64::from(u32::MAX) {
+                            return Err(CliError::BadValue {
+                                flag: flag.clone(),
+                                value: value.clone(),
+                                expected: "a slot count between 1 and 2^32-1",
+                            });
+                        }
+                        action = Some(CtlAction::Step(n as u32));
+                    }
+                    "--fork-status" => {
+                        action = Some(CtlAction::ForkStatus(parse_u64(flag, value)? as u32));
+                    }
+                    _ => return Err(CliError::UnknownFlag(flag.clone())),
+                }
+            }
+            let action = action.ok_or(CliError::MissingFlag(
+                "--pause|--resume|--step|--snapshot|--fork|--fork-status|--status|--ping|--shutdown",
+            ))?;
+            Ok(Command::Ctl { addr, action })
         }
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -783,6 +962,108 @@ mod tests {
         assert!(matches!(
             parse(&argv("query")),
             Err(CliError::MissingFlag("--t"))
+        ));
+    }
+
+    #[test]
+    fn observe_flags_parse_and_hold_implies_observe() {
+        match parse(&argv("simulate --observe 0.0.0.0:9100 --scheme mpc")).unwrap() {
+            Command::Simulate {
+                observe,
+                observe_hold,
+                ..
+            } => {
+                assert_eq!(observe.as_deref(), Some("0.0.0.0:9100"));
+                assert!(!observe_hold);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A held run with no address would be unreachable forever, so
+        // `--observe-hold` alone observes on the default control port.
+        match parse(&argv("simulate --observe-hold")).unwrap() {
+            Command::Simulate {
+                observe,
+                observe_hold,
+                ..
+            } => {
+                assert_eq!(observe.as_deref(), Some(DEFAULT_CTL_ADDR));
+                assert!(observe_hold);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("simulate")).unwrap() {
+            Command::Simulate {
+                observe,
+                observe_hold,
+                ..
+            } => {
+                assert_eq!(observe, None, "unobserved is the default");
+                assert!(!observe_hold);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("simulate --observe")),
+            Err(CliError::MissingValue(f)) if f == "--observe"
+        ));
+    }
+
+    #[test]
+    fn watch_parses_filters_raw_and_max_events() {
+        assert_eq!(
+            parse(&argv("watch")).unwrap(),
+            Command::Watch {
+                addr: DEFAULT_CTL_ADDR.into(),
+                filters: vec![],
+                raw: false,
+                max_events: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "watch --addr 1.2.3.4:9 --filter market.slot --filter net.shard \
+                 --raw --max-events 10",
+            ))
+            .unwrap(),
+            Command::Watch {
+                addr: "1.2.3.4:9".into(),
+                filters: vec!["market.slot".into(), "net.shard".into()],
+                raw: true,
+                max_events: Some(10),
+            }
+        );
+        assert!(matches!(
+            parse(&argv("watch --filter")),
+            Err(CliError::MissingValue(f)) if f == "--filter"
+        ));
+    }
+
+    #[test]
+    fn ctl_parses_every_verb_and_requires_one() {
+        for (s, action) in [
+            ("ctl --pause", CtlAction::Pause),
+            ("ctl --resume", CtlAction::Resume),
+            ("ctl --step 5", CtlAction::Step(5)),
+            ("ctl --snapshot", CtlAction::Snapshot),
+            ("ctl --fork", CtlAction::Fork),
+            ("ctl --fork-status 2", CtlAction::ForkStatus(2)),
+            ("ctl --status", CtlAction::Status),
+            ("ctl --ping", CtlAction::Ping),
+            ("ctl --addr 1.2.3.4:9 --shutdown", CtlAction::Shutdown),
+        ] {
+            match parse(&argv(s)).unwrap() {
+                Command::Ctl { action: got, .. } => assert_eq!(got, action, "{s}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(matches!(parse(&argv("ctl")), Err(CliError::MissingFlag(_))));
+        assert!(matches!(
+            parse(&argv("ctl --step 0")),
+            Err(CliError::BadValue { flag, .. }) if flag == "--step"
+        ));
+        assert!(matches!(
+            parse(&argv("ctl --lights-on 3")),
+            Err(CliError::UnknownFlag(f)) if f == "--lights-on"
         ));
     }
 

@@ -24,7 +24,11 @@
 //! * [`check`] — the economic-conservation auditor and differential
 //!   oracles behind `mfgcp simulate --audit`: money conservation,
 //!   case-tally consistency, Eq. (10) reconciliation, FPK mass gating,
-//!   and bit-level pricer/matching/workspace cross-checks.
+//!   and bit-level pricer/matching/workspace cross-checks;
+//! * [`ctl`] — the live observer/control plane behind
+//!   `mfgcp simulate --observe`: stream subscribed telemetry series,
+//!   snapshot slot-boundary state, and steer (pause / step / resume /
+//!   seed-fork) a running simulation without perturbing its results.
 //!
 //! ```
 //! use mfgcp::prelude::*;
@@ -41,6 +45,7 @@ pub mod cli;
 
 pub use mfgcp_check as check;
 pub use mfgcp_core as core;
+pub use mfgcp_ctl as ctl;
 pub use mfgcp_net as net;
 pub use mfgcp_obs as obs;
 pub use mfgcp_pde as pde;

@@ -465,6 +465,40 @@ impl ChannelState {
         Some(total / served.len() as f64)
     }
 
+    /// The statistics behind the `net.shard.*` gauges as plain data, for
+    /// the live snapshot/query path. `None` for the dense layout (there
+    /// are no shards to report on). Pure reads — no RNG, no mutation —
+    /// but the truncated-power estimate costs O(J·k_int), so callers
+    /// should sample it at re-association cadence, not per slot.
+    pub fn shard_stats(&self) -> Option<ShardStats> {
+        let Repr::Sharded(links) = &self.repr else {
+            return None;
+        };
+        let occupied = links.shards.iter().filter(|s| !s.is_empty()).count();
+        let max_occ = links.shards.iter().map(Vec::len).max().unwrap_or(0);
+        let mean_occ = if occupied > 0 {
+            self.num_requesters as f64 / occupied as f64
+        } else {
+            0.0
+        };
+        let tracked: usize = links.records.iter().map(|r| r.interferers.len()).sum();
+        let mean_int = if self.num_requesters > 0 {
+            tracked as f64 / self.num_requesters as f64
+        } else {
+            0.0
+        };
+        Some(ShardStats {
+            mean_occupancy: mean_occ,
+            max_occupancy: max_occ as u64,
+            occupied_shards: occupied as u64,
+            edps: self.num_edps as u64,
+            requesters: self.num_requesters as u64,
+            mean_interferers: mean_int,
+            k_int: links.k_int as u64,
+            truncated_power: links.tail_fraction(&self.process, &self.cfg),
+        })
+    }
+
     /// Emit the `net.shard.*` gauges after a re-association. Pure reads —
     /// no RNG, no mutation — so telemetry cannot perturb the run. The
     /// truncated-power estimate evaluates every fading coefficient at
@@ -474,42 +508,29 @@ impl ChannelState {
         if !self.recorder.enabled() {
             return;
         }
-        let Repr::Sharded(links) = &self.repr else {
+        let Some(stats) = self.shard_stats() else {
             return;
-        };
-        let occupied = links.shards.iter().filter(|s| !s.is_empty()).count();
-        let max_occ = links.shards.iter().map(Vec::len).max().unwrap_or(0);
-        let mean_occ = if occupied > 0 {
-            self.num_requesters as f64 / occupied as f64
-        } else {
-            0.0
         };
         self.recorder.gauge(
             "net.shard.occupancy",
-            mean_occ,
+            stats.mean_occupancy,
             &[
-                ("max", (max_occ as u64).into()),
-                ("occupied", (occupied as u64).into()),
-                ("edps", (self.num_edps as u64).into()),
-                ("requesters", (self.num_requesters as u64).into()),
+                ("max", stats.max_occupancy.into()),
+                ("occupied", stats.occupied_shards.into()),
+                ("edps", stats.edps.into()),
+                ("requesters", stats.requesters.into()),
             ],
         );
-        let tracked: usize = links.records.iter().map(|r| r.interferers.len()).sum();
-        let mean_int = if self.num_requesters > 0 {
-            tracked as f64 / self.num_requesters as f64
-        } else {
-            0.0
-        };
         self.recorder.gauge(
             "net.shard.interferers",
-            mean_int,
-            &[("k_int", (links.k_int as u64).into())],
+            stats.mean_interferers,
+            &[("k_int", stats.k_int.into())],
         );
         // Share of the interference power (at the stationary-mean fading)
         // carried by the frozen mean-field tail rather than by live
         // tracked links — the part of Eq. (2) the sharding approximates,
         // and the signal the adaptive-k controller steers on.
-        if let Some((fraction, sampled)) = links.tail_fraction(&self.process, &self.cfg) {
+        if let Some((fraction, sampled)) = stats.truncated_power {
             self.recorder.gauge(
                 "net.shard.truncated_power",
                 fraction,
@@ -517,6 +538,32 @@ impl ChannelState {
             );
         }
     }
+}
+
+/// Sharded-layout channel statistics — the exact numbers behind the
+/// `net.shard.{occupancy,interferers,truncated_power}` gauges, exposed
+/// as plain data so the live control plane can serve them from snapshot
+/// queries as well as from the telemetry stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardStats {
+    /// Mean requesters per occupied shard.
+    pub mean_occupancy: f64,
+    /// Largest shard population.
+    pub max_occupancy: u64,
+    /// Number of non-empty shards.
+    pub occupied_shards: u64,
+    /// EDP count (M).
+    pub edps: u64,
+    /// Requester count (J).
+    pub requesters: u64,
+    /// Mean tracked interferers per requester.
+    pub mean_interferers: f64,
+    /// Configured interferer budget.
+    pub k_int: u64,
+    /// Frozen-tail share of interference power at the stationary-mean
+    /// fading, with the number of requesters sampled for the estimate;
+    /// `None` when the estimate is unavailable.
+    pub truncated_power: Option<(f64, u64)>,
 }
 
 #[cfg(test)]

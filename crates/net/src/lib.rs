@@ -40,7 +40,7 @@ mod mobility;
 mod shard;
 mod topology;
 
-pub use channel::ChannelState;
+pub use channel::{ChannelState, ShardStats};
 pub use config::NetworkConfig;
 pub use geometry::{uniform_in_disc, Point};
 pub use mobility::{MobileRequesters, RandomWaypoint};

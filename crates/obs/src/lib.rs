@@ -14,6 +14,9 @@
 //!   and the monotonic epoch and is what instrumented code carries around;
 //! * an in-memory sink for tests ([`MemorySink`]) and a line-delimited JSON
 //!   sink ([`JsonlSink`]) for production runs;
+//! * a bounded, drop-counting live fan-out ([`BroadcastSink`] with
+//!   per-subscriber [`SubscriptionFilter`]s) feeding the `mfgcp-ctl`
+//!   observer endpoint without ever blocking the producer;
 //! * a hand-rolled minimal JSON emitter/parser ([`json`]) — the dependency
 //!   allowlist has neither `serde` nor `tracing`, and the subset needed
 //!   here (flat objects of scalars) is small;
@@ -57,12 +60,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod broadcast;
 mod event;
 pub mod json;
 mod recorder;
 pub mod schema;
 mod sinks;
 
+pub use broadcast::{BroadcastSink, Subscription, SubscriptionFilter};
 pub use event::{Event, Kind, Value};
 pub use recorder::{OnceFlag, Recorder, RecorderHandle, Span};
 pub use sinks::{JsonlSink, MemorySink, Noop};

@@ -23,6 +23,29 @@
 //! The [`Validator`] checks a stream line-by-line; the
 //! `validate_telemetry` binary applies it to files (CI runs it over
 //! bench-emitted telemetry and fails the build on any violation).
+//!
+//! # Live streams over the wire
+//!
+//! The same lines travel live through `mfgcp-ctl` (`mfgcp simulate
+//! --observe` + `mfgcp watch`): the [`BroadcastSink`](crate::BroadcastSink)
+//! fans each recorded event out to bounded per-subscriber queues, and
+//! the control server ships them as `0xC0` frames on the shared
+//! `mfgcp_serve::wire` layer (LE `u32` length + opcode + JSONL body,
+//! interleaved between request/reply frames on one connection).
+//! Two schema consequences, both deliberate:
+//!
+//! * **Subscription filters are name prefixes** ([`SubscriptionFilter`](crate::SubscriptionFilter);
+//!   empty = everything), matched against the dotted `name` — e.g.
+//!   `market.slot`, `net.shard`, `solver`. Filtering keeps recorder
+//!   `seq` numbers, so a filtered stream is *gapped but strictly
+//!   increasing* — exactly what this validator requires within a file.
+//! * **Slow subscribers lose frames, never slow the simulation.** A
+//!   full queue drops the newest frame for that subscriber and counts
+//!   it (`enqueued + dropped == matched`, exact). A lossy stream of
+//!   `event` / `counter` / `gauge` kinds still validates; span kinds do
+//!   not survive loss (a dropped `span_close` breaks the nesting rule),
+//!   so subscribe to non-span series when piping a live stream into
+//!   this validator — CI's `observe-smoke` job does exactly that.
 
 use crate::event::Kind;
 use crate::json::{self, Json};

@@ -28,7 +28,11 @@
 //!   instrumentation (`serve.request` counters, latency gauges, batch
 //!   sizes) under the telemetry-never-perturbs rules;
 //! * [`client`] — a small blocking client used by `mfgcp query`, the
-//!   `bench_serve` load generator and the end-to-end tests.
+//!   `bench_serve` load generator and the end-to-end tests;
+//! * [`wire`] — the protocol-agnostic frame plumbing (length-prefixed
+//!   read/write, the bounds-checked body cursor, the drain-aware
+//!   connection registry) shared with the `mfgcp-ctl` live control
+//!   plane.
 //!
 //! Queries are answered by time-step selection plus bilinear interpolation
 //! on the *rehydrated* equilibrium — the same
@@ -49,6 +53,7 @@ pub mod crc32;
 pub mod error;
 pub mod protocol;
 pub mod server;
+pub mod wire;
 
 pub use artifact::{load, save, ArtifactHeader, LoadedArtifact, FORMAT_VERSION, MAGIC};
 pub use client::{Client, PolicyPoint, ServerInfo};

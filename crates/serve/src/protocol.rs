@@ -33,13 +33,15 @@
 //! Malformed payloads (empty frame, unknown opcode, truncated body,
 //! over-long batch) decode to a typed [`WireError`] that the server maps
 //! straight into an `0xEE` reply.
+//!
+//! The protocol-agnostic plumbing — frame reading/writing, the
+//! bounds-checked body [`Cursor`], the connection registry — lives in
+//! [`crate::wire`] and is shared with the `mfgcp-ctl` control plane; this
+//! module defines only the policy-server opcode table.
 
-use std::io::{self, Read, Write};
-
-use crate::error::{FrameReadError, WireError};
-
-/// Default (and maximum accepted) frame payload length: 1 MiB.
-pub const MAX_FRAME_LEN: u32 = 1 << 20;
+use crate::error::WireError;
+use crate::wire::{empty_body, push_f64, Cursor};
+pub use crate::wire::{read_frame, write_frame, MAX_FRAME_LEN};
 
 /// Largest batch size whose reply still fits in a [`MAX_FRAME_LEN`] frame
 /// (opcode byte + u32 count + 24 bytes per point).
@@ -351,158 +353,6 @@ impl Reply {
     }
 }
 
-/// Writes one frame (length prefix + payload) and flushes.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    let len = u32::try_from(payload.len())
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame payload exceeds u32"))?;
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(payload)?;
-    w.flush()
-}
-
-/// Reads one frame payload, enforcing the `max_len` bound *before* the
-/// payload is allocated or consumed.
-///
-/// Returns `Ok(None)` on clean end-of-stream (EOF before any prefix
-/// byte); EOF mid-prefix or mid-payload is [`FrameReadError::Truncated`].
-pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Option<Vec<u8>>, FrameReadError> {
-    let mut prefix = [0u8; 4];
-    match read_counted(r, &mut prefix) {
-        Ok(()) => {}
-        Err(ReadCounted::CleanEof) => return Ok(None),
-        Err(ReadCounted::Truncated { got }) => {
-            return Err(FrameReadError::Truncated { got, want: 4 })
-        }
-        Err(ReadCounted::Io(e)) => return Err(FrameReadError::Io(e)),
-    }
-    let len = u32::from_le_bytes(prefix);
-    if len > max_len {
-        return Err(FrameReadError::TooLong {
-            declared: len,
-            max: max_len,
-        });
-    }
-    let mut payload = vec![0u8; len as usize];
-    match read_counted(r, &mut payload) {
-        Ok(()) => Ok(Some(payload)),
-        Err(ReadCounted::CleanEof) => Err(FrameReadError::Truncated {
-            got: 0,
-            want: len as usize,
-        }),
-        Err(ReadCounted::Truncated { got }) => Err(FrameReadError::Truncated {
-            got,
-            want: len as usize,
-        }),
-        Err(ReadCounted::Io(e)) => Err(FrameReadError::Io(e)),
-    }
-}
-
-enum ReadCounted {
-    /// EOF before the first byte of the buffer.
-    CleanEof,
-    /// EOF after `got` bytes (0 < got < buf.len()).
-    Truncated {
-        got: usize,
-    },
-    Io(io::Error),
-}
-
-/// `read_exact` that distinguishes clean EOF, partial EOF and io errors.
-fn read_counted(r: &mut impl Read, buf: &mut [u8]) -> Result<(), ReadCounted> {
-    let mut got = 0;
-    while got < buf.len() {
-        match r.read(&mut buf[got..]) {
-            Ok(0) if got == 0 => return Err(ReadCounted::CleanEof),
-            Ok(0) => return Err(ReadCounted::Truncated { got }),
-            Ok(n) => got += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(ReadCounted::Io(e)),
-        }
-    }
-    Ok(())
-}
-
-fn push_f64(out: &mut Vec<u8>, v: f64) {
-    out.extend_from_slice(&v.to_bits().to_le_bytes());
-}
-
-fn empty_body(body: &[u8], what: &'static str) -> Result<(), WireError> {
-    if body.is_empty() {
-        Ok(())
-    } else {
-        Err(WireError::new(
-            ErrorCode::Malformed,
-            format!("{what} carries {} unexpected body byte(s)", body.len()),
-        ))
-    }
-}
-
-/// Bounds-checked little-endian reader over a frame body.
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
-        Cursor { bytes, pos: 0 }
-    }
-
-    fn take<const N: usize>(&mut self, what: &str) -> Result<[u8; N], WireError> {
-        let end = self
-            .pos
-            .checked_add(N)
-            .filter(|&e| e <= self.bytes.len())
-            .ok_or_else(|| {
-                WireError::new(
-                    ErrorCode::Malformed,
-                    format!("truncated body while reading {what} at byte {}", self.pos),
-                )
-            })?;
-        let mut out = [0u8; N];
-        out.copy_from_slice(&self.bytes[self.pos..end]);
-        self.pos = end;
-        Ok(out)
-    }
-
-    fn f64(&mut self, what: &str) -> Result<f64, WireError> {
-        self.take::<8>(what)
-            .map(|b| f64::from_bits(u64::from_le_bytes(b)))
-    }
-
-    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
-        self.take::<8>(what).map(u64::from_le_bytes)
-    }
-
-    fn u32(&mut self, what: &str) -> Result<u32, WireError> {
-        self.take::<4>(what).map(u32::from_le_bytes)
-    }
-
-    fn u16(&mut self, what: &str) -> Result<u16, WireError> {
-        self.take::<2>(what).map(u16::from_le_bytes)
-    }
-
-    fn rest(&mut self) -> &'a [u8] {
-        let out = &self.bytes[self.pos..];
-        self.pos = self.bytes.len();
-        out
-    }
-
-    fn finish(&self, what: &str) -> Result<(), WireError> {
-        if self.pos == self.bytes.len() {
-            Ok(())
-        } else {
-            Err(WireError::new(
-                ErrorCode::Malformed,
-                format!(
-                    "{} trailing byte(s) after {what} body",
-                    self.bytes.len() - self.pos
-                ),
-            ))
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -607,61 +457,6 @@ mod tests {
         assert_eq!(err.code, ErrorCode::Malformed);
     }
 
-    #[test]
-    fn frames_roundtrip_over_a_stream() {
-        let payload = Request::Query {
-            t: 1.0,
-            h: 2.0,
-            q: 3.0,
-        }
-        .encode();
-        let mut wire = Vec::new();
-        write_frame(&mut wire, &payload).expect("write");
-        write_frame(&mut wire, &Request::Ping.encode()).expect("write");
-
-        let mut r = wire.as_slice();
-        assert_eq!(
-            read_frame(&mut r, MAX_FRAME_LEN).expect("frame 1"),
-            Some(payload)
-        );
-        assert_eq!(
-            read_frame(&mut r, MAX_FRAME_LEN).expect("frame 2"),
-            Some(vec![0x03])
-        );
-        assert_eq!(read_frame(&mut r, MAX_FRAME_LEN).expect("eof"), None);
-    }
-
-    #[test]
-    fn oversized_prefix_is_rejected_before_the_payload_is_read() {
-        let mut wire = Vec::new();
-        wire.extend_from_slice(&u32::MAX.to_le_bytes());
-        let mut r = wire.as_slice();
-        match read_frame(&mut r, MAX_FRAME_LEN) {
-            Err(FrameReadError::TooLong { declared, max }) => {
-                assert_eq!(declared, u32::MAX);
-                assert_eq!(max, MAX_FRAME_LEN);
-            }
-            other => panic!("expected TooLong, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn truncated_prefix_and_payload_are_typed() {
-        // Two bytes of a four-byte prefix.
-        let mut r: &[u8] = &[0x01, 0x00];
-        match read_frame(&mut r, MAX_FRAME_LEN) {
-            Err(FrameReadError::Truncated { got: 2, want: 4 }) => {}
-            other => panic!("expected truncated prefix, got {other:?}"),
-        }
-
-        // Prefix promises 10 bytes, stream carries 3.
-        let mut wire = Vec::new();
-        wire.extend_from_slice(&10u32.to_le_bytes());
-        wire.extend_from_slice(&[1, 2, 3]);
-        let mut r = wire.as_slice();
-        match read_frame(&mut r, MAX_FRAME_LEN) {
-            Err(FrameReadError::Truncated { got: 3, want: 10 }) => {}
-            other => panic!("expected truncated payload, got {other:?}"),
-        }
-    }
+    // Frame-level tests (roundtrip over a stream, oversized prefix,
+    // truncated prefix/payload) live with the framing code in `wire`.
 }

@@ -28,7 +28,12 @@
 //! [`ServerHandle::shutdown`]) flips the running flag and pokes the
 //! listener with a loopback connection so the blocking `accept` wakes and
 //! exits; the channel closes, workers drain and finish, and
-//! [`ServerHandle::join`] reaps every thread.
+//! [`ServerHandle::join`] reaps every thread. Connections parked in a
+//! read are closed immediately, but a connection mid-reply is left alone
+//! until its frame is flushed (see
+//! [`ConnectionRegistry`]): a client
+//! that raced shutdown sees complete frames followed by a clean EOF,
+//! never a truncated payload.
 //!
 //! # Telemetry
 //!
@@ -40,9 +45,8 @@
 //! — kinds that carry no span linkage, so strict span nesting holds for
 //! any thread interleaving.
 
-use std::collections::HashMap;
 use std::io;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -54,6 +58,7 @@ use mfgcp_obs::{RecorderHandle, Span, Value};
 
 use crate::error::FrameReadError;
 use crate::protocol::{read_frame, write_frame, ErrorCode, Reply, Request, MAX_FRAME_LEN};
+use crate::wire::{linger_close, ConnectionRegistry};
 
 /// Tuning knobs for [`PolicyServer::start`].
 #[derive(Debug, Clone)]
@@ -135,8 +140,7 @@ impl PolicyServer {
             read_timeout: config.read_timeout,
             max_frame_len: config.max_frame_len,
             build_info,
-            connections: Mutex::new(HashMap::new()),
-            next_conn: AtomicU64::new(0),
+            connections: ConnectionRegistry::new(),
         });
 
         let (tx, rx) = mpsc::channel::<TcpStream>();
@@ -229,24 +233,20 @@ struct Shared {
     read_timeout: Duration,
     max_frame_len: u32,
     build_info: String,
-    /// Live connections by token, so shutdown can interrupt workers
-    /// blocked in a read instead of waiting out their timeouts.
-    connections: Mutex<HashMap<u64, TcpStream>>,
-    next_conn: AtomicU64,
+    /// Live connections, so shutdown can interrupt workers blocked in a
+    /// read instead of waiting out their timeouts — while draining, not
+    /// cutting, any reply still being written.
+    connections: ConnectionRegistry,
 }
 
 fn initiate_shutdown(shared: &Shared) {
     if shared.running.swap(false, Ordering::SeqCst) {
         // Poke the blocking accept() so the acceptor notices the flag.
         let _ = TcpStream::connect_timeout(&shared.local_addr, Duration::from_secs(1));
-        // Unblock workers parked in a read on an idle connection. Any
-        // reply already written (including the shutdown ack) is flushed,
-        // so this only cuts *waiting*, not in-flight answers.
-        if let Ok(conns) = shared.connections.lock() {
-            for stream in conns.values() {
-                let _ = stream.shutdown(Shutdown::Both);
-            }
-        }
+        // Unblock workers parked in a read on an idle connection; a
+        // worker mid-reply finishes flushing its frame first and closes
+        // itself, so clients never see a truncated payload.
+        shared.connections.drain();
     }
 }
 
@@ -288,34 +288,45 @@ fn worker_loop(shared: &Shared, rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>) {
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.read_timeout));
-    let token = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-    if let Ok(clone) = stream.try_clone() {
-        if let Ok(mut conns) = shared.connections.lock() {
-            conns.insert(token, clone);
-        }
-    }
-    serve_frames(shared, &mut stream);
-    if let Ok(mut conns) = shared.connections.lock() {
-        conns.remove(&token);
+    let token = shared.connections.register(&stream);
+    serve_frames(shared, &mut stream, token);
+    if let Some(token) = token {
+        shared.connections.deregister(token);
     }
 }
 
-fn serve_frames(shared: &Shared, mut stream: &mut TcpStream) {
+/// How long a draining connection keeps discarding unread pipelined
+/// requests before giving up on the peer's FIN (see [`linger_close`]).
+const LINGER: Duration = Duration::from_secs(1);
+
+fn serve_frames(shared: &Shared, mut stream: &mut TcpStream, token: Option<u64>) {
     loop {
         match read_frame(&mut stream, shared.max_frame_len) {
             Ok(None) => break, // clean disconnect
             Ok(Some(payload)) => {
+                if let Some(token) = token {
+                    shared.connections.begin_reply(token);
+                }
                 let started = Instant::now();
                 let (reply, op, batch) = respond(shared, &payload);
                 let is_error = matches!(reply, Reply::Error { .. });
                 let is_shutdown = matches!(reply, Reply::ShutdownAck);
                 let sent = write_frame(&mut stream, &reply.encode()).is_ok();
+                let draining = token.is_some_and(|token| shared.connections.end_reply(token));
                 record_request(shared, op, batch, !is_error, started.elapsed());
                 if is_shutdown {
                     initiate_shutdown(shared);
+                    linger_close(stream, LINGER);
                     break;
                 }
                 if !sent {
+                    break;
+                }
+                if draining {
+                    // Shutdown raced this reply: it is flushed, so close
+                    // gracefully (FIN after the reply, discard unread
+                    // pipelined requests) instead of cutting the socket.
+                    linger_close(stream, LINGER);
                     break;
                 }
                 // A malformed *payload* keeps the connection open: frame

@@ -253,6 +253,80 @@ fn graceful_shutdown_drains_and_closes_the_listener() {
     }
 }
 
+/// Regression: shutdown must *drain* in-flight replies, not cut them.
+/// A client pipelines several near-maximum batch requests without
+/// reading, so the server is blocked mid-`write_all` with full socket
+/// buffers when shutdown fires. The old registry called
+/// `Shutdown::Both` on every connection unconditionally, truncating the
+/// reply being written; with the drain-aware registry the client must
+/// see only complete frames followed by a clean EOF.
+#[test]
+fn shutdown_drains_in_flight_replies_instead_of_truncating() {
+    use mfgcp_serve::Request;
+
+    let eq = Arc::new(common::synthetic_equilibrium(tiny_params(), &[0.5, 1.5]));
+    let handle = start_server(Arc::clone(&eq), ServeConfig::default());
+    let addr = handle.local_addr();
+
+    // ~960 KB per request and per reply; 12 pipelined requests exceed
+    // any realistic loopback buffering in both directions, so the server
+    // is blocked writing a reply while shutdown races it.
+    const POINTS: usize = 40_000;
+    const PIPELINED: usize = 12;
+    let batch: Vec<[f64; 3]> = (0..POINTS)
+        .map(|i| {
+            let s = i as f64 / (POINTS - 1) as f64;
+            [s, 1.0 + s, 0.5 * s]
+        })
+        .collect();
+    let payload = Request::QueryBatch(batch).encode();
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = stream.try_clone().expect("clone for reading");
+    reader
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let writer = std::thread::spawn(move || {
+        let mut stream = stream;
+        for _ in 0..PIPELINED {
+            // Writes start failing once the drain closes the socket;
+            // that is expected — stop pushing.
+            if mfgcp_serve::protocol::write_frame(&mut stream, &payload).is_err() {
+                break;
+            }
+        }
+    });
+
+    // Give the server time to read the first request and wedge itself
+    // mid-reply against the full socket buffers, then shut down.
+    std::thread::sleep(Duration::from_millis(300));
+    handle.shutdown();
+
+    // Drain the replies: every frame must be complete, then clean EOF.
+    let mut complete = 0usize;
+    loop {
+        match read_frame(&mut reader, MAX_FRAME_LEN) {
+            Ok(Some(frame)) => {
+                match Reply::decode(&frame).expect("decodable reply") {
+                    Reply::PolicyBatch(points) => assert_eq!(points.len(), POINTS),
+                    other => panic!("unexpected reply kind: {other:?}"),
+                }
+                complete += 1;
+            }
+            Ok(None) => break, // clean EOF: the drain finished
+            Err(e) => panic!("client saw a broken frame after shutdown: {e}"),
+        }
+    }
+    assert!(
+        complete >= 1,
+        "the in-flight reply should have been flushed before the close"
+    );
+    assert!(complete <= PIPELINED);
+
+    writer.join().expect("writer thread");
+    handle.join();
+}
+
 #[test]
 fn telemetry_emits_one_server_span_and_per_request_counters() {
     let eq = Arc::new(common::synthetic_equilibrium(tiny_params(), &[0.5, -1.5]));

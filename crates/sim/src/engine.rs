@@ -19,11 +19,13 @@
 //! stream, so results are bit-identical regardless of thread count (the
 //! count itself is `SimConfig::worker_threads`, 0 = one per core).
 
+use std::sync::Arc;
+
 use mfgcp_check::{
     AuditConfig, AuditReport, Auditor, HandoverStats, PopulationTotals, SlotFlows, TwoSmallest,
 };
 use mfgcp_core::{ContentContext, Params, RateModel, SharedSupplyPricer};
-use mfgcp_net::{ChannelState, MobileRequesters, Topology};
+use mfgcp_net::{ChannelState, MobileRequesters, ShardStats, Topology};
 use mfgcp_obs::{RecorderHandle, Value};
 use mfgcp_sde::{seeded_rng, SimRng};
 use mfgcp_workload::{trace::SyntheticYoutubeTrace, trace::Trace, RequestBatch, RequestProcess};
@@ -33,6 +35,7 @@ use crate::edp::Edp;
 use crate::market::{resolve_trade, MarketOutcome, TradeCase};
 use crate::metrics::{self, EdpMetrics, SlotMetrics};
 use crate::policy::{CachingPolicy, DecisionContext};
+use crate::snapshot::{EngineControl, Histogram, SimSnapshot};
 use crate::SimError;
 
 /// The outcome of a simulation run.
@@ -115,6 +118,14 @@ pub struct Simulation {
     /// Per-slot market workspace, reused across slots.
     market_scratch: MarketScratch,
     recorder: RecorderHandle,
+    /// Slot-boundary observer/control hook, when a control plane is
+    /// attached ([`Simulation::set_control`]). May block between slots
+    /// (pause/step gating) but never changes what a slot computes.
+    control: Option<Arc<dyn EngineControl>>,
+    /// Channel shard gauges sampled at the current epoch's start, cached
+    /// for snapshot publication (only maintained while a controller is
+    /// attached; `None` under the dense channel representation).
+    shard_sample: Option<ShardStats>,
 }
 
 /// Reusable per-slot buffers of [`Simulation::clear_market`]'s fused
@@ -230,6 +241,8 @@ impl Simulation {
             market_nanos: 0,
             market_scratch: MarketScratch::default(),
             recorder: RecorderHandle::noop(),
+            control: None,
+            shard_sample: None,
         })
     }
 
@@ -248,6 +261,17 @@ impl Simulation {
         }
         self.policy.set_recorder(recorder.clone());
         self.recorder = recorder;
+    }
+
+    /// Attach a slot-boundary control hook. The engine calls
+    /// [`EngineControl::at_slot_boundary`] with a fresh [`SimSnapshot`]
+    /// before every slot (and once more with `finished = true` after the
+    /// last). The hook may block — that is how the control plane pauses
+    /// and single-steps the run — but it only ever gates *when* the next
+    /// slot executes, never *what* it computes, so controlled runs stay
+    /// bit-identical to free runs.
+    pub fn set_control(&mut self, control: Arc<dyn EngineControl>) {
+        self.control = Some(control);
     }
 
     /// The configuration in use.
@@ -317,6 +341,18 @@ impl Simulation {
         for epoch in 0..self.cfg.epochs {
             self.run_epoch(epoch, &mut series, &mut auditor);
         }
+        // Final publication: same snapshot shape, `finished` set, so an
+        // attached observer learns the run is over even if it never
+        // resumed a paused run until now.
+        if let Some(ctl) = self.control.clone() {
+            ctl.at_slot_boundary(self.build_snapshot(
+                self.cfg.epochs,
+                0,
+                &series,
+                auditor.as_ref(),
+                true,
+            ));
+        }
         let per_edp: Vec<EdpMetrics> = self.edps.iter().map(|e| e.metrics).collect();
         let audit = auditor.map(|a| a.finish(&population_totals(&self.edps)));
         SimReport {
@@ -360,6 +396,12 @@ impl Simulation {
                 }
             }
         }
+        // Shard gauges cost O(J·k_int) to aggregate, so snapshots carry a
+        // once-per-epoch sample (taken right after re-association, where
+        // the gauges change) instead of recomputing them every slot.
+        if self.control.is_some() {
+            self.shard_sample = self.channels.shard_stats();
+        }
         let weights = self.trace.normalized_weights(epoch);
         let contexts = self.epoch_contexts(&weights);
         let prep = self.recorder.span_with(
@@ -384,6 +426,17 @@ impl Simulation {
         let mut epoch_counts: Vec<Vec<usize>> = vec![vec![0; k_contents]; self.cfg.num_edps];
 
         for slot in 0..self.cfg.slots_per_epoch {
+            // Slot boundary: publish the end-of-previous-slot state and
+            // let the control plane gate when (never how) this slot runs.
+            if let Some(ctl) = self.control.clone() {
+                ctl.at_slot_boundary(self.build_snapshot(
+                    epoch,
+                    slot,
+                    series,
+                    auditor.as_ref(),
+                    false,
+                ));
+            }
             let t_in_epoch = slot as f64 * dt;
             let t_global = (epoch * self.cfg.slots_per_epoch + slot) as f64 * dt;
             self.channels.advance(dt);
@@ -810,6 +863,52 @@ impl Simulation {
         self.market_nanos
     }
 
+    /// Build the slot-boundary snapshot handed to the attached
+    /// [`EngineControl`]. `epoch`/`slot` index the *next* slot to run
+    /// (`epoch == cfg.epochs` with `finished` for the final publication);
+    /// every field reads end-of-previous-slot state only.
+    fn build_snapshot(
+        &self,
+        epoch: usize,
+        slot: usize,
+        series: &[SlotMetrics],
+        auditor: Option<&Auditor>,
+        finished: bool,
+    ) -> SimSnapshot {
+        let global_slot = (epoch * self.cfg.slots_per_epoch + slot) as u64;
+        let total_slots = (self.cfg.epochs * self.cfg.slots_per_epoch) as u64;
+        let occupancy: Vec<f64> = self.edps.iter().map(|e| e.q[0]).collect();
+        let occupancy_hist = Histogram::from_values(&occupancy);
+        // The previous slot's cleared market leaves its Eq. (5) pricers
+        // and k = 0 strategy column in the scratch; before the first slot
+        // the scratch is empty and there is no price distribution yet.
+        let s = &self.market_scratch;
+        let price_hist = (!s.pricers.is_empty() && !s.x0.is_empty())
+            .then(|| {
+                let prices: Vec<f64> = s.x0.iter().map(|&x| s.pricers[0].price(x)).collect();
+                Histogram::from_values(&prices)
+            })
+            .flatten();
+        SimSnapshot {
+            scheme: self.policy.name().to_string(),
+            epoch,
+            slot,
+            global_slot,
+            total_slots,
+            t: global_slot as f64 * self.cfg.slot_dt(),
+            finished,
+            num_edps: self.cfg.num_edps,
+            num_requesters: self.cfg.num_requesters,
+            num_contents: self.cfg.num_contents,
+            occupancy,
+            occupancy_hist,
+            price_hist,
+            last_slot: series.last().copied(),
+            audit: auditor.map(|a| a.status()),
+            net: self.shard_sample,
+        }
+    }
+
     /// Pre-handover state for the I6 gate: the serving map and the per-EDP
     /// accumulator totals as they stand immediately before an
     /// epoch-boundary re-association.
@@ -1102,6 +1201,62 @@ mod tests {
                 assert_eq!(a, b, "with {threads} threads");
             }
         }
+    }
+
+    #[test]
+    fn attached_control_observes_every_slot_without_perturbing_the_run() {
+        use crate::snapshot::{EngineControl, SimSnapshot};
+        use std::sync::Mutex;
+
+        struct Probe {
+            snaps: Mutex<Vec<SimSnapshot>>,
+        }
+        impl EngineControl for Probe {
+            fn at_slot_boundary(&self, snapshot: SimSnapshot) {
+                self.snaps.lock().unwrap().push(snapshot);
+            }
+        }
+
+        let run = |control: Option<Arc<Probe>>| {
+            let mut cfg = SimConfig::small();
+            cfg.audit = true;
+            let mut sim = Simulation::new(cfg, Box::new(MostPopularCaching::default())).unwrap();
+            if let Some(ctl) = control {
+                sim.set_control(ctl);
+            }
+            sim.run()
+        };
+        let free = run(None);
+        let probe = Arc::new(Probe {
+            snaps: Mutex::new(Vec::new()),
+        });
+        let observed = run(Some(Arc::clone(&probe)));
+
+        // Observation never perturbs: bit-identical reports.
+        assert_eq!(free.per_edp, observed.per_edp);
+        assert_eq!(free.series, observed.series);
+
+        // One snapshot per slot boundary plus the final publication.
+        let snaps = probe.snaps.lock().unwrap();
+        let total = SimConfig::small().epochs * SimConfig::small().slots_per_epoch;
+        assert_eq!(snaps.len(), total + 1);
+        for (i, s) in snaps.iter().enumerate() {
+            assert_eq!(s.global_slot, i as u64);
+            assert_eq!(s.total_slots, total as u64);
+            assert_eq!(s.occupancy.len(), s.num_edps);
+            assert_eq!(s.finished, i == total);
+            // Audit counters track completed slots.
+            assert_eq!(s.audit.unwrap().slots_checked, i);
+        }
+        // The first boundary precedes any cleared market; afterwards the
+        // previous slot's price distribution is always available.
+        assert!(snaps[0].price_hist.is_none());
+        assert!(snaps[0].last_slot.is_none());
+        assert!(snaps[1..].iter().all(|s| s.price_hist.is_some()));
+        let last = snaps.last().unwrap();
+        assert!(last.finished);
+        assert_eq!(last.last_slot, free.series.last().copied());
+        assert!((last.progress() - 1.0).abs() < 1e-12);
     }
 
     #[test]

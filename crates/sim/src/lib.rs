@@ -53,6 +53,7 @@ mod engine;
 mod market;
 mod metrics;
 mod policy;
+mod snapshot;
 pub mod timing;
 
 pub use config::SimConfig;
@@ -61,6 +62,7 @@ pub use engine::{SimReport, Simulation};
 pub use market::{resolve_trade, MarketOutcome, TradeCase};
 pub use metrics::{EdpMetrics, SlotMetrics};
 pub use policy::{CachingPolicy, DecisionContext};
+pub use snapshot::{EngineControl, Histogram, SimSnapshot, SNAPSHOT_BINS};
 
 /// Errors from simulator construction.
 #[derive(Debug, Clone, PartialEq)]
